@@ -1,0 +1,366 @@
+// Benchmarks regenerating the performance dimension of every
+// reproduction experiment (DESIGN.md §5). Each BenchmarkE<n> covers
+// the hot path of experiment E<n>; the full tables (including quality
+// numbers) are printed by `fairank experiment <id>` and recorded in
+// EXPERIMENTS.md.
+//
+// Run with: go test -bench=. -benchmem
+package fairank
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emd"
+	"repro/internal/marketplace"
+	"repro/internal/stats"
+)
+
+// benchTable1 returns the Table 1 dataset and its paper scores.
+func benchTable1(b *testing.B) (*Dataset, []float64) {
+	b.Helper()
+	d := Table1()
+	fn, err := NewScorer(Table1Weights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := fn.Score(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, scores
+}
+
+// benchPopulation generates a synthetic population with the given
+// shape, reporting a fatal error on failure.
+func benchPopulation(b *testing.B, n, nAttrs, nValues int) (*Dataset, []float64) {
+	b.Helper()
+	spec := PopulationSpec{
+		N:      n,
+		Skills: []SkillSpec{{Name: "skill", Mean: 0.55, StdDev: 0.18}},
+	}
+	for a := 0; a < nAttrs; a++ {
+		attr := AttrSpec{Name: fmt.Sprintf("p%d", a+1)}
+		for v := 0; v < nValues; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v+1))
+		}
+		spec.Protected = append(spec.Protected, attr)
+		spec.Biases = append(spec.Biases, Bias{
+			Attr: attr.Name, Value: "v1", Skill: "skill", Shift: -0.12 / float64(a+1),
+		})
+	}
+	d, err := Generate(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := d.Num("skill")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, scores
+}
+
+// BenchmarkE1Table1 measures scoring the Table 1 dataset (the f(w)
+// column reproduction).
+func BenchmarkE1Table1(b *testing.B) {
+	d := Table1()
+	fn, err := NewScorer(Table1Weights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn.Score(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Figure2 measures Algorithm 1 on the paper's example
+// dataset over the Figure 2 attribute set.
+func BenchmarkE2Figure2(b *testing.B) {
+	d, scores := benchTable1(b)
+	cfg := Config{Attributes: []string{"gender", "language"}}
+	var u float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Quantify(d, scores, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u = res.Unfairness
+	}
+	b.ReportMetric(u, "unfairness")
+}
+
+// BenchmarkE3 compares the greedy solver against the exhaustive
+// baseline on the same population (3 attributes × 2 values).
+func BenchmarkE3(b *testing.B) {
+	d, scores := benchPopulation(b, 1000, 3, 2)
+	b.Run("greedy", func(b *testing.B) {
+		var u float64
+		for i := 0; i < b.N; i++ {
+			res, err := Quantify(d, scores, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			u = res.Unfairness
+		}
+		b.ReportMetric(u, "unfairness")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		var u float64
+		for i := 0; i < b.N; i++ {
+			res, err := Exhaustive(d, scores, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			u = res.Unfairness
+		}
+		b.ReportMetric(u, "unfairness")
+	})
+}
+
+// BenchmarkE4Interactive measures QUANTIFY latency against population
+// size (the paper's "interactive response time" claim; 6 protected
+// attributes × 3 values).
+func BenchmarkE4Interactive(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		d, scores := benchPopulation(b, n, 6, 3)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Quantify(d, scores, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Anonymize measures the two k-anonymizers at k=5 on the
+// crowdsourcing population.
+func BenchmarkE5Anonymize(b *testing.B) {
+	m, err := Preset("crowdsourcing", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quasi := []string{"gender", "ethnicity", "language", "region"}
+	b.Run("mondrian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Mondrian(m.Workers, quasi, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("datafly", func(b *testing.B) {
+		var hs []*Hierarchy
+		for _, q := range quasi {
+			vals, err := m.Workers.DistinctValues(q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := SuppressionHierarchy(q, vals)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs = append(hs, h)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Datafly(m.Workers, hs, 5, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6RankOnly measures the rank-only pipeline: pseudo-score
+// conversion plus quantification.
+func BenchmarkE6RankOnly(b *testing.B) {
+	m, err := Preset("crowdsourcing", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Attributes: []string{"gender", "ethnicity", "language", "region"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pseudo, err := PseudoScores(scores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Quantify(m.Workers, pseudo, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Auditor measures a full marketplace audit (4 jobs).
+func BenchmarkE7Auditor(b *testing.B) {
+	m, err := Preset("crowdsourcing", 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Attributes: []string{"gender", "ethnicity", "language", "region"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Audit(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8JobOwner measures a five-variant function comparison.
+func BenchmarkE8JobOwner(b *testing.B) {
+	m, err := Preset("crowdsourcing", 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []string{
+		"0.7*language_test + 0.3*rating",
+		"0.5*language_test + 0.5*rating",
+		"0.3*language_test + 0.7*rating",
+		"1*language_test",
+		"0.4*language_test + 0.2*rating + 0.4*accuracy",
+	}
+	cfg := Config{Attributes: []string{"gender", "ethnicity", "language", "region"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, expr := range variants {
+			fn, err := ParseScorer(expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scores, err := fn.Score(m.Workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Quantify(m.Workers, scores, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE9EndUser measures the group-vs-rest gap computation of the
+// END-USER scenario.
+func BenchmarkE9EndUser(b *testing.B) {
+	m, err := Preset("taskrabbit", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := m.Score("moving")
+	if err != nil {
+		b.Fatal(err)
+	}
+	group := And(Eq("gender", "Female"), Eq("ethnicity", "Black"))
+	measure := DefaultMeasure()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := m.Workers.MatchingRows(group)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inGroup := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			inGroup[r] = true
+		}
+		var rest []int
+		for r := 0; r < m.Workers.Len(); r++ {
+			if !inGroup[r] {
+				rest = append(rest, r)
+			}
+		}
+		gh, err := measure.Histogram(scores, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rh, err := measure.Histogram(scores, rest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := measure.PairwiseDistance(gh, rh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Aggregations measures Algorithm 1 under each
+// aggregation.
+func BenchmarkE10Aggregations(b *testing.B) {
+	m, err := Preset("crowdsourcing", 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language", "region"}
+	for _, name := range []string{"avg", "max", "min", "variance"} {
+		agg, err := AggregatorByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{Measure: Measure{Agg: agg}, Attributes: attrs}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Quantify(m.Workers, scores, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11EMD measures the EMD solvers across bin counts.
+func BenchmarkE11EMD(b *testing.B) {
+	g := stats.NewRNG(1)
+	randDist := func(n int) []float64 {
+		v := make([]float64, n)
+		s := 0.0
+		for i := range v {
+			v[i] = g.Float64() + 1e-9
+			s += v[i]
+		}
+		for i := range v {
+			v[i] /= s
+		}
+		return v
+	}
+	for _, bins := range []int{5, 10, 25, 50, 100} {
+		p, q := randDist(bins), randDist(bins)
+		w := 1.0 / float64(bins)
+		b.Run(fmt.Sprintf("closed/bins=%d", bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := emd.Hist1D(p, q, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ground := emd.GroundDistance1D(bins, w)
+		b.Run(fmt.Sprintf("transport/bins=%d", bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := emd.EMD(p, q, ground); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarketplaceGenerate measures the population generator used
+// by every scenario.
+func BenchmarkMarketplaceGenerate(b *testing.B) {
+	spec := marketplace.CrowdsourcingSpec(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(spec, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Command fairank is the FaiRank command-line interface: quantify
+// fairness of rankings, audit simulated marketplaces, generate and
+// anonymize datasets, and regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	fairank table1                     reproduce Table 1 of the paper
+//	fairank figure2                    reproduce Figure 2 of the paper
+//	fairank experiment <id|all>        run reproduction experiments E1..E11
+//	fairank quantify  [flags]          quantify fairness of one ranking
+//	fairank audit     [flags]          marketplace-wide fairness report
+//	fairank generate  [flags]          generate a synthetic marketplace CSV
+//	fairank anonymize [flags]          k-anonymize a dataset CSV
+//
+// Every subcommand accepts -h for its flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	fairank "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		err = runExperimentCmd([]string{"E1"}, os.Stdout)
+	case "figure2":
+		err = runExperimentCmd([]string{"E2"}, os.Stdout)
+	case "experiment":
+		err = runExperimentCmd(os.Args[2:], os.Stdout)
+	case "quantify":
+		err = runQuantify(os.Args[2:], os.Stdout)
+	case "rank":
+		err = runRank(os.Args[2:], os.Stdout)
+	case "audit":
+		err = runAudit(os.Args[2:], os.Stdout)
+	case "generate":
+		err = runGenerate(os.Args[2:], os.Stdout)
+	case "anonymize":
+		err = runAnonymize(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fairank: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairank:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `fairank — explore fairness of ranking in online job marketplaces
+
+commands:
+  table1                      reproduce Table 1 of the paper
+  figure2                     reproduce Figure 2 of the paper
+  experiment <id|all> [-quick] [-seed N]
+                              run reproduction experiments (E1..E11)
+  quantify   -data <src> -fn <expr> [flags]
+                              quantify fairness of one ranking
+  rank       -data <src> -fn <expr> [-top N]
+                              print the ranking a scoring function induces
+  audit      -preset <name> [-n N] [-rank-only]
+                              marketplace-wide fairness report
+  generate   -preset <name> [-n N] [-seed N] [-o file.csv]
+                              generate a synthetic marketplace population
+  anonymize  -data <src> -k N [-algorithm mondrian|datafly] [-o file.csv]
+                              k-anonymize a dataset
+
+data sources (-data):
+  table1                      the paper's example dataset
+  preset:<name>[:n[:seed]]    a generated marketplace population
+                              (crowdsourcing, taskrabbit, fiverr, qapa)
+  <path>.csv                  a CSV file (see -protected)
+`)
+}
+
+func runExperimentCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced populations and sweeps")
+	seed := fs.Uint64("seed", 1, "random seed")
+	// The experiment id may precede flags.
+	id := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" {
+		id = "all"
+	}
+	opts := fairank.ExperimentOptions{Seed: *seed, Quick: *quick}
+	ids := []string{id}
+	if id == "all" {
+		ids = fairank.ExperimentIDs()
+	}
+	for _, eid := range ids {
+		desc, err := fairank.DescribeExperiment(eid)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# %s — %s\n\n", eid, desc)
+		tables, err := fairank.RunExperiment(eid, opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Fprintln(out, t.Render())
+		}
+	}
+	return nil
+}
+
+// loadData resolves a -data argument.
+func loadData(src string, protected, meta []string) (*fairank.Dataset, error) {
+	switch {
+	case src == "":
+		return nil, fmt.Errorf("missing -data (use table1, preset:<name>, or a CSV path)")
+	case src == "table1":
+		return fairank.Table1(), nil
+	case strings.HasPrefix(src, "preset:"):
+		parts := strings.Split(src, ":")
+		name := parts[1]
+		n := 2000
+		var seed uint64 = 1
+		if len(parts) > 2 {
+			if _, err := fmt.Sscanf(parts[2], "%d", &n); err != nil {
+				return nil, fmt.Errorf("bad preset size %q", parts[2])
+			}
+		}
+		if len(parts) > 3 {
+			if _, err := fmt.Sscanf(parts[3], "%d", &seed); err != nil {
+				return nil, fmt.Errorf("bad preset seed %q", parts[3])
+			}
+		}
+		m, err := fairank.Preset(name, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return m.Workers, nil
+	default:
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return fairank.ReadCSV(f, fairank.CSVOptions{
+			IDColumn:  "id",
+			Protected: protected,
+			Meta:      meta,
+		})
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runQuantify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("quantify", flag.ContinueOnError)
+	data := fs.String("data", "", "data source (table1, preset:<name>, or CSV path)")
+	fn := fs.String("fn", "", "scoring expression, e.g. '0.3*language_test + 0.7*rating'")
+	rankOnly := fs.Bool("rank-only", false, "build histograms from ranks (hide the function)")
+	rankAttr := fs.String("rank-attr", "", "numeric attribute holding an external 1-based ranking")
+	normalize := fs.Bool("normalize", false, "min-max normalize the function's attributes first")
+	filter := fs.String("filter", "", "comma-separated attr=value conjuncts")
+	objective := fs.String("objective", "most", "most | least")
+	agg := fs.String("agg", "avg", "avg | max | min | variance")
+	distance := fs.String("distance", "emd", "emd | emd-hat | ks | tv")
+	bins := fs.Int("bins", 5, "histogram bins")
+	attrs := fs.String("attrs", "", "comma-separated protected attributes to partition on")
+	minGroup := fs.Int("min-group", 1, "minimum partition size")
+	maxDepth := fs.Int("max-depth", 0, "maximum tree depth (0 = unlimited)")
+	allRoots := fs.Bool("all-roots", false, "restart the greedy from every root attribute, keep the best")
+	exhaustive := fs.Bool("exhaustive", false, "use the exact exponential solver")
+	protected := fs.String("protected", "", "CSV loading: comma-separated protected columns")
+	meta := fs.String("meta", "", "CSV loading: comma-separated meta columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadData(*data, splitList(*protected), splitList(*meta))
+	if err != nil {
+		return err
+	}
+	sess := core.NewSession()
+	if err := sess.AddDataset("cli", d); err != nil {
+		return err
+	}
+	p, err := sess.Quantify(core.PanelRequest{
+		Dataset:      "cli",
+		Function:     *fn,
+		RankOnly:     *rankOnly,
+		RankAttr:     *rankAttr,
+		Normalize:    *normalize,
+		Filter:       splitList(*filter),
+		Objective:    *objective,
+		Aggregator:   *agg,
+		Distance:     *distance,
+		Bins:         *bins,
+		Attributes:   splitList(*attrs),
+		MinGroupSize: *minGroup,
+		MaxDepth:     *maxDepth,
+		TryAllRoots:  *allRoots,
+		Exhaustive:   *exhaustive,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dataset   : %s (%d individuals", *data, p.Population)
+	if p.Filter != "" {
+		fmt.Fprintf(out, ", filter %s", p.Filter)
+	}
+	fmt.Fprintf(out, ")\nfunction  : %s\n", p.Function)
+	fmt.Fprint(out, fairank.RenderResult(p.Result, p.Scores))
+	return nil
+}
+
+func runAudit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	preset := fs.String("preset", "crowdsourcing", "marketplace preset (crowdsourcing, taskrabbit, fiverr, qapa)")
+	n := fs.Int("n", 2000, "population size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	rankOnly := fs.Bool("rank-only", false, "audit from rankings only")
+	agg := fs.String("agg", "avg", "avg | max | min | variance")
+	bins := fs.Int("bins", 5, "histogram bins")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the audit (0 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := fairank.Preset(*preset, *n, *seed)
+	if err != nil {
+		return err
+	}
+	aggFn, err := fairank.AggregatorByName(*agg)
+	if err != nil {
+		return err
+	}
+	cfg := fairank.Config{Measure: fairank.Measure{Agg: aggFn, Bins: *bins}}
+	var audits []fairank.JobAudit
+	switch {
+	case *rankOnly:
+		audits, err = fairank.AuditRankOnly(m, cfg)
+	case *parallel != 0:
+		audits, err = fairank.AuditParallel(m, cfg, *parallel)
+	default:
+		audits, err = fairank.Audit(m, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, fairank.RenderAudit(m.Name, audits))
+	return nil
+}
+
+func runGenerate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	preset := fs.String("preset", "crowdsourcing", "marketplace preset")
+	n := fs.Int("n", 2000, "population size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	outPath := fs.String("o", "", "output CSV path (default stdout)")
+	crawl := fs.Bool("crawl", false, "degrade the data like a web crawl (noise + missing values)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := fairank.Preset(*preset, *n, *seed)
+	if err != nil {
+		return err
+	}
+	d := m.Workers
+	if *crawl {
+		d, err = fairank.Crawl(d, fairank.CrawlOptions{Noise: 0.03, MissingRate: 0.05, SampleRate: 0.9}, *seed+1)
+		if err != nil {
+			return err
+		}
+	}
+	var w io.Writer = out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d workers (%s); jobs:\n", d.Len(), m.Name)
+	for _, j := range m.Jobs {
+		fmt.Fprintf(os.Stderr, "  %s: %s\n", j.Name, j.Function)
+	}
+	return nil
+}
+
+func runAnonymize(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("anonymize", flag.ContinueOnError)
+	data := fs.String("data", "", "data source (table1, preset:<name>, or CSV path)")
+	k := fs.Int("k", 5, "k-anonymity parameter")
+	algorithm := fs.String("algorithm", "mondrian", "mondrian | datafly")
+	outPath := fs.String("o", "", "output CSV path (default stdout)")
+	protected := fs.String("protected", "", "CSV loading: comma-separated protected columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadData(*data, splitList(*protected), nil)
+	if err != nil {
+		return err
+	}
+	quasi := d.Schema().Protected()
+	if len(quasi) == 0 {
+		return fmt.Errorf("dataset has no protected attributes to anonymize")
+	}
+	var anon *fairank.Dataset
+	// checkQuasi holds the attributes the algorithm actually
+	// anonymized, which is what the output is verified over.
+	checkQuasi := quasi
+	switch *algorithm {
+	case "mondrian":
+		anon, err = fairank.Mondrian(d, quasi, *k)
+	case "datafly":
+		// Datafly generalizes categorical attributes only; numeric
+		// protected attributes must be bucketized first (Bucketize)
+		// or handled by Mondrian.
+		var hs []*fairank.Hierarchy
+		checkQuasi = nil
+		for _, q := range quasi {
+			a, aerr := d.Schema().Attr(q)
+			if aerr != nil {
+				return aerr
+			}
+			if a.Kind != dataset.Categorical {
+				fmt.Fprintf(os.Stderr, "skipping numeric attribute %q (datafly needs categorical; bucketize it or use mondrian)\n", q)
+				continue
+			}
+			vals, verr := d.DistinctValues(q, nil)
+			if verr != nil {
+				return verr
+			}
+			h, herr := fairank.SuppressionHierarchy(q, vals)
+			if herr != nil {
+				return herr
+			}
+			hs = append(hs, h)
+			checkQuasi = append(checkQuasi, q)
+		}
+		if len(hs) == 0 {
+			return fmt.Errorf("no categorical protected attributes to generalize")
+		}
+		var res *fairank.DataflyResult
+		res, err = fairank.Datafly(d, hs, *k, d.Len()/20)
+		if err == nil {
+			anon = res.Data
+			if len(res.SuppressedIDs) > 0 {
+				fmt.Fprintf(os.Stderr, "suppressed %d individuals\n", len(res.SuppressedIDs))
+			}
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if err != nil {
+		return err
+	}
+	ok, err := fairank.IsKAnonymous(anon, checkQuasi, *k)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("internal error: output is not %d-anonymous", *k)
+	}
+	var w io.Writer = out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := anon.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d-anonymous over %s (%d rows)\n", *k, strings.Join(checkQuasi, ", "), anon.Len())
+	return nil
+}

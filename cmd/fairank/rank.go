@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	fairank "repro"
+	"repro/internal/report"
+)
+
+// runRank prints the ranking a scoring function induces over a
+// dataset, annotated with protected attributes — the raw artifact
+// whose fairness the rest of the toolchain quantifies.
+func runRank(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+	data := fs.String("data", "", "data source (table1, preset:<name>, or CSV path)")
+	fn := fs.String("fn", "", "scoring expression")
+	top := fs.Int("top", 0, "print only the top N individuals (0 = all)")
+	normalize := fs.Bool("normalize", false, "min-max normalize the function's attributes first")
+	filter := fs.String("filter", "", "comma-separated attr=value conjuncts")
+	protected := fs.String("protected", "", "CSV loading: comma-separated protected columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadData(*data, splitList(*protected), nil)
+	if err != nil {
+		return err
+	}
+	if terms := splitList(*filter); len(terms) != 0 {
+		var preds []fairank.Predicate
+		for _, t := range terms {
+			attr, value, ok := strings.Cut(t, "=")
+			if !ok || attr == "" || value == "" {
+				return fmt.Errorf("bad filter term %q, want attr=value", t)
+			}
+			preds = append(preds, fairank.Eq(attr, value))
+		}
+		d, err = d.Filter(fairank.And(preds...))
+		if err != nil {
+			return err
+		}
+	}
+	if *fn == "" {
+		return fmt.Errorf("missing -fn")
+	}
+	scorer, err := fairank.ParseScorer(*fn)
+	if err != nil {
+		return err
+	}
+	if *normalize {
+		attrs := make([]string, 0, len(scorer.Terms()))
+		for _, t := range scorer.Terms() {
+			attrs = append(attrs, t.Attr)
+		}
+		d, err = fairank.MinMaxNormalize(d, attrs...)
+		if err != nil {
+			return err
+		}
+	}
+	scores, err := scorer.Score(d)
+	if err != nil {
+		return err
+	}
+
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	if *top > 0 && *top < len(order) {
+		order = order[:*top]
+	}
+
+	prot := d.Schema().Protected()
+	headers := append([]string{"rank", "id", "score"}, prot...)
+	rows := make([][]string, 0, len(order))
+	for pos, row := range order {
+		cells := []string{
+			fmt.Sprintf("%d", pos+1),
+			d.ID(row),
+			fmt.Sprintf("%.4f", scores[row]),
+		}
+		for _, attr := range prot {
+			v, err := d.Value(attr, row)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, v)
+		}
+		rows = append(rows, cells)
+	}
+	fmt.Fprintf(out, "f = %s over %d individuals\n\n", scorer, d.Len())
+	fmt.Fprint(out, report.TextTable(headers, rows))
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRankTable1(t *testing.T) {
+	var buf bytes.Buffer
+	err := runRank([]string{
+		"-data", "table1",
+		"-fn", "0.3*language_test + 0.7*rating",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + table header + rule + 10 rows + leading f= line + blank.
+	if len(lines) != 14 {
+		t.Fatalf("rank output lines = %d:\n%s", len(lines), out)
+	}
+	// w7 is the top-scoring worker (0.971).
+	if !strings.Contains(lines[4], "w7") || !strings.HasPrefix(strings.TrimSpace(lines[4]), "1") {
+		t.Errorf("rank 1 row: %q", lines[4])
+	}
+	// Protected attributes are annotated.
+	if !strings.Contains(lines[2], "gender") || !strings.Contains(lines[4], "Female") {
+		t.Errorf("protected annotation missing:\n%s", out)
+	}
+	// w8 is last (0.195).
+	if !strings.Contains(lines[len(lines)-1], "w8") {
+		t.Errorf("last row: %q", lines[len(lines)-1])
+	}
+}
+
+func TestRunRankTop(t *testing.T) {
+	var buf bytes.Buffer
+	err := runRank([]string{
+		"-data", "table1",
+		"-fn", "rating",
+		"-top", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\nw") + strings.Count(buf.String(), " w"); got < 3 {
+		t.Logf("output:\n%s", buf.String())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 7 { // f line, blank, header, rule, 3 rows
+		t.Errorf("top-3 lines = %d:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestRunRankFilter(t *testing.T) {
+	var buf bytes.Buffer
+	err := runRank([]string{
+		"-data", "table1",
+		"-fn", "rating",
+		"-filter", "gender=Female",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Male") {
+		t.Errorf("filter leaked males:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "4 individuals") {
+		t.Errorf("filtered population size wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunRankNormalize(t *testing.T) {
+	var buf bytes.Buffer
+	err := runRank([]string{
+		"-data", "table1",
+		"-fn", "experience",
+		"-normalize",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w5 has the most experience -> rank 1, normalized score 1.
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.Contains(lines[4], "w5") || !strings.Contains(lines[4], "1.0000") {
+		t.Errorf("normalized rank 1: %q", lines[4])
+	}
+}
+
+func TestRunRankErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRank([]string{"-fn", "rating"}, &buf); err == nil {
+		t.Error("missing -data should error")
+	}
+	if err := runRank([]string{"-data", "table1"}, &buf); err == nil {
+		t.Error("missing -fn should error")
+	}
+	if err := runRank([]string{"-data", "table1", "-fn", "rating", "-filter", "bogus"}, &buf); err == nil {
+		t.Error("bad filter should error")
+	}
+	if err := runRank([]string{"-data", "table1", "-fn", "experience"}, &buf); err == nil {
+		t.Error("unnormalized attribute should error")
+	}
+}

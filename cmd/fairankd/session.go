@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	fairank "repro"
+)
+
+// buildSession assembles the explorer's initial session: the paper's
+// Table 1 dataset plus, when preset is non-empty, one generated
+// marketplace population. Extracted from main so the startup
+// configuration is testable.
+func buildSession(preset string, n int, seed uint64) (*fairank.Session, *fairank.Marketplace, error) {
+	sess := fairank.NewSession()
+	if err := sess.AddDataset("table1", fairank.Table1()); err != nil {
+		return nil, nil, fmt.Errorf("fairankd: %w", err)
+	}
+	if preset == "" {
+		return sess, nil, nil
+	}
+	m, err := fairank.Preset(preset, n, seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fairankd: %w", err)
+	}
+	if err := sess.AddDataset(m.Name, m.Workers); err != nil {
+		return nil, nil, fmt.Errorf("fairankd: %w", err)
+	}
+	return sess, m, nil
+}

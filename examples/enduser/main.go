@@ -1,0 +1,125 @@
+// END-USER scenario (paper §4): a worker examines how unfairly
+// different marketplaces treat the group they belong to for a job of
+// interest, and makes an informed decision about where to apply.
+//
+// Here the end-user is a Black woman choosing between errand work on a
+// TaskRabbit-like site and gig work on a Fiverr-like site.
+//
+//	go run ./examples/enduser
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fairank "repro"
+)
+
+// indent prefixes every line of s for nested display.
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func main() {
+	tr, err := fairank.Preset("taskrabbit", 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fv, err := fairank.Preset("fiverr", 2000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The end-user's group, expressed as a filter over protected
+	// attributes (paper §2: "only interested in ranking a subset of
+	// individuals that satisfy certain criteria").
+	group := fairank.And(
+		fairank.Eq("gender", "Female"),
+		fairank.Eq("ethnicity", "Black"),
+	)
+
+	type probe struct {
+		m   *fairank.Marketplace
+		job string
+	}
+	measure := fairank.DefaultMeasure()
+	for _, p := range []probe{{tr, "moving"}, {fv, "logo-design"}} {
+		scores, err := p.m.Score(p.job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := p.m.Workers.MatchingRows(group)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inGroup := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			inGroup[r] = true
+		}
+		var rest []int
+		var groupSum float64
+		for r := 0; r < p.m.Workers.Len(); r++ {
+			if inGroup[r] {
+				groupSum += scores[r]
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		gh, err := measure.Histogram(scores, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rh, err := measure.Histogram(scores, rest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap, err := measure.PairwiseDistance(gh, rh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var overall float64
+		for _, s := range scores {
+			overall += s
+		}
+		fmt.Printf("%s / %s:\n", p.m.Name, p.job)
+		fmt.Printf("  group %s: %d of %d workers\n", group, len(rows), p.m.Workers.Len())
+		fmt.Printf("  group mean score   %.4f\n", groupSum/float64(len(rows)))
+		fmt.Printf("  overall mean score %.4f\n", overall/float64(p.m.Workers.Len()))
+		fmt.Printf("  EMD(group, rest)   %.4f\n\n", gap)
+
+		// How does this job treat subgroups overall? The most unfair
+		// partitioning puts the end-user's standing in context.
+		res, err := fairank.Quantify(p.m.Workers, scores, fairank.Config{
+			Attributes: []string{"gender", "ethnicity"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  most unfair partitioning of this job (gender × ethnicity): %.4f\n", res.Unfairness)
+		for _, g := range res.Groups {
+			sum, n := 0.0, 0
+			for _, r := range g.Rows {
+				sum += scores[r]
+				n++
+			}
+			fmt.Printf("    %-38s n=%-4d mean %.4f\n", g.Label(), n, sum/float64(n))
+		}
+		fmt.Println()
+
+		// The same partitioning through the ranking-native lens:
+		// would the end-user's group make a top-10% shortlist?
+		table, err := fairank.RankingTable(res, scores, p.m.Workers.Len()/10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(indent(table, "  "))
+		fmt.Println()
+	}
+	fmt.Println("the end-user targets the marketplace with the smaller EMD(group, rest)")
+	fmt.Println("and the smaller gap between their group's mean and the overall mean.")
+}

@@ -1,0 +1,73 @@
+// JOB OWNER scenario (paper §4): a job owner explores scoring-function
+// variants for their job, sees the unfairness each induces, and picks
+// the fairest — "the one that satisfies some desired fairness".
+//
+//	go run ./examples/jobowner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairank "repro"
+)
+
+func main() {
+	m, err := fairank.Preset("crowdsourcing", 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language", "region"}
+
+	// The owner's job is translation; these are the candidate
+	// functions under consideration. accuracy carries no injected
+	// bias in the generator, language_test and rating do.
+	variants := []string{
+		"0.7*language_test + 0.3*rating",
+		"0.5*language_test + 0.5*rating",
+		"0.3*language_test + 0.7*rating",
+		"1*language_test",
+		"0.4*language_test + 0.2*rating + 0.4*accuracy",
+	}
+
+	// A session holds one panel per variant, like the side-by-side
+	// panels of the paper's Figure 3.
+	sess := fairank.NewSession()
+	if err := sess.AddDataset("workers", m.Workers); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("comparing %d scoring-function variants on %d workers\n\n", len(variants), m.Workers.Len())
+	bestU := 2.0
+	var best *fairank.Panel
+	for _, expr := range variants {
+		p, err := sess.Quantify(fairank.PanelRequest{
+			Dataset:    "workers",
+			Function:   expr,
+			Attributes: attrs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("panel #%d  f = %-50s unfairness %.4f over %d partitions\n",
+			p.ID, p.Function, p.Result.Unfairness, len(p.Result.Groups))
+		if p.Result.Unfairness < bestU {
+			bestU, best = p.Result.Unfairness, p
+		}
+	}
+
+	fmt.Printf("\nfairest variant: f = %s (unfairness %.4f)\n\n", best.Function, bestU)
+	fmt.Println("--- its full panel ---")
+	fmt.Print(fairank.RenderResult(best.Result, best.Scores))
+
+	// The owner can also ask the opposite question: which function
+	// exposes the widest gap (e.g. to understand worst-case impact)?
+	worstU := -1.0
+	var worst *fairank.Panel
+	for _, p := range sess.Panels() {
+		if p.Result.Unfairness > worstU {
+			worstU, worst = p.Result.Unfairness, p
+		}
+	}
+	fmt.Printf("\nmost discriminating variant: f = %s (unfairness %.4f)\n", worst.Function, worstU)
+}

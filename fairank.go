@@ -1,0 +1,377 @@
+// Package fairank is a Go implementation of FaiRank, the interactive
+// system for exploring fairness of ranking in online job marketplaces
+// (Ghizzawi, Marinescu, Elbassuoni, Amer-Yahia, Bisson — EDBT 2019).
+//
+// FaiRank takes a set of individuals with protected attributes
+// (gender, age, ethnicity, ...) and observed attributes (skills,
+// ratings), plus a scoring function ranking them for a job, and finds
+// the partitioning of the individuals over their protected attributes
+// on which the scoring function is most (or least) unfair. Unfairness
+// of a partitioning is an aggregation — average by default — of the
+// Earth Mover's Distances between the per-partition score histograms.
+//
+// This package is the public facade over the implementation packages:
+//
+//	internal/core        Algorithm 1 (QUANTIFY) + exhaustive baseline
+//	internal/dataset     individuals, attributes, filtering, IO
+//	internal/scoring     linear scoring functions, rank-only mode
+//	internal/fairness    distances (EMD, ...) × aggregations (avg, ...)
+//	internal/partition   partitioning trees and enumeration
+//	internal/histogram   score histograms
+//	internal/emd         Earth Mover's Distance solvers
+//	internal/anonymize   k-anonymization (ARX replacement)
+//	internal/marketplace simulated job marketplaces with known bias
+//	internal/report      terminal rendering, auditor reports
+//	internal/server      HTTP API + embedded UI (Figure 3)
+//	internal/experiments the paper's tables/figures as runnable code
+//
+// Quickstart:
+//
+//	d := fairank.Table1()
+//	fn, _ := fairank.ParseScorer("0.3*language_test + 0.7*rating")
+//	scores, _ := fn.Score(d)
+//	res, _ := fairank.Quantify(d, scores, fairank.Config{})
+//	fmt.Println(fairank.RenderResult(res, scores))
+package fairank
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/experiments"
+	"repro/internal/fairness"
+	"repro/internal/histogram"
+	"repro/internal/marketplace"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/scoring"
+	"repro/internal/server"
+)
+
+// Core model types.
+type (
+	// Dataset is an immutable set of individuals with attributes.
+	Dataset = dataset.Dataset
+	// Schema describes a dataset's attributes.
+	Schema = dataset.Schema
+	// Attribute is one dataset column: name, kind, role.
+	Attribute = dataset.Attribute
+	// Kind distinguishes categorical from numeric attributes.
+	Kind = dataset.Kind
+	// Role distinguishes protected, observed and meta attributes.
+	Role = dataset.Role
+	// Builder assembles datasets row by row.
+	Builder = dataset.Builder
+	// CSVOptions controls CSV import.
+	CSVOptions = dataset.CSVOptions
+	// Predicate filters individuals (see Eq, In, Between, And, Or, Not).
+	Predicate = dataset.Predicate
+	// Bucketizer discretizes numeric protected attributes.
+	Bucketizer = dataset.Bucketizer
+	// Scorer is a linear scoring function f(w) = Σ αᵢ·bᵢ.
+	Scorer = scoring.Linear
+	// Hist is an equal-width score histogram.
+	Hist = histogram.Hist
+	// Group is one partition: a protected-attribute subgroup.
+	Group = partition.Group
+	// Tree is a partitioning tree whose leaves form the partitioning.
+	Tree = partition.Tree
+	// Distance measures the gap between two score histograms.
+	Distance = fairness.Distance
+	// Aggregator folds pairwise distances into one unfairness value.
+	Aggregator = fairness.Aggregator
+	// Measure is a complete fairness formulation.
+	Measure = fairness.Measure
+	// Config parameterizes a quantification run.
+	Config = core.Config
+	// Result is a solved partitioning with its quantification.
+	Result = core.Result
+	// Objective selects most- vs least-unfair search.
+	Objective = core.Objective
+	// Session is a multi-panel exploration session.
+	Session = core.Session
+	// PanelRequest configures one exploration panel.
+	PanelRequest = core.PanelRequest
+	// Panel is one quantification result with provenance.
+	Panel = core.Panel
+	// Marketplace is a simulated platform: workers plus jobs.
+	Marketplace = marketplace.Marketplace
+	// Job is one job with its scoring function.
+	Job = marketplace.Job
+	// PopulationSpec configures the synthetic worker generator.
+	PopulationSpec = marketplace.PopulationSpec
+	// AttrSpec, NumAttrSpec, SkillSpec and Bias compose PopulationSpec.
+	AttrSpec = marketplace.AttrSpec
+	// NumAttrSpec describes a numeric protected attribute.
+	NumAttrSpec = marketplace.NumAttrSpec
+	// SkillSpec describes an observed skill.
+	SkillSpec = marketplace.SkillSpec
+	// Bias injects a known mean shift for a protected group.
+	Bias = marketplace.Bias
+	// CrawlOptions degrade a population like a web crawl would.
+	CrawlOptions = marketplace.CrawlOptions
+	// Hierarchy is a generalization ladder for k-anonymization.
+	Hierarchy = anonymize.Hierarchy
+	// Generalization assigns a level per quasi-identifier.
+	Generalization = anonymize.Generalization
+	// DataflyResult reports a Datafly anonymization.
+	DataflyResult = anonymize.DataflyResult
+	// LatticeResult reports an optimal full-domain generalization.
+	LatticeResult = anonymize.LatticeResult
+	// JobAudit is one job's row of an auditor report.
+	JobAudit = report.JobAudit
+	// ExperimentOptions tunes experiment scale.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a rendered experiment output.
+	ExperimentTable = experiments.Table
+)
+
+// Attribute kinds.
+const (
+	Categorical = dataset.Categorical
+	Numeric     = dataset.Numeric
+)
+
+// Attribute roles.
+const (
+	Protected = dataset.Protected
+	Observed  = dataset.Observed
+	Meta      = dataset.Meta
+)
+
+// Objectives.
+const (
+	MostUnfair  = core.MostUnfair
+	LeastUnfair = core.LeastUnfair
+)
+
+// Imputation strategies for Dataset.Impute.
+const (
+	ImputeMean   = dataset.ImputeMean
+	ImputeMedian = dataset.ImputeMedian
+)
+
+// Table1 returns the paper's example dataset (Table 1).
+func Table1() *Dataset { return dataset.Table1() }
+
+// Table1Weights returns the weights reproducing Table 1's f column.
+func Table1Weights() map[string]float64 { return dataset.Table1Weights() }
+
+// NewSchema builds a dataset schema.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return dataset.NewSchema(attrs...) }
+
+// NewBuilder returns a dataset builder for a schema.
+func NewBuilder(s *Schema) *Builder { return dataset.NewBuilder(s) }
+
+// ReadCSV parses a header-first CSV stream into a dataset.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) { return dataset.ReadCSV(r, opts) }
+
+// ReadJSON decodes a dataset from its JSON form.
+func ReadJSON(r io.Reader) (*Dataset, error) { return dataset.ReadJSON(r) }
+
+// Filtering predicates (paper §2: "filter the individuals based on
+// protected attributes").
+func Eq(attr, value string) Predicate               { return dataset.Eq(attr, value) }
+func In(attr string, values ...string) Predicate    { return dataset.In(attr, values...) }
+func Between(attr string, lo, hi float64) Predicate { return dataset.Between(attr, lo, hi) }
+func And(ps ...Predicate) Predicate                 { return dataset.And(ps...) }
+func Or(ps ...Predicate) Predicate                  { return dataset.Or(ps...) }
+func Not(p Predicate) Predicate                     { return dataset.Not(p) }
+
+// Bucketizers for numeric protected attributes.
+func EqualWidth(k int) Bucketizer          { return dataset.EqualWidth(k) }
+func Quantiles(k int) Bucketizer           { return dataset.Quantiles(k) }
+func CutPoints(cuts ...float64) Bucketizer { return dataset.CutPoints(cuts...) }
+
+// NewScorer builds a linear scoring function from attribute weights.
+func NewScorer(weights map[string]float64) (*Scorer, error) { return scoring.NewLinear(weights) }
+
+// ParseScorer parses "0.3*language_test + 0.7*rating".
+func ParseScorer(expr string) (*Scorer, error) { return scoring.Parse(expr) }
+
+// MinMaxNormalize rescales numeric attributes to [0,1].
+func MinMaxNormalize(d *Dataset, attrs ...string) (*Dataset, error) {
+	return scoring.MinMaxNormalize(d, attrs...)
+}
+
+// PseudoScores converts scores to rank-based pseudo-scores (function
+// transparency off).
+func PseudoScores(scores []float64) ([]float64, error) { return scoring.PseudoScores(scores) }
+
+// PseudoScoresFromRanks converts 1-based ranks into pseudo-scores.
+func PseudoScoresFromRanks(ranks []float64) ([]float64, error) {
+	return scoring.PseudoScoresFromRanks(ranks)
+}
+
+// DefaultMeasure is Definition 2: average pairwise EMD over 5-bin
+// histograms of [0,1] scores.
+func DefaultMeasure() Measure { return fairness.DefaultMeasure() }
+
+// DistanceByName resolves "emd", "emd-hat", "ks" or "tv".
+func DistanceByName(name string) (Distance, error) { return fairness.DistanceByName(name) }
+
+// AggregatorByName resolves "avg", "max", "min" or "variance".
+func AggregatorByName(name string) (Aggregator, error) { return fairness.AggregatorByName(name) }
+
+// Quantify runs the paper's Algorithm 1: a greedy search for the most
+// (or least) unfair partitioning of d under the given scores.
+func Quantify(d *Dataset, scores []float64, cfg Config) (*Result, error) {
+	return core.Quantify(d, scores, cfg)
+}
+
+// Exhaustive solves the same problem exactly by enumeration — the
+// exponential baseline Algorithm 1 approximates.
+func Exhaustive(d *Dataset, scores []float64, cfg Config) (*Result, error) {
+	return core.Exhaustive(d, scores, cfg)
+}
+
+// NewSession returns an empty exploration session.
+func NewSession() *Session { return core.NewSession() }
+
+// RandIndex measures pairwise agreement between two partitionings of
+// the same n individuals (1 = identical groupings). Use it to compare
+// panels: score-based vs rank-only, raw vs anonymized, one function vs
+// another.
+func RandIndex(a, b []Group, n int) (float64, error) { return partition.RandIndex(a, b, n) }
+
+// EMD returns the exact 1-D Earth Mover's Distance between two mass
+// vectors with equal totals and the given bin width.
+func EMD(p, q []float64, binWidth float64) (float64, error) { return emd.Hist1D(p, q, binWidth) }
+
+// Preset generates a named marketplace: "crowdsourcing", "taskrabbit"
+// or "fiverr".
+func Preset(name string, n int, seed uint64) (*Marketplace, error) {
+	return marketplace.PresetByName(name, n, seed)
+}
+
+// Generate samples a worker population from a specification.
+func Generate(spec PopulationSpec, seed uint64) (*Dataset, error) {
+	return marketplace.Generate(spec, seed)
+}
+
+// Crawl simulates scraping a population: noise, missing values,
+// sampling.
+func Crawl(d *Dataset, opts CrawlOptions, seed uint64) (*Dataset, error) {
+	return marketplace.Crawl(d, opts, seed)
+}
+
+// k-anonymization (ARX replacement).
+func NewHierarchy(attr string, mapping map[string][]string) (*Hierarchy, error) {
+	return anonymize.NewHierarchy(attr, mapping)
+}
+
+// SuppressionHierarchy maps every value of attr to "*".
+func SuppressionHierarchy(attr string, values []string) (*Hierarchy, error) {
+	return anonymize.SuppressionHierarchy(attr, values)
+}
+
+// IntervalHierarchy builds a numeric interval ladder.
+func IntervalHierarchy(attr string, origin float64, widths []float64) (*Hierarchy, error) {
+	return anonymize.IntervalHierarchy(attr, origin, widths)
+}
+
+// Datafly reaches k-anonymity by full-domain generalization plus
+// bounded suppression.
+func Datafly(d *Dataset, hs []*Hierarchy, k, maxSuppress int) (*DataflyResult, error) {
+	return anonymize.Datafly(d, hs, k, maxSuppress)
+}
+
+// Mondrian reaches k-anonymity by multidimensional local recoding.
+func Mondrian(d *Dataset, quasi []string, k int) (*Dataset, error) {
+	return anonymize.Mondrian(d, quasi, k)
+}
+
+// IsKAnonymous verifies k-anonymity over the quasi-identifiers.
+func IsKAnonymous(d *Dataset, quasi []string, k int) (bool, error) {
+	return anonymize.IsKAnonymous(d, quasi, k)
+}
+
+// IsLDiverse verifies distinct l-diversity of a sensitive attribute
+// within the quasi-identifier equivalence classes.
+func IsLDiverse(d *Dataset, quasi []string, sensitive string, l int) (bool, error) {
+	return anonymize.IsLDiverse(d, quasi, sensitive, l)
+}
+
+// MinDiversity returns the largest l for which d is l-diverse.
+func MinDiversity(d *Dataset, quasi []string, sensitive string) (int, error) {
+	return anonymize.MinDiversity(d, quasi, sensitive)
+}
+
+// Audit quantifies every job of a marketplace (the AUDITOR scenario).
+func Audit(m *Marketplace, cfg Config) ([]JobAudit, error) {
+	return report.AuditMarketplace(m, cfg)
+}
+
+// AuditParallel runs Audit with per-job quantifications spread over a
+// bounded goroutine pool (workers <= 0 selects GOMAXPROCS).
+func AuditParallel(m *Marketplace, cfg Config, workers int) ([]JobAudit, error) {
+	return report.AuditParallel(m, cfg, workers)
+}
+
+// RankJobsByUnfairness sorts audited jobs most-unfair first.
+func RankJobsByUnfairness(audits []JobAudit) []JobAudit {
+	return report.RankJobsByUnfairness(audits)
+}
+
+// OptimalLattice finds the k-anonymous full-domain generalization with
+// maximum precision — the exact search ARX performs, versus Datafly's
+// greedy walk.
+func OptimalLattice(d *Dataset, hs []*Hierarchy, k, maxSuppress int) (*LatticeResult, error) {
+	return anonymize.OptimalLattice(d, hs, k, maxSuppress)
+}
+
+// TopKParityGap returns the maximum difference between any two
+// partitions' top-k selection rates (0 = demographic parity at the
+// cutoff), a ranking-native fairness notion complementing the EMD
+// measure.
+func TopKParityGap(scores []float64, parts [][]int, k int) (float64, error) {
+	return fairness.TopKParityGap(scores, parts, k)
+}
+
+// ExposureRatio returns the worst pairwise ratio of group exposures
+// (position bias 1/log2(1+rank)); 1 means equal exposure.
+func ExposureRatio(scores []float64, parts [][]int) (float64, error) {
+	return fairness.ExposureRatio(scores, parts)
+}
+
+// RankingTable renders the ranking-native fairness view (top-k
+// selection rates, exposure) of a solved partitioning.
+func RankingTable(res *Result, scores []float64, k int) (string, error) {
+	return report.RankingTable(res, scores, k)
+}
+
+// AuditRankOnly audits with rankings only (function transparency off).
+func AuditRankOnly(m *Marketplace, cfg Config) ([]JobAudit, error) {
+	return report.AuditRankOnly(m, cfg)
+}
+
+// RenderAudit renders an auditor report for the terminal.
+func RenderAudit(marketplaceName string, audits []JobAudit) string {
+	return report.RenderAudit(marketplaceName, audits)
+}
+
+// RenderResult renders a quantification result as a panel with
+// histograms and the pairwise-distance table.
+func RenderResult(res *Result, scores []float64) string {
+	return report.RenderResult(res, scores, report.ResultOptions{Histograms: true, Pairwise: true})
+}
+
+// ServeHandler returns the HTTP handler of the interactive explorer
+// (JSON API + embedded UI) over the given session.
+func ServeHandler(sess *Session) http.Handler { return server.New(sess).Handler() }
+
+// RunExperiment executes one of the paper-reproduction experiments
+// (E1..E11); see ExperimentIDs.
+func RunExperiment(id string, opts ExperimentOptions) ([]ExperimentTable, error) {
+	return experiments.Run(id, opts)
+}
+
+// ExperimentIDs lists the available experiments.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// DescribeExperiment returns an experiment's one-line description.
+func DescribeExperiment(id string) (string, error) { return experiments.Describe(id) }

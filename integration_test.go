@@ -1,0 +1,249 @@
+package fairank
+
+// Integration tests spanning every subsystem: the flows a real
+// deployment chains together, end to end, with assertions on the
+// ground truth the simulator injected.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPipelineCrawlImputeQuantifyAnonymize chains the full auditor
+// workflow: generate a biased marketplace → crawl it (noise, missing
+// values, sampling) → impute → score → quantify → k-anonymize →
+// re-quantify, asserting the bias is found before anonymization and
+// diminished after.
+func TestPipelineCrawlImputeQuantifyAnonymize(t *testing.T) {
+	m, err := Preset("crowdsourcing", 1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language", "region"}
+
+	// Crawl and repair.
+	crawled, err := Crawl(m.Workers, CrawlOptions{Noise: 0.02, MissingRate: 0.08, SampleRate: 0.9}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := crawled.Impute(ImputeMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := repaired.MissingCount(); missing["rating"] != 0 || missing["gender"] != 0 {
+		t.Fatalf("imputation left gaps: %v", missing)
+	}
+
+	// Score and quantify.
+	job, err := m.Job("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := job.Function.Score(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Quantify(repaired, scores, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Unfairness <= 0 {
+		t.Fatal("no unfairness found on biased data")
+	}
+	if err := raw.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Anonymize hard and re-quantify: discovered unfairness must not
+	// grow, and typically shrinks.
+	anon, err := Mondrian(repaired, attrs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsKAnonymous(anon, attrs, 50)
+	if err != nil || !ok {
+		t.Fatalf("anonymization failed: %v %v", ok, err)
+	}
+	anonScores, err := job.Function.Score(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := Quantify(anon, anonScores, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Unfairness > raw.Unfairness+0.02 {
+		t.Errorf("k=50 anonymization should not increase discoverable unfairness: %.4f -> %.4f",
+			raw.Unfairness, masked.Unfairness)
+	}
+}
+
+// TestPipelineGroundTruthDirection checks that the most unfair
+// partitioning separates the groups the generator actually treats
+// differently: the least-favored leaf must over-represent a biased
+// demographic.
+func TestPipelineGroundTruthDirection(t *testing.T) {
+	m, err := Preset("crowdsourcing", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Quantify(m.Workers, scores, Config{Attributes: []string{"gender", "ethnicity", "language", "region"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the leaf with the lowest mean score.
+	worstMean := 2.0
+	worstLabel := ""
+	for _, g := range res.Groups {
+		sum := 0.0
+		for _, r := range g.Rows {
+			sum += scores[r]
+		}
+		mean := sum / float64(g.Size())
+		if mean < worstMean {
+			worstMean, worstLabel = mean, g.Label()
+		}
+	}
+	// The injected bias hits African-American workers (rating) and
+	// non-English speakers (language test); the worst group must carry
+	// at least one of those markers.
+	if !strings.Contains(worstLabel, "African-American") &&
+		!strings.Contains(worstLabel, "language=Indian") &&
+		!strings.Contains(worstLabel, "language=Other") {
+		t.Errorf("least favored group %q does not match injected bias", worstLabel)
+	}
+}
+
+// TestPipelineRankOnlyStability quantifies the function-transparency
+// claim: rank-only quantification groups individuals similarly to
+// score-based quantification (Rand index well above chance).
+func TestPipelineRankOnlyStability(t *testing.T) {
+	m, err := Preset("crowdsourcing", 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language"}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Quantify(m.Workers, scores, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pseudo, err := PseudoScores(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Quantify(m.Workers, pseudo, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := RandIndex(full.Groups, ranked.Groups, m.Workers.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.5 {
+		t.Errorf("rank-only grouping diverged badly: Rand index %.3f", ri)
+	}
+}
+
+// TestPipelineCSVRoundTripThroughCLIFormats checks that a generated
+// population survives CSV export/import with roles reassigned, then
+// quantifies identically.
+func TestPipelineCSVRoundTripThroughCLIFormats(t *testing.T) {
+	m, err := Preset("taskrabbit", 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Workers.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, CSVOptions{
+		IDColumn:  "id",
+		Protected: []string{"gender", "ethnicity", "city", "year_of_birth"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != m.Workers.Len() {
+		t.Fatalf("round trip changed rows: %d vs %d", back.Len(), m.Workers.Len())
+	}
+	job := m.Jobs[0]
+	s1, err := job.Function.Score(m.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := job.Function.Score(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if math.Abs(s1[i]-s2[i]) > 1e-12 {
+			t.Fatalf("scores diverged after CSV round trip at %d: %g vs %g", i, s1[i], s2[i])
+		}
+	}
+	r1, err := Quantify(m.Workers, s1, Config{Attributes: []string{"gender", "ethnicity", "city"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Quantify(back, s2, Config{Attributes: []string{"gender", "ethnicity", "city"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Unfairness != r2.Unfairness {
+		t.Errorf("unfairness diverged after round trip: %g vs %g", r1.Unfairness, r2.Unfairness)
+	}
+}
+
+// TestPipelineLatticeThenAudit verifies the exact anonymizer's output
+// feeds the fairness machinery: l-diversity of the ethnicity attribute
+// is measurable and the anonymized view is still quantifiable.
+func TestPipelineLatticeThenAudit(t *testing.T) {
+	m, err := Preset("crowdsourcing", 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasi := []string{"gender", "language", "region"}
+	var hs []*Hierarchy
+	for _, q := range quasi {
+		vals, err := m.Workers.DistinctValues(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := SuppressionHierarchy(q, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	res, err := OptimalLattice(m.Workers, hs, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsKAnonymous(res.Data, quasi, 10)
+	if err != nil || !ok {
+		t.Fatalf("lattice output not 10-anonymous: %v %v", ok, err)
+	}
+	l, err := MinDiversity(res.Data, quasi, "ethnicity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 1 {
+		t.Errorf("diversity = %d", l)
+	}
+	scores, err := m.Jobs[0].Function.Score(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quantify(res.Data, scores, Config{Attributes: quasi}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,488 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// countryHierarchy: city-less Table-1-style country ladder.
+func countryHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy("country", map[string][]string{
+		"America": {"Americas", "*"},
+		"India":   {"Asia", "*"},
+		"Other":   {"Other", "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy("", map[string][]string{"a": {"*"}}); err == nil {
+		t.Error("empty attr should error")
+	}
+	if _, err := NewHierarchy("x", nil); err == nil {
+		t.Error("empty mapping should error")
+	}
+	if _, err := NewHierarchy("x", map[string][]string{"a": {}}); err == nil {
+		t.Error("empty chain should error")
+	}
+	if _, err := NewHierarchy("x", map[string][]string{"a": {"*"}, "b": {"m", "*"}}); err == nil {
+		t.Error("ragged chains should error")
+	}
+	h := countryHierarchy(t)
+	if h.Attr() != "country" || h.Depth() != 2 {
+		t.Errorf("hierarchy meta: %q depth %d", h.Attr(), h.Depth())
+	}
+}
+
+func TestSuppressionHierarchy(t *testing.T) {
+	h, err := SuppressionHierarchy("gender", []string{"Male", "Female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 1 {
+		t.Errorf("suppression depth = %d", h.Depth())
+	}
+	v, err := h.generalizeCat("Male", 1)
+	if err != nil || v != "*" {
+		t.Errorf("suppressed value = %q, %v", v, err)
+	}
+}
+
+func TestIntervalHierarchy(t *testing.T) {
+	h, err := IntervalHierarchy("yob", 1900, []float64{10, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", h.Depth())
+	}
+	cases := []struct {
+		v     float64
+		level int
+		want  string
+	}{
+		{1976, 0, "1976"},
+		{1976, 1, "[1970,1980)"},
+		{1976, 2, "[1975,2000)"},
+		{1976, 3, "*"},
+		{1900, 1, "[1900,1910)"},
+	}
+	for _, c := range cases {
+		got, err := h.generalizeNum(c.v, c.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("generalizeNum(%g, %d) = %q, want %q", c.v, c.level, got, c.want)
+		}
+	}
+	if _, err := h.generalizeNum(1976, 9); err == nil {
+		t.Error("level out of range should error")
+	}
+}
+
+func TestIntervalHierarchyValidation(t *testing.T) {
+	if _, err := IntervalHierarchy("", 0, []float64{1}); err == nil {
+		t.Error("empty attr should error")
+	}
+	if _, err := IntervalHierarchy("x", 0, nil); err == nil {
+		t.Error("no widths should error")
+	}
+	if _, err := IntervalHierarchy("x", 0, []float64{-1}); err == nil {
+		t.Error("negative width should error")
+	}
+	if _, err := IntervalHierarchy("x", 0, []float64{10, 5}); err == nil {
+		t.Error("non-increasing widths should error")
+	}
+}
+
+func TestApplyCategorical(t *testing.T) {
+	d := dataset.Table1()
+	h := countryHierarchy(t)
+	out, err := Apply(d, []*Hierarchy{h}, Generalization{"country": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := out.Value("country", 1) // w2: America -> Americas
+	if err != nil || v != "Americas" {
+		t.Errorf("generalized country = %q, %v", v, err)
+	}
+	// Level 0 leaves values alone.
+	same, err := Apply(d, []*Hierarchy{h}, Generalization{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = same.Value("country", 1)
+	if v != "America" {
+		t.Errorf("level-0 country = %q", v)
+	}
+	// Other columns untouched.
+	lt, err := out.Num(dataset.AttrLanguageTest)
+	if err != nil || lt[1] != 0.89 {
+		t.Errorf("observed column disturbed: %v, %v", lt[1], err)
+	}
+}
+
+func TestApplyNumericBecomesCategorical(t *testing.T) {
+	d := dataset.Table1()
+	h, err := IntervalHierarchy(dataset.AttrYearOfBirth, 1900, []float64{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(d, []*Hierarchy{h}, Generalization{dataset.AttrYearOfBirth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := out.Schema().Attr(dataset.AttrYearOfBirth)
+	if err != nil || a.Kind != dataset.Categorical || a.Role != dataset.Protected {
+		t.Errorf("generalized yob attr: %+v, %v", a, err)
+	}
+	v, _ := out.Value(dataset.AttrYearOfBirth, 0) // 2004
+	if v != "[2000,2020)" {
+		t.Errorf("generalized yob = %q", v)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	d := dataset.Table1()
+	h := countryHierarchy(t)
+	if _, err := Apply(d, []*Hierarchy{nil}, Generalization{}); err == nil {
+		t.Error("nil hierarchy should error")
+	}
+	if _, err := Apply(d, []*Hierarchy{h, h}, Generalization{}); err == nil {
+		t.Error("duplicate hierarchy should error")
+	}
+	if _, err := Apply(d, []*Hierarchy{h}, Generalization{"gender": 1}); err == nil {
+		t.Error("generalization without hierarchy should error")
+	}
+	if _, err := Apply(d, []*Hierarchy{h}, Generalization{"country": 5}); err == nil {
+		t.Error("level beyond depth should error")
+	}
+	// Hierarchy missing a domain value.
+	bad, err := NewHierarchy("gender", map[string][]string{"Male": {"*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(d, []*Hierarchy{bad}, Generalization{"gender": 1}); err == nil {
+		t.Error("unknown value should error")
+	}
+}
+
+func TestEquivalenceClassesAndKAnonymity(t *testing.T) {
+	d := dataset.Table1()
+	classes, err := EquivalenceClasses(d, []string{dataset.AttrGender})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Errorf("gender classes = %d", len(classes))
+	}
+	ok, err := IsKAnonymous(d, []string{dataset.AttrGender}, 4)
+	if err != nil || !ok {
+		t.Errorf("gender 4-anonymous: %v, %v", ok, err)
+	}
+	ok, err = IsKAnonymous(d, []string{dataset.AttrGender, dataset.AttrCountry}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("gender x country should not be 2-anonymous (w4 is unique)")
+	}
+	if _, err := IsKAnonymous(d, []string{dataset.AttrGender}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := EquivalenceClasses(d, nil); err == nil {
+		t.Error("no quasi should error")
+	}
+	if _, err := EquivalenceClasses(d, []string{"nope"}); err == nil {
+		t.Error("unknown quasi should error")
+	}
+}
+
+func TestClassSizes(t *testing.T) {
+	d := dataset.Table1()
+	sizes, err := ClassSizes(d, []string{dataset.AttrGender})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 6 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func allHierarchies(t *testing.T) []*Hierarchy {
+	t.Helper()
+	gender, err := SuppressionHierarchy("gender", []string{"Male", "Female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang, err := NewHierarchy("language", map[string][]string{
+		"English": {"Indo-European", "*"},
+		"Indian":  {"Indo-European", "*"},
+		"Other":   {"Other", "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Hierarchy{countryHierarchy(t), gender, lang}
+}
+
+func TestDataflyReachesKAnonymity(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	res, err := Datafly(d, hs, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasi := []string{"country", "gender", "language"}
+	ok, err := IsKAnonymous(res.Data, quasi, 2)
+	if err != nil || !ok {
+		t.Errorf("Datafly output not 2-anonymous: %v %v", ok, err)
+		t.Log(res.Levels)
+	}
+	if res.Data.Len()+len(res.SuppressedIDs) != d.Len() {
+		t.Errorf("rows: kept %d + suppressed %d != %d", res.Data.Len(), len(res.SuppressedIDs), d.Len())
+	}
+}
+
+func TestDataflyNoSuppressionBudget(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	res, err := Datafly(d, hs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SuppressedIDs) != 0 {
+		t.Errorf("suppressed %v with zero budget", res.SuppressedIDs)
+	}
+	ok, _ := IsKAnonymous(res.Data, []string{"country", "gender", "language"}, 2)
+	if !ok {
+		t.Error("zero-budget Datafly output not 2-anonymous")
+	}
+}
+
+func TestDataflyErrors(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	if _, err := Datafly(d, hs, 0, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Datafly(d, hs, 2, -1); err == nil {
+		t.Error("negative budget should error")
+	}
+	if _, err := Datafly(d, nil, 2, 0); err == nil {
+		t.Error("no hierarchies should error")
+	}
+	// k larger than the population: even full suppression (one class
+	// of 10) fails for k=11 and the budget cannot absorb it.
+	if _, err := Datafly(d, hs, 11, 0); err == nil {
+		t.Error("impossible k should error")
+	}
+}
+
+func TestDataflyImpossibleKSuppressesEverythingError(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	if _, err := Datafly(d, hs, 11, 100); err == nil {
+		t.Error("suppressing every row should error")
+	}
+}
+
+func TestMondrianKAnonymous(t *testing.T) {
+	d := dataset.Table1()
+	quasi := []string{dataset.AttrGender, dataset.AttrYearOfBirth}
+	out, err := Mondrian(d, quasi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsKAnonymous(out, quasi, 2)
+	if err != nil || !ok {
+		sizes, _ := ClassSizes(out, quasi)
+		t.Errorf("Mondrian output not 2-anonymous: %v %v (sizes %v)", ok, err, sizes)
+	}
+	if out.Len() != d.Len() {
+		t.Errorf("Mondrian dropped rows: %d vs %d", out.Len(), d.Len())
+	}
+	// Quasi columns became categorical.
+	a, _ := out.Schema().Attr(dataset.AttrYearOfBirth)
+	if a.Kind != dataset.Categorical {
+		t.Error("yob not categorical after Mondrian")
+	}
+	// Non-quasi columns untouched.
+	lt, _ := out.Num(dataset.AttrLanguageTest)
+	if lt[6] != 0.95 {
+		t.Error("observed column disturbed")
+	}
+}
+
+func TestMondrianGeneralizedLabels(t *testing.T) {
+	d := dataset.Table1()
+	out, err := Mondrian(d, []string{dataset.AttrYearOfBirth}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := out.Value(dataset.AttrYearOfBirth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v, "[") && !strings.Contains(v, ",") {
+		// A singleton class may collapse to a plain number; for Table
+		// 1 with k=3 the classes must span years.
+		t.Errorf("expected interval label, got %q", v)
+	}
+}
+
+func TestMondrianErrors(t *testing.T) {
+	d := dataset.Table1()
+	if _, err := Mondrian(d, []string{dataset.AttrGender}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Mondrian(d, []string{dataset.AttrGender}, 11); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := Mondrian(d, nil, 2); err == nil {
+		t.Error("no quasi should error")
+	}
+	if _, err := Mondrian(d, []string{"nope"}, 2); err == nil {
+		t.Error("unknown quasi should error")
+	}
+}
+
+func TestMondrianMissingValues(t *testing.T) {
+	s, _ := dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Protected})
+	d, err := dataset.NewBuilder(s).
+		Append("a", []string{""}).
+		Append("b", []string{"1"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mondrian(d, []string{"x"}, 1); err == nil {
+		t.Error("missing values should error")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	d := dataset.Table1()
+	avg, err := AvgClassSize(d, []string{dataset.AttrGender})
+	if err != nil || avg != 5 {
+		t.Errorf("AvgClassSize = %g, %v", avg, err)
+	}
+	disc, err := Discernibility(d, []string{dataset.AttrGender})
+	if err != nil || disc != 16+36 {
+		t.Errorf("Discernibility = %g, %v", disc, err)
+	}
+	hs := allHierarchies(t)
+	p, err := Precision(Generalization{}, hs)
+	if err != nil || p != 1 {
+		t.Errorf("Precision at level 0 = %g, %v", p, err)
+	}
+	p, err = Precision(Generalization{"country": 2, "gender": 1, "language": 2}, hs)
+	if err != nil || p != 0 {
+		t.Errorf("Precision fully suppressed = %g, %v", p, err)
+	}
+	if _, err := Precision(Generalization{"country": 9}, hs); err == nil {
+		t.Error("out-of-range level should error")
+	}
+	if _, err := Precision(Generalization{}, nil); err == nil {
+		t.Error("no hierarchies should error")
+	}
+}
+
+// Property: Mondrian output is always k-anonymous on random data.
+func TestMondrianKAnonymousQuick(t *testing.T) {
+	g := stats.NewRNG(4242)
+	f := func(nn, kk uint8) bool {
+		n := int(nn%60) + 10
+		k := int(kk%4) + 2
+		if n < k {
+			return true
+		}
+		s, err := dataset.NewSchema(
+			dataset.Attribute{Name: "age", Kind: dataset.Numeric, Role: dataset.Protected},
+			dataset.Attribute{Name: "city", Kind: dataset.Categorical, Role: dataset.Protected},
+		)
+		if err != nil {
+			return false
+		}
+		b := dataset.NewBuilder(s)
+		cities := []string{"P", "L", "M", "N"}
+		for i := 0; i < n; i++ {
+			b.AppendNumeric(
+				"w"+string(rune('a'+i%26))+string(rune('a'+i/26)),
+				map[string]string{"city": cities[g.IntN(len(cities))]},
+				map[string]float64{"age": float64(20 + g.IntN(50))},
+			)
+		}
+		d, err := b.Build()
+		if err != nil {
+			return false
+		}
+		out, err := Mondrian(d, []string{"age", "city"}, k)
+		if err != nil {
+			return false
+		}
+		ok, err := IsKAnonymous(out, []string{"age", "city"}, k)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Datafly output is always k-anonymous with a generous
+// budget on random categorical data.
+func TestDataflyKAnonymousQuick(t *testing.T) {
+	g := stats.NewRNG(8383)
+	f := func(nn, kk uint8) bool {
+		n := int(nn%60) + 10
+		k := int(kk%3) + 2
+		s, err := dataset.NewSchema(
+			dataset.Attribute{Name: "city", Kind: dataset.Categorical, Role: dataset.Protected},
+			dataset.Attribute{Name: "lang", Kind: dataset.Categorical, Role: dataset.Protected},
+		)
+		if err != nil {
+			return false
+		}
+		b := dataset.NewBuilder(s)
+		cities := []string{"P", "L", "M", "N"}
+		langs := []string{"fr", "en", "de"}
+		for i := 0; i < n; i++ {
+			b.Append(
+				"w"+string(rune('a'+i%26))+string(rune('a'+i/26)),
+				[]string{cities[g.IntN(len(cities))], langs[g.IntN(len(langs))]},
+			)
+		}
+		d, err := b.Build()
+		if err != nil {
+			return false
+		}
+		cityH, err := NewHierarchy("city", map[string][]string{
+			"P": {"FR", "*"}, "L": {"FR", "*"}, "M": {"ES", "*"}, "N": {"FR", "*"},
+		})
+		if err != nil {
+			return false
+		}
+		langH, err := SuppressionHierarchy("lang", langs)
+		if err != nil {
+			return false
+		}
+		res, err := Datafly(d, []*Hierarchy{cityH, langH}, k, n/4)
+		if err != nil {
+			return false
+		}
+		ok, err := IsKAnonymous(res.Data, []string{"city", "lang"}, k)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package anonymize
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// DataflyResult reports what Datafly did to reach k-anonymity.
+type DataflyResult struct {
+	// Data is the k-anonymous dataset (suppressed rows removed).
+	Data *dataset.Dataset
+	// Levels is the generalization level reached per attribute.
+	Levels Generalization
+	// SuppressedIDs lists the individuals removed outright.
+	SuppressedIDs []string
+}
+
+// Datafly runs the classic Datafly algorithm (Sweeney): while the
+// table is not k-anonymous, generalize the quasi-identifier with the
+// most distinct values by one level; once the number of rows in
+// undersized classes is within maxSuppress, suppress those rows
+// instead. The hierarchies define the generalization ladders — this is
+// the full-domain generalization model ARX's defaults implement.
+func Datafly(d *dataset.Dataset, hs []*Hierarchy, k, maxSuppress int) (*DataflyResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("anonymize: k must be >= 1, got %d", k)
+	}
+	if maxSuppress < 0 {
+		return nil, fmt.Errorf("anonymize: negative suppression budget %d", maxSuppress)
+	}
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("anonymize: Datafly needs at least one hierarchy")
+	}
+	quasi := make([]string, len(hs))
+	maxLevel := make(map[string]int, len(hs))
+	for i, h := range hs {
+		quasi[i] = h.Attr()
+		maxLevel[h.Attr()] = h.Depth()
+	}
+
+	levels := Generalization{}
+	for {
+		cur, err := Apply(d, hs, levels)
+		if err != nil {
+			return nil, err
+		}
+		classes, err := EquivalenceClasses(cur, quasi)
+		if err != nil {
+			return nil, err
+		}
+		undersized := 0
+		var undersizedRows []int
+		for _, rows := range classes {
+			if len(rows) < k {
+				undersized += len(rows)
+				undersizedRows = append(undersizedRows, rows...)
+			}
+		}
+		if undersized <= maxSuppress {
+			// Suppress the stragglers and finish.
+			keep := make([]int, 0, cur.Len()-undersized)
+			drop := make(map[int]bool, undersized)
+			for _, r := range undersizedRows {
+				drop[r] = true
+			}
+			var suppressed []string
+			for r := 0; r < cur.Len(); r++ {
+				if drop[r] {
+					suppressed = append(suppressed, cur.ID(r))
+					continue
+				}
+				keep = append(keep, r)
+			}
+			if len(keep) == 0 {
+				return nil, fmt.Errorf("anonymize: Datafly would suppress every row; raise k or extend hierarchies")
+			}
+			out := cur
+			if len(suppressed) > 0 {
+				out, err = cur.Select(keep)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &DataflyResult{Data: out, Levels: levels, SuppressedIDs: suppressed}, nil
+		}
+		// Generalize the attribute with the most distinct values.
+		bestAttr := ""
+		bestDistinct := -1
+		for _, q := range quasi {
+			if levels[q] >= maxLevel[q] {
+				continue // already fully suppressed
+			}
+			vals, err := cur.DistinctValues(q, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) > bestDistinct {
+				bestAttr, bestDistinct = q, len(vals)
+			}
+		}
+		if bestAttr == "" {
+			return nil, fmt.Errorf("anonymize: Datafly exhausted all hierarchies without reaching %d-anonymity (suppression budget %d too small)", k, maxSuppress)
+		}
+		next := Generalization{}
+		for a, l := range levels {
+			next[a] = l
+		}
+		next[bestAttr] = levels[bestAttr] + 1
+		levels = next
+	}
+}

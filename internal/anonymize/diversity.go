@@ -1,0 +1,82 @@
+package anonymize
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// IsLDiverse reports whether every equivalence class over the
+// quasi-identifiers contains at least l distinct values of the
+// sensitive attribute (distinct l-diversity, Machanavajjhala et al.).
+//
+// k-anonymity alone does not stop attribute disclosure: if everyone in
+// a class shares the same rating band, the "hidden" value leaks. ARX
+// checks l-diversity alongside k-anonymity; audits of anonymized
+// marketplace data want the same guarantee before trusting per-group
+// score distributions.
+func IsLDiverse(d *dataset.Dataset, quasi []string, sensitive string, l int) (bool, error) {
+	if l < 1 {
+		return false, fmt.Errorf("anonymize: l must be >= 1, got %d", l)
+	}
+	if _, err := d.Schema().Attr(sensitive); err != nil {
+		return false, fmt.Errorf("anonymize: %w", err)
+	}
+	for _, q := range quasi {
+		if q == sensitive {
+			return false, fmt.Errorf("anonymize: sensitive attribute %q cannot be a quasi-identifier", sensitive)
+		}
+	}
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return false, err
+	}
+	for _, rows := range classes {
+		distinct := make(map[string]bool)
+		for _, r := range rows {
+			v, err := d.Value(sensitive, r)
+			if err != nil {
+				return false, err
+			}
+			distinct[v] = true
+			if len(distinct) >= l {
+				break
+			}
+		}
+		if len(distinct) < l {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinDiversity returns the smallest number of distinct sensitive
+// values in any equivalence class — the largest l for which the data
+// is l-diverse.
+func MinDiversity(d *dataset.Dataset, quasi []string, sensitive string) (int, error) {
+	if _, err := d.Schema().Attr(sensitive); err != nil {
+		return 0, fmt.Errorf("anonymize: %w", err)
+	}
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return 0, err
+	}
+	min := -1
+	for _, rows := range classes {
+		distinct := make(map[string]bool)
+		for _, r := range rows {
+			v, err := d.Value(sensitive, r)
+			if err != nil {
+				return 0, err
+			}
+			distinct[v] = true
+		}
+		if min == -1 || len(distinct) < min {
+			min = len(distinct)
+		}
+	}
+	if min == -1 {
+		min = 0
+	}
+	return min, nil
+}

@@ -1,0 +1,91 @@
+package anonymize
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func diversityData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		dataset.Attribute{Name: "city", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "band", Kind: dataset.Categorical, Role: dataset.Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.NewBuilder(s).
+		Append("a", []string{"P", "high"}).
+		Append("b", []string{"P", "low"}).
+		Append("c", []string{"L", "high"}).
+		Append("d", []string{"L", "high"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIsLDiverse(t *testing.T) {
+	d := diversityData(t)
+	// City P has bands {high, low} -> 2-diverse; city L only {high}.
+	ok, err := IsLDiverse(d, []string{"city"}, "band", 1)
+	if err != nil || !ok {
+		t.Errorf("1-diverse: %v %v", ok, err)
+	}
+	ok, err = IsLDiverse(d, []string{"city"}, "band", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("class L has a single band; should not be 2-diverse")
+	}
+}
+
+func TestIsLDiverseErrors(t *testing.T) {
+	d := diversityData(t)
+	if _, err := IsLDiverse(d, []string{"city"}, "band", 0); err == nil {
+		t.Error("l=0 should error")
+	}
+	if _, err := IsLDiverse(d, []string{"city"}, "nope", 1); err == nil {
+		t.Error("unknown sensitive should error")
+	}
+	if _, err := IsLDiverse(d, []string{"band"}, "band", 1); err == nil {
+		t.Error("sensitive as quasi should error")
+	}
+	if _, err := IsLDiverse(d, []string{"nope"}, "band", 1); err == nil {
+		t.Error("unknown quasi should error")
+	}
+}
+
+func TestMinDiversity(t *testing.T) {
+	d := diversityData(t)
+	min, err := MinDiversity(d, []string{"city"}, "band")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 1 {
+		t.Errorf("MinDiversity = %d, want 1", min)
+	}
+	if _, err := MinDiversity(d, []string{"city"}, "nope"); err == nil {
+		t.Error("unknown sensitive should error")
+	}
+}
+
+func TestDiversityAfterMondrian(t *testing.T) {
+	d := dataset.Table1()
+	quasi := []string{dataset.AttrGender, dataset.AttrYearOfBirth}
+	anon, err := Mondrian(d, quasi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ethnicity diversity inside the anonymized classes is measurable.
+	min, err := MinDiversity(anon, quasi, dataset.AttrEthnicity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < 1 {
+		t.Errorf("MinDiversity after Mondrian = %d", min)
+	}
+}

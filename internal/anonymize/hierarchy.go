@@ -1,0 +1,234 @@
+// Package anonymize is FaiRank's data-transparency substrate: a
+// k-anonymization toolkit standing in for the ARX tool the paper
+// integrates ("We integrate FaiRank with the k-anonymization ARX tool
+// and explore fairness for anonymized datasets", §1).
+//
+// It provides generalization hierarchies (categorical taxonomies and
+// numeric interval ladders), two classic anonymization algorithms —
+// Datafly (greedy full-domain generalization with suppression) and
+// Mondrian (strict multidimensional partitioning) — plus k-anonymity
+// verification and information-loss metrics. FaiRank only consumes the
+// anonymized datasets, so any correct k-anonymizer exercises the same
+// fairness-quantification code path as ARX.
+package anonymize
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// Hierarchy defines the generalization ladder of one quasi-identifier
+// attribute. Level 0 is the original value; the highest level is full
+// suppression ("*"). Categorical hierarchies enumerate the ladder per
+// value; numeric hierarchies generalize values into intervals of
+// increasing width.
+type Hierarchy struct {
+	attr  string
+	depth int // number of generalization levels above 0
+	// catGen[value] holds levels 1..depth for categorical attributes.
+	catGen map[string][]string
+	// widths holds interval widths for levels 1..depth-1 of numeric
+	// attributes (the final level is always "*").
+	widths []float64
+	origin float64
+}
+
+// Attr returns the attribute this hierarchy generalizes.
+func (h *Hierarchy) Attr() string { return h.attr }
+
+// Depth returns the number of generalization levels above the
+// original values.
+func (h *Hierarchy) Depth() int { return h.depth }
+
+// NewHierarchy builds a categorical hierarchy. mapping holds, for each
+// domain value, its generalization chain from level 1 upward; all
+// chains must have equal length ≥ 1. The last element conventionally
+// is "*" but any label is allowed.
+func NewHierarchy(attr string, mapping map[string][]string) (*Hierarchy, error) {
+	if attr == "" {
+		return nil, fmt.Errorf("anonymize: empty attribute name")
+	}
+	if len(mapping) == 0 {
+		return nil, fmt.Errorf("anonymize: hierarchy for %q has no values", attr)
+	}
+	depth := -1
+	for v, chain := range mapping {
+		if len(chain) == 0 {
+			return nil, fmt.Errorf("anonymize: value %q of %q has empty chain", v, attr)
+		}
+		if depth == -1 {
+			depth = len(chain)
+		} else if len(chain) != depth {
+			return nil, fmt.Errorf("anonymize: value %q of %q has chain length %d, others have %d", v, attr, len(chain), depth)
+		}
+	}
+	gen := make(map[string][]string, len(mapping))
+	for v, chain := range mapping {
+		gen[v] = append([]string(nil), chain...)
+	}
+	return &Hierarchy{attr: attr, depth: depth, catGen: gen}, nil
+}
+
+// SuppressionHierarchy builds the trivial one-level hierarchy that
+// maps every value of the attribute to "*". It is the fallback when
+// no domain taxonomy is available.
+func SuppressionHierarchy(attr string, values []string) (*Hierarchy, error) {
+	mapping := make(map[string][]string, len(values))
+	for _, v := range values {
+		mapping[v] = []string{"*"}
+	}
+	return NewHierarchy(attr, mapping)
+}
+
+// IntervalHierarchy builds a numeric ladder for attr: level i (1-based)
+// generalizes value v into the interval of width widths[i-1] containing
+// it, anchored at origin; the final level (len(widths)+1) is full
+// suppression. Widths must be positive and strictly increasing.
+func IntervalHierarchy(attr string, origin float64, widths []float64) (*Hierarchy, error) {
+	if attr == "" {
+		return nil, fmt.Errorf("anonymize: empty attribute name")
+	}
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("anonymize: interval hierarchy for %q needs at least one width", attr)
+	}
+	for i, w := range widths {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("anonymize: invalid width %g for %q", w, attr)
+		}
+		if i > 0 && w <= widths[i-1] {
+			return nil, fmt.Errorf("anonymize: widths must be strictly increasing, got %v", widths)
+		}
+	}
+	return &Hierarchy{attr: attr, depth: len(widths) + 1, widths: append([]float64(nil), widths...), origin: origin}, nil
+}
+
+// isNumeric reports whether this is an interval hierarchy.
+func (h *Hierarchy) isNumeric() bool { return h.catGen == nil }
+
+// generalizeCat returns the label of value at the given level.
+func (h *Hierarchy) generalizeCat(value string, level int) (string, error) {
+	if level == 0 {
+		return value, nil
+	}
+	if level < 0 || level > h.depth {
+		return "", fmt.Errorf("anonymize: level %d outside [0,%d] for %q", level, h.depth, h.attr)
+	}
+	chain, ok := h.catGen[value]
+	if !ok {
+		return "", fmt.Errorf("anonymize: value %q of %q not in hierarchy", value, h.attr)
+	}
+	return chain[level-1], nil
+}
+
+// generalizeNum returns the interval label of v at the given level.
+func (h *Hierarchy) generalizeNum(v float64, level int) (string, error) {
+	if level < 0 || level > h.depth {
+		return "", fmt.Errorf("anonymize: level %d outside [0,%d] for %q", level, h.depth, h.attr)
+	}
+	if math.IsNaN(v) {
+		return "", nil // missing stays missing
+	}
+	switch {
+	case level == 0:
+		return strconv.FormatFloat(v, 'g', -1, 64), nil
+	case level == h.depth:
+		return "*", nil
+	default:
+		w := h.widths[level-1]
+		lo := h.origin + math.Floor((v-h.origin)/w)*w
+		return fmt.Sprintf("[%g,%g)", lo, lo+w), nil
+	}
+}
+
+// Generalization assigns a level to each quasi-identifier attribute.
+type Generalization map[string]int
+
+// Apply returns a new dataset in which every hierarchy's attribute is
+// generalized to its level in g (attributes absent from g stay at
+// level 0). Generalized columns become categorical; roles are kept.
+func Apply(d *dataset.Dataset, hs []*Hierarchy, g Generalization) (*dataset.Dataset, error) {
+	byAttr := make(map[string]*Hierarchy, len(hs))
+	for _, h := range hs {
+		if h == nil {
+			return nil, fmt.Errorf("anonymize: nil hierarchy")
+		}
+		if _, dup := byAttr[h.attr]; dup {
+			return nil, fmt.Errorf("anonymize: duplicate hierarchy for %q", h.attr)
+		}
+		byAttr[h.attr] = h
+	}
+	for attr := range g {
+		if _, ok := byAttr[attr]; !ok {
+			return nil, fmt.Errorf("anonymize: generalization names %q, which has no hierarchy", attr)
+		}
+	}
+
+	// Precompute generalized string columns.
+	genCols := make(map[string][]string)
+	for attr, h := range byAttr {
+		level := g[attr]
+		out := make([]string, d.Len())
+		if h.isNumeric() {
+			vals, err := d.Num(attr)
+			if err != nil {
+				return nil, fmt.Errorf("anonymize: %w", err)
+			}
+			for r, v := range vals {
+				s, err := h.generalizeNum(v, level)
+				if err != nil {
+					return nil, err
+				}
+				out[r] = s
+			}
+		} else {
+			cv, err := d.Cat(attr)
+			if err != nil {
+				return nil, fmt.Errorf("anonymize: %w", err)
+			}
+			for r, code := range cv.Codes {
+				s, err := h.generalizeCat(cv.Domain[code], level)
+				if err != nil {
+					return nil, err
+				}
+				out[r] = s
+			}
+		}
+		genCols[attr] = out
+	}
+
+	// Rebuild the dataset with generalized columns categorical.
+	old := d.Schema()
+	attrs := make([]dataset.Attribute, old.Len())
+	for i := 0; i < old.Len(); i++ {
+		a := old.At(i)
+		if _, ok := genCols[a.Name]; ok {
+			a = dataset.Attribute{Name: a.Name, Kind: dataset.Categorical, Role: a.Role}
+		}
+		attrs[i] = a
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	b := dataset.NewBuilder(schema)
+	for r := 0; r < d.Len(); r++ {
+		rec := make([]string, old.Len())
+		for i := 0; i < old.Len(); i++ {
+			name := old.At(i).Name
+			if col, ok := genCols[name]; ok {
+				rec[i] = col[r]
+				continue
+			}
+			v, err := d.Value(name, r)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		b.Append(d.ID(r), rec)
+	}
+	return b.Build()
+}

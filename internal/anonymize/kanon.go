@@ -1,0 +1,85 @@
+package anonymize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// EquivalenceClasses groups the rows of d by their combination of
+// quasi-identifier values, keyed by the rendered tuple. This is the
+// basic object of k-anonymity: within a class, individuals are
+// indistinguishable on the quasi-identifiers.
+func EquivalenceClasses(d *dataset.Dataset, quasi []string) (map[string][]int, error) {
+	if len(quasi) == 0 {
+		return nil, fmt.Errorf("anonymize: no quasi-identifiers given")
+	}
+	for _, q := range quasi {
+		if _, err := d.Schema().Attr(q); err != nil {
+			return nil, fmt.Errorf("anonymize: %w", err)
+		}
+	}
+	classes := make(map[string][]int)
+	var sb strings.Builder
+	for r := 0; r < d.Len(); r++ {
+		sb.Reset()
+		for i, q := range quasi {
+			if i > 0 {
+				sb.WriteByte('\x1f')
+			}
+			v, err := d.Value(q, r)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v)
+		}
+		key := sb.String()
+		classes[key] = append(classes[key], r)
+	}
+	return classes, nil
+}
+
+// MinClassSize returns the size of the smallest equivalence class.
+func MinClassSize(d *dataset.Dataset, quasi []string) (int, error) {
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return 0, err
+	}
+	min := d.Len()
+	for _, rows := range classes {
+		if len(rows) < min {
+			min = len(rows)
+		}
+	}
+	return min, nil
+}
+
+// IsKAnonymous reports whether every equivalence class over the quasi
+// identifiers has at least k members.
+func IsKAnonymous(d *dataset.Dataset, quasi []string, k int) (bool, error) {
+	if k < 1 {
+		return false, fmt.Errorf("anonymize: k must be >= 1, got %d", k)
+	}
+	min, err := MinClassSize(d, quasi)
+	if err != nil {
+		return false, err
+	}
+	return min >= k, nil
+}
+
+// ClassSizes returns the sorted sizes of all equivalence classes,
+// useful for reporting anonymization structure.
+func ClassSizes(d *dataset.Dataset, quasi []string) ([]int, error) {
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, 0, len(classes))
+	for _, rows := range classes {
+		sizes = append(sizes, len(rows))
+	}
+	sort.Ints(sizes)
+	return sizes, nil
+}

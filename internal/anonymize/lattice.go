@@ -1,0 +1,183 @@
+package anonymize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// LatticeResult reports an optimal full-domain generalization.
+type LatticeResult struct {
+	// Data is the k-anonymous dataset (suppressed rows removed).
+	Data *dataset.Dataset
+	// Levels is the chosen generalization.
+	Levels Generalization
+	// SuppressedIDs lists removed individuals.
+	SuppressedIDs []string
+	// Precision is Sweeney's precision of Levels (higher is better).
+	Precision float64
+	// NodesChecked counts lattice nodes evaluated before the optimum
+	// was proven.
+	NodesChecked int
+}
+
+// maxLatticeNodes bounds the generalization lattice size; beyond it
+// the exact search refuses to run (use Datafly's greedy instead).
+const maxLatticeNodes = 1 << 20
+
+// OptimalLattice finds the k-anonymous full-domain generalization with
+// maximum precision (minimum information loss), allowing at most
+// maxSuppress suppressed rows — the exact search ARX performs (in the
+// spirit of Incognito/OLA), versus Datafly's greedy walk.
+//
+// It enumerates the generalization lattice in order of decreasing
+// precision and returns the first feasible node, exploiting
+// monotonicity for pruning: if levels L are infeasible, every L' ≤ L
+// (component-wise) is infeasible too.
+func OptimalLattice(d *dataset.Dataset, hs []*Hierarchy, k, maxSuppress int) (*LatticeResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("anonymize: k must be >= 1, got %d", k)
+	}
+	if maxSuppress < 0 {
+		return nil, fmt.Errorf("anonymize: negative suppression budget %d", maxSuppress)
+	}
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("anonymize: OptimalLattice needs at least one hierarchy")
+	}
+	quasi := make([]string, len(hs))
+	depths := make([]int, len(hs))
+	size := 1
+	for i, h := range hs {
+		quasi[i] = h.Attr()
+		depths[i] = h.Depth()
+		size *= h.Depth() + 1
+		if size > maxLatticeNodes {
+			return nil, fmt.Errorf("anonymize: lattice has more than %d nodes; use Datafly", maxLatticeNodes)
+		}
+	}
+
+	// Enumerate all nodes with their precision.
+	type node struct {
+		levels []int
+		prec   float64
+	}
+	nodes := make([]node, 0, size)
+	current := make([]int, len(hs))
+	for {
+		levels := append([]int(nil), current...)
+		loss := 0.0
+		for i, l := range levels {
+			loss += float64(l) / float64(depths[i])
+		}
+		nodes = append(nodes, node{levels: levels, prec: 1 - loss/float64(len(hs))})
+		// Odometer.
+		pos := len(current) - 1
+		for pos >= 0 {
+			current[pos]++
+			if current[pos] <= depths[pos] {
+				break
+			}
+			current[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	// Highest precision first; ties broken by lexicographic levels for
+	// determinism.
+	sort.SliceStable(nodes, func(a, b int) bool {
+		if nodes[a].prec != nodes[b].prec {
+			return nodes[a].prec > nodes[b].prec
+		}
+		for i := range nodes[a].levels {
+			if nodes[a].levels[i] != nodes[b].levels[i] {
+				return nodes[a].levels[i] < nodes[b].levels[i]
+			}
+		}
+		return false
+	})
+
+	dominatedBy := func(a, b []int) bool { // a <= b component-wise
+		for i := range a {
+			if a[i] > b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var infeasible [][]int
+	checked := 0
+	for _, nd := range nodes {
+		skip := false
+		for _, bad := range infeasible {
+			if dominatedBy(nd.levels, bad) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		levels := Generalization{}
+		for i, q := range quasi {
+			levels[q] = nd.levels[i]
+		}
+		cur, err := Apply(d, hs, levels)
+		if err != nil {
+			return nil, err
+		}
+		checked++
+		classes, err := EquivalenceClasses(cur, quasi)
+		if err != nil {
+			return nil, err
+		}
+		undersized := 0
+		var drop []int
+		for _, rows := range classes {
+			if len(rows) < k {
+				undersized += len(rows)
+				drop = append(drop, rows...)
+			}
+		}
+		if undersized > maxSuppress {
+			infeasible = append(infeasible, nd.levels)
+			continue
+		}
+		// Feasible: highest-precision node found.
+		out := cur
+		var suppressed []string
+		if len(drop) > 0 {
+			dropSet := make(map[int]bool, len(drop))
+			for _, r := range drop {
+				dropSet[r] = true
+			}
+			var keep []int
+			for r := 0; r < cur.Len(); r++ {
+				if dropSet[r] {
+					suppressed = append(suppressed, cur.ID(r))
+					continue
+				}
+				keep = append(keep, r)
+			}
+			if len(keep) == 0 {
+				infeasible = append(infeasible, nd.levels)
+				continue
+			}
+			out, err = cur.Select(keep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &LatticeResult{
+			Data:          out,
+			Levels:        levels,
+			SuppressedIDs: suppressed,
+			Precision:     nd.prec,
+			NodesChecked:  checked,
+		}, nil
+	}
+	return nil, fmt.Errorf("anonymize: no generalization reaches %d-anonymity within suppression budget %d", k, maxSuppress)
+}

@@ -1,0 +1,137 @@
+package anonymize
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+)
+
+func TestOptimalLatticeTable1(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	res, err := OptimalLattice(d, hs, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasi := []string{"country", "gender", "language"}
+	ok, err := IsKAnonymous(res.Data, quasi, 2)
+	if err != nil || !ok {
+		t.Errorf("optimal lattice output not 2-anonymous: %v %v", ok, err)
+	}
+	if res.Precision < 0 || res.Precision > 1 {
+		t.Errorf("precision = %g", res.Precision)
+	}
+	if res.NodesChecked < 1 {
+		t.Error("no nodes checked")
+	}
+}
+
+func TestOptimalLatticeBeatsDatafly(t *testing.T) {
+	// On the crowdsourcing population the exact search must find a
+	// generalization at least as precise as Datafly's greedy one.
+	m, err := marketplace.PresetCrowdsourcing(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gender, err := SuppressionHierarchy("gender", []string{"Female", "Male"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ethnicity, err := NewHierarchy("ethnicity", map[string][]string{
+		"African-American": {"Non-White", "*"},
+		"Indian":           {"Non-White", "*"},
+		"Other":            {"Non-White", "*"},
+		"White":            {"White", "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	language, err := NewHierarchy("language", map[string][]string{
+		"English": {"Indo-European", "*"},
+		"Indian":  {"Indo-European", "*"},
+		"Other":   {"Other", "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*Hierarchy{gender, ethnicity, language}
+
+	for _, k := range []int{2, 5, 10} {
+		budget := 10
+		greedy, err := Datafly(m.Workers, hs, k, budget)
+		if err != nil {
+			t.Fatalf("datafly k=%d: %v", k, err)
+		}
+		greedyPrec, err := Precision(greedy.Levels, hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalLattice(m.Workers, hs, k, budget)
+		if err != nil {
+			t.Fatalf("lattice k=%d: %v", k, err)
+		}
+		if opt.Precision < greedyPrec-1e-12 {
+			t.Errorf("k=%d: optimal precision %.4f below Datafly's %.4f", k, opt.Precision, greedyPrec)
+		}
+		ok, err := IsKAnonymous(opt.Data, []string{"gender", "ethnicity", "language"}, k)
+		if err != nil || !ok {
+			t.Errorf("k=%d: lattice output not k-anonymous", k)
+		}
+	}
+}
+
+func TestOptimalLatticeSuppression(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	// With a generous budget the optimum is level 0 everywhere plus
+	// suppression of the stragglers.
+	res, err := OptimalLattice(d, hs, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precision != 1 {
+		t.Errorf("generous budget should keep precision 1, got %g (levels %v)", res.Precision, res.Levels)
+	}
+	if len(res.SuppressedIDs) == 0 {
+		t.Error("expected suppressions at precision 1")
+	}
+	if res.Data.Len()+len(res.SuppressedIDs) != d.Len() {
+		t.Error("row accounting wrong")
+	}
+}
+
+func TestOptimalLatticeErrors(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	if _, err := OptimalLattice(d, hs, 0, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := OptimalLattice(d, hs, 2, -1); err == nil {
+		t.Error("negative budget should error")
+	}
+	if _, err := OptimalLattice(d, nil, 2, 0); err == nil {
+		t.Error("no hierarchies should error")
+	}
+	if _, err := OptimalLattice(d, hs, 11, 0); err == nil {
+		t.Error("impossible k should error")
+	}
+}
+
+func TestOptimalLatticeDeterministic(t *testing.T) {
+	d := dataset.Table1()
+	hs := allHierarchies(t)
+	a, err := OptimalLattice(d, hs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimalLattice(d, hs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attr, l := range a.Levels {
+		if b.Levels[attr] != l {
+			t.Errorf("levels differ for %s: %d vs %d", attr, l, b.Levels[attr])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package anonymize
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// AvgClassSize returns the average equivalence-class size n / classes,
+// the C_avg quality metric (lower is finer-grained, k is the floor).
+func AvgClassSize(d *dataset.Dataset, quasi []string) (float64, error) {
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return 0, err
+	}
+	return float64(d.Len()) / float64(len(classes)), nil
+}
+
+// Discernibility returns the discernibility metric Σ |class|²: the
+// total number of indistinguishable row pairs (plus self-pairs). Lower
+// means the anonymization preserved more distinguishing power.
+func Discernibility(d *dataset.Dataset, quasi []string) (float64, error) {
+	classes, err := EquivalenceClasses(d, quasi)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, rows := range classes {
+		total += float64(len(rows)) * float64(len(rows))
+	}
+	return total, nil
+}
+
+// Precision returns Sweeney's precision metric for a full-domain
+// generalization: 1 - avg over attributes of level/depth. 1 means no
+// generalization, 0 means everything fully suppressed.
+func Precision(levels Generalization, hs []*Hierarchy) (float64, error) {
+	if len(hs) == 0 {
+		return 0, fmt.Errorf("anonymize: Precision needs hierarchies")
+	}
+	loss := 0.0
+	for _, h := range hs {
+		level := levels[h.Attr()]
+		if level < 0 || level > h.Depth() {
+			return 0, fmt.Errorf("anonymize: level %d outside [0,%d] for %q", level, h.Depth(), h.Attr())
+		}
+		loss += float64(level) / float64(h.Depth())
+	}
+	return 1 - loss/float64(len(hs)), nil
+}

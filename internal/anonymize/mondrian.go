@@ -1,0 +1,240 @@
+package anonymize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Mondrian runs strict multidimensional Mondrian (LeFevre et al.):
+// recursively split the population on the quasi-identifier with the
+// widest normalized range, at the median, as long as both sides keep
+// at least k rows; leaves become equivalence classes whose
+// quasi-identifier values are generalized to the class's span
+// (numeric: "[min,max]"; categorical: the set of values present).
+//
+// Unlike Datafly's full-domain generalization, Mondrian needs no
+// hierarchies and adapts resolution locally — dense regions keep finer
+// values. Both are offered so FaiRank's transparency experiments can
+// compare anonymization styles, as an ARX user would.
+func Mondrian(d *dataset.Dataset, quasi []string, k int) (*dataset.Dataset, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("anonymize: k must be >= 1, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("anonymize: %d rows cannot be %d-anonymous", d.Len(), k)
+	}
+	if len(quasi) == 0 {
+		return nil, fmt.Errorf("anonymize: no quasi-identifiers given")
+	}
+	type attrInfo struct {
+		name    string
+		numeric bool
+		vals    []float64 // numeric values
+		codes   []int     // categorical codes
+		domain  []string  // categorical domain
+		span    float64   // global span for normalization
+	}
+	infos := make([]attrInfo, 0, len(quasi))
+	for _, q := range quasi {
+		a, err := d.Schema().Attr(q)
+		if err != nil {
+			return nil, fmt.Errorf("anonymize: %w", err)
+		}
+		switch a.Kind {
+		case dataset.Numeric:
+			vals, err := d.Num(q)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range vals {
+				if math.IsNaN(v) {
+					return nil, fmt.Errorf("anonymize: %q has missing values; impute or drop before Mondrian", q)
+				}
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			infos = append(infos, attrInfo{name: q, numeric: true, vals: vals, span: hi - lo})
+		case dataset.Categorical:
+			cv, err := d.Cat(q)
+			if err != nil {
+				return nil, err
+			}
+			infos = append(infos, attrInfo{name: q, codes: cv.Codes, domain: cv.Domain, span: float64(len(cv.Domain))})
+		}
+	}
+
+	// Generalized labels per quasi attribute, filled leaf by leaf.
+	labels := make(map[string][]string, len(quasi))
+	for _, q := range quasi {
+		labels[q] = make([]string, d.Len())
+	}
+
+	var emit func(rows []int)
+	emit = func(rows []int) {
+		for _, info := range infos {
+			var label string
+			if info.numeric {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, r := range rows {
+					lo, hi = math.Min(lo, info.vals[r]), math.Max(hi, info.vals[r])
+				}
+				if lo == hi {
+					label = fmt.Sprintf("%g", lo)
+				} else {
+					label = fmt.Sprintf("[%g,%g]", lo, hi)
+				}
+			} else {
+				seen := map[int]bool{}
+				for _, r := range rows {
+					seen[info.codes[r]] = true
+				}
+				vals := make([]string, 0, len(seen))
+				for code := range seen {
+					vals = append(vals, info.domain[code])
+				}
+				sort.Strings(vals)
+				if len(vals) == 1 {
+					label = vals[0]
+				} else {
+					label = "{" + strings.Join(vals, ",") + "}"
+				}
+			}
+			for _, r := range rows {
+				labels[info.name][r] = label
+			}
+		}
+	}
+
+	// trySplit attempts a median split of rows on info; nil if not
+	// allowable.
+	trySplit := func(rows []int, info attrInfo) ([]int, []int) {
+		sorted := append([]int(nil), rows...)
+		if info.numeric {
+			sort.Slice(sorted, func(i, j int) bool { return info.vals[sorted[i]] < info.vals[sorted[j]] })
+		} else {
+			sort.Slice(sorted, func(i, j int) bool {
+				return info.domain[info.codes[sorted[i]]] < info.domain[info.codes[sorted[j]]]
+			})
+		}
+		valueAt := func(i int) string {
+			r := sorted[i]
+			if info.numeric {
+				return fmt.Sprintf("%g", info.vals[r])
+			}
+			return info.domain[info.codes[r]]
+		}
+		mid := len(sorted) / 2
+		// Move the boundary so equal values stay together (required:
+		// classes must share identical generalized values).
+		lo := mid
+		for lo > 0 && valueAt(lo-1) == valueAt(mid) {
+			lo--
+		}
+		hi := mid
+		for hi < len(sorted) && valueAt(hi) == valueAt(mid) {
+			hi++
+		}
+		// Prefer the boundary closer to the median.
+		var cut int
+		if mid-lo <= hi-mid && lo >= k {
+			cut = lo
+		} else {
+			cut = hi
+		}
+		if cut < k || len(sorted)-cut < k {
+			// Try the other boundary.
+			if lo >= k && len(sorted)-lo >= k {
+				cut = lo
+			} else if hi >= k && len(sorted)-hi >= k {
+				cut = hi
+			} else {
+				return nil, nil
+			}
+		}
+		return sorted[:cut], sorted[cut:]
+	}
+
+	// localSpan computes the normalized span of info within rows.
+	localSpan := func(rows []int, info attrInfo) float64 {
+		if info.span == 0 {
+			return 0
+		}
+		if info.numeric {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range rows {
+				lo, hi = math.Min(lo, info.vals[r]), math.Max(hi, info.vals[r])
+			}
+			return (hi - lo) / info.span
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			seen[info.codes[r]] = true
+		}
+		return float64(len(seen)) / info.span
+	}
+
+	var recurse func(rows []int)
+	recurse = func(rows []int) {
+		if len(rows) >= 2*k {
+			// Attributes by decreasing normalized span.
+			order := make([]int, len(infos))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return localSpan(rows, infos[order[a]]) > localSpan(rows, infos[order[b]])
+			})
+			for _, ii := range order {
+				left, right := trySplit(rows, infos[ii])
+				if left != nil {
+					recurse(left)
+					recurse(right)
+					return
+				}
+			}
+		}
+		emit(rows)
+	}
+	recurse(d.AllRows())
+
+	// Rebuild with generalized quasi columns (categorical).
+	old := d.Schema()
+	attrs := make([]dataset.Attribute, old.Len())
+	isQuasi := make(map[string]bool, len(quasi))
+	for _, q := range quasi {
+		isQuasi[q] = true
+	}
+	for i := 0; i < old.Len(); i++ {
+		a := old.At(i)
+		if isQuasi[a.Name] {
+			a = dataset.Attribute{Name: a.Name, Kind: dataset.Categorical, Role: a.Role}
+		}
+		attrs[i] = a
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	b := dataset.NewBuilder(schema)
+	for r := 0; r < d.Len(); r++ {
+		rec := make([]string, old.Len())
+		for i := 0; i < old.Len(); i++ {
+			name := old.At(i).Name
+			if isQuasi[name] {
+				rec[i] = labels[name][r]
+				continue
+			}
+			v, err := d.Value(name, r)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		b.Append(d.ID(r), rec)
+	}
+	return b.Build()
+}

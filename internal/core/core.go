@@ -1,0 +1,294 @@
+// Package core implements FaiRank's contribution: finding the most
+// (or least) unfair partitioning of a set of individuals over their
+// protected attributes under a scoring function (paper Definition 1),
+// using the greedy recursive QUANTIFY algorithm (paper Algorithm 1)
+// with an exhaustive optimal solver as baseline.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/histogram"
+	"repro/internal/partition"
+)
+
+// Objective selects which optimization problem to solve.
+type Objective int
+
+const (
+	// MostUnfair solves the Most Unfair Partitioning Problem
+	// (argmax unfairness, paper Definition 1).
+	MostUnfair Objective = iota
+	// LeastUnfair solves the Least Unfair Partitioning Problem
+	// (argmin, paper §3.1).
+	LeastUnfair
+)
+
+// String returns "most-unfair" or "least-unfair".
+func (o Objective) String() string {
+	switch o {
+	case MostUnfair:
+		return "most-unfair"
+	case LeastUnfair:
+		return "least-unfair"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ObjectiveByName parses "most"/"most-unfair" or "least"/"least-unfair".
+func ObjectiveByName(name string) (Objective, error) {
+	switch name {
+	case "most", "most-unfair", "":
+		return MostUnfair, nil
+	case "least", "least-unfair":
+		return LeastUnfair, nil
+	default:
+		return 0, fmt.Errorf("core: unknown objective %q", name)
+	}
+}
+
+// Config parameterizes a quantification run.
+type Config struct {
+	// Measure is the fairness formulation (zero value = Definition 2:
+	// average pairwise EMD over 5-bin histograms of [0,1] scores).
+	Measure fairness.Measure
+	// Objective selects most- vs least-unfair search.
+	Objective Objective
+	// Attributes lists the protected attributes to partition on. If
+	// empty, all categorical protected attributes of the dataset are
+	// used. Numeric attributes must be bucketized first.
+	Attributes []string
+	// MinGroupSize forbids splits creating partitions smaller than
+	// this (default 1, the paper's behaviour).
+	MinGroupSize int
+	// MaxDepth bounds the partitioning tree depth (0 = unlimited).
+	MaxDepth int
+	// EnumerationLimit bounds the exhaustive search space (0 = 1<<20).
+	EnumerationLimit int
+	// TryAllRoots runs the greedy recursion once per splittable root
+	// attribute instead of only the "most unfair" one, returning the
+	// best final partitioning. One of the restarts is exactly
+	// Algorithm 1's choice, so the result is never worse than the
+	// plain greedy at roughly |attributes|× the cost — a cheap step
+	// toward the exhaustive optimum.
+	TryAllRoots bool
+}
+
+// normalize fills defaults and validates the configuration against d.
+func (c Config) normalize(d *dataset.Dataset) (Config, error) {
+	if c.MinGroupSize <= 0 {
+		c.MinGroupSize = 1
+	}
+	if c.MaxDepth < 0 {
+		return c, fmt.Errorf("core: negative MaxDepth %d", c.MaxDepth)
+	}
+	if len(c.Attributes) == 0 {
+		for _, name := range d.Schema().Protected() {
+			a, err := d.Schema().Attr(name)
+			if err != nil {
+				return c, err
+			}
+			if a.Kind == dataset.Categorical {
+				c.Attributes = append(c.Attributes, name)
+			}
+		}
+		if len(c.Attributes) == 0 {
+			return c, fmt.Errorf("core: dataset has no categorical protected attributes; bucketize numeric ones first")
+		}
+	} else {
+		seen := make(map[string]bool, len(c.Attributes))
+		for _, name := range c.Attributes {
+			if seen[name] {
+				return c, fmt.Errorf("core: attribute %q listed twice", name)
+			}
+			seen[name] = true
+			a, err := d.Schema().Attr(name)
+			if err != nil {
+				return c, fmt.Errorf("core: %w", err)
+			}
+			if a.Kind != dataset.Categorical {
+				return c, fmt.Errorf("core: attribute %q is numeric; bucketize it before partitioning", name)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Stats reports the work a solver performed.
+type Stats struct {
+	// DistanceEvals counts histogram-distance computations.
+	DistanceEvals int
+	// SplitsEvaluated counts candidate splits scored by mostUnfair.
+	SplitsEvaluated int
+	// Partitionings counts full partitionings evaluated (exhaustive
+	// solver only).
+	Partitionings int
+	// Elapsed is the wall-clock solver time.
+	Elapsed time.Duration
+}
+
+// Result is a solved partitioning with its fairness quantification.
+type Result struct {
+	// Tree is the partitioning tree (nil for exhaustive results,
+	// which are discovered as flat leaf sets).
+	Tree *partition.Tree
+	// Groups is the final partitioning (the tree's leaves).
+	Groups []partition.Group
+	// Hists holds the normalized score histogram of each group.
+	Hists []histogram.Hist
+	// Pairwise holds every pairwise distance between groups.
+	Pairwise []fairness.PairBreakdown
+	// Unfairness is Definition 2 applied to Groups.
+	Unfairness float64
+	// Objective and Measure echo the configuration used.
+	Objective Objective
+	Measure   fairness.Measure
+	Stats     Stats
+}
+
+// engine carries the shared state of one solver run.
+type engine struct {
+	d       *dataset.Dataset
+	scores  []float64
+	cfg     Config
+	measure fairness.Measure
+	// histCache memoizes group histograms by Group.Key().
+	histCache map[string]histogram.Hist
+	stats     Stats
+}
+
+func newEngine(d *dataset.Dataset, scores []float64, cfg Config) (*engine, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if len(scores) != d.Len() {
+		return nil, fmt.Errorf("core: %d scores for %d individuals", len(scores), d.Len())
+	}
+	cfg, err := cfg.normalize(d)
+	if err != nil {
+		return nil, err
+	}
+	return &engine{
+		d:         d,
+		scores:    scores,
+		cfg:       cfg,
+		measure:   cfg.Measure,
+		histCache: make(map[string]histogram.Hist),
+	}, nil
+}
+
+// histOf returns the (cached) normalized histogram of a group.
+func (e *engine) histOf(g partition.Group) (histogram.Hist, error) {
+	key := g.Key()
+	if h, ok := e.histCache[key]; ok {
+		return h, nil
+	}
+	h, err := e.measure.Histogram(e.scores, g.Rows)
+	if err != nil {
+		return histogram.Hist{}, fmt.Errorf("core: histogram of %q: %w", g.Label(), err)
+	}
+	e.histCache[key] = h
+	return h, nil
+}
+
+// distance computes (and counts) one histogram distance.
+func (e *engine) distance(a, b histogram.Hist) (float64, error) {
+	e.stats.DistanceEvals++
+	return e.measure.PairwiseDistance(a, b)
+}
+
+// aggAcross aggregates the distances from each group in as to each
+// group in bs (the avg(EMD(children, siblings)) construction of
+// Algorithm 1, with the aggregation pluggable).
+func (e *engine) aggAcross(as, bs []partition.Group) (float64, error) {
+	agg := e.measure.Agg
+	if agg == nil {
+		agg = fairness.Average{}
+	}
+	var dists []float64
+	for _, a := range as {
+		ha, err := e.histOf(a)
+		if err != nil {
+			return 0, err
+		}
+		for _, b := range bs {
+			hb, err := e.histOf(b)
+			if err != nil {
+				return 0, err
+			}
+			d, err := e.distance(ha, hb)
+			if err != nil {
+				return 0, err
+			}
+			dists = append(dists, d)
+		}
+	}
+	return agg.Aggregate(dists), nil
+}
+
+// aggWithin aggregates the pairwise distances among groups.
+func (e *engine) aggWithin(groups []partition.Group) (float64, error) {
+	agg := e.measure.Agg
+	if agg == nil {
+		agg = fairness.Average{}
+	}
+	var dists []float64
+	for i := 0; i < len(groups); i++ {
+		hi, err := e.histOf(groups[i])
+		if err != nil {
+			return 0, err
+		}
+		for j := i + 1; j < len(groups); j++ {
+			hj, err := e.histOf(groups[j])
+			if err != nil {
+				return 0, err
+			}
+			d, err := e.distance(hi, hj)
+			if err != nil {
+				return 0, err
+			}
+			dists = append(dists, d)
+		}
+	}
+	return agg.Aggregate(dists), nil
+}
+
+// better reports whether candidate improves on incumbent under the
+// configured objective.
+func (e *engine) better(candidate, incumbent float64) bool {
+	if e.cfg.Objective == LeastUnfair {
+		return candidate < incumbent
+	}
+	return candidate > incumbent
+}
+
+// finalize computes Definition 2 on the final groups and assembles the
+// Result.
+func (e *engine) finalize(tree *partition.Tree, groups []partition.Group) (*Result, error) {
+	hists := make([]histogram.Hist, len(groups))
+	for i, g := range groups {
+		h, err := e.histOf(g)
+		if err != nil {
+			return nil, err
+		}
+		hists[i] = h
+	}
+	pairs, unfairness, err := e.measure.Breakdown(hists)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tree:       tree,
+		Groups:     groups,
+		Hists:      hists,
+		Pairwise:   pairs,
+		Unfairness: unfairness,
+		Objective:  e.cfg.Objective,
+		Measure:    e.measure,
+		Stats:      e.stats,
+	}, nil
+}

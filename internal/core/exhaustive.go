@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/partition"
+)
+
+// Exhaustive solves the Most (or Least) Unfair Partitioning Problem
+// exactly by enumerating every tree-structured full disjoint
+// partitioning — the space Algorithm 1 navigates greedily. It is the
+// ground-truth baseline for the heuristic's quality and exists to
+// demonstrate the exponential cost the paper's §3.2 motivates the
+// heuristic with. The enumeration respects cfg.EnumerationLimit.
+func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	start := time.Now()
+	e, err := newEngine(d, scores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	root := partition.Root(d)
+
+	// distCache memoizes pairwise distances across partitionings: the
+	// same pair of groups appears in many enumerated partitionings.
+	distCache := make(map[string]float64)
+	pairDist := func(a, b partition.Group) (float64, error) {
+		ka, kb := a.Key(), b.Key()
+		if kb < ka {
+			ka, kb = kb, ka
+		}
+		key := ka + "||" + kb
+		if v, ok := distCache[key]; ok {
+			return v, nil
+		}
+		ha, err := e.histOf(a)
+		if err != nil {
+			return 0, err
+		}
+		hb, err := e.histOf(b)
+		if err != nil {
+			return 0, err
+		}
+		v, err := e.distance(ha, hb)
+		if err != nil {
+			return 0, err
+		}
+		distCache[key] = v
+		return v, nil
+	}
+
+	agg := e.measure.Agg
+	if agg == nil {
+		agg = fairness.Average{}
+	}
+
+	var best []partition.Group
+	bestVal := 0.0
+	found := false
+	err = partition.ForEachPartitioning(d, root, e.cfg.Attributes, e.cfg.MinGroupSize, e.cfg.EnumerationLimit, func(leaves []partition.Group) error {
+		e.stats.Partitionings++
+		var dists []float64
+		for i := 0; i < len(leaves); i++ {
+			for j := i + 1; j < len(leaves); j++ {
+				v, err := pairDist(leaves[i], leaves[j])
+				if err != nil {
+					return err
+				}
+				dists = append(dists, v)
+			}
+		}
+		val := agg.Aggregate(dists)
+		if !found || e.better(val, bestVal) {
+			// Copy: the enumerator may reuse backing arrays.
+			best = append([]partition.Group(nil), leaves...)
+			bestVal = val
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: exhaustive search: %w", err)
+	}
+	if !found {
+		return nil, fmt.Errorf("core: exhaustive search visited no partitionings")
+	}
+	res, err := e.finalize(nil, best)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

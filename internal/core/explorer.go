@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/scoring"
+)
+
+// PanelRequest configures one exploration panel — the unit of
+// interaction in FaiRank's UI (Figure 3: "The partitioning trees are
+// displayed ... in multiple panels, which allows the user to compare
+// multiple scoring functions/datasets").
+type PanelRequest struct {
+	// Dataset names a dataset previously registered in the session.
+	Dataset string
+	// Function is a scoring expression such as
+	// "0.3*language_test + 0.7*rating". Required unless RankAttr is
+	// set.
+	Function string
+	// RankOnly simulates function opacity: the function is used only
+	// to order individuals, and histograms are built from normalized
+	// ranks (paper §1, function transparency).
+	RankOnly bool
+	// RankAttr names a numeric attribute holding an externally
+	// provided 1-based ranking, for marketplaces that expose order but
+	// no function (paper §2). Mutually exclusive with Function.
+	RankAttr string
+	// Normalize min-max normalizes the function's attributes to [0,1]
+	// before scoring.
+	Normalize bool
+	// Filter restricts the population with "attr=value" conjuncts
+	// before quantification (paper §2 filtering).
+	Filter []string
+	// Objective is "most" (default) or "least".
+	Objective string
+	// Aggregator is "avg" (default), "max", "min" or "variance".
+	Aggregator string
+	// Distance is "emd" (default), "emd-hat", "ks" or "tv".
+	Distance string
+	// Bins is the histogram resolution (default 5).
+	Bins int
+	// Attributes restricts partitioning to these protected attributes
+	// (default: all categorical protected ones).
+	Attributes []string
+	// MinGroupSize and MaxDepth bound the partitioning.
+	MinGroupSize int
+	MaxDepth     int
+	// TryAllRoots restarts the greedy from every root attribute and
+	// keeps the best partitioning (never worse than plain greedy).
+	TryAllRoots bool
+	// Exhaustive switches from Algorithm 1 to the exact solver.
+	Exhaustive bool
+}
+
+// Panel is one quantification result with its provenance, displayed
+// side by side with other panels.
+type Panel struct {
+	ID      int
+	Dataset string
+	// Function describes the scoring input ("ranks:attr" in RankAttr
+	// mode; the expression otherwise, suffixed with " [rank-only]"
+	// when RankOnly).
+	Function string
+	// Criterion names the fairness formulation and objective.
+	Criterion string
+	// Filter echoes the population restriction.
+	Filter string
+	// Population is the number of individuals quantified.
+	Population int
+	// Scores holds the (pseudo-)scores used, indexed by row of the
+	// filtered population.
+	Scores []float64
+	// Result is the solved partitioning.
+	Result *Result
+}
+
+// Session is an exploration session: a set of named datasets and the
+// panels computed over them. It is safe for concurrent use by the
+// HTTP server.
+type Session struct {
+	mu       sync.Mutex
+	datasets map[string]*dataset.Dataset
+	panels   []*Panel
+	nextID   int
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{datasets: make(map[string]*dataset.Dataset), nextID: 1}
+}
+
+// AddDataset registers a dataset under a name, replacing any previous
+// dataset of that name.
+func (s *Session) AddDataset(name string, d *dataset.Dataset) error {
+	if name == "" {
+		return fmt.Errorf("core: dataset name must not be empty")
+	}
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("core: dataset %q is empty", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = d
+	return nil
+}
+
+// Dataset returns the named dataset.
+func (s *Session) Dataset(name string) (*dataset.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// DatasetNames returns the registered dataset names, sorted.
+func (s *Session) DatasetNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Panels returns the session's panels in creation order.
+func (s *Session) Panels() []*Panel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Panel(nil), s.panels...)
+}
+
+// Panel returns the panel with the given id.
+func (s *Session) Panel(id int) (*Panel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.panels {
+		if p.ID == id {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown panel %d", id)
+}
+
+// RemovePanel deletes the panel with the given id.
+func (s *Session) RemovePanel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.panels {
+		if p.ID == id {
+			s.panels = append(s.panels[:i], s.panels[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown panel %d", id)
+}
+
+// parseFilter converts "attr=value" conjuncts into a predicate.
+func parseFilter(terms []string) (dataset.Predicate, error) {
+	var preds []dataset.Predicate
+	for _, t := range terms {
+		parts := strings.SplitN(t, "=", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("core: bad filter term %q, want attr=value", t)
+		}
+		preds = append(preds, dataset.Eq(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])))
+	}
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	return dataset.And(preds...), nil
+}
+
+// Quantify resolves a PanelRequest, runs the solver, and appends the
+// resulting panel to the session.
+func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
+	d, err := s.Dataset(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	// Population restriction.
+	filterLabel := ""
+	if len(req.Filter) > 0 {
+		pred, err := parseFilter(req.Filter)
+		if err != nil {
+			return nil, err
+		}
+		d, err = d.Filter(pred)
+		if err != nil {
+			return nil, err
+		}
+		filterLabel = pred.String()
+	}
+
+	// Scores: expression, or external ranking attribute.
+	var scores []float64
+	var funcLabel string
+	switch {
+	case req.RankAttr != "" && req.Function != "":
+		return nil, fmt.Errorf("core: Function and RankAttr are mutually exclusive")
+	case req.RankAttr != "":
+		ranks, err := d.Num(req.RankAttr)
+		if err != nil {
+			return nil, err
+		}
+		scores, err = scoring.PseudoScoresFromRanks(ranks)
+		if err != nil {
+			return nil, err
+		}
+		funcLabel = "ranks:" + req.RankAttr
+	case req.Function != "":
+		fn, err := scoring.Parse(req.Function)
+		if err != nil {
+			return nil, err
+		}
+		if req.Normalize {
+			attrs := make([]string, 0, len(fn.Terms()))
+			for _, t := range fn.Terms() {
+				attrs = append(attrs, t.Attr)
+			}
+			d, err = scoring.MinMaxNormalize(d, attrs...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		scores, err = fn.Score(d)
+		if err != nil {
+			return nil, err
+		}
+		funcLabel = fn.String()
+		if req.RankOnly {
+			scores, err = scoring.PseudoScores(scores)
+			if err != nil {
+				return nil, err
+			}
+			funcLabel += " [rank-only]"
+		}
+	default:
+		return nil, fmt.Errorf("core: panel needs a Function or a RankAttr")
+	}
+
+	// Fairness formulation.
+	dist, err := fairness.DistanceByName(req.Distance)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := fairness.AggregatorByName(req.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := ObjectiveByName(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Measure:      fairness.Measure{Dist: dist, Agg: agg, Bins: req.Bins},
+		Objective:    obj,
+		Attributes:   req.Attributes,
+		MinGroupSize: req.MinGroupSize,
+		MaxDepth:     req.MaxDepth,
+		TryAllRoots:  req.TryAllRoots,
+	}
+
+	var res *Result
+	if req.Exhaustive {
+		res, err = Exhaustive(d, scores, cfg)
+	} else {
+		res, err = Quantify(d, scores, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Panel{
+		ID:         s.nextID,
+		Dataset:    req.Dataset,
+		Function:   funcLabel,
+		Criterion:  fmt.Sprintf("%s %s", obj, cfg.Measure.Name()),
+		Filter:     filterLabel,
+		Population: d.Len(),
+		Scores:     scores,
+		Result:     res,
+	}
+	s.nextID++
+	s.panels = append(s.panels, p)
+	return p, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sessionWithTable1(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession()
+	if err := s.AddDataset("table1", dataset.Table1()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionDatasets(t *testing.T) {
+	s := sessionWithTable1(t)
+	if err := s.AddDataset("", dataset.Table1()); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := s.AddDataset("x", nil); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := s.Dataset("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	d, err := s.Dataset("table1")
+	if err != nil || d.Len() != 10 {
+		t.Errorf("Dataset lookup: %v, %v", d, err)
+	}
+	names := s.DatasetNames()
+	if len(names) != 1 || names[0] != "table1" {
+		t.Errorf("DatasetNames = %v", names)
+	}
+}
+
+func TestSessionQuantifyBasic(t *testing.T) {
+	s := sessionWithTable1(t)
+	p, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 1 || p.Population != 10 {
+		t.Errorf("panel = %+v", p)
+	}
+	if math.Abs(p.Result.Unfairness-0.346667) > 1e-5 {
+		t.Errorf("panel unfairness = %.6f", p.Result.Unfairness)
+	}
+	if !strings.Contains(p.Criterion, "most-unfair avg-emd(bins=5)") {
+		t.Errorf("criterion = %q", p.Criterion)
+	}
+	if len(s.Panels()) != 1 {
+		t.Error("panel not recorded")
+	}
+	got, err := s.Panel(1)
+	if err != nil || got != p {
+		t.Errorf("Panel(1) = %v, %v", got, err)
+	}
+	if _, err := s.Panel(99); err == nil {
+		t.Error("unknown panel should error")
+	}
+}
+
+func TestSessionQuantifyFilter(t *testing.T) {
+	s := sessionWithTable1(t)
+	p, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+		Filter:   []string{"language=English"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Population != 7 {
+		t.Errorf("filtered population = %d, want 7", p.Population)
+	}
+	if p.Filter == "" {
+		t.Error("filter label missing")
+	}
+}
+
+func TestSessionQuantifyFilterErrors(t *testing.T) {
+	s := sessionWithTable1(t)
+	if _, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "rating",
+		Filter:   []string{"bad-term"},
+	}); err == nil {
+		t.Error("malformed filter should error")
+	}
+	if _, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "rating",
+		Filter:   []string{"gender=Unknown"},
+	}); err == nil {
+		t.Error("empty filter result should error")
+	}
+}
+
+func TestSessionQuantifyRankOnly(t *testing.T) {
+	s := sessionWithTable1(t)
+	full, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+		RankOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(rank.Function, "[rank-only]") {
+		t.Errorf("rank-only label = %q", rank.Function)
+	}
+	// Pseudo-scores change the histograms, so the quantification may
+	// differ — but both must be valid and positive here.
+	if full.Result.Unfairness <= 0 || rank.Result.Unfairness <= 0 {
+		t.Errorf("unfairness: full=%.4f rank=%.4f", full.Result.Unfairness, rank.Result.Unfairness)
+	}
+	// Rank-only scores are a permutation of {0, 1/9, ..., 1}.
+	seen := make(map[float64]bool)
+	for _, v := range rank.Scores {
+		if v < 0 || v > 1 || seen[v] {
+			t.Errorf("bad pseudo-score set: %v", rank.Scores)
+			break
+		}
+		seen[v] = true
+	}
+}
+
+func TestSessionQuantifyRankAttr(t *testing.T) {
+	// Dataset with an explicit ranking column.
+	s, err := dataset.NewSchema(
+		dataset.Attribute{Name: "group", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "rank", Kind: dataset.Numeric, Role: dataset.Meta},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.NewBuilder(s).
+		Append("a", []string{"g1", "1"}).
+		Append("b", []string{"g1", "2"}).
+		Append("c", []string{"g2", "3"}).
+		Append("d", []string{"g2", "4"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	if err := sess.AddDataset("ranked", d); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.Quantify(PanelRequest{Dataset: "ranked", RankAttr: "rank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Function != "ranks:rank" {
+		t.Errorf("function label = %q", p.Function)
+	}
+	// g1 holds ranks 1-2 (high pseudo-scores), g2 ranks 3-4: the
+	// gender split must expose positive unfairness.
+	if p.Result.Unfairness <= 0 {
+		t.Errorf("rank-attr unfairness = %.6f", p.Result.Unfairness)
+	}
+}
+
+func TestSessionQuantifyNormalize(t *testing.T) {
+	s := sessionWithTable1(t)
+	// experience is outside [0,1]: fails raw, passes with Normalize.
+	if _, err := s.Quantify(PanelRequest{Dataset: "table1", Function: "experience"}); err == nil {
+		t.Error("unnormalized experience should error")
+	}
+	p, err := s.Quantify(PanelRequest{Dataset: "table1", Function: "experience", Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Scores {
+		if v < 0 || v > 1 {
+			t.Errorf("normalized score out of range: %g", v)
+		}
+	}
+}
+
+func TestSessionQuantifyRequestValidation(t *testing.T) {
+	s := sessionWithTable1(t)
+	cases := []PanelRequest{
+		{Dataset: "nope", Function: "rating"},
+		{Dataset: "table1"}, // neither function nor rank attr
+		{Dataset: "table1", Function: "rating", RankAttr: "experience"},
+		{Dataset: "table1", Function: ")(bad"},
+		{Dataset: "table1", Function: "rating", Objective: "nope"},
+		{Dataset: "table1", Function: "rating", Aggregator: "nope"},
+		{Dataset: "table1", Function: "rating", Distance: "nope"},
+		{Dataset: "table1", RankAttr: "gender"},
+	}
+	for i, req := range cases {
+		if _, err := s.Quantify(req); err == nil {
+			t.Errorf("case %d should error: %+v", i, req)
+		}
+	}
+}
+
+func TestSessionQuantifyExhaustive(t *testing.T) {
+	s := sessionWithTable1(t)
+	p, err := s.Quantify(PanelRequest{
+		Dataset:    "table1",
+		Function:   "0.3*language_test + 0.7*rating",
+		Attributes: []string{dataset.AttrGender, dataset.AttrLanguage},
+		Exhaustive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Result.Unfairness-0.266667) > 1e-5 {
+		t.Errorf("exhaustive panel unfairness = %.6f", p.Result.Unfairness)
+	}
+	if p.Result.Stats.Partitionings != 9 {
+		t.Errorf("partitionings = %d", p.Result.Stats.Partitionings)
+	}
+}
+
+func TestSessionRemovePanel(t *testing.T) {
+	s := sessionWithTable1(t)
+	p, err := s.Quantify(PanelRequest{Dataset: "table1", Function: "rating"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemovePanel(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Panels()) != 0 {
+		t.Error("panel not removed")
+	}
+	if err := s.RemovePanel(p.ID); err == nil {
+		t.Error("removing twice should error")
+	}
+}
+
+func TestSessionPanelIDsMonotonic(t *testing.T) {
+	s := sessionWithTable1(t)
+	p1, err := s.Quantify(PanelRequest{Dataset: "table1", Function: "rating"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemovePanel(p1.ID); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Quantify(PanelRequest{Dataset: "table1", Function: "rating"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ID <= p1.ID {
+		t.Errorf("panel ids not monotonic: %d then %d", p1.ID, p2.ID)
+	}
+}

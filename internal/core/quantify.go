@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+)
+
+// Quantify runs the paper's Algorithm 1 (QUANTIFY): a greedy recursive
+// search for an unfair partitioning of d's individuals under the given
+// scores.
+//
+// Following the paper: the population is first split on its most
+// unfair attribute; then each partition recursively decides whether to
+// split further by comparing the aggregated distance of the partition
+// to its siblings against the aggregated distance of its prospective
+// children to those same siblings (Algorithm 1 lines 4-9). On a
+// split, each child recurses with the other children as its sibling
+// set and the used attribute removed (line 13). For the least-unfair
+// objective the comparison flips, as §3.2 notes ("other formulations
+// require to change this test only").
+func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	start := time.Now()
+	e, err := newEngine(d, scores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rootGroup := partition.Root(d)
+	splittable, err := partition.SplittableAttrs(d, rootGroup, e.cfg.Attributes, e.cfg.MinGroupSize)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(splittable) == 0 {
+		// Nothing to split on: the trivial single-partition result.
+		tree := &partition.Tree{Root: &partition.Node{Group: rootGroup}, NumRows: d.Len()}
+		res, err := e.finalize(tree, tree.LeafGroups())
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Root candidates: Algorithm 1 uses only the most unfair
+	// attribute; TryAllRoots restarts the recursion from every
+	// splittable attribute and keeps the best final partitioning.
+	var rootAttrs []string
+	if e.cfg.TryAllRoots {
+		rootAttrs = splittable
+	} else {
+		attr, _, err := e.mostUnfairAttr(rootGroup, splittable)
+		if err != nil {
+			return nil, err
+		}
+		rootAttrs = []string{attr}
+	}
+
+	var best *Result
+	for _, attr := range rootAttrs {
+		tree, err := e.buildTree(rootGroup, attr, d.Len())
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.finalize(tree, tree.LeafGroups())
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || e.better(res.Unfairness, best.Unfairness) {
+			best = res
+		}
+	}
+	best.Stats = e.stats
+	best.Stats.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// buildTree grows one greedy partitioning tree rooted at a split on
+// rootAttr, running Algorithm 1's recursion below it.
+func (e *engine) buildTree(rootGroup partition.Group, rootAttr string, numRows int) (*partition.Tree, error) {
+	rootNode := &partition.Node{Group: rootGroup, SplitAttr: rootAttr}
+	tree := &partition.Tree{Root: rootNode, NumRows: numRows}
+	children, err := partition.Split(e.d, rootGroup, rootAttr)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range children {
+		rootNode.Children = append(rootNode.Children, &partition.Node{Group: g})
+	}
+	if e.cfg.MaxDepth != 1 {
+		remaining := without(e.cfg.Attributes, rootAttr)
+		for i, child := range rootNode.Children {
+			if err := e.quantify(child, otherGroups(children, i), remaining, 2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("core: solver produced invalid tree: %w", err)
+	}
+	return tree, nil
+}
+
+// quantify is the recursive step of Algorithm 1. node is "current",
+// siblings the sibling groups, avail the unused attributes; depth is
+// the depth children would occupy.
+func (e *engine) quantify(node *partition.Node, siblings []partition.Group, avail []string, depth int) error {
+	if e.cfg.MaxDepth > 0 && depth > e.cfg.MaxDepth {
+		return nil // leaf by depth bound
+	}
+	splittable, err := partition.SplittableAttrs(e.d, node.Group, avail, e.cfg.MinGroupSize)
+	if err != nil {
+		return err
+	}
+	if len(splittable) == 0 {
+		return nil // leaf: A = ∅ (line 1-2)
+	}
+	// Line 4: currentAvg = agg distance of current to its siblings.
+	currentVal, err := e.aggAcross([]partition.Group{node.Group}, siblings)
+	if err != nil {
+		return err
+	}
+	// Line 5: the most unfair attribute for this group.
+	attr, children, err := e.mostUnfairAttr(node.Group, splittable)
+	if err != nil {
+		return err
+	}
+	// Line 8: childrenAvg = agg distance of children to the siblings.
+	childrenVal, err := e.aggAcross(children, siblings)
+	if err != nil {
+		return err
+	}
+	// Line 9: keep current unless the children are strictly worse
+	// (resp. better for least-unfair).
+	if !e.better(childrenVal, currentVal) {
+		return nil
+	}
+	node.SplitAttr = attr
+	remaining := without(avail, attr)
+	for _, g := range children {
+		node.Children = append(node.Children, &partition.Node{Group: g})
+	}
+	// Lines 12-14: recurse per child with the other children as
+	// siblings.
+	for i, child := range node.Children {
+		if err := e.quantify(child, otherGroups(children, i), remaining, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mostUnfairAttr scores each candidate attribute by the aggregated
+// pairwise distance among the children its split would create, and
+// returns the best under the objective (argmax for most-unfair,
+// argmin for least-unfair), together with those children. Ties keep
+// the earliest attribute in the candidate order (deterministic).
+func (e *engine) mostUnfairAttr(g partition.Group, candidates []string) (string, []partition.Group, error) {
+	if len(candidates) == 0 {
+		return "", nil, fmt.Errorf("core: no splittable attributes for %q", g.Label())
+	}
+	bestAttr := ""
+	var bestChildren []partition.Group
+	bestVal := 0.0
+	for _, attr := range candidates {
+		children, err := partition.Split(e.d, g, attr)
+		if err != nil {
+			return "", nil, err
+		}
+		e.stats.SplitsEvaluated++
+		val, err := e.aggWithin(children)
+		if err != nil {
+			return "", nil, err
+		}
+		if bestAttr == "" || e.better(val, bestVal) {
+			bestAttr, bestChildren, bestVal = attr, children, val
+		}
+	}
+	return bestAttr, bestChildren, nil
+}
+
+// without returns attrs minus drop, preserving order.
+func without(attrs []string, drop string) []string {
+	out := make([]string, 0, len(attrs)-1)
+	for _, a := range attrs {
+		if a != drop {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// otherGroups returns all groups except the i-th.
+func otherGroups(groups []partition.Group, i int) []partition.Group {
+	out := make([]partition.Group, 0, len(groups)-1)
+	out = append(out, groups[:i]...)
+	out = append(out, groups[i+1:]...)
+	return out
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/partition"
+	"repro/internal/scoring"
+	"repro/internal/stats"
+)
+
+func table1Scores(t *testing.T) (*dataset.Dataset, []float64) {
+	t.Helper()
+	d := dataset.Table1()
+	fn, err := scoring.NewLinear(dataset.Table1Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := fn.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, scores
+}
+
+func TestObjectiveByName(t *testing.T) {
+	for name, want := range map[string]Objective{
+		"":             MostUnfair,
+		"most":         MostUnfair,
+		"most-unfair":  MostUnfair,
+		"least":        LeastUnfair,
+		"least-unfair": LeastUnfair,
+	} {
+		got, err := ObjectiveByName(name)
+		if err != nil || got != want {
+			t.Errorf("ObjectiveByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ObjectiveByName("nope"); err == nil {
+		t.Error("unknown objective should error")
+	}
+	if MostUnfair.String() != "most-unfair" || LeastUnfair.String() != "least-unfair" {
+		t.Error("Objective.String wrong")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective should render")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	d, scores := table1Scores(t)
+	if _, err := Quantify(d, scores, Config{Attributes: []string{"nope"}}); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := Quantify(d, scores, Config{Attributes: []string{dataset.AttrYearOfBirth}}); err == nil {
+		t.Error("numeric attribute should error (bucketize first)")
+	}
+	if _, err := Quantify(d, scores, Config{Attributes: []string{dataset.AttrGender, dataset.AttrGender}}); err == nil {
+		t.Error("duplicate attribute should error")
+	}
+	if _, err := Quantify(d, scores, Config{MaxDepth: -1}); err == nil {
+		t.Error("negative MaxDepth should error")
+	}
+	if _, err := Quantify(d, scores[:5], Config{}); err == nil {
+		t.Error("score length mismatch should error")
+	}
+	if _, err := Quantify(nil, scores, Config{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+}
+
+func TestConfigNoCategoricalProtected(t *testing.T) {
+	s, _ := dataset.NewSchema(
+		dataset.Attribute{Name: "yob", Kind: dataset.Numeric, Role: dataset.Protected},
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Observed},
+	)
+	d, err := dataset.NewBuilder(s).Append("a", []string{"1990", "0.5"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quantify(d, []float64{0.5}, Config{}); err == nil {
+		t.Error("no categorical protected attrs should error")
+	}
+}
+
+// The paper's Figure 2 partitioning (Gender; Male split by Language)
+// has avg pairwise EMD 0.25 under the Definition 2 measure with 5 bins.
+func TestFigure2PartitioningValue(t *testing.T) {
+	d, scores := table1Scores(t)
+	root := partition.Root(d)
+	gsplit, err := partition.Split(d, root, dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsplit, err := partition.Split(d, gsplit[1], dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := [][]int{gsplit[0].Rows}
+	for _, g := range lsplit {
+		parts = append(parts, g.Rows)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("figure 2 has %d partitions, want 4", len(parts))
+	}
+	u, err := fairness.DefaultMeasure().Unfairness(scores, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.25) > 1e-9 {
+		t.Errorf("Figure 2 unfairness = %.6f, want 0.25", u)
+	}
+}
+
+// Greedy on {gender, language}: splits language first, then the
+// Indian partition by gender. Pinned from a verified run; guards
+// against behavioural regressions of Algorithm 1.
+func TestQuantifyTable1GenderLanguage(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{Attributes: []string{dataset.AttrGender, dataset.AttrLanguage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Unfairness-0.238095) > 1e-5 {
+		t.Errorf("unfairness = %.6f, want 0.238095", res.Unfairness)
+	}
+	if res.Tree.Root.SplitAttr != dataset.AttrLanguage {
+		t.Errorf("root split = %q, want language", res.Tree.Root.SplitAttr)
+	}
+	if len(res.Groups) != 4 {
+		t.Errorf("groups = %d, want 4", len(res.Groups))
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Errorf("invalid tree: %v", err)
+	}
+	// Result invariants.
+	if len(res.Hists) != len(res.Groups) {
+		t.Error("histogram count mismatch")
+	}
+	wantPairs := len(res.Groups) * (len(res.Groups) - 1) / 2
+	if len(res.Pairwise) != wantPairs {
+		t.Errorf("pairwise count = %d, want %d", len(res.Pairwise), wantPairs)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+// Greedy over the four categorical protected attributes of Table 1.
+func TestQuantifyTable1AllAttrs(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Unfairness-0.346667) > 1e-5 {
+		t.Errorf("unfairness = %.6f, want 0.346667", res.Unfairness)
+	}
+	if res.Tree.Root.SplitAttr != dataset.AttrEthnicity {
+		t.Errorf("root split = %q, want ethnicity", res.Tree.Root.SplitAttr)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Errorf("invalid tree: %v", err)
+	}
+}
+
+func TestExhaustiveTable1(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Exhaustive(d, scores, Config{Attributes: []string{dataset.AttrGender, dataset.AttrLanguage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Partitionings != 9 {
+		t.Errorf("partitionings = %d, want 9", res.Stats.Partitionings)
+	}
+	if math.Abs(res.Unfairness-0.266667) > 1e-5 {
+		t.Errorf("exhaustive unfairness = %.6f, want 0.266667", res.Unfairness)
+	}
+	if res.Tree != nil {
+		t.Error("exhaustive result should have no tree")
+	}
+}
+
+func TestExhaustiveTable1AllAttrs(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Exhaustive(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Partitionings != 824 {
+		t.Errorf("partitionings = %d, want 824", res.Stats.Partitionings)
+	}
+	if math.Abs(res.Unfairness-0.393333) > 1e-5 {
+		t.Errorf("exhaustive unfairness = %.6f, want 0.393333", res.Unfairness)
+	}
+}
+
+func TestExhaustiveRespectsLimit(t *testing.T) {
+	d, scores := table1Scores(t)
+	if _, err := Exhaustive(d, scores, Config{EnumerationLimit: 5}); err == nil {
+		t.Error("tight enumeration limit should error")
+	}
+}
+
+func TestGreedyBoundedByExhaustive(t *testing.T) {
+	d, scores := table1Scores(t)
+	for _, attrs := range [][]string{
+		{dataset.AttrGender},
+		{dataset.AttrGender, dataset.AttrLanguage},
+		{dataset.AttrGender, dataset.AttrCountry},
+		{dataset.AttrGender, dataset.AttrCountry, dataset.AttrLanguage, dataset.AttrEthnicity},
+	} {
+		g, err := Quantify(d, scores, Config{Attributes: attrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Exhaustive(d, scores, Config{Attributes: attrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Unfairness > x.Unfairness+1e-9 {
+			t.Errorf("attrs %v: greedy %.6f exceeds exhaustive optimum %.6f", attrs, g.Unfairness, x.Unfairness)
+		}
+	}
+}
+
+func TestLeastUnfairObjective(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{Objective: LeastUnfair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	most, err := Quantify(d, scores, Config{Objective: MostUnfair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfairness > most.Unfairness {
+		t.Errorf("least-unfair %.6f > most-unfair %.6f", res.Unfairness, most.Unfairness)
+	}
+	// Pinned: the least-unfair greedy keeps the plain gender split.
+	if math.Abs(res.Unfairness-0.2) > 1e-9 {
+		t.Errorf("least-unfair = %.6f, want 0.2", res.Unfairness)
+	}
+	if res.Tree.Root.SplitAttr != dataset.AttrGender {
+		t.Errorf("least-unfair root split = %q", res.Tree.Root.SplitAttr)
+	}
+}
+
+// Exhaustive least-unfair finds the trivial single-partition solution
+// (no pairs, unfairness 0).
+func TestExhaustiveLeastUnfairTrivial(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Exhaustive(d, scores, Config{Objective: LeastUnfair, Attributes: []string{dataset.AttrGender}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Unfairness != 0 {
+		t.Errorf("least-unfair exhaustive: %d groups, %.6f", len(res.Groups), res.Unfairness)
+	}
+}
+
+func TestMaxDepthOne(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", res.Tree.Depth())
+	}
+}
+
+func TestMaxDepthBoundsTree(t *testing.T) {
+	d, scores := table1Scores(t)
+	unbounded, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Tree.Depth() < 3 {
+		t.Skipf("unbounded tree only depth %d; depth test vacuous", unbounded.Tree.Depth())
+	}
+	res, err := Quantify(d, scores, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Depth() > 2 {
+		t.Errorf("depth = %d, want <= 2", res.Tree.Depth())
+	}
+}
+
+func TestMinGroupSize(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{MinGroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if g.Size() < 3 {
+			t.Errorf("group %q has %d < 3 members", g.Label(), g.Size())
+		}
+	}
+}
+
+func TestMinGroupSizeTooLargeYieldsRootOnly(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{MinGroupSize: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Unfairness != 0 {
+		t.Errorf("unsplittable population: %d groups, %.6f", len(res.Groups), res.Unfairness)
+	}
+}
+
+func TestQuantifyDeterministic(t *testing.T) {
+	d, scores := table1Scores(t)
+	a, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree.String() != b.Tree.String() {
+		t.Error("same inputs produced different trees")
+	}
+	if a.Unfairness != b.Unfairness {
+		t.Error("same inputs produced different unfairness")
+	}
+}
+
+func TestQuantifyNaNScore(t *testing.T) {
+	d, scores := table1Scores(t)
+	bad := append([]float64(nil), scores...)
+	bad[3] = math.NaN()
+	if _, err := Quantify(d, bad, Config{}); err == nil {
+		t.Error("NaN score should error")
+	}
+}
+
+func TestMaxAggregatorObjective(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{
+		Measure: fairness.Measure{Agg: fairness.MaxAgg{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Errorf("max-agg tree invalid: %v", err)
+	}
+	if res.Unfairness <= 0 {
+		t.Errorf("max-agg unfairness = %.6f", res.Unfairness)
+	}
+}
+
+// randomPopulation builds a synthetic population with binary/ternary
+// protected attributes and uniform scores.
+func randomPopulation(t *testing.T, g *stats.RNG, n int) (*dataset.Dataset, []float64) {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		dataset.Attribute{Name: "p1", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "p2", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "p3", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "skill", Kind: dataset.Numeric, Role: dataset.Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(s)
+	vals1 := []string{"a", "b"}
+	vals2 := []string{"x", "y", "z"}
+	vals3 := []string{"0", "1"}
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = g.Float64()
+		b.AppendNumeric(
+			"w"+string(rune('0'+i%10))+string(rune('a'+i/10)),
+			map[string]string{
+				"p1": vals1[g.IntN(len(vals1))],
+				"p2": vals2[g.IntN(len(vals2))],
+				"p3": vals3[g.IntN(len(vals3))],
+			},
+			map[string]float64{"skill": scores[i]},
+		)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, scores
+}
+
+// Property: on random populations the greedy tree is always valid and
+// its objective value never beats the exhaustive optimum.
+func TestGreedyVsExhaustiveRandomised(t *testing.T) {
+	g := stats.NewRNG(7777)
+	for trial := 0; trial < 10; trial++ {
+		d, scores := randomPopulation(t, g, 30+g.IntN(40))
+		greedy, err := Quantify(d, scores, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := greedy.Tree.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid greedy tree: %v", trial, err)
+		}
+		exact, err := Exhaustive(d, scores, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Unfairness > exact.Unfairness+1e-9 {
+			t.Errorf("trial %d: greedy %.6f > optimum %.6f", trial, greedy.Unfairness, exact.Unfairness)
+		}
+	}
+}
+
+// Property: every leaf's label is consistent with its rows (each row
+// actually has the attribute values of the group's conditions).
+func TestGroupConditionsMatchRows(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range res.Groups {
+		for _, cond := range grp.Conds {
+			for _, r := range grp.Rows {
+				v, err := d.Value(cond.Attr, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != cond.Value {
+					t.Errorf("group %q row %d has %s=%q", grp.Label(), r, cond.Attr, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeRenderingContainsSplits(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Tree.String()
+	if !strings.Contains(s, "split:ethnicity") {
+		t.Errorf("tree rendering missing root split: %s", s)
+	}
+}

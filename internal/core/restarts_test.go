@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TryAllRoots includes Algorithm 1's root choice among its restarts,
+// so its result can never be worse under the configured objective.
+func TestTryAllRootsNeverWorse(t *testing.T) {
+	d, scores := table1Scores(t)
+	for _, attrs := range [][]string{
+		{dataset.AttrGender, dataset.AttrLanguage},
+		{dataset.AttrGender, dataset.AttrCountry, dataset.AttrLanguage, dataset.AttrEthnicity},
+	} {
+		plain, err := Quantify(d, scores, Config{Attributes: attrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boosted, err := Quantify(d, scores, Config{Attributes: attrs, TryAllRoots: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boosted.Unfairness < plain.Unfairness-1e-12 {
+			t.Errorf("attrs %v: TryAllRoots %.6f worse than plain %.6f", attrs, boosted.Unfairness, plain.Unfairness)
+		}
+		if err := boosted.Tree.Validate(); err != nil {
+			t.Errorf("boosted tree invalid: %v", err)
+		}
+	}
+}
+
+// On the two-attribute Table 1 instance, restarting from the gender
+// root recovers the exhaustive optimum the plain greedy misses.
+func TestTryAllRootsClosesKnownGap(t *testing.T) {
+	d, scores := table1Scores(t)
+	attrs := []string{dataset.AttrGender, dataset.AttrLanguage}
+	plain, err := Quantify(d, scores, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Quantify(d, scores, Config{Attributes: attrs, TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exhaustive(d, scores, Config{Attributes: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(plain.Unfairness < boosted.Unfairness) {
+		t.Errorf("expected restarts to improve on plain greedy: %.6f vs %.6f", plain.Unfairness, boosted.Unfairness)
+	}
+	if boosted.Unfairness > exact.Unfairness+1e-12 {
+		t.Errorf("restarts exceeded the optimum: %.6f vs %.6f", boosted.Unfairness, exact.Unfairness)
+	}
+}
+
+// TryAllRoots respects the least-unfair objective (never worse means
+// never larger).
+func TestTryAllRootsLeastUnfair(t *testing.T) {
+	d, scores := table1Scores(t)
+	plain, err := Quantify(d, scores, Config{Objective: LeastUnfair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Quantify(d, scores, Config{Objective: LeastUnfair, TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Unfairness > plain.Unfairness+1e-12 {
+		t.Errorf("least-unfair restarts worse: %.6f vs %.6f", boosted.Unfairness, plain.Unfairness)
+	}
+}
+
+// Property: on random populations, greedy <= TryAllRoots <= exhaustive
+// under most-unfair.
+func TestTryAllRootsSandwichedRandomised(t *testing.T) {
+	g := stats.NewRNG(1212)
+	for trial := 0; trial < 6; trial++ {
+		d, scores := randomPopulation(t, g, 40+g.IntN(30))
+		plain, err := Quantify(d, scores, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boosted, err := Quantify(d, scores, Config{TryAllRoots: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exhaustive(d, scores, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boosted.Unfairness < plain.Unfairness-1e-9 {
+			t.Errorf("trial %d: restarts below greedy", trial)
+		}
+		if boosted.Unfairness > exact.Unfairness+1e-9 {
+			t.Errorf("trial %d: restarts above optimum", trial)
+		}
+	}
+}
+
+// TryAllRoots on an unsplittable population degrades to the trivial
+// result like plain greedy.
+func TestTryAllRootsUnsplittable(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Quantify(d, scores, Config{MinGroupSize: 11, TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Errorf("groups = %d", len(res.Groups))
+	}
+}

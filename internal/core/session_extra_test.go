@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// The explorer honors TryAllRoots and the result is never worse than
+// the plain panel under the same request.
+func TestSessionTryAllRoots(t *testing.T) {
+	s := sessionWithTable1(t)
+	req := PanelRequest{
+		Dataset:    "table1",
+		Function:   "0.3*language_test + 0.7*rating",
+		Attributes: []string{dataset.AttrGender, dataset.AttrLanguage},
+	}
+	plain, err := s.Quantify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.TryAllRoots = true
+	boosted, err := s.Quantify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Result.Unfairness < plain.Result.Unfairness-1e-12 {
+		t.Errorf("TryAllRoots panel worse: %.6f vs %.6f", boosted.Result.Unfairness, plain.Result.Unfairness)
+	}
+}
+
+// Custom bins surface in the criterion label and change the measure.
+func TestSessionCustomBins(t *testing.T) {
+	s := sessionWithTable1(t)
+	p, err := s.Quantify(PanelRequest{
+		Dataset:  "table1",
+		Function: "rating",
+		Bins:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Criterion, "bins=10") {
+		t.Errorf("criterion = %q", p.Criterion)
+	}
+	if p.Result.Hists[0].Bins() != 10 {
+		t.Errorf("histogram bins = %d", p.Result.Hists[0].Bins())
+	}
+}
+
+// Exhaustive results flow through finalize with full pairwise data.
+func TestExhaustiveResultShape(t *testing.T) {
+	d, scores := table1Scores(t)
+	res, err := Exhaustive(d, scores, Config{Attributes: []string{dataset.AttrGender, dataset.AttrLanguage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hists) != len(res.Groups) {
+		t.Error("hist count mismatch")
+	}
+	want := len(res.Groups) * (len(res.Groups) - 1) / 2
+	if len(res.Pairwise) != want {
+		t.Errorf("pairwise = %d, want %d", len(res.Pairwise), want)
+	}
+	if res.Stats.DistanceEvals == 0 {
+		t.Error("no distance evals recorded")
+	}
+}
+
+// Quantify stats accumulate across restarts (TryAllRoots does more
+// work than plain greedy).
+func TestTryAllRootsDoesMoreWork(t *testing.T) {
+	d, scores := table1Scores(t)
+	plain, err := Quantify(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Quantify(d, scores, Config{TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Stats.DistanceEvals <= plain.Stats.DistanceEvals {
+		t.Errorf("restarts evals %d <= plain %d", boosted.Stats.DistanceEvals, plain.Stats.DistanceEvals)
+	}
+}

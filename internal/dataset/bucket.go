@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Bucketizer converts a numeric attribute into a categorical one so it
+// can participate in partitioning. Protected attributes like Year of
+// Birth (paper Table 1) are numeric; FaiRank's subgroups ("older
+// African Americans" vs "younger White Americans", §1) require
+// discretizing them into buckets first — the same role generalization
+// plays in the ARX anonymizer.
+type Bucketizer interface {
+	// cuts returns the ordered interior cut points for the values.
+	cuts(values []float64) ([]float64, error)
+	// Name describes the bucketizer for labels and reports.
+	Name() string
+}
+
+// EqualWidth splits the observed [min,max] range into k equal-width
+// buckets.
+func EqualWidth(k int) Bucketizer { return equalWidth{k} }
+
+type equalWidth struct{ k int }
+
+func (b equalWidth) Name() string { return fmt.Sprintf("equal-width(%d)", b.k) }
+
+func (b equalWidth) cuts(values []float64) ([]float64, error) {
+	if b.k < 2 {
+		return nil, fmt.Errorf("dataset: equal-width bucketizer needs k >= 2, got %d", b.k)
+	}
+	lo, hi, err := finiteRange(values)
+	if err != nil {
+		return nil, err
+	}
+	if lo == hi {
+		return nil, nil // single value: one bucket, no cuts
+	}
+	cuts := make([]float64, 0, b.k-1)
+	w := (hi - lo) / float64(b.k)
+	for i := 1; i < b.k; i++ {
+		cuts = append(cuts, lo+float64(i)*w)
+	}
+	return cuts, nil
+}
+
+// Quantiles splits values into k buckets of (approximately) equal
+// population.
+func Quantiles(k int) Bucketizer { return quantiles{k} }
+
+type quantiles struct{ k int }
+
+func (b quantiles) Name() string { return fmt.Sprintf("quantile(%d)", b.k) }
+
+func (b quantiles) cuts(values []float64) ([]float64, error) {
+	if b.k < 2 {
+		return nil, fmt.Errorf("dataset: quantile bucketizer needs k >= 2, got %d", b.k)
+	}
+	if _, _, err := finiteRange(values); err != nil {
+		return nil, err
+	}
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	sort.Float64s(sorted)
+	var cuts []float64
+	for i := 1; i < b.k; i++ {
+		pos := float64(i) / float64(b.k) * float64(len(sorted)-1)
+		c := sorted[int(math.Round(pos))]
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	return cuts, nil
+}
+
+// CutPoints uses explicit interior cut points, e.g. {1970, 1990} to
+// bucket Year of Birth into "<1970", "[1970,1990)", ">=1990".
+func CutPoints(cuts ...float64) Bucketizer { return cutPoints(cuts) }
+
+type cutPoints []float64
+
+func (b cutPoints) Name() string { return fmt.Sprintf("cuts(%d)", len(b)) }
+
+func (b cutPoints) cuts(values []float64) ([]float64, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("dataset: CutPoints needs at least one cut")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			return nil, fmt.Errorf("dataset: cut points must be strictly increasing, got %v", []float64(b))
+		}
+	}
+	return append([]float64(nil), b...), nil
+}
+
+func finiteRange(values []float64) (lo, hi float64, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0, fmt.Errorf("dataset: no finite values to bucketize")
+	}
+	return lo, hi, nil
+}
+
+// bucketLabel renders the label for the bucket between two cut points,
+// using ">=" / "<" at the open ends.
+func bucketLabel(i int, cuts []float64) string {
+	fm := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	switch {
+	case len(cuts) == 0:
+		return "all"
+	case i == 0:
+		return "<" + fm(cuts[0])
+	case i == len(cuts):
+		return ">=" + fm(cuts[len(cuts)-1])
+	default:
+		return "[" + fm(cuts[i-1]) + "," + fm(cuts[i]) + ")"
+	}
+}
+
+// Bucketize returns a new dataset in which the named numeric attribute
+// is replaced by a categorical attribute of bucket labels (same name,
+// same role). Missing values map to the empty label.
+func (d *Dataset) Bucketize(attr string, b Bucketizer) (*Dataset, error) {
+	vals, err := d.Num(attr)
+	if err != nil {
+		return nil, err
+	}
+	cuts, err := b.cuts(vals)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bucketize %q: %w", attr, err)
+	}
+	idx, _ := d.schema.Lookup(attr)
+	old := d.schema.At(idx)
+
+	col := &catColumn{lookup: make(map[string]int)}
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			col.codes = append(col.codes, col.code(""))
+			continue
+		}
+		bi := sort.SearchFloat64s(cuts, v)
+		// SearchFloat64s returns the first cut >= v; values equal to a
+		// cut belong to the bucket above it (left-closed intervals).
+		if bi < len(cuts) && v == cuts[bi] {
+			bi++
+		}
+		col.codes = append(col.codes, col.code(bucketLabel(bi, cuts)))
+	}
+
+	attrs := make([]Attribute, d.schema.Len())
+	for i := range attrs {
+		attrs[i] = d.schema.At(i)
+	}
+	attrs[idx] = Attribute{Name: old.Name, Kind: Categorical, Role: old.Role}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]column, len(d.cols))
+	copy(cols, d.cols)
+	cols[idx] = col
+	return &Dataset{schema: schema, ids: d.ids, cols: cols}, nil
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func yobData(t *testing.T) *Dataset {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "yob", Kind: Numeric, Role: Protected},
+		Attribute{Name: "skill", Kind: Numeric, Role: Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewBuilder(s).
+		Append("a", []string{"1960", "0.1"}).
+		Append("b", []string{"1975", "0.2"}).
+		Append("c", []string{"1990", "0.3"}).
+		Append("d", []string{"2005", "0.4"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBucketizeCutPoints(t *testing.T) {
+	d := yobData(t)
+	b, err := d.Bucketize("yob", CutPoints(1970, 1990))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.Schema().Attr("yob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != Categorical || a.Role != Protected {
+		t.Errorf("bucketized attr = %+v", a)
+	}
+	want := map[string]string{"a": "<1970", "b": "[1970,1990)", "c": ">=1990", "d": ">=1990"}
+	for r := 0; r < b.Len(); r++ {
+		v, _ := b.Value("yob", r)
+		if v != want[b.ID(r)] {
+			t.Errorf("row %s bucket = %q, want %q", b.ID(r), v, want[b.ID(r)])
+		}
+	}
+	// Other columns untouched.
+	nums, _ := b.Num("skill")
+	if nums[0] != 0.1 {
+		t.Error("skill column changed")
+	}
+	// Original dataset untouched.
+	if _, err := d.Num("yob"); err != nil {
+		t.Error("original dataset mutated")
+	}
+}
+
+func TestBucketizeEqualWidth(t *testing.T) {
+	d := yobData(t)
+	b, err := d.Bucketize("yob", EqualWidth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := b.DistinctValues("yob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 {
+		t.Errorf("equal-width buckets = %v", vals)
+	}
+}
+
+func TestBucketizeQuantiles(t *testing.T) {
+	d := yobData(t)
+	b, err := d.Bucketize("yob", Quantiles(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := b.DistinctValues("yob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Errorf("quantile buckets = %v", vals)
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	d := yobData(t)
+	if _, err := d.Bucketize("nope", EqualWidth(2)); err == nil {
+		t.Error("unknown attr should error")
+	}
+	if _, err := d.Bucketize("yob", EqualWidth(1)); err == nil {
+		t.Error("k=1 equal-width should error")
+	}
+	if _, err := d.Bucketize("yob", Quantiles(1)); err == nil {
+		t.Error("k=1 quantiles should error")
+	}
+	if _, err := d.Bucketize("yob", CutPoints()); err == nil {
+		t.Error("no cuts should error")
+	}
+	if _, err := d.Bucketize("yob", CutPoints(2000, 1990)); err == nil {
+		t.Error("non-increasing cuts should error")
+	}
+}
+
+func TestBucketizeMissingBecomesEmptyLabel(t *testing.T) {
+	s, _ := NewSchema(Attribute{Name: "yob", Kind: Numeric, Role: Protected})
+	d, err := NewBuilder(s).
+		Append("a", []string{"1980"}).
+		Append("b", []string{""}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Bucketize("yob", CutPoints(1990))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := b.Value("yob", 1)
+	if v != "" {
+		t.Errorf("missing bucket label = %q, want empty", v)
+	}
+}
+
+func TestBucketizeConstantColumn(t *testing.T) {
+	s, _ := NewSchema(Attribute{Name: "yob", Kind: Numeric, Role: Protected})
+	d, err := NewBuilder(s).
+		Append("a", []string{"1980"}).
+		Append("b", []string{"1980"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Bucketize("yob", EqualWidth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := b.DistinctValues("yob", nil)
+	if len(vals) != 1 || vals[0] != "all" {
+		t.Errorf("constant column buckets = %v", vals)
+	}
+}
+
+func TestBucketLabelBoundaries(t *testing.T) {
+	// A value exactly at a cut belongs to the upper bucket.
+	s, _ := NewSchema(Attribute{Name: "x", Kind: Numeric, Role: Protected})
+	d, err := NewBuilder(s).Append("a", []string{"1990"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Bucketize("x", CutPoints(1990))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := b.Value("x", 0)
+	if v != ">=1990" {
+		t.Errorf("boundary value bucket = %q", v)
+	}
+}

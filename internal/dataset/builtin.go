@@ -1,0 +1,76 @@
+package dataset
+
+// This file embeds the example dataset of Table 1 of the paper: 10
+// individuals on a crowdsourcing platform ranked by a scoring function
+// over Language Test and Rating. The printed f(w) column is
+// reproduced exactly by f = 0.3*language_test + 0.7*rating (weights
+// recovered by solving the table's rows; every row matches).
+
+// Table 1 attribute names, as used throughout the repository.
+const (
+	AttrGender       = "gender"
+	AttrCountry      = "country"
+	AttrYearOfBirth  = "year_of_birth"
+	AttrLanguage     = "language"
+	AttrEthnicity    = "ethnicity"
+	AttrExperience   = "experience"
+	AttrLanguageTest = "language_test"
+	AttrRating       = "rating"
+)
+
+// Table1Weights returns the scoring-function weights that reproduce
+// the f(w) column of Table 1 exactly.
+func Table1Weights() map[string]float64 {
+	return map[string]float64{AttrLanguageTest: 0.3, AttrRating: 0.7}
+}
+
+// Table1Scores returns the f(w) column of Table 1 verbatim, in row
+// order w1..w10.
+func Table1Scores() []float64 {
+	return []float64{0.29, 0.911, 0.65, 0.724, 0.885, 0.266, 0.971, 0.195, 0.271, 0.62}
+}
+
+// Table1 returns the example dataset of Table 1 of the paper.
+// Protected attributes: gender, country, year_of_birth, language,
+// ethnicity. Observed attributes: experience, language_test, rating.
+func Table1() *Dataset {
+	schema, err := NewSchema(
+		Attribute{Name: AttrGender, Kind: Categorical, Role: Protected},
+		Attribute{Name: AttrCountry, Kind: Categorical, Role: Protected},
+		Attribute{Name: AttrYearOfBirth, Kind: Numeric, Role: Protected},
+		Attribute{Name: AttrLanguage, Kind: Categorical, Role: Protected},
+		Attribute{Name: AttrEthnicity, Kind: Categorical, Role: Protected},
+		Attribute{Name: AttrExperience, Kind: Numeric, Role: Observed},
+		Attribute{Name: AttrLanguageTest, Kind: Numeric, Role: Observed},
+		Attribute{Name: AttrRating, Kind: Numeric, Role: Observed},
+	)
+	if err != nil {
+		panic("dataset: Table1 schema: " + err.Error()) // static data; cannot fail
+	}
+	b := NewBuilder(schema)
+	// id, gender, country, year_of_birth, language, ethnicity, experience, language_test, rating
+	rows := []struct {
+		id                                   string
+		gender, country, language, ethnicity string
+		yob, exp, lt, rating                 string
+	}{
+		{"w1", "Female", "India", "English", "Indian", "2004", "0", "0.50", "0.20"},
+		{"w2", "Male", "America", "English", "White", "1976", "14", "0.89", "0.92"},
+		{"w3", "Male", "India", "Indian", "White", "1976", "6", "0.65", "0.65"},
+		{"w4", "Male", "Other", "Other", "Indian", "1963", "18", "0.64", "0.76"},
+		{"w5", "Female", "India", "Indian", "Indian", "1963", "21", "0.85", "0.90"},
+		{"w6", "Male", "America", "English", "African-American", "1995", "2", "0.42", "0.20"},
+		{"w7", "Female", "America", "English", "African-American", "1982", "16", "0.95", "0.98"},
+		{"w8", "Male", "Other", "English", "Other", "2008", "0", "0.30", "0.15"},
+		{"w9", "Male", "Other", "English", "White", "1992", "2", "0.32", "0.25"},
+		{"w10", "Female", "America", "English", "White", "2000", "5", "0.76", "0.56"},
+	}
+	for _, r := range rows {
+		b.Append(r.id, []string{r.gender, r.country, r.yob, r.language, r.ethnicity, r.exp, r.lt, r.rating})
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic("dataset: Table1 build: " + err.Error()) // static data; cannot fail
+	}
+	return d
+}

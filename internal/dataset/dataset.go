@@ -1,0 +1,508 @@
+// Package dataset models the input to FaiRank: a set of individuals,
+// each with protected attributes (gender, age, ethnicity, ...) and
+// observed attributes (skills, reputation, ...), per Definition 1 of
+// the paper.
+//
+// Data is stored columnar: categorical attributes as integer codes
+// into a per-column domain, numeric attributes as float64 vectors.
+// Datasets are immutable after construction; transformations (Filter,
+// Select, Bucketize, anonymization) return new datasets, which makes
+// FaiRank's side-by-side exploration panels (paper Figure 3) safe to
+// share data.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Kind classifies an attribute as categorical or numeric.
+type Kind uint8
+
+const (
+	// Categorical attributes take values from a finite string domain.
+	Categorical Kind = iota
+	// Numeric attributes take float64 values.
+	Numeric
+)
+
+// String returns "categorical" or "numeric".
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Role classifies an attribute per Definition 1 of the paper.
+type Role uint8
+
+const (
+	// Protected attributes are inherent properties (gender, age,
+	// ethnicity, origin, ...) on which partitionings are built.
+	Protected Role = iota
+	// Observed attributes represent skills and feed scoring functions.
+	Observed
+	// Meta attributes carry bookkeeping (ids, labels) and participate
+	// in neither partitioning nor scoring.
+	Meta
+)
+
+// String returns "protected", "observed" or "meta".
+func (r Role) String() string {
+	switch r {
+	case Protected:
+		return "protected"
+	case Observed:
+		return "observed"
+	case Meta:
+		return "meta"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Attribute describes one column of a dataset.
+type Attribute struct {
+	Name string
+	Kind Kind
+	Role Role
+}
+
+// Schema is an ordered list of attributes with unique names.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema, rejecting empty or duplicate names.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// At returns the i-th attribute.
+func (s *Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Lookup returns the index of the named attribute.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Attr returns the named attribute or an error.
+func (s *Schema) Attr(name string) (Attribute, error) {
+	if i, ok := s.index[name]; ok {
+		return s.attrs[i], nil
+	}
+	return Attribute{}, fmt.Errorf("dataset: unknown attribute %q", name)
+}
+
+// Names returns all attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ByRole returns the names of attributes with the given role, in
+// schema order.
+func (s *Schema) ByRole(role Role) []string {
+	var out []string
+	for _, a := range s.attrs {
+		if a.Role == role {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// Protected returns the names of protected attributes.
+func (s *Schema) Protected() []string { return s.ByRole(Protected) }
+
+// Observed returns the names of observed attributes.
+func (s *Schema) Observed() []string { return s.ByRole(Observed) }
+
+// column is the storage for one attribute.
+type column interface {
+	kind() Kind
+	length() int
+	// format renders the value at row as a string.
+	format(row int) string
+	// selectRows materializes a new column restricted to rows.
+	selectRows(rows []int) column
+}
+
+// catColumn stores categorical values as codes into domain.
+// The empty string is a legal domain value and represents a missing
+// observation (as produced by the crawl simulator).
+type catColumn struct {
+	domain []string
+	lookup map[string]int
+	codes  []int
+}
+
+func (c *catColumn) kind() Kind  { return Categorical }
+func (c *catColumn) length() int { return len(c.codes) }
+func (c *catColumn) format(row int) string {
+	return c.domain[c.codes[row]]
+}
+
+func (c *catColumn) selectRows(rows []int) column {
+	out := &catColumn{domain: c.domain, lookup: c.lookup, codes: make([]int, len(rows))}
+	for i, r := range rows {
+		out.codes[i] = c.codes[r]
+	}
+	return out
+}
+
+func (c *catColumn) code(v string) int {
+	if i, ok := c.lookup[v]; ok {
+		return i
+	}
+	c.lookup[v] = len(c.domain)
+	c.domain = append(c.domain, v)
+	return len(c.domain) - 1
+}
+
+// numColumn stores numeric values; NaN marks a missing observation.
+type numColumn struct {
+	vals []float64
+}
+
+func (c *numColumn) kind() Kind  { return Numeric }
+func (c *numColumn) length() int { return len(c.vals) }
+func (c *numColumn) format(row int) string {
+	v := c.vals[row]
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (c *numColumn) selectRows(rows []int) column {
+	out := &numColumn{vals: make([]float64, len(rows))}
+	for i, r := range rows {
+		out.vals[i] = c.vals[r]
+	}
+	return out
+}
+
+// Dataset is an immutable set of individuals with attribute columns.
+type Dataset struct {
+	schema *Schema
+	ids    []string
+	cols   []column
+}
+
+// Len returns the number of individuals.
+func (d *Dataset) Len() int { return len(d.ids) }
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// ID returns the identifier of the individual at row.
+func (d *Dataset) ID(row int) string { return d.ids[row] }
+
+// IDs returns a copy of all identifiers.
+func (d *Dataset) IDs() []string { return append([]string(nil), d.ids...) }
+
+// Value renders the value of the named attribute at row as a string.
+func (d *Dataset) Value(attr string, row int) (string, error) {
+	i, ok := d.schema.Lookup(attr)
+	if !ok {
+		return "", fmt.Errorf("dataset: unknown attribute %q", attr)
+	}
+	if row < 0 || row >= d.Len() {
+		return "", fmt.Errorf("dataset: row %d out of range [0,%d)", row, d.Len())
+	}
+	return d.cols[i].format(row), nil
+}
+
+// CatView is a read-only view of a categorical column.
+type CatView struct {
+	// Domain holds the distinct values; Codes[r] indexes into it.
+	Domain []string
+	Codes  []int
+}
+
+// Cat returns a view of the named categorical column.
+func (d *Dataset) Cat(attr string) (CatView, error) {
+	i, ok := d.schema.Lookup(attr)
+	if !ok {
+		return CatView{}, fmt.Errorf("dataset: unknown attribute %q", attr)
+	}
+	c, ok := d.cols[i].(*catColumn)
+	if !ok {
+		return CatView{}, fmt.Errorf("dataset: attribute %q is %s, not categorical", attr, d.cols[i].kind())
+	}
+	return CatView{Domain: c.domain, Codes: c.codes}, nil
+}
+
+// Num returns a read-only view of the named numeric column. The
+// returned slice must not be modified.
+func (d *Dataset) Num(attr string) ([]float64, error) {
+	i, ok := d.schema.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown attribute %q", attr)
+	}
+	c, ok := d.cols[i].(*numColumn)
+	if !ok {
+		return nil, fmt.Errorf("dataset: attribute %q is %s, not numeric", attr, d.cols[i].kind())
+	}
+	return c.vals, nil
+}
+
+// DistinctValues returns the distinct values of a categorical
+// attribute among the given rows (all rows if rows is nil), sorted
+// lexicographically for deterministic iteration.
+func (d *Dataset) DistinctValues(attr string, rows []int) ([]string, error) {
+	cv, err := d.Cat(attr)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	if rows == nil {
+		for _, code := range cv.Codes {
+			seen[code] = true
+		}
+	} else {
+		for _, r := range rows {
+			if r < 0 || r >= d.Len() {
+				return nil, fmt.Errorf("dataset: row %d out of range [0,%d)", r, d.Len())
+			}
+			seen[cv.Codes[r]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for code := range seen {
+		out = append(out, cv.Domain[code])
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Select materializes a new dataset containing the given rows in the
+// given order. Row indices may repeat (bootstrap sampling).
+func (d *Dataset) Select(rows []int) (*Dataset, error) {
+	for _, r := range rows {
+		if r < 0 || r >= d.Len() {
+			return nil, fmt.Errorf("dataset: row %d out of range [0,%d)", r, d.Len())
+		}
+	}
+	out := &Dataset{schema: d.schema, ids: make([]string, len(rows)), cols: make([]column, len(d.cols))}
+	for i, r := range rows {
+		out.ids[i] = d.ids[r]
+	}
+	for i, c := range d.cols {
+		out.cols[i] = c.selectRows(rows)
+	}
+	return out, nil
+}
+
+// AllRows returns the row indices 0..n-1.
+func (d *Dataset) AllRows() []int {
+	rows := make([]int, d.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// Builder assembles a Dataset row by row.
+type Builder struct {
+	schema *Schema
+	ids    []string
+	cols   []column
+	err    error
+}
+
+// NewBuilder returns a builder for the given schema.
+func NewBuilder(schema *Schema) *Builder {
+	b := &Builder{schema: schema, cols: make([]column, schema.Len())}
+	for i := 0; i < schema.Len(); i++ {
+		switch schema.At(i).Kind {
+		case Categorical:
+			b.cols[i] = &catColumn{lookup: make(map[string]int)}
+		case Numeric:
+			b.cols[i] = &numColumn{}
+		}
+	}
+	return b
+}
+
+// Append adds one individual. record holds one string per schema
+// attribute, in schema order; numeric fields must parse as float64
+// (an empty field becomes NaN, i.e. missing). The first error sticks
+// and is reported by Build.
+func (b *Builder) Append(id string, record []string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(record) != b.schema.Len() {
+		b.err = fmt.Errorf("dataset: record for %q has %d fields, schema has %d", id, len(record), b.schema.Len())
+		return b
+	}
+	for i, field := range record {
+		switch c := b.cols[i].(type) {
+		case *catColumn:
+			c.codes = append(c.codes, c.code(field))
+		case *numColumn:
+			if field == "" {
+				c.vals = append(c.vals, math.NaN())
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				b.err = fmt.Errorf("dataset: row %q attribute %q: %w", id, b.schema.At(i).Name, err)
+				return b
+			}
+			c.vals = append(c.vals, v)
+		}
+	}
+	b.ids = append(b.ids, id)
+	return b
+}
+
+// AppendNumeric adds one individual with pre-parsed values: cats holds
+// categorical values keyed by attribute name and nums numeric ones.
+// Missing keys become missing values.
+func (b *Builder) AppendNumeric(id string, cats map[string]string, nums map[string]float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	for i := 0; i < b.schema.Len(); i++ {
+		a := b.schema.At(i)
+		switch c := b.cols[i].(type) {
+		case *catColumn:
+			c.codes = append(c.codes, c.code(cats[a.Name]))
+		case *numColumn:
+			if v, ok := nums[a.Name]; ok {
+				c.vals = append(c.vals, v)
+			} else {
+				c.vals = append(c.vals, math.NaN())
+			}
+		}
+	}
+	b.ids = append(b.ids, id)
+	return b
+}
+
+// Build finalizes the dataset. It fails on any deferred Append error
+// or an empty dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.ids) == 0 {
+		return nil, fmt.Errorf("dataset: no rows")
+	}
+	return &Dataset{schema: b.schema, ids: b.ids, cols: b.cols}, nil
+}
+
+// WithRoles returns a new dataset sharing storage with d but whose
+// schema assigns the given roles (attribute name -> role). Attributes
+// not mentioned keep their current role. This supports FaiRank's
+// configuration step where the user designates which attributes are
+// protected.
+func (d *Dataset) WithRoles(roles map[string]Role) (*Dataset, error) {
+	attrs := make([]Attribute, d.schema.Len())
+	for i := range attrs {
+		attrs[i] = d.schema.At(i)
+	}
+	for name, role := range roles {
+		i, ok := d.schema.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", name)
+		}
+		attrs[i].Role = role
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{schema: schema, ids: d.ids, cols: d.cols}, nil
+}
+
+// MissingCount returns, per attribute name, how many rows have a
+// missing value (empty categorical or NaN numeric).
+func (d *Dataset) MissingCount() map[string]int {
+	out := make(map[string]int, d.schema.Len())
+	for i := 0; i < d.schema.Len(); i++ {
+		name := d.schema.At(i).Name
+		n := 0
+		switch c := d.cols[i].(type) {
+		case *catColumn:
+			for _, code := range c.codes {
+				if c.domain[code] == "" {
+					n++
+				}
+			}
+		case *numColumn:
+			for _, v := range c.vals {
+				if math.IsNaN(v) {
+					n++
+				}
+			}
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// DropMissing returns a dataset containing only rows with no missing
+// value in any of the named attributes (all attributes if none given).
+func (d *Dataset) DropMissing(attrs ...string) (*Dataset, error) {
+	if len(attrs) == 0 {
+		attrs = d.schema.Names()
+	}
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		i, ok := d.schema.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", a)
+		}
+		idx = append(idx, i)
+	}
+	var keep []int
+rows:
+	for r := 0; r < d.Len(); r++ {
+		for _, i := range idx {
+			switch c := d.cols[i].(type) {
+			case *catColumn:
+				if c.domain[c.codes[r]] == "" {
+					continue rows
+				}
+			case *numColumn:
+				if math.IsNaN(c.vals[r]) {
+					continue rows
+				}
+			}
+		}
+		keep = append(keep, r)
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("dataset: DropMissing removed every row")
+	}
+	return d.Select(keep)
+}

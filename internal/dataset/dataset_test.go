@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "gender", Kind: Categorical, Role: Protected},
+		Attribute{Name: "city", Kind: Categorical, Role: Protected},
+		Attribute{Name: "skill", Kind: Numeric, Role: Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testData(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := NewBuilder(testSchema(t)).
+		Append("a", []string{"F", "Paris", "0.9"}).
+		Append("b", []string{"M", "Lyon", "0.5"}).
+		Append("c", []string{"F", "Paris", "0.7"}).
+		Append("d", []string{"M", "Paris", "0.2"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: ""}); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := NewSchema(Attribute{Name: "x"}, Attribute{Name: "x"}); err == nil {
+		t.Error("duplicate should error")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Lookup("city"); !ok || i != 1 {
+		t.Errorf("Lookup(city) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup of unknown should fail")
+	}
+	a, err := s.Attr("skill")
+	if err != nil || a.Kind != Numeric {
+		t.Errorf("Attr(skill) = %+v, %v", a, err)
+	}
+	if _, err := s.Attr("nope"); err == nil {
+		t.Error("Attr of unknown should error")
+	}
+	prot := s.Protected()
+	if len(prot) != 2 || prot[0] != "gender" || prot[1] != "city" {
+		t.Errorf("Protected = %v", prot)
+	}
+	if obs := s.Observed(); len(obs) != 1 || obs[0] != "skill" {
+		t.Errorf("Observed = %v", obs)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[2] != "skill" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestKindRoleStrings(t *testing.T) {
+	if Categorical.String() != "categorical" || Numeric.String() != "numeric" {
+		t.Error("Kind.String wrong")
+	}
+	if Protected.String() != "protected" || Observed.String() != "observed" || Meta.String() != "meta" {
+		t.Error("Role.String wrong")
+	}
+	if Kind(9).String() == "" || Role(9).String() == "" {
+		t.Error("unknown enum should still render")
+	}
+}
+
+func TestBuilderAndAccess(t *testing.T) {
+	d := testData(t)
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.ID(2) != "c" {
+		t.Errorf("ID(2) = %q", d.ID(2))
+	}
+	v, err := d.Value("gender", 0)
+	if err != nil || v != "F" {
+		t.Errorf("Value = %q, %v", v, err)
+	}
+	if _, err := d.Value("nope", 0); err == nil {
+		t.Error("unknown attr should error")
+	}
+	if _, err := d.Value("gender", 99); err == nil {
+		t.Error("bad row should error")
+	}
+	nums, err := d.Num("skill")
+	if err != nil || nums[1] != 0.5 {
+		t.Errorf("Num = %v, %v", nums, err)
+	}
+	if _, err := d.Num("gender"); err == nil {
+		t.Error("Num on categorical should error")
+	}
+	cv, err := d.Cat("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Domain[cv.Codes[1]] != "Lyon" {
+		t.Errorf("Cat view wrong: %v", cv)
+	}
+	if _, err := d.Cat("skill"); err == nil {
+		t.Error("Cat on numeric should error")
+	}
+	if _, err := d.Cat("nope"); err == nil {
+		t.Error("Cat on unknown should error")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(testSchema(t)).Append("a", []string{"F"}).Build(); err == nil {
+		t.Error("field count mismatch should error")
+	}
+	if _, err := NewBuilder(testSchema(t)).Append("a", []string{"F", "Paris", "xx"}).Build(); err == nil {
+		t.Error("unparsable numeric should error")
+	}
+	if _, err := NewBuilder(testSchema(t)).Build(); err == nil {
+		t.Error("empty build should error")
+	}
+	// Error sticks across later valid appends.
+	b := NewBuilder(testSchema(t)).
+		Append("a", []string{"F"}).
+		Append("b", []string{"M", "Lyon", "0.5"})
+	if _, err := b.Build(); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestAppendNumericMissing(t *testing.T) {
+	d, err := NewBuilder(testSchema(t)).
+		AppendNumeric("a", map[string]string{"gender": "F", "city": "Paris"}, map[string]float64{"skill": 0.5}).
+		AppendNumeric("b", map[string]string{"gender": "M"}, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nums, _ := d.Num("skill")
+	if !math.IsNaN(nums[1]) {
+		t.Errorf("missing numeric should be NaN, got %g", nums[1])
+	}
+	v, _ := d.Value("city", 1)
+	if v != "" {
+		t.Errorf("missing categorical should be empty, got %q", v)
+	}
+	miss := d.MissingCount()
+	if miss["skill"] != 1 || miss["city"] != 1 || miss["gender"] != 0 {
+		t.Errorf("MissingCount = %v", miss)
+	}
+}
+
+func TestEmptyNumericFieldIsMissing(t *testing.T) {
+	d, err := NewBuilder(testSchema(t)).Append("a", []string{"F", "Paris", ""}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nums, _ := d.Num("skill")
+	if !math.IsNaN(nums[0]) {
+		t.Error("empty numeric field should become NaN")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	d := testData(t)
+	vals, err := d.DistinctValues("city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != "Lyon" || vals[1] != "Paris" {
+		t.Errorf("DistinctValues = %v", vals)
+	}
+	sub, err := d.DistinctValues("city", []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 || sub[0] != "Paris" {
+		t.Errorf("subset DistinctValues = %v", sub)
+	}
+	if _, err := d.DistinctValues("city", []int{99}); err == nil {
+		t.Error("bad row should error")
+	}
+	if _, err := d.DistinctValues("skill", nil); err == nil {
+		t.Error("numeric attr should error")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := testData(t)
+	s, err := d.Select([]int{3, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.ID(0) != "d" || s.ID(1) != "a" || s.ID(2) != "a" {
+		t.Errorf("Select wrong: %v", s.IDs())
+	}
+	nums, _ := s.Num("skill")
+	if nums[0] != 0.2 || nums[1] != 0.9 {
+		t.Errorf("Select column values wrong: %v", nums)
+	}
+	if _, err := d.Select([]int{-1}); err == nil {
+		t.Error("negative row should error")
+	}
+	if _, err := d.Select([]int{4}); err == nil {
+		t.Error("out-of-range row should error")
+	}
+}
+
+func TestAllRows(t *testing.T) {
+	d := testData(t)
+	rows := d.AllRows()
+	if len(rows) != 4 || rows[0] != 0 || rows[3] != 3 {
+		t.Errorf("AllRows = %v", rows)
+	}
+}
+
+func TestWithRoles(t *testing.T) {
+	d := testData(t)
+	d2, err := d.WithRoles(map[string]Role{"city": Meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Schema().Protected(); len(got) != 1 || got[0] != "gender" {
+		t.Errorf("reassigned Protected = %v", got)
+	}
+	// Original unchanged.
+	if got := d.Schema().Protected(); len(got) != 2 {
+		t.Errorf("original mutated: %v", got)
+	}
+	if _, err := d.WithRoles(map[string]Role{"nope": Meta}); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestDropMissing(t *testing.T) {
+	d, err := NewBuilder(testSchema(t)).
+		Append("a", []string{"F", "Paris", "0.9"}).
+		Append("b", []string{"M", "", "0.5"}).
+		Append("c", []string{"F", "Paris", ""}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := d.DropMissing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Len() != 1 || clean.ID(0) != "a" {
+		t.Errorf("DropMissing kept %v", clean.IDs())
+	}
+	// Scoped to one attribute.
+	cityOnly, err := d.DropMissing("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cityOnly.Len() != 2 {
+		t.Errorf("DropMissing(city) kept %d rows", cityOnly.Len())
+	}
+	if _, err := d.DropMissing("nope"); err == nil {
+		t.Error("unknown attr should error")
+	}
+}
+
+func TestDropMissingAllRowsGone(t *testing.T) {
+	d, err := NewBuilder(testSchema(t)).
+		Append("a", []string{"F", "", "0.9"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DropMissing("city"); err == nil {
+		t.Error("dropping every row should error")
+	}
+}

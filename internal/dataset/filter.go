@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Predicate selects individuals. FaiRank lets users "filter the
+// individuals based on protected attributes ... say only individuals
+// who speak Arabic or who are located in New York city" (paper §2);
+// predicates implement that filtering step.
+//
+// A Predicate is bound to a dataset before evaluation so that unknown
+// attribute names and kind mismatches surface as errors rather than
+// silent non-matches.
+type Predicate interface {
+	// bind validates the predicate against d and returns a matcher.
+	bind(d *Dataset) (func(row int) bool, error)
+	// String renders the predicate for panel labels.
+	String() string
+}
+
+// Eq matches rows whose categorical attribute equals value.
+func Eq(attr, value string) Predicate { return eqPred{attr, value} }
+
+type eqPred struct{ attr, value string }
+
+func (p eqPred) bind(d *Dataset) (func(int) bool, error) {
+	cv, err := d.Cat(p.attr)
+	if err != nil {
+		return nil, err
+	}
+	code := -1
+	for i, v := range cv.Domain {
+		if v == p.value {
+			code = i
+			break
+		}
+	}
+	return func(row int) bool { return cv.Codes[row] == code }, nil
+}
+
+func (p eqPred) String() string { return fmt.Sprintf("%s=%s", p.attr, p.value) }
+
+// In matches rows whose categorical attribute is any of values.
+func In(attr string, values ...string) Predicate { return inPred{attr, values} }
+
+type inPred struct {
+	attr   string
+	values []string
+}
+
+func (p inPred) bind(d *Dataset) (func(int) bool, error) {
+	cv, err := d.Cat(p.attr)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[int]bool, len(p.values))
+	for _, v := range p.values {
+		for i, dv := range cv.Domain {
+			if dv == v {
+				want[i] = true
+			}
+		}
+	}
+	return func(row int) bool { return want[cv.Codes[row]] }, nil
+}
+
+func (p inPred) String() string {
+	return fmt.Sprintf("%s∈{%s}", p.attr, strings.Join(p.values, ","))
+}
+
+// Between matches rows whose numeric attribute is in [lo, hi]. NaN
+// (missing) never matches.
+func Between(attr string, lo, hi float64) Predicate { return rangePred{attr, lo, hi} }
+
+type rangePred struct {
+	attr   string
+	lo, hi float64
+}
+
+func (p rangePred) bind(d *Dataset) (func(int) bool, error) {
+	vals, err := d.Num(p.attr)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(p.lo) || math.IsNaN(p.hi) || p.lo > p.hi {
+		return nil, fmt.Errorf("dataset: invalid range [%g,%g] for %q", p.lo, p.hi, p.attr)
+	}
+	return func(row int) bool {
+		v := vals[row]
+		return !math.IsNaN(v) && v >= p.lo && v <= p.hi
+	}, nil
+}
+
+func (p rangePred) String() string { return fmt.Sprintf("%s∈[%g,%g]", p.attr, p.lo, p.hi) }
+
+// And matches rows satisfying every sub-predicate.
+func And(ps ...Predicate) Predicate { return andPred(ps) }
+
+type andPred []Predicate
+
+func (p andPred) bind(d *Dataset) (func(int) bool, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("dataset: And needs at least one predicate")
+	}
+	fns := make([]func(int) bool, len(p))
+	for i, sub := range p {
+		f, err := sub.bind(d)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(row int) bool {
+		for _, f := range fns {
+			if !f(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (p andPred) String() string { return join(p, " ∧ ") }
+
+// Or matches rows satisfying any sub-predicate.
+func Or(ps ...Predicate) Predicate { return orPred(ps) }
+
+type orPred []Predicate
+
+func (p orPred) bind(d *Dataset) (func(int) bool, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("dataset: Or needs at least one predicate")
+	}
+	fns := make([]func(int) bool, len(p))
+	for i, sub := range p {
+		f, err := sub.bind(d)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(row int) bool {
+		for _, f := range fns {
+			if f(row) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (p orPred) String() string { return join(p, " ∨ ") }
+
+// Not matches rows failing the sub-predicate.
+func Not(sub Predicate) Predicate { return notPred{sub} }
+
+type notPred struct{ sub Predicate }
+
+func (p notPred) bind(d *Dataset) (func(int) bool, error) {
+	f, err := p.sub.bind(d)
+	if err != nil {
+		return nil, err
+	}
+	return func(row int) bool { return !f(row) }, nil
+}
+
+func (p notPred) String() string { return "¬(" + p.sub.String() + ")" }
+
+func join(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// MatchingRows returns the indices of rows satisfying p, in order.
+func (d *Dataset) MatchingRows(p Predicate) ([]int, error) {
+	f, err := p.bind(d)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	for r := 0; r < d.Len(); r++ {
+		if f(r) {
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// Filter materializes a new dataset of the rows satisfying p. It
+// returns an error if no rows match, since an empty population cannot
+// be ranked or partitioned.
+func (d *Dataset) Filter(p Predicate) (*Dataset, error) {
+	rows, err := d.MatchingRows(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: filter %s matches no rows", p)
+	}
+	return d.Select(rows)
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestEqFilter(t *testing.T) {
+	d := testData(t)
+	f, err := d.Filter(Eq("gender", "F"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 || f.ID(0) != "a" || f.ID(1) != "c" {
+		t.Errorf("Eq filter wrong: %v", f.IDs())
+	}
+}
+
+func TestEqUnknownValueMatchesNothing(t *testing.T) {
+	d := testData(t)
+	rows, err := d.MatchingRows(Eq("gender", "X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("unknown value matched rows: %v", rows)
+	}
+	if _, err := d.Filter(Eq("gender", "X")); err == nil {
+		t.Error("empty filter result should error")
+	}
+}
+
+func TestEqErrors(t *testing.T) {
+	d := testData(t)
+	if _, err := d.MatchingRows(Eq("nope", "F")); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := d.MatchingRows(Eq("skill", "F")); err == nil {
+		t.Error("Eq on numeric should error")
+	}
+}
+
+func TestInFilter(t *testing.T) {
+	d := testData(t)
+	rows, err := d.MatchingRows(In("city", "Lyon", "Nantes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0] != 1 {
+		t.Errorf("In rows = %v", rows)
+	}
+}
+
+func TestBetweenFilter(t *testing.T) {
+	d := testData(t)
+	rows, err := d.MatchingRows(Between("skill", 0.5, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("Between rows = %v", rows)
+	}
+	if _, err := d.MatchingRows(Between("skill", 2, 1)); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := d.MatchingRows(Between("gender", 0, 1)); err == nil {
+		t.Error("Between on categorical should error")
+	}
+}
+
+func TestBetweenSkipsMissing(t *testing.T) {
+	d, err := NewBuilder(testSchema(t)).
+		Append("a", []string{"F", "Paris", ""}).
+		Append("b", []string{"M", "Lyon", "0.5"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.MatchingRows(Between("skill", 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0] != 1 {
+		t.Errorf("missing value matched: %v", rows)
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	d := testData(t)
+	rows, err := d.MatchingRows(And(Eq("gender", "F"), Eq("city", "Paris")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("And rows = %v", rows)
+	}
+	rows, err = d.MatchingRows(Or(Eq("city", "Lyon"), Between("skill", 0.85, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("Or rows = %v", rows)
+	}
+	rows, err = d.MatchingRows(Not(Eq("gender", "F")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 3 {
+		t.Errorf("Not rows = %v", rows)
+	}
+}
+
+func TestEmptyCombinatorsError(t *testing.T) {
+	d := testData(t)
+	if _, err := d.MatchingRows(And()); err == nil {
+		t.Error("empty And should error")
+	}
+	if _, err := d.MatchingRows(Or()); err == nil {
+		t.Error("empty Or should error")
+	}
+}
+
+func TestCombinatorsPropagateBindErrors(t *testing.T) {
+	d := testData(t)
+	if _, err := d.MatchingRows(And(Eq("nope", "x"))); err == nil {
+		t.Error("And should propagate bind error")
+	}
+	if _, err := d.MatchingRows(Or(Eq("nope", "x"))); err == nil {
+		t.Error("Or should propagate bind error")
+	}
+	if _, err := d.MatchingRows(Not(Eq("nope", "x"))); err == nil {
+		t.Error("Not should propagate bind error")
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	p := And(Eq("gender", "F"), Or(In("city", "Paris", "Lyon"), Not(Between("skill", 0, 0.5))))
+	want := "(gender=F ∧ (city∈{Paris,Lyon} ∨ ¬(skill∈[0,0.5])))"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ImputeStrategy selects how missing values are replaced.
+type ImputeStrategy uint8
+
+const (
+	// ImputeMean replaces missing numerics with the column mean and
+	// missing categoricals with the most frequent value.
+	ImputeMean ImputeStrategy = iota
+	// ImputeMedian replaces missing numerics with the column median
+	// (categoricals still use the mode).
+	ImputeMedian
+)
+
+// Impute returns a dataset in which missing values of the named
+// attributes (all attributes if none given) are filled per the
+// strategy. Crawled marketplace profiles routinely miss fields
+// (internal/marketplace.Crawl simulates this); scoring requires
+// complete observed columns, so the pipeline is Crawl → Impute (or
+// DropMissing) → Score.
+func (d *Dataset) Impute(strategy ImputeStrategy, attrs ...string) (*Dataset, error) {
+	if len(attrs) == 0 {
+		attrs = d.schema.Names()
+	}
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		i, ok := d.schema.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", a)
+		}
+		idx = append(idx, i)
+	}
+
+	cols := make([]column, len(d.cols))
+	copy(cols, d.cols)
+	for _, i := range idx {
+		switch c := d.cols[i].(type) {
+		case *numColumn:
+			filled, err := imputeNumeric(c.vals, strategy, d.schema.At(i).Name)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = &numColumn{vals: filled}
+		case *catColumn:
+			filled, err := imputeCategorical(c, d.schema.At(i).Name)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = filled
+		}
+	}
+	return &Dataset{schema: d.schema, ids: d.ids, cols: cols}, nil
+}
+
+func imputeNumeric(vals []float64, strategy ImputeStrategy, attr string) ([]float64, error) {
+	present := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			present = append(present, v)
+		}
+	}
+	if len(present) == len(vals) {
+		return vals, nil // nothing missing; share storage
+	}
+	if len(present) == 0 {
+		return nil, fmt.Errorf("dataset: cannot impute %q: every value is missing", attr)
+	}
+	var fill float64
+	switch strategy {
+	case ImputeMean:
+		s := 0.0
+		for _, v := range present {
+			s += v
+		}
+		fill = s / float64(len(present))
+	case ImputeMedian:
+		sort.Float64s(present)
+		mid := len(present) / 2
+		if len(present)%2 == 1 {
+			fill = present[mid]
+		} else {
+			fill = (present[mid-1] + present[mid]) / 2
+		}
+	default:
+		return nil, fmt.Errorf("dataset: unknown impute strategy %d", strategy)
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			out[i] = fill
+		} else {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+func imputeCategorical(c *catColumn, attr string) (*catColumn, error) {
+	missingCode := -1
+	for code, v := range c.domain {
+		if v == "" {
+			missingCode = code
+			break
+		}
+	}
+	if missingCode == -1 {
+		return c, nil // nothing missing
+	}
+	counts := make(map[int]int)
+	for _, code := range c.codes {
+		if code != missingCode {
+			counts[code]++
+		}
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("dataset: cannot impute %q: every value is missing", attr)
+	}
+	mode, best := -1, -1
+	// Deterministic mode: highest count, ties broken by domain value.
+	codes := make([]int, 0, len(counts))
+	for code := range counts {
+		codes = append(codes, code)
+	}
+	sort.Slice(codes, func(a, b int) bool { return c.domain[codes[a]] < c.domain[codes[b]] })
+	for _, code := range codes {
+		if counts[code] > best {
+			mode, best = code, counts[code]
+		}
+	}
+	out := &catColumn{domain: c.domain, lookup: c.lookup, codes: make([]int, len(c.codes))}
+	for i, code := range c.codes {
+		if code == missingCode {
+			out.codes[i] = mode
+		} else {
+			out.codes[i] = code
+		}
+	}
+	return out, nil
+}

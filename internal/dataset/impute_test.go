@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func imputeData(t *testing.T) *Dataset {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "city", Kind: Categorical, Role: Protected},
+		Attribute{Name: "skill", Kind: Numeric, Role: Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewBuilder(s).
+		Append("a", []string{"P", "0.2"}).
+		Append("b", []string{"P", ""}).
+		Append("c", []string{"L", "0.4"}).
+		Append("d", []string{"", "0.9"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestImputeMean(t *testing.T) {
+	d := imputeData(t)
+	out, err := d.Impute(ImputeMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := out.Num("skill")
+	// Mean of {0.2, 0.4, 0.9} = 0.5.
+	if math.Abs(vals[1]-0.5) > 1e-12 {
+		t.Errorf("mean-imputed = %g, want 0.5", vals[1])
+	}
+	// Categorical mode: P (2 occurrences).
+	v, _ := out.Value("city", 3)
+	if v != "P" {
+		t.Errorf("mode-imputed city = %q, want P", v)
+	}
+	// Original untouched.
+	orig, _ := d.Num("skill")
+	if !math.IsNaN(orig[1]) {
+		t.Error("Impute mutated the input")
+	}
+	if n := out.MissingCount(); n["skill"] != 0 || n["city"] != 0 {
+		t.Errorf("missing after impute: %v", n)
+	}
+}
+
+func TestImputeMedian(t *testing.T) {
+	d := imputeData(t)
+	out, err := d.Impute(ImputeMedian, "skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := out.Num("skill")
+	// Median of {0.2, 0.4, 0.9} = 0.4.
+	if math.Abs(vals[1]-0.4) > 1e-12 {
+		t.Errorf("median-imputed = %g, want 0.4", vals[1])
+	}
+	// Scoped impute leaves city missing.
+	if out.MissingCount()["city"] != 1 {
+		t.Error("scoped impute touched other columns")
+	}
+}
+
+func TestImputeMedianEvenCount(t *testing.T) {
+	s, _ := NewSchema(Attribute{Name: "x", Kind: Numeric, Role: Observed})
+	d, err := NewBuilder(s).
+		Append("a", []string{"1"}).
+		Append("b", []string{"3"}).
+		Append("c", []string{""}).
+		Append("e", []string{"2"}).
+		Append("f", []string{"4"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Impute(ImputeMedian, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := out.Num("x")
+	if vals[2] != 2.5 {
+		t.Errorf("even-count median = %g, want 2.5", vals[2])
+	}
+}
+
+func TestImputeNothingMissingSharesStorage(t *testing.T) {
+	s, _ := NewSchema(Attribute{Name: "x", Kind: Numeric, Role: Observed})
+	d, err := NewBuilder(s).Append("a", []string{"1"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Impute(ImputeMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Error("impute changed length")
+	}
+}
+
+func TestImputeErrors(t *testing.T) {
+	d := imputeData(t)
+	if _, err := d.Impute(ImputeMean, "nope"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := d.Impute(ImputeStrategy(9), "skill"); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	s, _ := NewSchema(Attribute{Name: "x", Kind: Numeric, Role: Observed})
+	allMissing, err := NewBuilder(s).Append("a", []string{""}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := allMissing.Impute(ImputeMean); err == nil {
+		t.Error("all-missing numeric should error")
+	}
+	sc, _ := NewSchema(Attribute{Name: "c", Kind: Categorical, Role: Protected})
+	allMissingCat, err := NewBuilder(sc).Append("a", []string{""}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := allMissingCat.Impute(ImputeMean); err == nil {
+		t.Error("all-missing categorical should error")
+	}
+}
+
+func TestImputeModeDeterministicTies(t *testing.T) {
+	s, _ := NewSchema(Attribute{Name: "c", Kind: Categorical, Role: Protected})
+	d, err := NewBuilder(s).
+		Append("a", []string{"B"}).
+		Append("b", []string{"A"}).
+		Append("c", []string{""}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A and B tie at 1; the lexicographically first wins.
+	out, err := d.Impute(ImputeMean, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := out.Value("c", 2)
+	if v != "A" {
+		t.Errorf("tie-broken mode = %q, want A", v)
+	}
+}

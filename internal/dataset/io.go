@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV import. FaiRank's UI lets users "select or
+// upload a dataset" (paper §2); this is the upload path.
+type CSVOptions struct {
+	// IDColumn names the column used as individual identifier. If
+	// empty, ids are synthesized as w1, w2, ...
+	IDColumn string
+	// Protected lists the column names to mark as protected. Columns
+	// neither protected nor listed in Meta are Observed.
+	Protected []string
+	// Meta lists bookkeeping columns.
+	Meta []string
+	// Numeric forces the named columns to be numeric. Columns not
+	// listed are inferred: numeric if every non-empty value parses as
+	// a float, categorical otherwise.
+	Numeric []string
+	// Categorical forces the named columns to be categorical even if
+	// all values parse as numbers (e.g. zip codes).
+	Categorical []string
+}
+
+// ReadCSV parses a header-first CSV stream into a Dataset.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV rows: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+
+	idCol := -1
+	if opts.IDColumn != "" {
+		for i, h := range header {
+			if h == opts.IDColumn {
+				idCol = i
+				break
+			}
+		}
+		if idCol == -1 {
+			return nil, fmt.Errorf("dataset: id column %q not in header %v", opts.IDColumn, header)
+		}
+	}
+
+	inSet := func(name string, set []string) bool {
+		for _, s := range set {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Column kinds: forced or inferred.
+	kinds := make([]Kind, len(header))
+	for col, name := range header {
+		if col == idCol {
+			continue
+		}
+		switch {
+		case inSet(name, opts.Categorical):
+			kinds[col] = Categorical
+		case inSet(name, opts.Numeric):
+			kinds[col] = Numeric
+		default:
+			kinds[col] = Numeric
+			for _, rec := range records {
+				if col >= len(rec) {
+					continue
+				}
+				v := strings.TrimSpace(rec[col])
+				if v == "" {
+					continue
+				}
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					kinds[col] = Categorical
+					break
+				}
+			}
+		}
+	}
+
+	var attrs []Attribute
+	var colIdx []int
+	for col, name := range header {
+		if col == idCol {
+			continue
+		}
+		role := Observed
+		if inSet(name, opts.Protected) {
+			role = Protected
+		} else if inSet(name, opts.Meta) {
+			role = Meta
+		}
+		attrs = append(attrs, Attribute{Name: name, Kind: kinds[col], Role: role})
+		colIdx = append(colIdx, col)
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder(schema)
+	for i, rec := range records {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV row %d has %d fields, header has %d", i+2, len(rec), len(header))
+		}
+		id := "w" + strconv.Itoa(i+1)
+		if idCol >= 0 {
+			id = rec[idCol]
+		}
+		fields := make([]string, len(colIdx))
+		for j, col := range colIdx {
+			fields[j] = strings.TrimSpace(rec[col])
+		}
+		b.Append(id, fields)
+	}
+	return b.Build()
+}
+
+// WriteCSV writes the dataset with an "id" column first, then all
+// attributes in schema order.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, d.schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < d.Len(); r++ {
+		rec[0] = d.ids[r]
+		for i, c := range d.cols {
+			rec[i+1] = c.format(r)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonDataset is the JSON wire form of a dataset.
+type jsonDataset struct {
+	Attributes []jsonAttr `json:"attributes"`
+	IDs        []string   `json:"ids"`
+	// Rows holds string-rendered values aligned to Attributes.
+	Rows [][]string `json:"rows"`
+}
+
+type jsonAttr struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Role string `json:"role"`
+}
+
+// MarshalJSON encodes the dataset in a schema-preserving JSON form.
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	out := jsonDataset{IDs: d.ids}
+	for i := 0; i < d.schema.Len(); i++ {
+		a := d.schema.At(i)
+		out.Attributes = append(out.Attributes, jsonAttr{Name: a.Name, Kind: a.Kind.String(), Role: a.Role.String()})
+	}
+	for r := 0; r < d.Len(); r++ {
+		row := make([]string, len(d.cols))
+		for i, c := range d.cols {
+			row[i] = c.format(r)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return json.Marshal(out)
+}
+
+// ReadJSON decodes a dataset previously encoded by MarshalJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	attrs := make([]Attribute, len(in.Attributes))
+	for i, ja := range in.Attributes {
+		var k Kind
+		switch ja.Kind {
+		case "categorical":
+			k = Categorical
+		case "numeric":
+			k = Numeric
+		default:
+			return nil, fmt.Errorf("dataset: unknown kind %q", ja.Kind)
+		}
+		var role Role
+		switch ja.Role {
+		case "protected":
+			role = Protected
+		case "observed":
+			role = Observed
+		case "meta":
+			role = Meta
+		default:
+			return nil, fmt.Errorf("dataset: unknown role %q", ja.Role)
+		}
+		attrs[i] = Attribute{Name: ja.Name, Kind: k, Role: role}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.IDs) != len(in.Rows) {
+		return nil, fmt.Errorf("dataset: %d ids but %d rows", len(in.IDs), len(in.Rows))
+	}
+	b := NewBuilder(schema)
+	for i, row := range in.Rows {
+		b.Append(in.IDs[i], row)
+	}
+	return b.Build()
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `id,gender,city,skill,zip
+w1,F,Paris,0.9,75001
+w2,M,Lyon,0.5,69001
+w3,F,Paris,,75002
+`
+
+func TestReadCSV(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		IDColumn:    "id",
+		Protected:   []string{"gender", "city"},
+		Categorical: []string{"zip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.ID(0) != "w1" {
+		t.Errorf("ID = %q", d.ID(0))
+	}
+	a, err := d.Schema().Attr("gender")
+	if err != nil || a.Role != Protected || a.Kind != Categorical {
+		t.Errorf("gender attr = %+v, %v", a, err)
+	}
+	a, _ = d.Schema().Attr("skill")
+	if a.Kind != Numeric || a.Role != Observed {
+		t.Errorf("skill attr = %+v", a)
+	}
+	// zip forced categorical despite being numeric-looking.
+	a, _ = d.Schema().Attr("zip")
+	if a.Kind != Categorical {
+		t.Errorf("zip should be categorical, got %+v", a)
+	}
+	// Missing numeric preserved.
+	if d.MissingCount()["skill"] != 1 {
+		t.Error("missing skill value lost")
+	}
+}
+
+func TestReadCSVSynthesizedIDs(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("a,b\nx,1\ny,2\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID(0) != "w1" || d.ID(1) != "w2" {
+		t.Errorf("synthesized ids = %v", d.IDs())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{}); err == nil {
+		t.Error("header-only input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), CSVOptions{IDColumn: "zz"}); err == nil {
+		t.Error("missing id column should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		IDColumn:  "id",
+		Protected: []string{"gender", "city"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCSV(&buf, CSVOptions{IDColumn: "id", Protected: []string{"gender", "city"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", d2.Len(), d.Len())
+	}
+	for r := 0; r < d.Len(); r++ {
+		for _, attr := range d.Schema().Names() {
+			v1, _ := d.Value(attr, r)
+			v2, _ := d2.Value(attr, r)
+			if v1 != v2 {
+				t.Errorf("round trip row %d attr %s: %q vs %q", r, attr, v1, v2)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := Table1()
+	data, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("length: %d vs %d", d2.Len(), d.Len())
+	}
+	// Roles and kinds preserved.
+	for i := 0; i < d.Schema().Len(); i++ {
+		a1, a2 := d.Schema().At(i), d2.Schema().At(i)
+		if a1 != a2 {
+			t.Errorf("attr %d: %+v vs %+v", i, a1, a2)
+		}
+	}
+	for r := 0; r < d.Len(); r++ {
+		if d.ID(r) != d2.ID(r) {
+			t.Errorf("id %d: %q vs %q", r, d.ID(r), d2.ID(r))
+		}
+		for _, attr := range d.Schema().Names() {
+			v1, _ := d.Value(attr, r)
+			v2, _ := d2.Value(attr, r)
+			if v1 != v2 {
+				t.Errorf("row %d attr %s: %q vs %q", r, attr, v1, v2)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"attributes":[{"name":"x","kind":"weird","role":"meta"}],"ids":[],"rows":[]}`)); err == nil {
+		t.Error("bad kind should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"attributes":[{"name":"x","kind":"numeric","role":"weird"}],"ids":[],"rows":[]}`)); err == nil {
+		t.Error("bad role should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"attributes":[{"name":"x","kind":"numeric","role":"meta"}],"ids":["a"],"rows":[]}`)); err == nil {
+		t.Error("id/row mismatch should error")
+	}
+}
+
+func TestTable1Integrity(t *testing.T) {
+	d := Table1()
+	if d.Len() != 10 {
+		t.Fatalf("Table1 has %d rows", d.Len())
+	}
+	prot := d.Schema().Protected()
+	if len(prot) != 5 {
+		t.Errorf("Table1 protected = %v", prot)
+	}
+	obs := d.Schema().Observed()
+	if len(obs) != 3 {
+		t.Errorf("Table1 observed = %v", obs)
+	}
+	// Spot-check w7 (the top-scoring worker).
+	g, _ := d.Value(AttrGender, 6)
+	e, _ := d.Value(AttrEthnicity, 6)
+	if g != "Female" || e != "African-American" {
+		t.Errorf("w7 = %s/%s", g, e)
+	}
+	lt, _ := d.Num(AttrLanguageTest)
+	if lt[6] != 0.95 {
+		t.Errorf("w7 language_test = %g", lt[6])
+	}
+	if len(Table1Scores()) != 10 {
+		t.Error("Table1Scores length")
+	}
+	w := Table1Weights()
+	if w[AttrLanguageTest] != 0.3 || w[AttrRating] != 0.7 {
+		t.Errorf("Table1Weights = %v", w)
+	}
+}

@@ -1,0 +1,127 @@
+package emd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Rubner EMD is invariant to uniform scaling of both masses (it
+// normalizes by the transported flow).
+func TestEMDScaleInvarianceQuick(t *testing.T) {
+	g := stats.NewRNG(7001)
+	f := func(nn uint8) bool {
+		n := int(nn%8) + 2
+		p := randDist(g, n)
+		q := randDist(g, n)
+		ground := GroundDistance1D(n, 0.1)
+		base, err := EMD(p, q, ground)
+		if err != nil {
+			return false
+		}
+		alpha := 0.5 + 3*g.Float64()
+		ps := make([]float64, n)
+		qs := make([]float64, n)
+		for i := range p {
+			ps[i] = alpha * p[i]
+			qs[i] = alpha * q[i]
+		}
+		scaled, err := EMD(ps, qs, ground)
+		if err != nil {
+			return false
+		}
+		return math.Abs(base-scaled) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Thresholding the ground distance can only lower the optimal cost.
+func TestThresholdMonotoneQuick(t *testing.T) {
+	g := stats.NewRNG(7002)
+	f := func(nn, tt uint8) bool {
+		n := int(nn%8) + 2
+		p := randDist(g, n)
+		q := randDist(g, n)
+		ground := GroundDistance1D(n, 0.1)
+		full, err := EMD(p, q, ground)
+		if err != nil {
+			return false
+		}
+		threshold := 0.05 + float64(tt%10)*0.05
+		capped, err := EMD(p, q, Threshold(ground, threshold))
+		if err != nil {
+			return false
+		}
+		return capped <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hat with alpha=0 equals the pure transport work for equal masses,
+// and grows with alpha when masses differ.
+func TestHatAlphaMonotone(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0.25, 0.25, 0} // less total mass
+	ground := GroundDistance1D(3, 1)
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.5, 1, 2} {
+		v, err := Hat(p, q, ground, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Errorf("Hat decreased with alpha: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+// Transport on a 1-supplier problem ships everything from it.
+func TestTransportSingleSupplier(t *testing.T) {
+	cost, flows, err := Transport([]float64{3}, []float64{1, 2}, [][]float64{{2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-(1*2+2*5)) > 1e-9 {
+		t.Errorf("cost = %g, want 12", cost)
+	}
+	total := 0.0
+	for _, f := range flows {
+		total += f.Amount
+	}
+	if math.Abs(total-3) > 1e-9 {
+		t.Errorf("shipped %g, want 3", total)
+	}
+}
+
+// The optimal 1-D transport never moves more total mass-distance than
+// the naive plan that ships everything to one end and back.
+func TestHist1DUpperBoundQuick(t *testing.T) {
+	g := stats.NewRNG(7003)
+	f := func(nn uint8) bool {
+		n := int(nn%10) + 2
+		p := randDist(g, n)
+		q := randDist(g, n)
+		w := 1.0 / float64(n)
+		d, err := Hist1D(p, q, w)
+		if err != nil {
+			return false
+		}
+		// Naive bound: total variation distance times diameter.
+		tv := 0.0
+		for i := range p {
+			tv += math.Abs(p[i] - q[i])
+		}
+		tv /= 2
+		return d <= tv*float64(n-1)*w+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+)
+
+// ssp implements min-cost flow by successive shortest paths with
+// Bellman-Ford path search on the residual network. Problem sizes are
+// small (histogram bins, typically 5-256), so the simple algorithm is
+// both fast enough and easy to verify. Nodes are numbered:
+//
+//	0                source
+//	1 .. n           supply bins
+//	n+1 .. n+m       demand bins
+//	n+m+1            sink
+type ssp struct {
+	n, m  int
+	nodes int
+	// adjacency: for each node, indices into edges.
+	adj   [][]int
+	edges []edge
+}
+
+type edge struct {
+	to   int
+	cap  float64
+	cost float64
+	flow float64
+	rev  int // index of reverse edge in edges
+}
+
+// flowEps treats capacities below this as exhausted, guarding float
+// accumulation error.
+const flowEps = 1e-12
+
+func newSSP(supply, demand []float64, cost [][]float64) *ssp {
+	n, m := len(supply), len(demand)
+	s := &ssp{n: n, m: m, nodes: n + m + 2}
+	s.adj = make([][]int, s.nodes)
+	src, snk := 0, n+m+1
+	for i, sv := range supply {
+		s.addEdge(src, 1+i, sv, 0)
+	}
+	for i, row := range cost {
+		for j, c := range row {
+			s.addEdge(1+i, 1+n+j, math.Inf(1), c)
+		}
+	}
+	for j, dv := range demand {
+		s.addEdge(1+n+j, snk, dv, 0)
+	}
+	return s
+}
+
+func (s *ssp) addEdge(from, to int, cap, cost float64) {
+	s.adj[from] = append(s.adj[from], len(s.edges))
+	s.edges = append(s.edges, edge{to: to, cap: cap, cost: cost, rev: len(s.edges) + 1})
+	s.adj[to] = append(s.adj[to], len(s.edges))
+	s.edges = append(s.edges, edge{to: from, cap: 0, cost: -cost, rev: len(s.edges) - 1})
+}
+
+// run pushes flow along shortest residual paths until no augmenting
+// path remains, then extracts the plan.
+func (s *ssp) run() (float64, []Flow, error) {
+	src, snk := 0, s.nodes-1
+	totalCost := 0.0
+	dist := make([]float64, s.nodes)
+	prevEdge := make([]int, s.nodes)
+	inQueue := make([]bool, s.nodes)
+	for {
+		// Bellman-Ford (SPFA variant) from source.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		inQueue[src] = true
+		relaxations := 0
+		maxRelax := s.nodes * len(s.edges)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, ei := range s.adj[u] {
+				e := &s.edges[ei]
+				if e.cap-e.flow <= flowEps {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to]-1e-15 {
+					dist[e.to] = nd
+					prevEdge[e.to] = ei
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+					relaxations++
+					if relaxations > maxRelax {
+						return 0, nil, fmt.Errorf("emd: negative cycle detected in transport network")
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[snk], 1) {
+			break // no more augmenting paths
+		}
+		// Bottleneck along the path.
+		bottleneck := math.Inf(1)
+		for v := snk; v != src; {
+			e := &s.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < bottleneck {
+				bottleneck = r
+			}
+			v = s.edges[e.rev].to
+		}
+		if bottleneck <= flowEps {
+			break
+		}
+		for v := snk; v != src; {
+			e := &s.edges[prevEdge[v]]
+			e.flow += bottleneck
+			s.edges[e.rev].flow -= bottleneck
+			totalCost += bottleneck * e.cost
+			v = s.edges[e.rev].to
+		}
+	}
+	return totalCost, s.plan(), nil
+}
+
+// plan extracts the positive supply→demand flows.
+func (s *ssp) plan() []Flow {
+	var out []Flow
+	for i := 0; i < s.n; i++ {
+		for _, ei := range s.adj[1+i] {
+			e := s.edges[ei]
+			if e.to > s.n && e.to <= s.n+s.m && e.flow > flowEps {
+				out = append(out, Flow{From: i, To: e.to - s.n - 1, Amount: e.flow})
+			}
+		}
+	}
+	return out
+}

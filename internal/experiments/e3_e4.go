@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+	"repro/internal/partition"
+)
+
+// syntheticPopulation builds a population with nAttrs protected
+// attributes of nValues values each, one biased skill, and n workers.
+func syntheticPopulation(n, nAttrs, nValues int, seed uint64) (*dataset.Dataset, []float64, error) {
+	spec := marketplace.PopulationSpec{
+		N:      n,
+		Skills: []marketplace.SkillSpec{{Name: "skill", Mean: 0.55, StdDev: 0.18}},
+	}
+	for a := 0; a < nAttrs; a++ {
+		attr := marketplace.AttrSpec{Name: fmt.Sprintf("p%d", a+1)}
+		for v := 0; v < nValues; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v+1))
+		}
+		spec.Protected = append(spec.Protected, attr)
+	}
+	// Inject bias on the first value of every attribute, with
+	// decreasing strength, so deeper subgroup structure exists.
+	for a := 0; a < nAttrs; a++ {
+		spec.Biases = append(spec.Biases, marketplace.Bias{
+			Attr: fmt.Sprintf("p%d", a+1), Value: "v1", Skill: "skill",
+			Shift: -0.12 / float64(a+1),
+		})
+	}
+	d, err := marketplace.Generate(spec, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores, err := d.Num("skill")
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, scores, nil
+}
+
+// E3GreedyVsExhaustive sweeps the search-space size and reports the
+// greedy heuristic's solution quality (fraction of the exhaustive
+// optimum) and speedup — the justification for Algorithm 1 in §3.2
+// ("our optimization problem ... is hard since there are many possible
+// partitionings ... exponential").
+func E3GreedyVsExhaustive(opts Options) ([]Table, error) {
+	n := opts.scale(2000, 300)
+	type cfg struct{ attrs, values int }
+	sweep := []cfg{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}}
+	if opts.Quick {
+		sweep = []cfg{{2, 2}, {3, 2}}
+	}
+	var rows [][]string
+	for _, c := range sweep {
+		d, scores, err := syntheticPopulation(n, c.attrs, c.values, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		space, err := partition.CountPartitionings(d, partition.Root(d), d.Schema().Protected(), 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := core.Quantify(d, scores, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		restarts, err := core.Quantify(d, scores, core.Config{TryAllRoots: true})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := core.Exhaustive(d, scores, core.Config{EnumerationLimit: 1 << 22})
+		if err != nil {
+			return nil, err
+		}
+		ratio, ratioR := 1.0, 1.0
+		if exact.Unfairness > 0 {
+			ratio = greedy.Unfairness / exact.Unfairness
+			ratioR = restarts.Unfairness / exact.Unfairness
+		}
+		speedup := float64(exact.Stats.Elapsed) / float64(greedy.Stats.Elapsed)
+		rows = append(rows, []string{
+			itoa(c.attrs), itoa(c.values), itoa(space),
+			f4(greedy.Unfairness), f4(restarts.Unfairness), f4(exact.Unfairness),
+			f4(ratio), f4(ratioR),
+			greedy.Stats.Elapsed.Round(10 * time.Microsecond).String(),
+			exact.Stats.Elapsed.Round(10 * time.Microsecond).String(),
+			f2(speedup) + "x",
+		})
+	}
+	return []Table{{
+		ID:      "E3",
+		Title:   fmt.Sprintf("greedy (Algorithm 1) vs exhaustive optimum, n=%d workers", n),
+		Headers: []string{"attrs", "values", "space", "U greedy", "U +restarts", "U optimal", "quality", "quality+r", "t greedy", "t exhaustive", "speedup"},
+		Rows:    rows,
+		Notes: []string{
+			"space = number of tree-structured full disjoint partitionings",
+			"quality = greedy / optimal unfairness (1.0 = found the optimum); +restarts = greedy restarted from every root attribute",
+		},
+	}}, nil
+}
+
+// E4Interactive measures QUANTIFY's wall-clock time against population
+// size, supporting the paper's claim that the heuristic enables
+// "interactive response time" (§1).
+func E4Interactive(opts Options) ([]Table, error) {
+	sizes := []int{1000, 10000, 100000}
+	if opts.Quick {
+		sizes = []int{1000, 5000}
+	}
+	var rows [][]string
+	for _, n := range sizes {
+		d, scores, err := syntheticPopulation(n, 6, 3, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Quantify(d, scores, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		space, err := partition.CountPartitionings(d, partition.Root(d), d.Schema().Protected(), 1, 1<<30)
+		if err != nil {
+			return nil, err
+		}
+		spaceLabel := itoa(space)
+		if space >= 1<<30 {
+			spaceLabel = ">=2^30"
+		}
+		rows = append(rows, []string{
+			itoa(n), "6×3", spaceLabel,
+			itoa(len(res.Groups)),
+			itoa(res.Stats.DistanceEvals),
+			res.Stats.Elapsed.Round(100 * time.Microsecond).String(),
+		})
+	}
+	return []Table{{
+		ID:      "E4",
+		Title:   "interactive response time of Algorithm 1 (6 protected attributes × 3 values)",
+		Headers: []string{"workers", "attrs", "space", "partitions", "distance evals", "elapsed"},
+		Rows:    rows,
+		Notes:   []string{"sub-second latency at 100k workers is what makes the exploration loop of Figure 3 interactive"},
+	}}, nil
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table, figure and demonstrated
+// claim of the paper (the reproduction index of DESIGN.md §5). Each
+// experiment is a named runner producing renderable tables; the CLI's
+// "experiment" subcommand prints them and the repository-root
+// benchmarks wrap their hot paths.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Options tune experiment scale so the same code serves tests (Quick),
+// the CLI (default) and benchmarks.
+type Options struct {
+	// Seed drives all randomness; the default 0 is replaced by 1.
+	Seed uint64
+	// Quick shrinks populations and sweeps for fast test runs.
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// scale returns full when not Quick, otherwise quick.
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one rendered experiment output.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render renders the table with title and notes for the terminal.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	b.WriteString(report.TextTable(t.Headers, t.Rows))
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Options) ([]Table, error)
+
+// registry maps experiment ids to runners and descriptions.
+var registry = map[string]struct {
+	runner Runner
+	desc   string
+}{
+	"E1":  {E1Table1, "Table 1: example dataset and exact scoring function reproduction"},
+	"E2":  {E2Figure2, "Figure 2: example partitioning, histograms, and solver comparison"},
+	"E3":  {E3GreedyVsExhaustive, "greedy heuristic vs exhaustive optimum (quality and cost)"},
+	"E4":  {E4Interactive, "interactive response time of QUANTIFY vs population size"},
+	"E5":  {E5Anonymization, "fairness quantification under k-anonymization (data transparency)"},
+	"E6":  {E6RankOnly, "score-based vs rank-only quantification (function transparency)"},
+	"E7":  {E7Auditor, "AUDITOR scenario: marketplace-wide fairness report"},
+	"E8":  {E8JobOwner, "JOB OWNER scenario: scoring-function variants compared"},
+	"E9":  {E9EndUser, "END-USER scenario: one group across two marketplaces"},
+	"E10": {E10Aggregations, "fairness formulations ablation (aggregations × objectives)"},
+	"E11": {E11EMDSolvers, "EMD solver agreement and throughput"},
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E2 < E10 numerically.
+		a, b := ids[i], ids[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.desc, nil
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) ([]Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.runner(opts)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options) ([]Table, error) {
+	var out []Table
+	for _, id := range IDs() {
+		tables, err := Run(id, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// f4 formats a float with 4 decimals.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// f2 formats a float with 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// itoa formats an int.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

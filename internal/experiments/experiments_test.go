@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 1, Quick: true}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs order = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, id := range IDs() {
+		desc, err := Describe(id)
+		if err != nil || desc == "" {
+			t.Errorf("Describe(%s) = %q, %v", id, desc, err)
+		}
+	}
+	if _, err := Describe("E99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", quick); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestE1ExactMatch(t *testing.T) {
+	tables, err := Run("E1", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 10 {
+		t.Fatalf("E1 shape: %d tables", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "✓" {
+			t.Errorf("row %v does not match the paper", row)
+		}
+	}
+	if !strings.Contains(tables[0].Notes[0], "EXACT MATCH") {
+		t.Errorf("E1 verdict: %v", tables[0].Notes)
+	}
+}
+
+func TestE2Figure2(t *testing.T) {
+	tables, err := Run("E2", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E2 tables: %d", len(tables))
+	}
+	fig := tables[0]
+	if len(fig.Rows) != 4 {
+		t.Errorf("figure 2 partitions: %d", len(fig.Rows))
+	}
+	if !strings.Contains(fig.Notes[0], "0.2500") {
+		t.Errorf("figure 2 unfairness note: %v", fig.Notes)
+	}
+	// Partition labels must match the figure.
+	labels := []string{
+		"gender=Female",
+		"gender=Male ∧ language=English",
+		"gender=Male ∧ language=Indian",
+		"gender=Male ∧ language=Other",
+	}
+	for i, want := range labels {
+		if fig.Rows[i][0] != want {
+			t.Errorf("partition %d = %q, want %q", i, fig.Rows[i][0], want)
+		}
+	}
+}
+
+func TestE3QualityNeverExceedsOne(t *testing.T) {
+	tables, err := Run("E3", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		quality, qualityR := row[6], row[7]
+		if quality > "1.0001" || qualityR > "1.0001" {
+			t.Errorf("quality ratio above 1: %v", row)
+		}
+		if qualityR < quality {
+			t.Errorf("restarts quality below plain greedy: %v", row)
+		}
+	}
+}
+
+func TestE4Rows(t *testing.T) {
+	tables, err := Run("E4", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("E4 quick rows: %d", len(tables[0].Rows))
+	}
+}
+
+func TestE5AnonymizationMasksUnfairness(t *testing.T) {
+	tables, err := Run("E5", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 { // 2 k values x 2 algorithms in quick mode
+		t.Fatalf("E5 rows: %d", len(rows))
+	}
+	// Every row parses: unfairness in [0,1].
+	for _, row := range rows {
+		if row[4] < "0" || row[4] > "1" {
+			t.Errorf("unfairness cell: %v", row)
+		}
+	}
+}
+
+func TestE6Runs(t *testing.T) {
+	tables, err := Run("E6", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 4 { // 4 jobs in the crowdsourcing preset
+		t.Errorf("E6 rows: %d", len(tables[0].Rows))
+	}
+}
+
+func TestE7TwoTransparencySettings(t *testing.T) {
+	tables, err := Run("E7", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E7 tables: %d", len(tables))
+	}
+	if !strings.Contains(tables[1].Title, "rank-only") {
+		t.Errorf("second E7 table: %q", tables[1].Title)
+	}
+}
+
+func TestE8FindsFairest(t *testing.T) {
+	tables, err := Run("E8", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("E8 variants: %d", len(tables[0].Rows))
+	}
+	if !strings.Contains(tables[0].Notes[0], "fairest variant") {
+		t.Errorf("E8 notes: %v", tables[0].Notes)
+	}
+}
+
+func TestE9TwoMarketplaces(t *testing.T) {
+	tables, err := Run("E9", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("E9 rows: %d", len(tables[0].Rows))
+	}
+}
+
+func TestE10CoversObjectives(t *testing.T) {
+	tables, err := Run("E10", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 4 { // 2 aggs x 2 objectives in quick mode
+		t.Errorf("E10 rows: %d", len(tables[0].Rows))
+	}
+}
+
+func TestE11SolversAgree(t *testing.T) {
+	tables, err := Run("E11", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		// max |closed - transport| rendered in scientific notation;
+		// anything at or below 1e-6 passes.
+		if !strings.Contains(row[2], "e-") && row[2] != "0.00e+00" {
+			t.Errorf("solver disagreement: %v", row)
+		}
+		if row[3] != "✓" {
+			t.Errorf("thresholded EMD exceeded full EMD: %v", row)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID: "EX", Title: "demo",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== EX — demo ==", "a  b", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	tables, err := RunAll(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < len(IDs()) {
+		t.Errorf("RunAll produced %d tables for %d experiments", len(tables), len(IDs()))
+	}
+	for _, tbl := range tables {
+		if tbl.Render() == "" {
+			t.Errorf("table %s renders empty", tbl.ID)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package fairness quantifies the unfairness of a scoring function for
+// a partitioning of individuals, per Definition 2 of the paper:
+//
+//	unfairness(P, f) = agg over pairs (pᵢ,pⱼ) of D(h(pᵢ,f), h(pⱼ,f))
+//
+// where h builds a per-partition score histogram, D is a distance
+// between histograms (EMD by default), and agg aggregates the pairwise
+// distances (average by default; the paper names max, min and variance
+// as variants and FaiRank is "generic and provides the ability to
+// quantify different notions of fairness").
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/emd"
+	"repro/internal/histogram"
+	"repro/internal/stats"
+)
+
+// Distance measures how far apart two normalized score histograms
+// are. Implementations must be symmetric and return 0 for identical
+// inputs.
+type Distance interface {
+	// Name identifies the distance in configs and reports.
+	Name() string
+	// Between returns the distance between two compatible unit-mass
+	// histograms.
+	Between(a, b histogram.Hist) (float64, error)
+}
+
+// EMD1D is the exact 1-D Earth Mover's Distance (the paper's default,
+// computed in closed form).
+type EMD1D struct{}
+
+// Name implements Distance.
+func (EMD1D) Name() string { return "emd" }
+
+// Between implements Distance.
+func (EMD1D) Between(a, b histogram.Hist) (float64, error) {
+	if err := histogram.Compatible(a, b); err != nil {
+		return 0, err
+	}
+	return emd.Hist1D(a.Counts, b.Counts, a.BinWidth())
+}
+
+// EMDThresholded is the ÊMD of Pele & Werman [8] with ground distance
+// min(|i-j|·w, Threshold). Alpha weights the mass-mismatch penalty;
+// for normalized histograms masses match and Alpha is inert.
+type EMDThresholded struct {
+	Threshold float64
+	Alpha     float64
+}
+
+// Name implements Distance.
+func (d EMDThresholded) Name() string { return fmt.Sprintf("emd-hat(t=%g)", d.Threshold) }
+
+// Between implements Distance.
+func (d EMDThresholded) Between(a, b histogram.Hist) (float64, error) {
+	if err := histogram.Compatible(a, b); err != nil {
+		return 0, err
+	}
+	if d.Threshold <= 0 {
+		return 0, fmt.Errorf("fairness: EMDThresholded needs positive threshold, got %g", d.Threshold)
+	}
+	ground := emd.Threshold(emd.GroundDistance1D(a.Bins(), a.BinWidth()), d.Threshold)
+	return emd.Hat(a.Counts, b.Counts, ground, d.Alpha)
+}
+
+// KS is the Kolmogorov–Smirnov distance between the histogram CDFs: a
+// cheaper alternative distance exposing the same interface.
+type KS struct{}
+
+// Name implements Distance.
+func (KS) Name() string { return "ks" }
+
+// Between implements Distance.
+func (KS) Between(a, b histogram.Hist) (float64, error) {
+	if err := histogram.Compatible(a, b); err != nil {
+		return 0, err
+	}
+	ca, cb := a.CDF(), b.CDF()
+	d := 0.0
+	for i := range ca {
+		if diff := math.Abs(ca[i] - cb[i]); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// TotalVariation is half the L1 distance between the histograms.
+type TotalVariation struct{}
+
+// Name implements Distance.
+func (TotalVariation) Name() string { return "tv" }
+
+// Between implements Distance.
+func (TotalVariation) Between(a, b histogram.Hist) (float64, error) {
+	if err := histogram.Compatible(a, b); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range a.Counts {
+		s += math.Abs(a.Counts[i] - b.Counts[i])
+	}
+	return s / 2, nil
+}
+
+// DistanceByName returns the named distance with default parameters:
+// "emd", "emd-hat", "ks", or "tv".
+func DistanceByName(name string) (Distance, error) {
+	switch name {
+	case "emd", "":
+		return EMD1D{}, nil
+	case "emd-hat":
+		return EMDThresholded{Threshold: 0.5, Alpha: 1}, nil
+	case "ks":
+		return KS{}, nil
+	case "tv":
+		return TotalVariation{}, nil
+	default:
+		return nil, fmt.Errorf("fairness: unknown distance %q", name)
+	}
+}
+
+// Aggregator folds pairwise distances into a single unfairness value.
+type Aggregator interface {
+	// Name identifies the aggregation in configs and reports.
+	Name() string
+	// Aggregate folds the pairwise distances; it returns 0 for an
+	// empty slice (a single-partition partitioning has no pairs and
+	// exhibits no group unfairness).
+	Aggregate(pairwise []float64) float64
+}
+
+// Average is the paper's Definition 2 aggregation.
+type Average struct{}
+
+// Name implements Aggregator.
+func (Average) Name() string { return "avg" }
+
+// Aggregate implements Aggregator.
+func (Average) Aggregate(p []float64) float64 { return stats.Mean(p) }
+
+// MaxAgg is the worst-case pairwise formulation ("the partitioning
+// with the highest maximum EMD between any pair", paper §3.1).
+type MaxAgg struct{}
+
+// Name implements Aggregator.
+func (MaxAgg) Name() string { return "max" }
+
+// Aggregate implements Aggregator.
+func (MaxAgg) Aggregate(p []float64) float64 { return stats.Max(p) }
+
+// MinAgg aggregates with the minimum pairwise distance.
+type MinAgg struct{}
+
+// Name implements Aggregator.
+func (MinAgg) Name() string { return "min" }
+
+// Aggregate implements Aggregator.
+func (MinAgg) Aggregate(p []float64) float64 { return stats.Min(p) }
+
+// VarianceAgg aggregates with the population variance of the pairwise
+// distances ("lowest variance", paper §1).
+type VarianceAgg struct{}
+
+// Name implements Aggregator.
+func (VarianceAgg) Name() string { return "variance" }
+
+// Aggregate implements Aggregator.
+func (VarianceAgg) Aggregate(p []float64) float64 { return stats.Variance(p) }
+
+// AggregatorByName returns the named aggregator: "avg", "max", "min"
+// or "variance".
+func AggregatorByName(name string) (Aggregator, error) {
+	switch name {
+	case "avg", "":
+		return Average{}, nil
+	case "max":
+		return MaxAgg{}, nil
+	case "min":
+		return MinAgg{}, nil
+	case "variance":
+		return VarianceAgg{}, nil
+	default:
+		return nil, fmt.Errorf("fairness: unknown aggregator %q", name)
+	}
+}
+
+// Measure is a complete fairness formulation: histogram construction
+// parameters, a histogram distance, and a pairwise aggregation.
+type Measure struct {
+	Dist Distance
+	Agg  Aggregator
+	// Bins is the histogram resolution (default 5, matching the
+	// granularity of the paper's Figure 2).
+	Bins int
+	// Lo, Hi bound the score range; both zero means [0,1], the
+	// codomain of Definition 1 scoring functions.
+	Lo, Hi float64
+}
+
+// DefaultMeasure is the paper's Definition 2: average pairwise EMD
+// over 5-bin histograms of [0,1] scores.
+func DefaultMeasure() Measure {
+	return Measure{Dist: EMD1D{}, Agg: Average{}, Bins: 5, Lo: 0, Hi: 1}
+}
+
+// normalized returns the measure with defaults filled in.
+func (m Measure) normalized() (Measure, error) {
+	if m.Dist == nil {
+		m.Dist = EMD1D{}
+	}
+	if m.Agg == nil {
+		m.Agg = Average{}
+	}
+	if m.Bins == 0 {
+		m.Bins = 5
+	}
+	if m.Bins < 1 {
+		return m, fmt.Errorf("fairness: invalid bin count %d", m.Bins)
+	}
+	if m.Lo == 0 && m.Hi == 0 {
+		m.Hi = 1
+	}
+	if m.Hi <= m.Lo {
+		return m, fmt.Errorf("fairness: invalid score range [%g,%g]", m.Lo, m.Hi)
+	}
+	return m, nil
+}
+
+// Name renders the measure for reports, e.g. "avg-emd(bins=5)".
+func (m Measure) Name() string {
+	mm, err := m.normalized()
+	if err != nil {
+		return "invalid-measure"
+	}
+	return fmt.Sprintf("%s-%s(bins=%d)", mm.Agg.Name(), mm.Dist.Name(), mm.Bins)
+}
+
+// Histogram builds the normalized score histogram h(p, f) of the rows
+// of one partition. scores holds the score of every individual in the
+// population, indexed by row.
+func (m Measure) Histogram(scores []float64, rows []int) (histogram.Hist, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return histogram.Hist{}, err
+	}
+	if len(rows) == 0 {
+		return histogram.Hist{}, fmt.Errorf("fairness: empty partition has no score distribution")
+	}
+	h, err := histogram.New(mm.Bins, mm.Lo, mm.Hi)
+	if err != nil {
+		return histogram.Hist{}, err
+	}
+	for _, r := range rows {
+		if r < 0 || r >= len(scores) {
+			return histogram.Hist{}, fmt.Errorf("fairness: row %d outside scores of length %d", r, len(scores))
+		}
+		if err := h.Add(scores[r]); err != nil {
+			return histogram.Hist{}, fmt.Errorf("fairness: row %d: %w", r, err)
+		}
+	}
+	return h.Normalize()
+}
+
+// PairwiseDistance computes D between two partitions' histograms.
+func (m Measure) PairwiseDistance(a, b histogram.Hist) (float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, err
+	}
+	return mm.Dist.Between(a, b)
+}
+
+// Pairwise returns the distances between all unordered pairs of
+// histograms, in (i,j) i<j order.
+func (m Measure) Pairwise(hists []histogram.Hist) ([]float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for i := 0; i < len(hists); i++ {
+		for j := i + 1; j < len(hists); j++ {
+			d, err := mm.Dist.Between(hists[i], hists[j])
+			if err != nil {
+				return nil, fmt.Errorf("fairness: distance between partitions %d and %d: %w", i, j, err)
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Unfairness computes Definition 2 for a partitioning given as row
+// sets. A single partition yields 0.
+func (m Measure) Unfairness(scores []float64, parts [][]int) (float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, err
+	}
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("fairness: no partitions")
+	}
+	hists := make([]histogram.Hist, len(parts))
+	for i, rows := range parts {
+		h, err := mm.Histogram(scores, rows)
+		if err != nil {
+			return 0, fmt.Errorf("fairness: partition %d: %w", i, err)
+		}
+		hists[i] = h
+	}
+	pw, err := mm.Pairwise(hists)
+	if err != nil {
+		return 0, err
+	}
+	return mm.Agg.Aggregate(pw), nil
+}
+
+// PairBreakdown is one pairwise distance with its partition indices,
+// for the per-pair tables in FaiRank's reports.
+type PairBreakdown struct {
+	I, J     int
+	Distance float64
+}
+
+// Breakdown returns all pairwise distances with indices, plus the
+// aggregate.
+func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return nil, 0, err
+	}
+	var pairs []PairBreakdown
+	var dists []float64
+	for i := 0; i < len(hists); i++ {
+		for j := i + 1; j < len(hists); j++ {
+			d, err := mm.Dist.Between(hists[i], hists[j])
+			if err != nil {
+				return nil, 0, err
+			}
+			pairs = append(pairs, PairBreakdown{I: i, J: j, Distance: d})
+			dists = append(dists, d)
+		}
+	}
+	return pairs, mm.Agg.Aggregate(dists), nil
+}

@@ -1,0 +1,138 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// This file implements two ranking-native fairness notions beyond the
+// paper's histogram-EMD measure, supporting its claim of being
+// "generic and [providing] the ability to quantify different notions
+// of fairness" (§1):
+//
+//   - top-k selection-rate parity, the demographic-parity notion of
+//     Calders & Verwer [2] / Zliobaite [11] adapted to rankings: a
+//     group's share of the top k positions versus its population share;
+//   - exposure, following Singh & Joachims [9]: position bias
+//     1/log2(1+rank) accumulated per group.
+//
+// Both operate on a partitioning (row sets) plus the scores that rank
+// the population, so they can be computed for any partitioning FaiRank
+// discovers.
+
+// GroupRankStats bundles ranking-native fairness statistics for one
+// partition.
+type GroupRankStats struct {
+	// Size is the group's population.
+	Size int
+	// PopulationShare is Size / n.
+	PopulationShare float64
+	// TopKCount is how many members rank in the global top k.
+	TopKCount int
+	// TopKShare is TopKCount / k.
+	TopKShare float64
+	// SelectionRate is TopKCount / Size: the group's chance of being
+	// selected when the top k are hired.
+	SelectionRate float64
+	// Exposure is the group's mean position bias 1/log2(1+rank).
+	Exposure float64
+}
+
+// rankOrder returns row indices sorted best-first with deterministic
+// tie-breaking by row index.
+func rankOrder(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}
+
+// RankStats computes per-partition ranking statistics for the given
+// partitioning under scores. k must be in [1, n].
+func RankStats(scores []float64, parts [][]int, k int) ([]GroupRankStats, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("fairness: no scores")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("fairness: k=%d outside [1,%d]", k, n)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fairness: no partitions")
+	}
+	order := rankOrder(scores)
+	rankOf := make([]int, n) // 1-based rank per row
+	for pos, row := range order {
+		rankOf[row] = pos + 1
+	}
+	out := make([]GroupRankStats, len(parts))
+	for i, rows := range parts {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("fairness: partition %d is empty", i)
+		}
+		gs := GroupRankStats{Size: len(rows), PopulationShare: float64(len(rows)) / float64(n)}
+		expo := 0.0
+		for _, r := range rows {
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("fairness: row %d outside population of %d", r, n)
+			}
+			if rankOf[r] <= k {
+				gs.TopKCount++
+			}
+			expo += 1 / math.Log2(1+float64(rankOf[r]))
+		}
+		gs.TopKShare = float64(gs.TopKCount) / float64(k)
+		gs.SelectionRate = float64(gs.TopKCount) / float64(gs.Size)
+		gs.Exposure = expo / float64(gs.Size)
+		out[i] = gs
+	}
+	return out, nil
+}
+
+// TopKParityGap returns the maximum absolute difference between any
+// two partitions' top-k selection rates: 0 means demographic parity at
+// the top-k cutoff, 1 means one group is always selected and another
+// never.
+func TopKParityGap(scores []float64, parts [][]int, k int) (float64, error) {
+	gs, err := RankStats(scores, parts, k)
+	if err != nil {
+		return 0, err
+	}
+	rates := make([]float64, len(gs))
+	for i, g := range gs {
+		rates[i] = g.SelectionRate
+	}
+	return stats.Max(rates) - stats.Min(rates), nil
+}
+
+// ExposureRatio returns the minimum over pairs of the ratio between
+// the smaller and larger group exposure — 1 means perfectly equal
+// exposure, 0 means a group gets no exposure relative to another
+// (disparate exposure per Singh & Joachims).
+func ExposureRatio(scores []float64, parts [][]int) (float64, error) {
+	// Exposure is well defined without a cutoff; reuse RankStats with
+	// k = n.
+	gs, err := RankStats(scores, parts, len(scores))
+	if err != nil {
+		return 0, err
+	}
+	worst := 1.0
+	for i := 0; i < len(gs); i++ {
+		for j := i + 1; j < len(gs); j++ {
+			a, b := gs[i].Exposure, gs[j].Exposure
+			hi := math.Max(a, b)
+			if hi == 0 {
+				continue
+			}
+			if ratio := math.Min(a, b) / hi; ratio < worst {
+				worst = ratio
+			}
+		}
+	}
+	return worst, nil
+}

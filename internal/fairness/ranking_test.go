@@ -1,0 +1,164 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestRankStatsBasic(t *testing.T) {
+	// 4 individuals; group A = rows {0,1} holds the top two scores.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	parts := [][]int{{0, 1}, {2, 3}}
+	gs, err := RankStats(scores, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].TopKCount != 2 || gs[1].TopKCount != 0 {
+		t.Errorf("top-k counts: %+v", gs)
+	}
+	if gs[0].SelectionRate != 1 || gs[1].SelectionRate != 0 {
+		t.Errorf("selection rates: %+v", gs)
+	}
+	if gs[0].PopulationShare != 0.5 {
+		t.Errorf("population share: %+v", gs[0])
+	}
+	// Exposure of group A: (1/log2(2) + 1/log2(3))/2.
+	wantA := (1/math.Log2(2) + 1/math.Log2(3)) / 2
+	if math.Abs(gs[0].Exposure-wantA) > 1e-12 {
+		t.Errorf("exposure A = %g, want %g", gs[0].Exposure, wantA)
+	}
+	if gs[0].Exposure <= gs[1].Exposure {
+		t.Error("top group should have higher exposure")
+	}
+}
+
+func TestRankStatsErrors(t *testing.T) {
+	if _, err := RankStats(nil, [][]int{{0}}, 1); err == nil {
+		t.Error("no scores should error")
+	}
+	if _, err := RankStats([]float64{1}, nil, 1); err == nil {
+		t.Error("no partitions should error")
+	}
+	if _, err := RankStats([]float64{1}, [][]int{{}}, 1); err == nil {
+		t.Error("empty partition should error")
+	}
+	if _, err := RankStats([]float64{1}, [][]int{{0}}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := RankStats([]float64{1}, [][]int{{0}}, 2); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := RankStats([]float64{1}, [][]int{{5}}, 1); err == nil {
+		t.Error("row out of range should error")
+	}
+}
+
+func TestTopKParityGapExtremes(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	// Fully separated groups: gap 1 at k=2.
+	gap, err := TopKParityGap(scores, [][]int{{0, 1}, {2, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 1 {
+		t.Errorf("separated gap = %g, want 1", gap)
+	}
+	// Interleaved groups: gap 0 at k=2.
+	gap, err = TopKParityGap(scores, [][]int{{0, 2}, {1, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap != 0 {
+		t.Errorf("interleaved gap = %g, want 0", gap)
+	}
+}
+
+func TestExposureRatio(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	r, err := ExposureRatio(scores, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 || r >= 1 {
+		t.Errorf("separated exposure ratio = %g, want in (0,1)", r)
+	}
+	// A group compared with itself-like distribution: single
+	// partition → ratio stays 1 (no pairs).
+	r, err = ExposureRatio(scores, [][]int{{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("single-partition exposure ratio = %g", r)
+	}
+}
+
+func TestRankingTiesDeterministic(t *testing.T) {
+	// All scores equal: ranks assigned by row order, stats stable
+	// across calls.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	a, err := RankStats(scores, [][]int{{0, 1}, {2, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RankStats(scores, [][]int{{0, 1}, {2, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tied ranking stats not deterministic")
+		}
+	}
+}
+
+// Property: selection rates are in [0,1]; total top-k count is k;
+// parity gap in [0,1]; exposure ratio in [0,1].
+func TestRankingInvariantsQuick(t *testing.T) {
+	g := stats.NewRNG(321)
+	f := func(nn, kk uint8) bool {
+		n := int(nn%40) + 4
+		k := int(kk)%n + 1
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = g.Float64()
+		}
+		parts := [][]int{{}, {}, {}}
+		for i := 0; i < n; i++ {
+			p := g.IntN(3)
+			parts[p] = append(parts[p], i)
+		}
+		var nonEmpty [][]int
+		for _, p := range parts {
+			if len(p) > 0 {
+				nonEmpty = append(nonEmpty, p)
+			}
+		}
+		gs, err := RankStats(scores, nonEmpty, k)
+		if err != nil {
+			return false
+		}
+		totalTopK := 0
+		for _, s := range gs {
+			if s.SelectionRate < 0 || s.SelectionRate > 1 || s.Exposure < 0 || s.Exposure > 1 {
+				return false
+			}
+			totalTopK += s.TopKCount
+		}
+		if totalTopK != k {
+			return false
+		}
+		gap, err := TopKParityGap(scores, nonEmpty, k)
+		if err != nil || gap < 0 || gap > 1 {
+			return false
+		}
+		ratio, err := ExposureRatio(scores, nonEmpty)
+		return err == nil && ratio >= 0 && ratio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package histogram builds and manipulates the equal-width score
+// histograms at the heart of FaiRank's fairness quantification.
+//
+// Section 3.1 of the paper: "we generate a histogram for each partition
+// ... by creating equal bins over the range of f and counting the
+// number of individuals whose function scores fall in each bin". The
+// Earth Mover's Distance between two such histograms (see internal/emd)
+// measures how differently the scoring function treats the two groups.
+//
+// Histograms carry float64 masses so the same type represents raw
+// counts and normalized probability distributions.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Hist is an equal-width histogram over [Lo, Hi]. Counts[i] holds the
+// mass of bin i, which covers [Lo + i*w, Lo + (i+1)*w) for bin width
+// w = (Hi-Lo)/len(Counts); the final bin is closed on the right so
+// that Hi itself is counted.
+type Hist struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// New returns an empty histogram with the given number of bins over
+// [lo, hi]. It returns an error if bins < 1 or the range is empty or
+// non-finite.
+func New(bins int, lo, hi float64) (Hist, error) {
+	if bins < 1 {
+		return Hist{}, fmt.Errorf("histogram: need at least 1 bin, got %d", bins)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return Hist{}, fmt.Errorf("histogram: non-finite range [%g, %g]", lo, hi)
+	}
+	if hi <= lo {
+		return Hist{}, fmt.Errorf("histogram: empty range [%g, %g]", lo, hi)
+	}
+	return Hist{Lo: lo, Hi: hi, Counts: make([]float64, bins)}, nil
+}
+
+// FromValues builds a histogram of values with the given number of
+// bins over [lo, hi]. Values outside the range are clamped into the
+// boundary bins (scores are defined on [0,1], so out-of-range values
+// indicate slight numerical overshoot rather than a different
+// population). NaN values are rejected.
+func FromValues(values []float64, bins int, lo, hi float64) (Hist, error) {
+	h, err := New(bins, lo, hi)
+	if err != nil {
+		return Hist{}, err
+	}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			return Hist{}, fmt.Errorf("histogram: value %d is NaN", i)
+		}
+		h.Counts[h.binOf(v)]++
+	}
+	return h, nil
+}
+
+// binOf returns the bin index for v, clamping out-of-range values.
+func (h Hist) binOf(v float64) int {
+	n := len(h.Counts)
+	if v <= h.Lo {
+		return 0
+	}
+	if v >= h.Hi {
+		return n - 1
+	}
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if i >= n { // guard against floating point edge at Hi
+		i = n - 1
+	}
+	return i
+}
+
+// Add adds unit mass to the bin containing v. NaN is rejected.
+func (h Hist) Add(v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("histogram: cannot add NaN")
+	}
+	h.Counts[h.binOf(v)]++
+	return nil
+}
+
+// Bins returns the number of bins.
+func (h Hist) Bins() int { return len(h.Counts) }
+
+// BinWidth returns the width of each bin.
+func (h Hist) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h Hist) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// BinLabel returns a human-readable label for bin i such as
+// "[0.20,0.40)"; the last bin is closed.
+func (h Hist) BinLabel(i int) string {
+	w := h.BinWidth()
+	lo := h.Lo + float64(i)*w
+	hi := lo + w
+	close := ")"
+	if i == len(h.Counts)-1 {
+		close = "]"
+	}
+	return fmt.Sprintf("[%.2f,%.2f%s", lo, hi, close)
+}
+
+// Total returns the total mass of the histogram.
+func (h Hist) Total() float64 {
+	t := 0.0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Normalize returns a copy of h scaled to unit mass, so histograms of
+// differently sized partitions become comparable distributions. It
+// returns an error for an empty (zero-mass) histogram: a partition
+// with no members has no score distribution.
+func (h Hist) Normalize() (Hist, error) {
+	t := h.Total()
+	if t <= 0 {
+		return Hist{}, fmt.Errorf("histogram: cannot normalize zero-mass histogram")
+	}
+	out := Hist{Lo: h.Lo, Hi: h.Hi, Counts: make([]float64, len(h.Counts))}
+	for i, c := range h.Counts {
+		out.Counts[i] = c / t
+	}
+	return out, nil
+}
+
+// CDF returns the cumulative mass at the right edge of each bin.
+func (h Hist) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	acc := 0.0
+	for i, c := range h.Counts {
+		acc += c
+		out[i] = acc
+	}
+	return out
+}
+
+// Mean returns the mass-weighted mean of bin centers, the histogram
+// approximation of the underlying sample mean. Zero-mass histograms
+// yield 0.
+func (h Hist) Mean() float64 {
+	t := h.Total()
+	if t <= 0 {
+		return 0
+	}
+	s := 0.0
+	for i, c := range h.Counts {
+		s += c * h.BinCenter(i)
+	}
+	return s / t
+}
+
+// Clone returns a deep copy of h.
+func (h Hist) Clone() Hist {
+	return Hist{Lo: h.Lo, Hi: h.Hi, Counts: append([]float64(nil), h.Counts...)}
+}
+
+// Equal reports whether two histograms have the same range and masses
+// within tol.
+func (h Hist) Equal(other Hist, tol float64) bool {
+	if len(h.Counts) != len(other.Counts) || h.Lo != other.Lo || h.Hi != other.Hi {
+		return false
+	}
+	for i := range h.Counts {
+		if math.Abs(h.Counts[i]-other.Counts[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the histogram compactly, e.g. "[0,1]x5{2 0 1 0 3}".
+func (h Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%g,%g]x%d{", h.Lo, h.Hi, len(h.Counts))
+	for i, c := range h.Counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g", c)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Compatible returns an error unless a and b share range and bin count,
+// the precondition for bin-to-bin distance computations.
+func Compatible(a, b Hist) error {
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("histogram: bin count mismatch %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		return fmt.Errorf("histogram: range mismatch [%g,%g] vs [%g,%g]", a.Lo, a.Hi, b.Lo, b.Hi)
+	}
+	return nil
+}

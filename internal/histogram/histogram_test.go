@@ -1,0 +1,243 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, 1); err == nil {
+		t.Error("0 bins should error")
+	}
+	if _, err := New(5, 1, 1); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := New(5, 1, 0); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := New(5, math.NaN(), 1); err == nil {
+		t.Error("NaN bound should error")
+	}
+	if _, err := New(5, 0, math.Inf(1)); err == nil {
+		t.Error("infinite bound should error")
+	}
+	h, err := New(4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins() != 4 || h.Total() != 0 {
+		t.Errorf("fresh histogram wrong: %v", h)
+	}
+}
+
+func TestFromValuesBinning(t *testing.T) {
+	// 5 bins over [0,1]: widths of 0.2.
+	h, err := FromValues([]float64{0.0, 0.1, 0.2, 0.5, 0.99, 1.0}, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, 1, 0, 2}
+	for i := range want {
+		if h.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func TestFromValuesClampsOutOfRange(t *testing.T) {
+	h, err := FromValues([]float64{-0.5, 1.5}, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Errorf("clamping wrong: %v", h.Counts)
+	}
+}
+
+func TestFromValuesRejectsNaN(t *testing.T) {
+	if _, err := FromValues([]float64{0.5, math.NaN()}, 5, 0, 1); err == nil {
+		t.Error("NaN value should error")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	h, _ := New(2, 0, 1)
+	if err := h.Add(0.75); err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[1] != 1 {
+		t.Errorf("Add placed mass wrong: %v", h.Counts)
+	}
+	if err := h.Add(math.NaN()); err == nil {
+		t.Error("Add(NaN) should error")
+	}
+}
+
+func TestUpperBoundaryGoesToLastBin(t *testing.T) {
+	h, _ := FromValues([]float64{1.0}, 10, 0, 1)
+	if h.Counts[9] != 1 {
+		t.Errorf("value at Hi should land in last bin: %v", h.Counts)
+	}
+}
+
+func TestBinEdgesLeftClosed(t *testing.T) {
+	// 0.2 is the left edge of bin 1 for 5 bins over [0,1].
+	h, _ := FromValues([]float64{0.2}, 5, 0, 1)
+	if h.Counts[1] != 1 {
+		t.Errorf("left edge binning: %v", h.Counts)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	h, _ := FromValues([]float64{0.1, 0.1, 0.9}, 2, 0, 1)
+	n, err := h.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Total()-1) > 1e-12 {
+		t.Errorf("normalized total = %g", n.Total())
+	}
+	if math.Abs(n.Counts[0]-2.0/3) > 1e-12 {
+		t.Errorf("normalized counts: %v", n.Counts)
+	}
+	// Original untouched.
+	if h.Total() != 3 {
+		t.Error("Normalize mutated receiver")
+	}
+}
+
+func TestNormalizeEmptyErrors(t *testing.T) {
+	h, _ := New(3, 0, 1)
+	if _, err := h.Normalize(); err == nil {
+		t.Error("normalizing zero mass should error")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := Hist{Lo: 0, Hi: 1, Counts: []float64{1, 2, 3}}
+	cdf := h.CDF()
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Fatalf("CDF = %v, want %v", cdf, want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	// All mass in bin centered at 0.25 for 2 bins over [0,1].
+	h := Hist{Lo: 0, Hi: 1, Counts: []float64{4, 0}}
+	if m := h.Mean(); math.Abs(m-0.25) > 1e-12 {
+		t.Errorf("Mean = %g, want 0.25", m)
+	}
+	empty := Hist{Lo: 0, Hi: 1, Counts: []float64{0, 0}}
+	if empty.Mean() != 0 {
+		t.Error("empty Mean should be 0")
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	h, _ := New(2, 0, 1)
+	if got := h.BinLabel(0); got != "[0.00,0.50)" {
+		t.Errorf("BinLabel(0) = %q", got)
+	}
+	if got := h.BinLabel(1); got != "[0.50,1.00]" {
+		t.Errorf("BinLabel(1) = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h, _ := FromValues([]float64{0.5}, 2, 0, 1)
+	c := h.Clone()
+	c.Counts[0] = 99
+	if h.Counts[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, _ := FromValues([]float64{0.5}, 2, 0, 1)
+	b, _ := FromValues([]float64{0.5}, 2, 0, 1)
+	if !a.Equal(b, 0) {
+		t.Error("identical histograms not Equal")
+	}
+	c, _ := FromValues([]float64{0.1}, 2, 0, 1)
+	if a.Equal(c, 0) {
+		t.Error("different histograms Equal")
+	}
+	d, _ := FromValues([]float64{0.5}, 3, 0, 1)
+	if a.Equal(d, 0) {
+		t.Error("different bin counts Equal")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a, _ := New(3, 0, 1)
+	b, _ := New(3, 0, 1)
+	if err := Compatible(a, b); err != nil {
+		t.Error(err)
+	}
+	c, _ := New(4, 0, 1)
+	if err := Compatible(a, c); err == nil {
+		t.Error("bin mismatch should error")
+	}
+	d, _ := New(3, 0, 2)
+	if err := Compatible(a, d); err == nil {
+		t.Error("range mismatch should error")
+	}
+}
+
+func TestString(t *testing.T) {
+	h := Hist{Lo: 0, Hi: 1, Counts: []float64{2, 0, 1}}
+	if got := h.String(); got != "[0,1]x3{2 0 1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: total mass equals the number of inserted values, regardless
+// of the values themselves (mass conservation).
+func TestMassConservationQuick(t *testing.T) {
+	g := stats.NewRNG(77)
+	f := func(n uint8, bins uint8) bool {
+		m := int(n%200) + 1
+		nb := int(bins%20) + 1
+		vals := make([]float64, m)
+		for i := range vals {
+			vals[i] = g.Float64()*2 - 0.5 // deliberately includes out-of-range
+		}
+		h, err := FromValues(vals, nb, 0, 1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(h.Total()-float64(m)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every bin index produced by binOf is in range.
+func TestBinOfInRangeQuick(t *testing.T) {
+	g := stats.NewRNG(88)
+	f := func(bins uint8) bool {
+		nb := int(bins%32) + 1
+		h, err := New(nb, 0, 1)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			v := g.Float64()*4 - 2
+			idx := h.binOf(v)
+			if idx < 0 || idx >= nb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package marketplace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// CrawlOptions controls the degradation applied by Crawl to simulate
+// data scraped from a live marketplace rather than exported from its
+// database: observed values carry measurement noise and any field can
+// be missing (profiles hide attributes, pages fail to parse).
+type CrawlOptions struct {
+	// Noise is the standard deviation of Gaussian noise added to
+	// observed numeric attributes (clamped back to [0,1]).
+	Noise float64
+	// MissingRate is the probability that any single attribute value
+	// of a worker is absent from the crawl.
+	MissingRate float64
+	// SampleRate keeps each worker with this probability (0 or 1
+	// keeps everyone): a crawler rarely sees the full population.
+	SampleRate float64
+}
+
+// Crawl returns a degraded copy of d per opts. Use DropMissing (or
+// per-attribute imputation) before scoring the result, exactly as one
+// would with really crawled profiles.
+func Crawl(d *dataset.Dataset, opts CrawlOptions, seed uint64) (*dataset.Dataset, error) {
+	if opts.Noise < 0 || math.IsNaN(opts.Noise) {
+		return nil, fmt.Errorf("marketplace: negative noise %g", opts.Noise)
+	}
+	if opts.MissingRate < 0 || opts.MissingRate >= 1 {
+		return nil, fmt.Errorf("marketplace: missing rate %g outside [0,1)", opts.MissingRate)
+	}
+	if opts.SampleRate < 0 || opts.SampleRate > 1 {
+		return nil, fmt.Errorf("marketplace: sample rate %g outside [0,1]", opts.SampleRate)
+	}
+	g := stats.NewRNG(seed)
+
+	// Row sampling first.
+	rows := d.AllRows()
+	if opts.SampleRate > 0 && opts.SampleRate < 1 {
+		var kept []int
+		for _, r := range rows {
+			if g.Bernoulli(opts.SampleRate) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("marketplace: crawl sampled zero workers; raise SampleRate")
+		}
+		rows = kept
+	}
+	src, err := d.Select(rows)
+	if err != nil {
+		return nil, err
+	}
+
+	schema := src.Schema()
+	b := dataset.NewBuilder(schema)
+	for r := 0; r < src.Len(); r++ {
+		rec := make([]string, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.At(i)
+			if g.Bernoulli(opts.MissingRate) {
+				rec[i] = "" // missing in the crawl
+				continue
+			}
+			v, err := src.Value(a.Name, r)
+			if err != nil {
+				return nil, err
+			}
+			if a.Kind == dataset.Numeric && a.Role == dataset.Observed && opts.Noise > 0 && v != "" {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("marketplace: crawl reparse %q: %w", v, err)
+				}
+				f = math.Min(1, math.Max(0, f+g.Normal(0, opts.Noise)))
+				v = strconv.FormatFloat(f, 'g', -1, 64)
+			}
+			rec[i] = v
+		}
+		b.Append(src.ID(r), rec)
+	}
+	return b.Build()
+}

@@ -1,0 +1,365 @@
+package marketplace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func smallSpec() PopulationSpec {
+	return PopulationSpec{
+		N: 200,
+		Protected: []AttrSpec{
+			{Name: "gender", Values: []string{"F", "M"}},
+			{Name: "group", Values: []string{"a", "b", "c"}, Weights: []float64{1, 2, 1}},
+		},
+		Numeric: []NumAttrSpec{{Name: "yob", Lo: 1970, Hi: 2000}},
+		Skills: []SkillSpec{
+			{Name: "skill", Mean: 0.6, StdDev: 0.15},
+		},
+		Biases: []Bias{
+			{Attr: "gender", Value: "F", Skill: "skill", Shift: -0.2},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := smallSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*PopulationSpec){
+		func(s *PopulationSpec) { s.N = 0 },
+		func(s *PopulationSpec) { s.Protected = nil },
+		func(s *PopulationSpec) { s.Skills = nil },
+		func(s *PopulationSpec) { s.Protected[0].Name = "" },
+		func(s *PopulationSpec) { s.Protected[0].Values = nil },
+		func(s *PopulationSpec) { s.Protected[1].Name = "gender" },
+		func(s *PopulationSpec) { s.Protected[1].Weights = []float64{1} },
+		func(s *PopulationSpec) { s.Protected[1].Values = []string{"a", "a"} },
+		func(s *PopulationSpec) { s.Numeric[0].Hi = s.Numeric[0].Lo },
+		func(s *PopulationSpec) { s.Numeric[0].Name = "gender" },
+		func(s *PopulationSpec) { s.Skills[0].Name = "" },
+		func(s *PopulationSpec) { s.Skills[0].Name = "yob" },
+		func(s *PopulationSpec) { s.Skills[0].Mean = 1.5 },
+		func(s *PopulationSpec) { s.Skills[0].StdDev = 0 },
+		func(s *PopulationSpec) { s.Biases[0].Attr = "nope" },
+		func(s *PopulationSpec) { s.Biases[0].Value = "nope" },
+		func(s *PopulationSpec) { s.Biases[0].Skill = "nope" },
+		func(s *PopulationSpec) { s.Biases[0].Shift = 2 },
+	}
+	for i, corrupt := range cases {
+		s := smallSpec()
+		corrupt(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("generated %d workers", d.Len())
+	}
+	prot := d.Schema().Protected()
+	if len(prot) != 3 { // gender, group, yob
+		t.Errorf("protected attrs: %v", prot)
+	}
+	obs := d.Schema().Observed()
+	if len(obs) != 1 || obs[0] != "skill" {
+		t.Errorf("observed attrs: %v", obs)
+	}
+	skill, err := d.Num("skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range skill {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("skill[%d] = %g outside [0,1]", i, v)
+		}
+	}
+	yob, err := d.Num("yob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range yob {
+		if v < 1970 || v >= 2000 {
+			t.Fatalf("yob %g outside range", v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < a.Len(); r++ {
+		for _, attr := range a.Schema().Names() {
+			va, _ := a.Value(attr, r)
+			vb, _ := b.Value(attr, r)
+			if va != vb {
+				t.Fatalf("seeded generation diverged at row %d attr %s", r, attr)
+			}
+		}
+	}
+	c, err := Generate(smallSpec(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for r := 0; r < a.Len() && !diff; r++ {
+		va, _ := a.Value("skill", r)
+		vc, _ := c.Value("skill", r)
+		diff = va != vc
+	}
+	if !diff {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestGenerateInjectsBias(t *testing.T) {
+	d, err := Generate(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skills, _ := d.Num("skill")
+	cv, _ := d.Cat("gender")
+	var f, m []float64
+	for r := 0; r < d.Len(); r++ {
+		if cv.Domain[cv.Codes[r]] == "F" {
+			f = append(f, skills[r])
+		} else {
+			m = append(m, skills[r])
+		}
+	}
+	gap := stats.Mean(m) - stats.Mean(f)
+	// Injected -0.2 for F; sampling noise allows a tolerance.
+	if gap < 0.1 {
+		t.Errorf("bias not recovered: gap = %g, expected near 0.2", gap)
+	}
+}
+
+func TestExpectedShiftAndGap(t *testing.T) {
+	s := smallSpec()
+	if got := s.ExpectedShift("skill", map[string]string{"gender": "F"}); got != -0.2 {
+		t.Errorf("ExpectedShift = %g", got)
+	}
+	if got := s.ExpectedShift("skill", map[string]string{"gender": "M"}); got != 0 {
+		t.Errorf("ExpectedShift M = %g", got)
+	}
+	if got := s.ExpectedGap("skill", "gender", "M", "F"); got != 0.2 {
+		t.Errorf("ExpectedGap = %g", got)
+	}
+}
+
+func TestWeightedSampling(t *testing.T) {
+	d, err := Generate(smallSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, _ := d.Cat("group")
+	counts := map[string]int{}
+	for _, code := range cv.Codes {
+		counts[cv.Domain[code]]++
+	}
+	// Weight 2 for "b" vs 1 for the others.
+	if counts["b"] < counts["a"] || counts["b"] < counts["c"] {
+		t.Errorf("weighted sampling off: %v", counts)
+	}
+}
+
+func TestJobsAndMarketplace(t *testing.T) {
+	m, err := PresetCrowdsourcing(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers.Len() != 300 || len(m.Jobs) != 4 {
+		t.Fatalf("preset shape: %d workers, %d jobs", m.Workers.Len(), len(m.Jobs))
+	}
+	// Jobs are sorted by name.
+	for i := 1; i < len(m.Jobs); i++ {
+		if m.Jobs[i].Name < m.Jobs[i-1].Name {
+			t.Errorf("jobs out of order: %s before %s", m.Jobs[i-1].Name, m.Jobs[i].Name)
+		}
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 300 {
+		t.Errorf("scores: %d", len(scores))
+	}
+	for _, v := range scores {
+		if v < 0 || v > 1 {
+			t.Fatalf("score %g outside [0,1]", v)
+		}
+	}
+	if _, err := m.Job("nope"); err == nil {
+		t.Error("unknown job should error")
+	}
+	if _, err := m.Score("nope"); err == nil {
+		t.Error("scoring unknown job should error")
+	}
+}
+
+func TestNewJobErrors(t *testing.T) {
+	if _, err := NewJob("", "rating"); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := NewJob("x", ""); err == nil {
+		t.Error("empty expression should error")
+	}
+}
+
+func TestAllPresets(t *testing.T) {
+	for _, name := range []string{"crowdsourcing", "taskrabbit", "fiverr", "qapa", ""} {
+		m, err := PresetByName(name, 150, 3)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if m.Workers.Len() != 150 || len(m.Jobs) == 0 || m.Spec == nil {
+			t.Errorf("preset %q incomplete", name)
+		}
+		// Every job must be scoreable.
+		for _, j := range m.Jobs {
+			if _, err := m.Score(j.Name); err != nil {
+				t.Errorf("preset %q job %q: %v", name, j.Name, err)
+			}
+		}
+	}
+	if _, err := PresetByName("nope", 10, 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestCrawlMissingAndNoise(t *testing.T) {
+	m, err := PresetCrowdsourcing(400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawled, err := Crawl(m.Workers, CrawlOptions{Noise: 0.05, MissingRate: 0.1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crawled.Len() != 400 {
+		t.Errorf("crawl dropped rows without sampling: %d", crawled.Len())
+	}
+	missing := 0
+	for _, n := range crawled.MissingCount() {
+		missing += n
+	}
+	if missing == 0 {
+		t.Error("no values went missing at 10% rate")
+	}
+	// Noise perturbs observed numerics but keeps [0,1].
+	orig, _ := m.Workers.Num(SkillRating)
+	noisy, _ := crawled.Num(SkillRating)
+	changed := 0
+	for i := range orig {
+		if math.IsNaN(noisy[i]) {
+			continue
+		}
+		if noisy[i] < 0 || noisy[i] > 1 {
+			t.Fatalf("noisy rating %g outside [0,1]", noisy[i])
+		}
+		if noisy[i] != orig[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("noise changed nothing")
+	}
+	// Protected categorical values are never perturbed, only dropped.
+	origCat, _ := m.Workers.Cat(AttrGender)
+	newCat, _ := crawled.Cat(AttrGender)
+	for r := 0; r < crawled.Len(); r++ {
+		nv := newCat.Domain[newCat.Codes[r]]
+		ov := origCat.Domain[origCat.Codes[r]]
+		if nv != "" && nv != ov {
+			t.Fatalf("crawl changed a protected value: %q -> %q", ov, nv)
+		}
+	}
+}
+
+func TestCrawlSampling(t *testing.T) {
+	m, err := PresetCrowdsourcing(1000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawled, err := Crawl(m.Workers, CrawlOptions{SampleRate: 0.5}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crawled.Len() < 350 || crawled.Len() > 650 {
+		t.Errorf("sampled %d of 1000 at rate 0.5", crawled.Len())
+	}
+}
+
+func TestCrawlValidation(t *testing.T) {
+	m, err := PresetCrowdsourcing(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []CrawlOptions{
+		{Noise: -1},
+		{MissingRate: -0.1},
+		{MissingRate: 1},
+		{SampleRate: -0.5},
+		{SampleRate: 1.5},
+	} {
+		if _, err := Crawl(m.Workers, opts, 1); err == nil {
+			t.Errorf("options %+v should error", opts)
+		}
+	}
+}
+
+func TestCrawlThenDropMissingScoreable(t *testing.T) {
+	m, err := PresetCrowdsourcing(500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawled, err := Crawl(m.Workers, CrawlOptions{Noise: 0.03, MissingRate: 0.05, SampleRate: 0.8}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := crawled.DropMissing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Job("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := job.Function.Score(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != clean.Len() {
+		t.Error("score length mismatch after crawl pipeline")
+	}
+}
+
+func TestGenerateBadSpec(t *testing.T) {
+	if _, err := Generate(PopulationSpec{}, 1); err == nil {
+		t.Error("empty spec should error")
+	}
+}
+
+func TestTable1CompatibleAttrNames(t *testing.T) {
+	// The crowdsourcing preset reuses Table 1's attribute vocabulary
+	// so scoring expressions port across datasets.
+	if AttrGender != dataset.AttrGender || SkillRating != dataset.AttrRating || SkillLanguageTest != dataset.AttrLanguageTest {
+		t.Error("preset attribute names diverge from Table 1 names")
+	}
+}

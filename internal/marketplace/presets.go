@@ -1,0 +1,246 @@
+package marketplace
+
+import "fmt"
+
+// Attribute and skill names used by the presets.
+const (
+	AttrGender    = "gender"
+	AttrEthnicity = "ethnicity"
+	AttrLanguage  = "language"
+	AttrRegion    = "region"
+	AttrCity      = "city"
+	AttrYOB       = "year_of_birth"
+
+	SkillLanguageTest = "language_test"
+	SkillRating       = "rating"
+	SkillAccuracy     = "accuracy"
+	SkillSpeed        = "speed"
+	SkillReviews      = "reviews"
+	SkillResponse     = "response_rate"
+	SkillPortfolio    = "portfolio"
+)
+
+// CrowdsourcingSpec is the specification behind PresetCrowdsourcing,
+// exposed so experiments can read the injected ground truth.
+func CrowdsourcingSpec(n int) PopulationSpec {
+	return PopulationSpec{
+		N: n,
+		Protected: []AttrSpec{
+			{Name: AttrGender, Values: []string{"Female", "Male"}, Weights: []float64{0.45, 0.55}},
+			{Name: AttrEthnicity, Values: []string{"African-American", "Indian", "Other", "White"}, Weights: []float64{0.15, 0.25, 0.2, 0.4}},
+			{Name: AttrLanguage, Values: []string{"English", "Indian", "Other"}, Weights: []float64{0.6, 0.25, 0.15}},
+			{Name: AttrRegion, Values: []string{"Americas", "Asia", "Europe"}},
+		},
+		Numeric: []NumAttrSpec{{Name: AttrYOB, Lo: 1955, Hi: 2006}},
+		Skills: []SkillSpec{
+			{Name: SkillLanguageTest, Mean: 0.62, StdDev: 0.18},
+			{Name: SkillRating, Mean: 0.58, StdDev: 0.2},
+			{Name: SkillAccuracy, Mean: 0.7, StdDev: 0.15},
+			{Name: SkillSpeed, Mean: 0.55, StdDev: 0.2},
+		},
+		// Rating bias against women and African-Americans, mirroring
+		// the direction of the Hannák et al. findings; a language-test
+		// advantage for native English speakers.
+		Biases: []Bias{
+			{Attr: AttrGender, Value: "Female", Skill: SkillRating, Shift: -0.07},
+			{Attr: AttrEthnicity, Value: "African-American", Skill: SkillRating, Shift: -0.1},
+			{Attr: AttrEthnicity, Value: "Indian", Skill: SkillLanguageTest, Shift: -0.05},
+			{Attr: AttrLanguage, Value: "English", Skill: SkillLanguageTest, Shift: 0.12},
+		},
+	}
+}
+
+// PresetCrowdsourcing generates a crowdsourcing-platform population
+// with jobs resembling the paper's examples (translation needs
+// language skills, data entry needs accuracy).
+func PresetCrowdsourcing(n int, seed uint64) (*Marketplace, error) {
+	spec := CrowdsourcingSpec(n)
+	workers, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(map[string]string{
+		"translation": fmt.Sprintf("0.7*%s + 0.3*%s", SkillLanguageTest, SkillRating),
+		"data-entry":  fmt.Sprintf("0.5*%s + 0.3*%s + 0.2*%s", SkillAccuracy, SkillSpeed, SkillRating),
+		"writing":     fmt.Sprintf("0.4*%s + 0.3*%s + 0.3*%s", SkillLanguageTest, SkillAccuracy, SkillRating),
+		"moderation":  fmt.Sprintf("0.6*%s + 0.4*%s", SkillAccuracy, SkillRating),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Marketplace{Name: "crowdsourcing", Workers: workers, Jobs: jobs, Spec: &spec}, nil
+}
+
+// TaskRabbitLikeSpec mirrors a city-based errand marketplace.
+func TaskRabbitLikeSpec(n int) PopulationSpec {
+	return PopulationSpec{
+		N: n,
+		Protected: []AttrSpec{
+			{Name: AttrGender, Values: []string{"Female", "Male"}},
+			{Name: AttrEthnicity, Values: []string{"Asian", "Black", "White"}, Weights: []float64{0.2, 0.3, 0.5}},
+			{Name: AttrCity, Values: []string{"Chicago", "LA", "NYC"}},
+		},
+		Numeric: []NumAttrSpec{{Name: AttrYOB, Lo: 1960, Hi: 2004}},
+		Skills: []SkillSpec{
+			{Name: SkillRating, Mean: 0.72, StdDev: 0.15},
+			{Name: SkillReviews, Mean: 0.4, StdDev: 0.25},
+			{Name: SkillResponse, Mean: 0.65, StdDev: 0.2},
+		},
+		Biases: []Bias{
+			// Hannák et al.: Black workers receive fewer reviews and
+			// lower ratings on TaskRabbit; women receive fewer reviews.
+			{Attr: AttrEthnicity, Value: "Black", Skill: SkillRating, Shift: -0.08},
+			{Attr: AttrEthnicity, Value: "Black", Skill: SkillReviews, Shift: -0.12},
+			{Attr: AttrGender, Value: "Female", Skill: SkillReviews, Shift: -0.06},
+		},
+	}
+}
+
+// PresetTaskRabbitLike generates a TaskRabbit-style marketplace.
+func PresetTaskRabbitLike(n int, seed uint64) (*Marketplace, error) {
+	spec := TaskRabbitLikeSpec(n)
+	workers, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(map[string]string{
+		"moving":   fmt.Sprintf("0.5*%s + 0.3*%s + 0.2*%s", SkillRating, SkillReviews, SkillResponse),
+		"cleaning": fmt.Sprintf("0.6*%s + 0.4*%s", SkillRating, SkillResponse),
+		"handyman": fmt.Sprintf("0.4*%s + 0.4*%s + 0.2*%s", SkillRating, SkillReviews, SkillResponse),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Marketplace{Name: "taskrabbit-like", Workers: workers, Jobs: jobs, Spec: &spec}, nil
+}
+
+// FiverrLikeSpec mirrors a gig marketplace with portfolio-driven
+// ranking.
+func FiverrLikeSpec(n int) PopulationSpec {
+	return PopulationSpec{
+		N: n,
+		Protected: []AttrSpec{
+			{Name: AttrGender, Values: []string{"Female", "Male"}},
+			{Name: AttrEthnicity, Values: []string{"Asian", "Black", "White"}},
+			{Name: AttrRegion, Values: []string{"Americas", "Asia", "Europe"}, Weights: []float64{0.4, 0.35, 0.25}},
+		},
+		Numeric: []NumAttrSpec{{Name: AttrYOB, Lo: 1965, Hi: 2006}},
+		Skills: []SkillSpec{
+			{Name: SkillRating, Mean: 0.75, StdDev: 0.12},
+			{Name: SkillPortfolio, Mean: 0.5, StdDev: 0.22},
+			{Name: SkillResponse, Mean: 0.6, StdDev: 0.18},
+		},
+		Biases: []Bias{
+			// Hannák et al.: on Fiverr, Black sellers receive lower
+			// ratings; Asian sellers' portfolios rate higher.
+			{Attr: AttrEthnicity, Value: "Black", Skill: SkillRating, Shift: -0.06},
+			{Attr: AttrEthnicity, Value: "Asian", Skill: SkillPortfolio, Shift: 0.05},
+			{Attr: AttrGender, Value: "Female", Skill: SkillRating, Shift: -0.04},
+		},
+	}
+}
+
+// PresetFiverrLike generates a Fiverr-style marketplace.
+func PresetFiverrLike(n int, seed uint64) (*Marketplace, error) {
+	spec := FiverrLikeSpec(n)
+	workers, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(map[string]string{
+		"logo-design": fmt.Sprintf("0.5*%s + 0.4*%s + 0.1*%s", SkillPortfolio, SkillRating, SkillResponse),
+		"voice-over":  fmt.Sprintf("0.6*%s + 0.4*%s", SkillRating, SkillResponse),
+		"seo":         fmt.Sprintf("0.4*%s + 0.4*%s + 0.2*%s", SkillRating, SkillPortfolio, SkillResponse),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Marketplace{Name: "fiverr-like", Workers: workers, Jobs: jobs, Spec: &spec}, nil
+}
+
+// QapaLikeSpec mirrors a French temp-work marketplace (Qapa and
+// MisterTemp' are the paper's opening examples). Protected attributes
+// follow the French Criminal Law framing the paper cites (Article
+// 225-1 lists 23 discrimination grounds): origin, gender, age, place
+// of residence.
+func QapaLikeSpec(n int) PopulationSpec {
+	return PopulationSpec{
+		N: n,
+		Protected: []AttrSpec{
+			{Name: AttrGender, Values: []string{"Female", "Male"}},
+			{Name: "origin", Values: []string{"EU", "French", "Maghreb", "Other"}, Weights: []float64{0.15, 0.6, 0.15, 0.1}},
+			{Name: AttrCity, Values: []string{"Grenoble", "Lyon", "Paris"}, Weights: []float64{0.2, 0.3, 0.5}},
+		},
+		Numeric: []NumAttrSpec{{Name: AttrYOB, Lo: 1958, Hi: 2006}},
+		Skills: []SkillSpec{
+			{Name: SkillRating, Mean: 0.66, StdDev: 0.16},
+			{Name: SkillReviews, Mean: 0.45, StdDev: 0.22},
+			{Name: SkillResponse, Mean: 0.6, StdDev: 0.18},
+		},
+		// Name-based origin discrimination is the best documented bias
+		// in French labor-market studies; a smaller gender effect on
+		// reviews mirrors the gig-platform findings.
+		Biases: []Bias{
+			{Attr: "origin", Value: "Maghreb", Skill: SkillRating, Shift: -0.09},
+			{Attr: "origin", Value: "Other", Skill: SkillRating, Shift: -0.05},
+			{Attr: AttrGender, Value: "Female", Skill: SkillReviews, Shift: -0.05},
+		},
+	}
+}
+
+// PresetQapaLike generates a Qapa-style French temp-work marketplace.
+func PresetQapaLike(n int, seed uint64) (*Marketplace, error) {
+	spec := QapaLikeSpec(n)
+	workers, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(map[string]string{
+		"wood-panels": fmt.Sprintf("0.6*%s + 0.4*%s", SkillRating, SkillReviews),
+		"warehouse":   fmt.Sprintf("0.5*%s + 0.5*%s", SkillRating, SkillResponse),
+		"catering":    fmt.Sprintf("0.4*%s + 0.3*%s + 0.3*%s", SkillRating, SkillReviews, SkillResponse),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Marketplace{Name: "qapa-like", Workers: workers, Jobs: jobs, Spec: &spec}, nil
+}
+
+// PresetByName returns the named preset marketplace: "crowdsourcing",
+// "taskrabbit", "fiverr" or "qapa".
+func PresetByName(name string, n int, seed uint64) (*Marketplace, error) {
+	switch name {
+	case "crowdsourcing", "":
+		return PresetCrowdsourcing(n, seed)
+	case "taskrabbit":
+		return PresetTaskRabbitLike(n, seed)
+	case "fiverr":
+		return PresetFiverrLike(n, seed)
+	case "qapa":
+		return PresetQapaLike(n, seed)
+	default:
+		return nil, fmt.Errorf("marketplace: unknown preset %q", name)
+	}
+}
+
+func buildJobs(exprs map[string]string) ([]Job, error) {
+	// Deterministic order by name.
+	names := make([]string, 0, len(exprs))
+	for n := range exprs {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	jobs := make([]Job, 0, len(names))
+	for _, n := range names {
+		j, err := NewJob(n, exprs[n])
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,171 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// ErrEnumerationLimit is returned (wrapped) by ForEachPartitioning
+// when the number of visited partitionings exceeds the caller's limit.
+// The space is exponential in the protected attribute values (paper
+// §3.2), so the exhaustive baseline refuses to run unbounded.
+var ErrEnumerationLimit = fmt.Errorf("partition: enumeration limit exceeded")
+
+// ForEachPartitioning enumerates every tree-structured full disjoint
+// partitioning of root over the given attributes and calls fn with the
+// leaf groups of each. This is the space the paper's Definition 1
+// optimizes over and that Algorithm 1 explores greedily: at each
+// group either stop, or split on one unused attribute and recurse
+// independently per child.
+//
+// minSize forbids splits creating groups smaller than minSize.
+// limit bounds the number of partitionings visited (0 means a default
+// of 1<<20); exceeding it aborts with ErrEnumerationLimit. A non-nil
+// error from fn stops the enumeration and is returned.
+func ForEachPartitioning(d *dataset.Dataset, root Group, attrs []string, minSize, limit int, fn func(leaves []Group) error) error {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	visited := 0
+
+	// expand returns all possible leaf-sets for a single group.
+	var expand func(g Group, avail []string) ([][]Group, error)
+	expand = func(g Group, avail []string) ([][]Group, error) {
+		// Option 1: keep g as a leaf.
+		results := [][]Group{{g}}
+		splittable, err := SplittableAttrs(d, g, avail, minSize)
+		if err != nil {
+			return nil, err
+		}
+		for _, attr := range splittable {
+			children, err := Split(d, g, attr)
+			if err != nil {
+				return nil, err
+			}
+			rest := without(avail, attr)
+			// Per-child alternatives, combined as a cross product.
+			perChild := make([][][]Group, len(children))
+			for i, c := range children {
+				alts, err := expand(c, rest)
+				if err != nil {
+					return nil, err
+				}
+				perChild[i] = alts
+			}
+			combos, err := crossProduct(perChild, limit)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, combos...)
+			if len(results) > limit {
+				return nil, fmt.Errorf("%w (limit %d)", ErrEnumerationLimit, limit)
+			}
+		}
+		return results, nil
+	}
+
+	all, err := expand(root, attrs)
+	if err != nil {
+		return err
+	}
+	for _, leaves := range all {
+		visited++
+		if visited > limit {
+			return fmt.Errorf("%w (limit %d)", ErrEnumerationLimit, limit)
+		}
+		if err := fn(leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// without returns attrs minus one element.
+func without(attrs []string, drop string) []string {
+	out := make([]string, 0, len(attrs)-1)
+	for _, a := range attrs {
+		if a != drop {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// crossProduct combines per-child alternative leaf-sets into full
+// leaf-sets, one per combination, respecting limit.
+func crossProduct(perChild [][][]Group, limit int) ([][]Group, error) {
+	total := 1
+	for _, alts := range perChild {
+		total *= len(alts)
+		if total > limit {
+			return nil, fmt.Errorf("%w (limit %d)", ErrEnumerationLimit, limit)
+		}
+	}
+	out := make([][]Group, 0, total)
+	idx := make([]int, len(perChild))
+	for {
+		var combo []Group
+		for i, alts := range perChild {
+			combo = append(combo, alts[idx[i]]...)
+		}
+		out = append(out, combo)
+		// Advance the odometer.
+		pos := len(idx) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(perChild[pos]) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			return out, nil
+		}
+	}
+}
+
+// CountPartitionings returns the number of tree-structured
+// partitionings of root over attrs without materializing them, for
+// reporting the size of the search space in benchmarks. The count
+// saturates at limit.
+func CountPartitionings(d *dataset.Dataset, root Group, attrs []string, minSize, limit int) (int, error) {
+	if limit <= 0 {
+		limit = math.MaxInt
+	}
+	var count func(g Group, avail []string) (int, error)
+	count = func(g Group, avail []string) (int, error) {
+		total := 1 // leaf option
+		splittable, err := SplittableAttrs(d, g, avail, minSize)
+		if err != nil {
+			return 0, err
+		}
+		for _, attr := range splittable {
+			children, err := Split(d, g, attr)
+			if err != nil {
+				return 0, err
+			}
+			rest := without(avail, attr)
+			prod := 1
+			for _, c := range children {
+				n, err := count(c, rest)
+				if err != nil {
+					return 0, err
+				}
+				prod *= n
+				if prod >= limit {
+					prod = limit
+					break
+				}
+			}
+			total += prod
+			if total >= limit {
+				return limit, nil
+			}
+		}
+		return total, nil
+	}
+	return count(root, attrs)
+}

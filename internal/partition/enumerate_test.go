@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// twoByTwo builds a dataset with two binary protected attributes, for
+// which the partitioning space is small and countable by hand.
+func twoByTwo(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "b", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Observed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(s)
+	i := 0
+	for _, av := range []string{"0", "1"} {
+		for _, bv := range []string{"0", "1"} {
+			for k := 0; k < 2; k++ {
+				i++
+				b.Append(fmt.Sprintf("w%d", i), []string{av, bv, "0.5"})
+			}
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// For two binary attributes the tree space is:
+//   - root leaf:                                     1
+//   - split a, each child may stop or split b:       2*2 = 4
+//   - split b, each child may stop or split a:       4
+//
+// total 9.
+func TestCountPartitioningsTwoBinaryAttrs(t *testing.T) {
+	d := twoByTwo(t)
+	n, err := CountPartitionings(d, Root(d), []string{"a", "b"}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Errorf("count = %d, want 9", n)
+	}
+}
+
+func TestForEachPartitioningMatchesCount(t *testing.T) {
+	d := twoByTwo(t)
+	visited := 0
+	err := ForEachPartitioning(d, Root(d), []string{"a", "b"}, 1, 0, func(leaves []Group) error {
+		visited++
+		// Each partitioning must cover all 8 rows disjointly.
+		seen := map[int]bool{}
+		for _, g := range leaves {
+			for _, r := range g.Rows {
+				if seen[r] {
+					return fmt.Errorf("row %d duplicated", r)
+				}
+				seen[r] = true
+			}
+		}
+		if len(seen) != d.Len() {
+			return fmt.Errorf("covered %d of %d rows", len(seen), d.Len())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 9 {
+		t.Errorf("visited %d partitionings, want 9", visited)
+	}
+}
+
+func TestForEachPartitioningSingleAttr(t *testing.T) {
+	d := twoByTwo(t)
+	var sizes []int
+	err := ForEachPartitioning(d, Root(d), []string{"a"}, 1, 0, func(leaves []Group) error {
+		sizes = append(sizes, len(leaves))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two options: keep root (1 leaf) or split a (2 leaves).
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestForEachPartitioningLimit(t *testing.T) {
+	d := twoByTwo(t)
+	err := ForEachPartitioning(d, Root(d), []string{"a", "b"}, 1, 3, func([]Group) error { return nil })
+	if !errors.Is(err, ErrEnumerationLimit) {
+		t.Errorf("want ErrEnumerationLimit, got %v", err)
+	}
+}
+
+func TestForEachPartitioningCallbackError(t *testing.T) {
+	d := twoByTwo(t)
+	sentinel := errors.New("stop")
+	err := ForEachPartitioning(d, Root(d), []string{"a"}, 1, 0, func([]Group) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error lost: %v", err)
+	}
+}
+
+func TestForEachPartitioningMinSize(t *testing.T) {
+	d := twoByTwo(t)
+	// Every a×b cell has 2 rows; minSize 3 forbids splitting a then b
+	// (cells of 2) but allows single splits (groups of 4).
+	visited := 0
+	maxLeaves := 0
+	err := ForEachPartitioning(d, Root(d), []string{"a", "b"}, 3, 0, func(leaves []Group) error {
+		visited++
+		if len(leaves) > maxLeaves {
+			maxLeaves = len(leaves)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options: root, split a, split b -> 3 partitionings, max 2 leaves.
+	if visited != 3 || maxLeaves != 2 {
+		t.Errorf("visited=%d maxLeaves=%d, want 3 and 2", visited, maxLeaves)
+	}
+}
+
+func TestForEachPartitioningBadAttr(t *testing.T) {
+	d := twoByTwo(t)
+	if err := ForEachPartitioning(d, Root(d), []string{"nope"}, 1, 0, func([]Group) error { return nil }); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestCountPartitioningsTable1(t *testing.T) {
+	d := dataset.Table1()
+	// 4 categorical protected attributes (year_of_birth is numeric and
+	// excluded). Even for 10 individuals the space holds 824
+	// partitionings — the exponential blowup the paper motivates the
+	// heuristic with (singleton groups cap it here; it explodes with
+	// population size).
+	attrs := []string{dataset.AttrGender, dataset.AttrCountry, dataset.AttrLanguage, dataset.AttrEthnicity}
+	n, err := CountPartitionings(d, Root(d), attrs, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 824 {
+		t.Errorf("Table 1 partitioning space = %d, want 824", n)
+	}
+	// Saturation at limit.
+	capped, err := CountPartitionings(d, Root(d), attrs, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != 500 {
+		t.Errorf("capped count = %d, want 500", capped)
+	}
+}
+
+func TestEnumerationAgreesWithCountOnTable1Subset(t *testing.T) {
+	d := dataset.Table1()
+	attrs := []string{dataset.AttrGender, dataset.AttrLanguage}
+	want, err := CountPartitionings(d, Root(d), attrs, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := ForEachPartitioning(d, Root(d), attrs, 1, 0, func([]Group) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("enumerated %d, counted %d", got, want)
+	}
+}

@@ -1,0 +1,281 @@
+// Package partition models full disjoint partitionings of individuals
+// over their protected attributes (Definition 1 of the paper) and the
+// tree structure FaiRank's greedy algorithm and result panels use.
+//
+// A partitioning is tree-structured: each internal node splits its
+// group on one protected attribute, with one child per attribute value
+// present in the group; the leaves form the partitioning. Different
+// subtrees may split on different attributes — that is what lets
+// FaiRank find subgroup unfairness such as "Male-English vs Male-Indian
+// vs Male-Other vs Female" (Figure 2 of the paper).
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Cond is one protected-attribute condition on the path from the root
+// to a group, e.g. gender=Male.
+type Cond struct {
+	Attr  string
+	Value string
+}
+
+// String renders the condition as "attr=value".
+func (c Cond) String() string { return c.Attr + "=" + c.Value }
+
+// Group is a set of individuals (row indices into a dataset) defined
+// by a conjunction of protected-attribute conditions.
+type Group struct {
+	Conds []Cond
+	Rows  []int
+}
+
+// Root returns the group of all rows of d with no conditions.
+func Root(d *dataset.Dataset) Group { return Group{Rows: d.AllRows()} }
+
+// Size returns the number of individuals in the group.
+func (g Group) Size() int { return len(g.Rows) }
+
+// Label renders the group's conditions, "ALL" for the root.
+func (g Group) Label() string {
+	if len(g.Conds) == 0 {
+		return "ALL"
+	}
+	parts := make([]string, len(g.Conds))
+	for i, c := range g.Conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Key returns a canonical identity for the group's condition set,
+// independent of condition order. Used to cache histograms and
+// distances across the exhaustive search.
+func (g Group) Key() string {
+	parts := make([]string, len(g.Conds))
+	for i, c := range g.Conds {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// Split divides g into one child per distinct value of attr among g's
+// rows, ordered by value for determinism. The attribute must be
+// categorical. A group in which attr takes a single value yields one
+// child identical to g (callers treat that as unsplittable).
+func Split(d *dataset.Dataset, g Group, attr string) ([]Group, error) {
+	cv, err := d.Cat(attr)
+	if err != nil {
+		return nil, fmt.Errorf("partition: split on %q: %w", attr, err)
+	}
+	byCode := make(map[int][]int)
+	for _, r := range g.Rows {
+		if r < 0 || r >= len(cv.Codes) {
+			return nil, fmt.Errorf("partition: row %d out of range", r)
+		}
+		byCode[cv.Codes[r]] = append(byCode[cv.Codes[r]], r)
+	}
+	codes := make([]int, 0, len(byCode))
+	for code := range byCode {
+		codes = append(codes, code)
+	}
+	sort.Slice(codes, func(i, j int) bool { return cv.Domain[codes[i]] < cv.Domain[codes[j]] })
+	out := make([]Group, 0, len(codes))
+	for _, code := range codes {
+		conds := append(append([]Cond(nil), g.Conds...), Cond{Attr: attr, Value: cv.Domain[code]})
+		out = append(out, Group{Conds: conds, Rows: byCode[code]})
+	}
+	return out, nil
+}
+
+// SplittableAttrs returns the subset of attrs on which g can actually
+// be split (categorical, ≥2 distinct values among g's rows, and every
+// resulting child at least minSize rows).
+func SplittableAttrs(d *dataset.Dataset, g Group, attrs []string, minSize int) ([]string, error) {
+	var out []string
+	for _, attr := range attrs {
+		cv, err := d.Cat(attr)
+		if err != nil {
+			return nil, fmt.Errorf("partition: %w", err)
+		}
+		counts := make(map[int]int)
+		for _, r := range g.Rows {
+			counts[cv.Codes[r]]++
+		}
+		if len(counts) < 2 {
+			continue
+		}
+		ok := true
+		if minSize > 1 {
+			for _, n := range counts {
+				if n < minSize {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, attr)
+		}
+	}
+	return out, nil
+}
+
+// Node is one node of a partitioning tree.
+type Node struct {
+	Group Group
+	// SplitAttr is the attribute this node was split on; empty for
+	// leaves.
+	SplitAttr string
+	Children  []*Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a partitioning tree over a dataset. Its leaves form a full
+// disjoint partitioning of the root group's rows.
+type Tree struct {
+	Root *Node
+	// NumRows is the size of the partitioned population, used by
+	// Validate.
+	NumRows int
+}
+
+// Leaves returns the leaf nodes in depth-first order, which is the
+// partitioning the tree represents.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return out
+}
+
+// LeafGroups returns the groups of the leaves.
+func (t *Tree) LeafGroups() []Group {
+	leaves := t.Leaves()
+	out := make([]Group, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.Group
+	}
+	return out
+}
+
+// Depth returns the maximum number of edges from the root to a leaf.
+func (t *Tree) Depth() int {
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		d := 0
+		for _, c := range n.Children {
+			if cd := depth(c) + 1; cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	if t.Root == nil {
+		return 0
+	}
+	return depth(t.Root)
+}
+
+// Size returns the total number of nodes.
+func (t *Tree) Size() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		s := 1
+		for _, c := range n.Children {
+			s += count(c)
+		}
+		return s
+	}
+	if t.Root == nil {
+		return 0
+	}
+	return count(t.Root)
+}
+
+// Validate checks the partitioning invariants the paper's Definition 1
+// imposes: leaves are pairwise disjoint and their union covers the
+// root population; each internal node's children partition its rows.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("partition: tree has no root")
+	}
+	seen := make(map[int]bool, t.NumRows)
+	for _, leaf := range t.Leaves() {
+		if leaf.Group.Size() == 0 {
+			return fmt.Errorf("partition: empty leaf %q", leaf.Group.Label())
+		}
+		for _, r := range leaf.Group.Rows {
+			if seen[r] {
+				return fmt.Errorf("partition: row %d in multiple leaves", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != t.NumRows {
+		return fmt.Errorf("partition: leaves cover %d rows, population has %d", len(seen), t.NumRows)
+	}
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		if n.IsLeaf() {
+			if n.SplitAttr != "" {
+				return fmt.Errorf("partition: leaf %q has split attribute %q", n.Group.Label(), n.SplitAttr)
+			}
+			return nil
+		}
+		if n.SplitAttr == "" {
+			return fmt.Errorf("partition: internal node %q lacks split attribute", n.Group.Label())
+		}
+		total := 0
+		for _, c := range n.Children {
+			total += c.Group.Size()
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		if total != n.Group.Size() {
+			return fmt.Errorf("partition: node %q has %d rows but children hold %d", n.Group.Label(), n.Group.Size(), total)
+		}
+		return nil
+	}
+	return check(t.Root)
+}
+
+// String renders the tree with indentation, one node per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s (n=%d)", strings.Repeat("  ", depth), n.Group.Label(), n.Group.Size())
+		if n.SplitAttr != "" {
+			fmt.Fprintf(&b, " split:%s", n.SplitAttr)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func table1(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Table1()
+}
+
+func TestRootGroup(t *testing.T) {
+	d := table1(t)
+	g := Root(d)
+	if g.Size() != 10 || g.Label() != "ALL" || g.Key() != "" {
+		t.Errorf("root group wrong: %+v", g)
+	}
+}
+
+func TestSplitGender(t *testing.T) {
+	d := table1(t)
+	children, err := Split(d, Root(d), dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 2 {
+		t.Fatalf("gender split: %d children", len(children))
+	}
+	// Deterministic order: Female before Male.
+	if children[0].Label() != "gender=Female" || children[1].Label() != "gender=Male" {
+		t.Errorf("labels: %q, %q", children[0].Label(), children[1].Label())
+	}
+	if children[0].Size() != 4 || children[1].Size() != 6 {
+		t.Errorf("sizes: %d, %d", children[0].Size(), children[1].Size())
+	}
+}
+
+func TestSplitNested(t *testing.T) {
+	d := table1(t)
+	children, err := Split(d, Root(d), dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	male := children[1]
+	sub, err := Split(d, male, dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Males speak English (4), Indian (1), Other (1) in Table 1.
+	if len(sub) != 3 {
+		t.Fatalf("male language split: %d children", len(sub))
+	}
+	sizes := map[string]int{}
+	for _, c := range sub {
+		sizes[c.Conds[len(c.Conds)-1].Value] = c.Size()
+	}
+	if sizes["English"] != 4 || sizes["Indian"] != 1 || sizes["Other"] != 1 {
+		t.Errorf("male language sizes: %v", sizes)
+	}
+	if sub[0].Label() != "gender=Male ∧ language=English" {
+		t.Errorf("nested label: %q", sub[0].Label())
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d := table1(t)
+	if _, err := Split(d, Root(d), "nope"); err == nil {
+		t.Error("unknown attr should error")
+	}
+	if _, err := Split(d, Root(d), dataset.AttrRating); err == nil {
+		t.Error("numeric attr should error")
+	}
+	if _, err := Split(d, Group{Rows: []int{99}}, dataset.AttrGender); err == nil {
+		t.Error("bad row should error")
+	}
+}
+
+func TestGroupKeyOrderIndependent(t *testing.T) {
+	a := Group{Conds: []Cond{{"gender", "Male"}, {"language", "English"}}}
+	b := Group{Conds: []Cond{{"language", "English"}, {"gender", "Male"}}}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestSplittableAttrs(t *testing.T) {
+	d := table1(t)
+	attrs, err := SplittableAttrs(d, Root(d), []string{dataset.AttrGender, dataset.AttrCountry, dataset.AttrLanguage}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 3 {
+		t.Errorf("splittable: %v", attrs)
+	}
+	// Within the Female group, everyone's a single gender — gender not splittable.
+	children, _ := Split(d, Root(d), dataset.AttrGender)
+	female := children[0]
+	attrs, err = SplittableAttrs(d, female, []string{dataset.AttrGender, dataset.AttrCountry}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 1 || attrs[0] != dataset.AttrCountry {
+		t.Errorf("female splittable: %v", attrs)
+	}
+}
+
+func TestSplittableAttrsMinSize(t *testing.T) {
+	d := table1(t)
+	// Language split of ALL yields groups of sizes 7,2,1 — minSize 2
+	// should rule it out; gender split is 4/6 and stays.
+	attrs, err := SplittableAttrs(d, Root(d), []string{dataset.AttrGender, dataset.AttrLanguage}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 1 || attrs[0] != dataset.AttrGender {
+		t.Errorf("minSize splittable: %v", attrs)
+	}
+}
+
+func TestSplittableAttrsError(t *testing.T) {
+	d := table1(t)
+	if _, err := SplittableAttrs(d, Root(d), []string{"nope"}, 1); err == nil {
+		t.Error("unknown attr should error")
+	}
+}
+
+// buildFigure2Tree constructs the partitioning of Figure 2 by hand:
+// split on gender, then split the Male group on language.
+func buildFigure2Tree(t *testing.T, d *dataset.Dataset) *Tree {
+	t.Helper()
+	root := &Node{Group: Root(d), SplitAttr: dataset.AttrGender}
+	children, err := Split(d, root.Group, dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	female := &Node{Group: children[0]}
+	male := &Node{Group: children[1], SplitAttr: dataset.AttrLanguage}
+	sub, err := Split(d, male.Group, dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range sub {
+		male.Children = append(male.Children, &Node{Group: g})
+	}
+	root.Children = []*Node{female, male}
+	return &Tree{Root: root, NumRows: d.Len()}
+}
+
+func TestTreeLeavesAndValidate(t *testing.T) {
+	d := table1(t)
+	tree := buildFigure2Tree(t, d)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("figure 2 tree invalid: %v", err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("leaves: %d", len(leaves))
+	}
+	labels := make([]string, len(leaves))
+	for i, l := range leaves {
+		labels[i] = l.Group.Label()
+	}
+	want := []string{
+		"gender=Female",
+		"gender=Male ∧ language=English",
+		"gender=Male ∧ language=Indian",
+		"gender=Male ∧ language=Other",
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("leaf %d = %q, want %q", i, labels[i], want[i])
+		}
+	}
+	if tree.Depth() != 2 || tree.Size() != 6 {
+		t.Errorf("depth=%d size=%d", tree.Depth(), tree.Size())
+	}
+	groups := tree.LeafGroups()
+	if len(groups) != 4 || groups[0].Label() != "gender=Female" {
+		t.Errorf("LeafGroups: %v", groups)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	d := table1(t)
+	tree := buildFigure2Tree(t, d)
+	// Corrupt: duplicate a row across leaves.
+	leaves := tree.Leaves()
+	leaves[0].Group.Rows = append(leaves[0].Group.Rows, leaves[1].Group.Rows[0])
+	if err := tree.Validate(); err == nil {
+		t.Error("overlapping leaves should fail validation")
+	}
+}
+
+func TestValidateCatchesMissingRows(t *testing.T) {
+	d := table1(t)
+	tree := buildFigure2Tree(t, d)
+	leaves := tree.Leaves()
+	leaves[0].Group.Rows = leaves[0].Group.Rows[:1]
+	if err := tree.Validate(); err == nil {
+		t.Error("uncovered rows should fail validation")
+	}
+}
+
+func TestValidateCatchesEmptyLeaf(t *testing.T) {
+	tree := &Tree{Root: &Node{Group: Group{}}, NumRows: 0}
+	if err := tree.Validate(); err == nil {
+		t.Error("empty leaf should fail validation")
+	}
+}
+
+func TestValidateCatchesBadSplitAttrs(t *testing.T) {
+	d := table1(t)
+	tree := buildFigure2Tree(t, d)
+	// Leaf with a split attribute.
+	tree.Root.Children[0].SplitAttr = "gender"
+	if err := tree.Validate(); err == nil {
+		t.Error("leaf with split attr should fail")
+	}
+	tree = buildFigure2Tree(t, d)
+	tree.Root.SplitAttr = ""
+	if err := tree.Validate(); err == nil {
+		t.Error("internal node without split attr should fail")
+	}
+}
+
+func TestValidateNilRoot(t *testing.T) {
+	tree := &Tree{}
+	if err := tree.Validate(); err == nil {
+		t.Error("nil root should fail validation")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	d := table1(t)
+	tree := buildFigure2Tree(t, d)
+	s := tree.String()
+	if !strings.Contains(s, "ALL (n=10) split:gender") {
+		t.Errorf("tree string missing root: %q", s)
+	}
+	if !strings.Contains(s, "gender=Male ∧ language=Indian (n=1)") {
+		t.Errorf("tree string missing leaf: %q", s)
+	}
+}
+
+func TestEmptyTreeAccessors(t *testing.T) {
+	tree := &Tree{}
+	if len(tree.Leaves()) != 0 || tree.Depth() != 0 || tree.Size() != 0 {
+		t.Error("empty tree accessors should be zero")
+	}
+}

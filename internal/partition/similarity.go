@@ -1,0 +1,68 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// RandIndex measures the agreement between two partitionings of the
+// same n individuals: the fraction of individual pairs on which the
+// partitionings agree (both co-partition the pair, or both separate
+// it). 1 means identical groupings, 0 means total disagreement.
+//
+// FaiRank compares partitionings constantly — score-based vs rank-only
+// quantification, anonymized vs raw data, one scoring function vs
+// another — and "same unfairness value" says nothing about whether the
+// same people were grouped together. The Rand index makes those panel
+// comparisons quantitative.
+func RandIndex(a, b []Group, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("partition: RandIndex needs at least 2 individuals, got %d", n)
+	}
+	la, err := labelVector(a, n)
+	if err != nil {
+		return 0, fmt.Errorf("partition: first partitioning: %w", err)
+	}
+	lb, err := labelVector(b, n)
+	if err != nil {
+		return 0, fmt.Errorf("partition: second partitioning: %w", err)
+	}
+	agree := 0
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := la[i] == la[j]
+			sameB := lb[i] == lb[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total), nil
+}
+
+// labelVector assigns each row its group index, verifying the groups
+// form a full disjoint partitioning of [0,n).
+func labelVector(groups []Group, n int) ([]int, error) {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for gi, g := range groups {
+		for _, r := range g.Rows {
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("row %d outside population of %d", r, n)
+			}
+			if labels[r] != -1 {
+				return nil, fmt.Errorf("row %d appears in multiple groups", r)
+			}
+			labels[r] = gi
+		}
+	}
+	for r, l := range labels {
+		if l == -1 {
+			return nil, fmt.Errorf("row %d not covered", r)
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []Group{{Rows: []int{0, 1}}, {Rows: []int{2, 3}}}
+	ri, err := RandIndex(a, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("identical partitionings: %g", ri)
+	}
+}
+
+func TestRandIndexRefinementInsensitiveToLabels(t *testing.T) {
+	// Same grouping listed in a different order must score 1.
+	a := []Group{{Rows: []int{0, 1}}, {Rows: []int{2, 3}}}
+	b := []Group{{Rows: []int{3, 2}}, {Rows: []int{1, 0}}}
+	ri, err := RandIndex(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("relabeled partitionings: %g", ri)
+	}
+}
+
+func TestRandIndexDisagreement(t *testing.T) {
+	a := []Group{{Rows: []int{0, 1}}, {Rows: []int{2, 3}}}
+	b := []Group{{Rows: []int{0, 2}}, {Rows: []int{1, 3}}}
+	ri, err := RandIndex(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (0,1) a:same b:diff ✗; (0,2) a:diff b:same ✗; (0,3) diff/diff ✓;
+	// (1,2) diff/diff ✓; (1,3) diff/same ✗; (2,3) same/diff ✗ -> 2/6.
+	if math.Abs(ri-2.0/6) > 1e-12 {
+		t.Errorf("cross partitionings: %g, want %g", ri, 2.0/6)
+	}
+}
+
+func TestRandIndexTrivialVsFull(t *testing.T) {
+	// One big group vs all singletons: agreement 0.
+	a := []Group{{Rows: []int{0, 1, 2}}}
+	b := []Group{{Rows: []int{0}}, {Rows: []int{1}}, {Rows: []int{2}}}
+	ri, err := RandIndex(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 0 {
+		t.Errorf("trivial vs singleton: %g", ri)
+	}
+}
+
+func TestRandIndexErrors(t *testing.T) {
+	good := []Group{{Rows: []int{0}}, {Rows: []int{1}}}
+	if _, err := RandIndex(good, good, 1); err == nil {
+		t.Error("n<2 should error")
+	}
+	if _, err := RandIndex([]Group{{Rows: []int{0}}}, good, 2); err == nil {
+		t.Error("uncovered row should error")
+	}
+	if _, err := RandIndex([]Group{{Rows: []int{0, 0}}, {Rows: []int{1}}}, good, 2); err == nil {
+		t.Error("duplicate row should error")
+	}
+	if _, err := RandIndex([]Group{{Rows: []int{0, 5}}}, good, 2); err == nil {
+		t.Error("out-of-range row should error")
+	}
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/marketplace"
+	"repro/internal/scoring"
+)
+
+// JobAudit is the auditor's finding for one job of a marketplace: its
+// most unfair partitioning and the groups it favors — the per-job row
+// of the "fairness report" the AUDITOR scenario drafts (paper §4).
+type JobAudit struct {
+	Job          string
+	Function     string
+	Unfairness   float64
+	Partitions   int
+	MostFavored  string
+	LeastFavored string
+	Elapsed      time.Duration
+	Result       *core.Result
+	Scores       []float64
+}
+
+// AuditMarketplace quantifies every job of a marketplace under cfg and
+// returns one JobAudit per job, in the marketplace's job order.
+func AuditMarketplace(m *marketplace.Marketplace, cfg core.Config) ([]JobAudit, error) {
+	if m == nil || len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("report: marketplace has no jobs to audit")
+	}
+	audits := make([]JobAudit, 0, len(m.Jobs))
+	for _, job := range m.Jobs {
+		audit, err := auditOneJob(m, job, cfg)
+		if err != nil {
+			return nil, err
+		}
+		audits = append(audits, audit)
+	}
+	return audits, nil
+}
+
+// AuditRankOnly repeats an audit in the rank-only transparency
+// setting: the auditor sees each job's ranking but not its scoring
+// function, so pseudo-scores derived from ranks replace true scores.
+func AuditRankOnly(m *marketplace.Marketplace, cfg core.Config) ([]JobAudit, error) {
+	if m == nil || len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("report: marketplace has no jobs to audit")
+	}
+	audits := make([]JobAudit, 0, len(m.Jobs))
+	for _, job := range m.Jobs {
+		scores, err := job.Function.Score(m.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("report: scoring job %q: %w", job.Name, err)
+		}
+		pseudo, err := scoring.PseudoScores(scores)
+		if err != nil {
+			return nil, fmt.Errorf("report: ranking job %q: %w", job.Name, err)
+		}
+		res, err := core.Quantify(m.Workers, pseudo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("report: quantifying job %q: %w", job.Name, err)
+		}
+		most, least := FavoredGroups(res, pseudo)
+		audits = append(audits, JobAudit{
+			Job:          job.Name,
+			Function:     "[hidden — ranking only]",
+			Unfairness:   res.Unfairness,
+			Partitions:   len(res.Groups),
+			MostFavored:  most,
+			LeastFavored: least,
+			Elapsed:      res.Stats.Elapsed,
+			Result:       res,
+			Scores:       pseudo,
+		})
+	}
+	return audits, nil
+}
+
+// RenderAudit renders the auditor's marketplace-wide fairness report.
+func RenderAudit(marketplaceName string, audits []JobAudit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAIRNESS REPORT — marketplace %q\n\n", marketplaceName)
+	rows := make([][]string, 0, len(audits))
+	for _, a := range audits {
+		rows = append(rows, []string{
+			a.Job,
+			fmt.Sprintf("%.4f", a.Unfairness),
+			fmt.Sprintf("%d", a.Partitions),
+			a.MostFavored,
+			a.LeastFavored,
+		})
+	}
+	b.WriteString(TextTable(
+		[]string{"job", "unfairness", "groups", "most favored", "least favored"},
+		rows,
+	))
+	// Rank jobs by unfairness for the headline.
+	worst, worstVal := "", -1.0
+	for _, a := range audits {
+		if a.Unfairness > worstVal {
+			worst, worstVal = a.Job, a.Unfairness
+		}
+	}
+	fmt.Fprintf(&b, "\nmost problematic job: %q (unfairness %.4f)\n", worst, worstVal)
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/marketplace"
+)
+
+func TestAuditParallelMatchesSerial(t *testing.T) {
+	m, err := marketplace.PresetCrowdsourcing(400, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Attributes: []string{
+		marketplace.AttrGender, marketplace.AttrEthnicity, marketplace.AttrLanguage,
+	}}
+	serial, err := AuditMarketplace(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AuditParallel(m, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("lengths: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if parallel[i].Job != serial[i].Job {
+			t.Errorf("job order differs at %d: %q vs %q", i, parallel[i].Job, serial[i].Job)
+		}
+		if parallel[i].Unfairness != serial[i].Unfairness {
+			t.Errorf("job %q: unfairness %g vs %g", serial[i].Job, parallel[i].Unfairness, serial[i].Unfairness)
+		}
+		if parallel[i].MostFavored != serial[i].MostFavored {
+			t.Errorf("job %q: most favored differs", serial[i].Job)
+		}
+	}
+}
+
+func TestAuditParallelDefaultsWorkers(t *testing.T) {
+	m, err := marketplace.PresetFiverrLike(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits, err := AuditParallel(m, core.Config{}, 0) // GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audits) != len(m.Jobs) {
+		t.Errorf("audits: %d", len(audits))
+	}
+	// More workers than jobs is fine too.
+	audits, err = AuditParallel(m, core.Config{}, 64)
+	if err != nil || len(audits) != len(m.Jobs) {
+		t.Errorf("oversubscribed: %d, %v", len(audits), err)
+	}
+}
+
+func TestAuditParallelErrors(t *testing.T) {
+	if _, err := AuditParallel(nil, core.Config{}, 2); err == nil {
+		t.Error("nil marketplace should error")
+	}
+	m, err := marketplace.PresetFiverrLike(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid config propagates from workers.
+	if _, err := AuditParallel(m, core.Config{Attributes: []string{"nope"}}, 2); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestRankJobsByUnfairness(t *testing.T) {
+	audits := []JobAudit{
+		{Job: "a", Unfairness: 0.1},
+		{Job: "b", Unfairness: 0.3},
+		{Job: "c", Unfairness: 0.2},
+	}
+	ranked := RankJobsByUnfairness(audits)
+	if ranked[0].Job != "b" || ranked[1].Job != "c" || ranked[2].Job != "a" {
+		t.Errorf("ranking: %v", ranked)
+	}
+	// Input untouched.
+	if audits[0].Job != "a" {
+		t.Error("input mutated")
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+)
+
+// RankingTable renders ranking-native fairness statistics for a solved
+// partitioning: each group's share of the global top-k, its selection
+// rate, and its exposure, plus the top-k parity gap and worst exposure
+// ratio — the demographic-parity [2,11] and exposure [9] views of the
+// same partitioning FaiRank's EMD measure discovered.
+func RankingTable(res *core.Result, scores []float64, k int) (string, error) {
+	if res == nil || len(res.Groups) == 0 {
+		return "", fmt.Errorf("report: empty result")
+	}
+	parts := make([][]int, len(res.Groups))
+	for i, g := range res.Groups {
+		parts[i] = g.Rows
+	}
+	gs, err := fairness.RankStats(scores, parts, k)
+	if err != nil {
+		return "", err
+	}
+	gap, err := fairness.TopKParityGap(scores, parts, k)
+	if err != nil {
+		return "", err
+	}
+	ratio, err := fairness.ExposureRatio(scores, parts)
+	if err != nil {
+		return "", err
+	}
+	rows := make([][]string, len(gs))
+	for i, s := range gs {
+		rows[i] = []string{
+			res.Groups[i].Label(),
+			fmt.Sprintf("%d", s.Size),
+			fmt.Sprintf("%.3f", s.PopulationShare),
+			fmt.Sprintf("%d", s.TopKCount),
+			fmt.Sprintf("%.3f", s.SelectionRate),
+			fmt.Sprintf("%.3f", s.Exposure),
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranking-native view (top-%d):\n", k)
+	b.WriteString(TextTable(
+		[]string{"partition", "n", "pop share", "in top-k", "selection rate", "exposure"},
+		rows,
+	))
+	fmt.Fprintf(&b, "top-%d parity gap: %.4f (0 = demographic parity)\n", k, gap)
+	fmt.Fprintf(&b, "worst exposure ratio: %.4f (1 = equal exposure)\n", ratio)
+	return b.String(), nil
+}

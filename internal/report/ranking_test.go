@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRankingTable(t *testing.T) {
+	res, scores := table1Result(t)
+	out, err := RankingTable(res, scores, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ranking-native view (top-3):",
+		"selection rate",
+		"parity gap",
+		"exposure ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ranking table missing %q:\n%s", want, out)
+		}
+	}
+	// One row per group.
+	for _, g := range res.Groups {
+		if !strings.Contains(out, g.Label()) {
+			t.Errorf("missing group %q", g.Label())
+		}
+	}
+}
+
+func TestRankingTableErrors(t *testing.T) {
+	if _, err := RankingTable(nil, nil, 1); err == nil {
+		t.Error("nil result should error")
+	}
+	res, scores := table1Result(t)
+	if _, err := RankingTable(res, scores, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := RankingTable(res, scores, 99); err == nil {
+		t.Error("k>n should error")
+	}
+}

@@ -1,0 +1,258 @@
+// Package report renders FaiRank results for terminals and files: the
+// partitioning trees, per-partition statistic boxes and score
+// histograms of the paper's Figure 3 interface, plus the multi-job
+// auditor report of the AUDITOR demonstration scenario (§4).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// barGlyph is the unit of the ASCII histogram bars.
+const barGlyph = "█"
+
+// RenderHistogram draws a histogram as one line per bin:
+//
+//	[0.00,0.20)  ██████ 0.30
+//
+// width is the bar length of a full bin (mass 1 after normalization).
+func RenderHistogram(h histogram.Hist, width int) string {
+	if width < 1 {
+		width = 20
+	}
+	max := 0.0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = int(c / max * float64(width))
+		}
+		fmt.Fprintf(&b, "  %s %s %.2f\n", h.BinLabel(i), strings.Repeat(barGlyph, bar), c)
+	}
+	return b.String()
+}
+
+// GroupStats summarizes one partition for display: the content of the
+// paper's "Node box".
+type GroupStats struct {
+	Label string
+	Size  int
+	Score stats.Summary
+}
+
+// StatsFor computes GroupStats of a group under the given scores.
+func StatsFor(g partition.Group, scores []float64) GroupStats {
+	vals := make([]float64, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		if r >= 0 && r < len(scores) {
+			vals = append(vals, scores[r])
+		}
+	}
+	return GroupStats{Label: g.Label(), Size: g.Size(), Score: stats.Summarize(vals)}
+}
+
+// NodeBox renders one partition's statistics and histogram — what the
+// FaiRank UI shows when the user clicks a node of the tree.
+func NodeBox(g partition.Group, h histogram.Hist, scores []float64) string {
+	gs := StatsFor(g, scores)
+	var b strings.Builder
+	fmt.Fprintf(&b, "┌ %s\n", gs.Label)
+	fmt.Fprintf(&b, "│ individuals: %d\n", gs.Size)
+	fmt.Fprintf(&b, "│ scores: %s\n", gs.Score)
+	b.WriteString("│ distribution:\n")
+	for _, line := range strings.Split(strings.TrimRight(RenderHistogram(h, 24), "\n"), "\n") {
+		fmt.Fprintf(&b, "│%s\n", line)
+	}
+	b.WriteString("└\n")
+	return b.String()
+}
+
+// ResultOptions controls RenderResult.
+type ResultOptions struct {
+	// Histograms includes a mini histogram under each leaf.
+	Histograms bool
+	// Pairwise includes the pairwise-distance table.
+	Pairwise bool
+	// BarWidth is the histogram bar width (default 18).
+	BarWidth int
+}
+
+// RenderResult renders a quantification result as a panel: the
+// "General box" (criterion, unfairness, work counters), the
+// partitioning tree with per-leaf statistics, and optionally the
+// pairwise distance table — the textual equivalent of one Figure 3
+// panel.
+func RenderResult(res *core.Result, scores []float64, opts ResultOptions) string {
+	if opts.BarWidth == 0 {
+		opts.BarWidth = 18
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "criterion : %s %s\n", res.Objective, res.Measure.Name())
+	fmt.Fprintf(&b, "unfairness: %.4f\n", res.Unfairness)
+	fmt.Fprintf(&b, "partitions: %d\n", len(res.Groups))
+	fmt.Fprintf(&b, "work      : %d distance evals, %d splits scored", res.Stats.DistanceEvals, res.Stats.SplitsEvaluated)
+	if res.Stats.Partitionings > 0 {
+		fmt.Fprintf(&b, ", %d partitionings enumerated", res.Stats.Partitionings)
+	}
+	fmt.Fprintf(&b, ", %s\n", res.Stats.Elapsed.Round(10e3))
+
+	if res.Tree != nil {
+		b.WriteString("\n")
+		renderNode(&b, res, scores, res.Tree.Root, 0, opts)
+	} else {
+		b.WriteString("\npartitions (no tree; exhaustive search):\n")
+		for i, g := range res.Groups {
+			gs := StatsFor(g, scores)
+			fmt.Fprintf(&b, "  %s (n=%d, mean=%.3f)\n", gs.Label, gs.Size, gs.Score.Mean)
+			if opts.Histograms {
+				b.WriteString(indent(RenderHistogram(res.Hists[i], opts.BarWidth), "  "))
+			}
+		}
+	}
+
+	if opts.Pairwise && len(res.Pairwise) > 0 {
+		b.WriteString("\npairwise distances:\n")
+		for _, p := range res.Pairwise {
+			fmt.Fprintf(&b, "  %-46s vs %-46s %.4f\n", res.Groups[p.I].Label(), res.Groups[p.J].Label(), p.Distance)
+		}
+	}
+	return b.String()
+}
+
+// leafHistIndex maps leaf group labels to their histogram index.
+func leafHistIndex(res *core.Result) map[string]int {
+	idx := make(map[string]int, len(res.Groups))
+	for i, g := range res.Groups {
+		idx[g.Key()] = i
+	}
+	return idx
+}
+
+func renderNode(b *strings.Builder, res *core.Result, scores []float64, n *partition.Node, depth int, opts ResultOptions) {
+	pad := strings.Repeat("  ", depth)
+	gs := StatsFor(n.Group, scores)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s▣ %s  (n=%d, mean=%.3f)\n", pad, gs.Label, gs.Size, gs.Score.Mean)
+		if opts.Histograms {
+			if i, ok := leafHistIndex(res)[n.Group.Key()]; ok {
+				b.WriteString(indent(RenderHistogram(res.Hists[i], opts.BarWidth), pad))
+			}
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s▽ %s  (n=%d) — split on %s\n", pad, gs.Label, gs.Size, n.SplitAttr)
+	for _, c := range n.Children {
+		renderNode(b, res, scores, c, depth+1, opts)
+	}
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(pad)
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarkdownTable renders a GitHub-style table.
+func MarkdownTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// TextTable renders a fixed-width table with a header rule.
+func TextTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len([]rune(c)))
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var b strings.Builder
+	b.WriteString(line(headers) + "\n")
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString(line(rule) + "\n")
+	for _, row := range rows {
+		b.WriteString(line(row) + "\n")
+	}
+	return b.String()
+}
+
+// FavoredGroups returns the labels of the most and least favored
+// partitions of a result (highest and lowest mean score) — the
+// auditor's headline finding per job.
+func FavoredGroups(res *core.Result, scores []float64) (most, least string) {
+	bestMean, worstMean := -1.0, 2.0
+	for _, g := range res.Groups {
+		gs := StatsFor(g, scores)
+		if gs.Score.Mean > bestMean {
+			bestMean, most = gs.Score.Mean, gs.Label
+		}
+		if gs.Score.Mean < worstMean {
+			worstMean, least = gs.Score.Mean, gs.Label
+		}
+	}
+	return most, least
+}
+
+// SortPairsByDistance returns the result's pairwise breakdowns sorted
+// by decreasing distance — the "who is treated most differently"
+// ordering.
+func SortPairsByDistance(res *core.Result) []string {
+	out := make([]string, 0, len(res.Pairwise))
+	type row struct {
+		label string
+		d     float64
+	}
+	rows := make([]row, 0, len(res.Pairwise))
+	for _, p := range res.Pairwise {
+		rows = append(rows, row{
+			label: fmt.Sprintf("%s ↔ %s: %.4f", res.Groups[p.I].Label(), res.Groups[p.J].Label(), p.Distance),
+			d:     p.Distance,
+		})
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].d > rows[b].d })
+	for _, r := range rows {
+		out = append(out, r.label)
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+// Package scoring implements FaiRank's scoring functions: linear
+// combinations of observed attributes that map each individual to a
+// score in [0,1] (Definition 1 of the paper, f(w) = Σ αᵢ·bᵢ), plus the
+// rank-only mode used when the scoring function is not transparent
+// ("FaiRank builds histograms using ranks of individuals rather than
+// actual function scores", paper §1).
+package scoring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Term is one weighted observed attribute of a linear scoring
+// function.
+type Term struct {
+	Attr   string
+	Weight float64
+}
+
+// Linear is a linear scoring function f(w) = Σ αᵢ·bᵢ over observed
+// numeric attributes. With non-negative weights summing to 1 and
+// attributes in [0,1], scores land in [0,1] as Definition 1 requires.
+type Linear struct {
+	terms []Term
+}
+
+// NewLinear builds a linear scoring function from attribute weights.
+// A weight of zero "indicates that the corresponding attribute is not
+// relevant" (paper Definition 1) and is dropped. Negative, NaN and
+// infinite weights are rejected; at least one positive weight is
+// required. Terms are kept sorted by attribute name so String and
+// equality are deterministic.
+func NewLinear(weights map[string]float64) (*Linear, error) {
+	var terms []Term
+	for attr, w := range weights {
+		if attr == "" {
+			return nil, fmt.Errorf("scoring: empty attribute name")
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("scoring: invalid weight %g for %q", w, attr)
+		}
+		if w == 0 {
+			continue
+		}
+		terms = append(terms, Term{Attr: attr, Weight: w})
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("scoring: no positive weights")
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Attr < terms[j].Attr })
+	return &Linear{terms: terms}, nil
+}
+
+// Terms returns a copy of the function's terms.
+func (l *Linear) Terms() []Term { return append([]Term(nil), l.terms...) }
+
+// TotalWeight returns the sum of weights.
+func (l *Linear) TotalWeight() float64 {
+	s := 0.0
+	for _, t := range l.terms {
+		s += t.Weight
+	}
+	return s
+}
+
+// Normalized returns a copy whose weights sum to 1, preserving their
+// proportions. This guarantees scores stay in [0,1] whenever the
+// attributes do.
+func (l *Linear) Normalized() *Linear {
+	total := l.TotalWeight()
+	terms := make([]Term, len(l.terms))
+	for i, t := range l.terms {
+		terms[i] = Term{Attr: t.Attr, Weight: t.Weight / total}
+	}
+	return &Linear{terms: terms}
+}
+
+// String renders the function as "0.3*language_test + 0.7*rating".
+func (l *Linear) String() string {
+	parts := make([]string, len(l.terms))
+	for i, t := range l.terms {
+		parts[i] = fmt.Sprintf("%g*%s", t.Weight, t.Attr)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Score computes f(w) for every individual of d. Each term's attribute
+// must exist, be numeric, and have no missing values; out-of-[0,1]
+// results are reported as an error when the function's weights sum to
+// at most 1, since that indicates attributes outside [0,1] (normalize
+// them first with MinMaxNormalize).
+func (l *Linear) Score(d *dataset.Dataset) ([]float64, error) {
+	cols := make([][]float64, len(l.terms))
+	for i, t := range l.terms {
+		vals, err := d.Num(t.Attr)
+		if err != nil {
+			return nil, fmt.Errorf("scoring: %w", err)
+		}
+		cols[i] = vals
+	}
+	checkRange := l.TotalWeight() <= 1+1e-9
+	out := make([]float64, d.Len())
+	for r := 0; r < d.Len(); r++ {
+		s := 0.0
+		for i, t := range l.terms {
+			v := cols[i][r]
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("scoring: individual %q has missing %q; impute or drop first", d.ID(r), t.Attr)
+			}
+			s += t.Weight * v
+		}
+		if checkRange && (s < -1e-9 || s > 1+1e-9) {
+			return nil, fmt.Errorf("scoring: score %g for %q outside [0,1]; normalize attributes first", s, d.ID(r))
+		}
+		out[r] = s
+	}
+	return out, nil
+}
+
+// Parse parses a scoring expression of the form
+// "0.3*language_test + 0.7*rating". Whitespace is flexible; each term
+// is weight '*' attribute; a bare attribute means weight 1.
+func Parse(expr string) (*Linear, error) {
+	weights := make(map[string]float64)
+	for _, raw := range strings.Split(expr, "+") {
+		term := strings.TrimSpace(raw)
+		if term == "" {
+			return nil, fmt.Errorf("scoring: empty term in %q", expr)
+		}
+		var attr string
+		w := 1.0
+		if i := strings.Index(term, "*"); i >= 0 {
+			ws := strings.TrimSpace(term[:i])
+			attr = strings.TrimSpace(term[i+1:])
+			parsed, err := strconv.ParseFloat(ws, 64)
+			if err != nil {
+				return nil, fmt.Errorf("scoring: bad weight %q in %q", ws, expr)
+			}
+			w = parsed
+		} else {
+			attr = term
+		}
+		if attr == "" || strings.ContainsAny(attr, " \t*") {
+			return nil, fmt.Errorf("scoring: bad attribute %q in %q", attr, expr)
+		}
+		if _, dup := weights[attr]; dup {
+			return nil, fmt.Errorf("scoring: attribute %q appears twice in %q", attr, expr)
+		}
+		weights[attr] = w
+	}
+	return NewLinear(weights)
+}
+
+// MinMaxNormalize returns a dataset in which each named numeric
+// attribute is rescaled to [0,1] via (v-min)/(max-min). Constant
+// columns map to 0.5. Missing values stay missing. If no attributes
+// are given, every observed numeric attribute is normalized.
+func MinMaxNormalize(d *dataset.Dataset, attrs ...string) (*dataset.Dataset, error) {
+	if len(attrs) == 0 {
+		for _, name := range d.Schema().Observed() {
+			a, err := d.Schema().Attr(name)
+			if err != nil {
+				return nil, err
+			}
+			if a.Kind == dataset.Numeric {
+				attrs = append(attrs, name)
+			}
+		}
+	}
+	// Rebuild row by row through a builder: columns are immutable.
+	norm := make(map[string][]float64, len(attrs))
+	for _, attr := range attrs {
+		vals, err := d.Num(attr)
+		if err != nil {
+			return nil, fmt.Errorf("scoring: normalize: %w", err)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if math.IsInf(lo, 1) {
+			return nil, fmt.Errorf("scoring: normalize %q: all values missing", attr)
+		}
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			switch {
+			case math.IsNaN(v):
+				out[i] = math.NaN()
+			case hi == lo:
+				out[i] = 0.5
+			default:
+				out[i] = (v - lo) / (hi - lo)
+			}
+		}
+		norm[attr] = out
+	}
+	b := dataset.NewBuilder(d.Schema())
+	for r := 0; r < d.Len(); r++ {
+		cats := make(map[string]string)
+		nums := make(map[string]float64)
+		for i := 0; i < d.Schema().Len(); i++ {
+			a := d.Schema().At(i)
+			if a.Kind == dataset.Categorical {
+				v, err := d.Value(a.Name, r)
+				if err != nil {
+					return nil, err
+				}
+				cats[a.Name] = v
+				continue
+			}
+			if nv, ok := norm[a.Name]; ok {
+				if !math.IsNaN(nv[r]) {
+					nums[a.Name] = nv[r]
+				}
+				continue
+			}
+			vals, err := d.Num(a.Name)
+			if err != nil {
+				return nil, err
+			}
+			if !math.IsNaN(vals[r]) {
+				nums[a.Name] = vals[r]
+			}
+		}
+		b.AppendNumeric(d.ID(r), cats, nums)
+	}
+	return b.Build()
+}
+
+// PseudoScoresFromRanks converts 1-based ranks (best = 1; ties allowed
+// as average ranks) into pseudo-scores in [0,1]: rank r of n maps to
+// (n-r)/(n-1), so the best individual gets 1 and the worst 0. This is
+// the rank-only transparency mode of the paper. A single individual
+// gets score 1.
+func PseudoScoresFromRanks(ranks []float64) ([]float64, error) {
+	n := len(ranks)
+	if n == 0 {
+		return nil, fmt.Errorf("scoring: empty ranking")
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out, nil
+	}
+	for i, r := range ranks {
+		if math.IsNaN(r) || r < 1 || r > float64(n) {
+			return nil, fmt.Errorf("scoring: rank %g at %d outside [1,%d]", r, i, n)
+		}
+		out[i] = (float64(n) - r) / (float64(n) - 1)
+	}
+	return out, nil
+}
+
+// PseudoScores converts raw scores into rank-based pseudo-scores: the
+// composition of average ranking (ties share ranks) and
+// PseudoScoresFromRanks. This is what an auditor can compute when a
+// marketplace exposes only the order of candidates.
+func PseudoScores(scores []float64) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("scoring: empty scores")
+	}
+	return PseudoScoresFromRanks(stats.AverageRanks(scores))
+}
+
+// RankingFromOrder converts an ordered list of row indices (best
+// first) into 1-based ranks per row. Every row must appear exactly
+// once.
+func RankingFromOrder(order []int, n int) ([]float64, error) {
+	if len(order) != n {
+		return nil, fmt.Errorf("scoring: order has %d entries, dataset has %d", len(order), n)
+	}
+	ranks := make([]float64, n)
+	seen := make([]bool, n)
+	for pos, row := range order {
+		if row < 0 || row >= n {
+			return nil, fmt.Errorf("scoring: order entry %d out of range [0,%d)", row, n)
+		}
+		if seen[row] {
+			return nil, fmt.Errorf("scoring: row %d appears twice in order", row)
+		}
+		seen[row] = true
+		ranks[row] = float64(pos + 1)
+	}
+	return ranks, nil
+}

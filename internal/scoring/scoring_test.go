@@ -1,0 +1,350 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear(nil); err == nil {
+		t.Error("no weights should error")
+	}
+	if _, err := NewLinear(map[string]float64{"a": 0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := NewLinear(map[string]float64{"a": -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := NewLinear(map[string]float64{"a": math.NaN()}); err == nil {
+		t.Error("NaN weight should error")
+	}
+	if _, err := NewLinear(map[string]float64{"": 1}); err == nil {
+		t.Error("empty attr should error")
+	}
+	l, err := NewLinear(map[string]float64{"a": 0.5, "b": 0, "c": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Terms()) != 2 {
+		t.Errorf("zero-weight term kept: %v", l.Terms())
+	}
+}
+
+func TestLinearStringDeterministic(t *testing.T) {
+	l, _ := NewLinear(map[string]float64{"rating": 0.7, "language_test": 0.3})
+	if got := l.String(); got != "0.3*language_test + 0.7*rating" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	l, _ := NewLinear(map[string]float64{"a": 2, "b": 6})
+	n := l.Normalized()
+	terms := n.Terms()
+	if terms[0].Weight != 0.25 || terms[1].Weight != 0.75 {
+		t.Errorf("Normalized terms = %v", terms)
+	}
+	if math.Abs(n.TotalWeight()-1) > 1e-12 {
+		t.Errorf("TotalWeight = %g", n.TotalWeight())
+	}
+	// Original untouched.
+	if l.TotalWeight() != 8 {
+		t.Error("Normalized mutated receiver")
+	}
+}
+
+func TestScoreTable1Exact(t *testing.T) {
+	d := dataset.Table1()
+	l, err := NewLinear(dataset.Table1Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := l.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Table1Scores()
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-9 {
+			t.Errorf("f(%s) = %.6f, want %.6f", d.ID(i), scores[i], want[i])
+		}
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	d := dataset.Table1()
+	l, _ := NewLinear(map[string]float64{"nope": 1})
+	if _, err := l.Score(d); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	l, _ = NewLinear(map[string]float64{dataset.AttrGender: 1})
+	if _, err := l.Score(d); err == nil {
+		t.Error("categorical attribute should error")
+	}
+	// Out-of-range attribute with weights summing to 1.
+	l, _ = NewLinear(map[string]float64{dataset.AttrExperience: 1})
+	if _, err := l.Score(d); err == nil {
+		t.Error("unnormalized attribute should error when weights sum to 1")
+	}
+}
+
+func TestScoreMissingValue(t *testing.T) {
+	s, _ := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Observed},
+	)
+	d, err := dataset.NewBuilder(s).Append("a", []string{""}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := NewLinear(map[string]float64{"x": 1})
+	if _, err := l.Score(d); err == nil {
+		t.Error("missing value should error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	l, err := Parse("0.3*language_test + 0.7*rating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "0.3*language_test + 0.7*rating" {
+		t.Errorf("parsed String = %q", got)
+	}
+	// Bare attribute = weight 1.
+	l, err = Parse("rating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terms := l.Terms(); len(terms) != 1 || terms[0].Weight != 1 {
+		t.Errorf("bare attr terms = %v", terms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		"", " + ", "0.3*", "*rating", "x*rating", "0.3x*rating",
+		"0.5*a + 0.5*a", "-0.3*rating", "0.3*a b",
+	} {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) should error", expr)
+		}
+	}
+}
+
+func TestParseScoreRoundTrip(t *testing.T) {
+	d := dataset.Table1()
+	l, err := Parse("0.3*language_test + 0.7*rating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := l.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Table1Scores()
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-9 {
+			t.Fatalf("parsed function diverges at %d: %g vs %g", i, scores[i], want[i])
+		}
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	d := dataset.Table1()
+	n, err := MinMaxNormalize(d, dataset.AttrExperience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := n.Num(dataset.AttrExperience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v < 0 || v > 1 {
+			t.Errorf("normalized value %d = %g", i, v)
+		}
+	}
+	// w5 has max experience (21) -> 1; w1 and w8 have 0 -> 0.
+	if vals[4] != 1 || vals[0] != 0 {
+		t.Errorf("normalization endpoints: %v", vals)
+	}
+	// Original untouched.
+	orig, _ := d.Num(dataset.AttrExperience)
+	if orig[4] != 21 {
+		t.Error("MinMaxNormalize mutated input")
+	}
+}
+
+func TestMinMaxNormalizeDefaultsToObserved(t *testing.T) {
+	d := dataset.Table1()
+	n, err := MinMaxNormalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := n.Num(dataset.AttrExperience)
+	if vals[4] != 1 {
+		t.Error("observed attr not normalized by default")
+	}
+	// Protected numeric (year_of_birth) untouched by default.
+	yob, _ := n.Num(dataset.AttrYearOfBirth)
+	if yob[0] != 2004 {
+		t.Error("protected attr normalized unexpectedly")
+	}
+}
+
+func TestMinMaxNormalizeConstantColumn(t *testing.T) {
+	s, _ := dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Observed})
+	d, err := dataset.NewBuilder(s).
+		Append("a", []string{"3"}).
+		Append("b", []string{"3"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := MinMaxNormalize(d, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := n.Num("x")
+	if vals[0] != 0.5 || vals[1] != 0.5 {
+		t.Errorf("constant column should map to 0.5: %v", vals)
+	}
+}
+
+func TestMinMaxNormalizeErrors(t *testing.T) {
+	d := dataset.Table1()
+	if _, err := MinMaxNormalize(d, "nope"); err == nil {
+		t.Error("unknown attr should error")
+	}
+	s, _ := dataset.NewSchema(dataset.Attribute{Name: "x", Kind: dataset.Numeric, Role: dataset.Observed})
+	allMissing, err := dataset.NewBuilder(s).Append("a", []string{""}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinMaxNormalize(allMissing, "x"); err == nil {
+		t.Error("all-missing attr should error")
+	}
+}
+
+func TestPseudoScoresFromRanks(t *testing.T) {
+	// 3 individuals, ranks 1..3 -> scores 1, 0.5, 0.
+	out, err := PseudoScoresFromRanks([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("pseudo scores = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestPseudoScoresFromRanksSingleton(t *testing.T) {
+	out, err := PseudoScoresFromRanks([]float64{1})
+	if err != nil || out[0] != 1 {
+		t.Errorf("singleton pseudo score = %v, %v", out, err)
+	}
+}
+
+func TestPseudoScoresFromRanksErrors(t *testing.T) {
+	if _, err := PseudoScoresFromRanks(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := PseudoScoresFromRanks([]float64{0.5, 2}); err == nil {
+		t.Error("rank < 1 should error")
+	}
+	if _, err := PseudoScoresFromRanks([]float64{1, 5}); err == nil {
+		t.Error("rank > n should error")
+	}
+}
+
+func TestPseudoScoresPreservesOrder(t *testing.T) {
+	scores := []float64{0.2, 0.9, 0.5, 0.7}
+	pseudo, err := PseudoScores(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order must be preserved: argsort identical.
+	for i := range scores {
+		for j := range scores {
+			if (scores[i] < scores[j]) != (pseudo[i] < pseudo[j]) {
+				t.Fatalf("order not preserved at (%d,%d): %v -> %v", i, j, scores, pseudo)
+			}
+		}
+	}
+	// Best gets 1, worst gets 0.
+	if pseudo[1] != 1 || pseudo[0] != 0 {
+		t.Errorf("pseudo endpoints: %v", pseudo)
+	}
+}
+
+func TestPseudoScoresTies(t *testing.T) {
+	pseudo, err := PseudoScores([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pseudo[0] != pseudo[1] {
+		t.Errorf("tied scores got different pseudo scores: %v", pseudo)
+	}
+}
+
+func TestRankingFromOrder(t *testing.T) {
+	ranks, err := RankingFromOrder([]int{2, 0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 1}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRankingFromOrderErrors(t *testing.T) {
+	if _, err := RankingFromOrder([]int{0}, 2); err == nil {
+		t.Error("short order should error")
+	}
+	if _, err := RankingFromOrder([]int{0, 0}, 2); err == nil {
+		t.Error("duplicate row should error")
+	}
+	if _, err := RankingFromOrder([]int{0, 5}, 2); err == nil {
+		t.Error("out-of-range row should error")
+	}
+}
+
+// Property: pseudo-scores always live in [0,1] and are monotone in the
+// original scores.
+func TestPseudoScoresQuick(t *testing.T) {
+	g := stats.NewRNG(909)
+	f := func(nn uint8) bool {
+		n := int(nn%30) + 2
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = g.Float64()
+		}
+		pseudo, err := PseudoScores(scores)
+		if err != nil {
+			return false
+		}
+		for i := range pseudo {
+			if pseudo[i] < 0 || pseudo[i] > 1 {
+				return false
+			}
+			for j := range pseudo {
+				if scores[i] < scores[j] && pseudo[i] >= pseudo[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

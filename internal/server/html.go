@@ -1,0 +1,134 @@
+package server
+
+// indexHTML is the embedded single-page UI: a Configuration box on the
+// left (dataset / scoring function / fairness criterion / filter) and
+// result panels on the right, mirroring the layout of the paper's
+// Figure 3. Panels render the server-side ASCII trees in monospace so
+// the UI and the CLI show identical content.
+const indexHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>FaiRank — fairness of ranking explorer</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; display: flex; min-height: 100vh; }
+  #config { width: 330px; padding: 16px; background: #f4f5f7; border-right: 1px solid #ddd; }
+  #config h1 { font-size: 18px; margin: 0 0 12px; }
+  #config label { display: block; margin-top: 10px; font-size: 12px; color: #444; }
+  #config input, #config select { width: 100%; box-sizing: border-box; padding: 5px; margin-top: 2px; }
+  #config button { margin-top: 14px; width: 100%; padding: 8px; background: #2457a7; color: #fff; border: 0; cursor: pointer; }
+  #config button.secondary { background: #5a6b84; }
+  #panels { flex: 1; padding: 16px; display: flex; flex-wrap: wrap; gap: 14px; align-items: flex-start; }
+  .panel { border: 1px solid #ccc; border-radius: 6px; background: #fff; max-width: 640px; }
+  .panel header { display: flex; justify-content: space-between; padding: 6px 10px; background: #e8ecf3; font-size: 13px; }
+  .panel pre { margin: 0; padding: 10px; font-size: 12px; overflow-x: auto; }
+  .panel .close { cursor: pointer; color: #a22; border: 0; background: none; }
+  #error { color: #a22; font-size: 12px; margin-top: 10px; white-space: pre-wrap; }
+</style>
+</head>
+<body>
+<div id="config">
+  <h1>FaiRank</h1>
+  <label>Dataset <select id="dataset"></select></label>
+  <label>Scoring function <input id="function" placeholder="0.3*language_test + 0.7*rating"></label>
+  <label><input type="checkbox" id="rankonly" style="width:auto"> rank-only (hide the function)</label>
+  <label>Filter (attr=value, comma separated) <input id="filter" placeholder="language=English"></label>
+  <label>Objective <select id="objective">
+    <option value="most">most unfair</option>
+    <option value="least">least unfair</option>
+  </select></label>
+  <label>Aggregation <select id="aggregator">
+    <option>avg</option><option>max</option><option>min</option><option>variance</option>
+  </select></label>
+  <label>Distance <select id="distance">
+    <option>emd</option><option>emd-hat</option><option>ks</option><option>tv</option>
+  </select></label>
+  <label>Histogram bins <input id="bins" type="number" value="5" min="1"></label>
+  <button onclick="quantify()">Quantify fairness</button>
+  <button class="secondary" onclick="generate()">Generate marketplace…</button>
+  <button class="secondary" onclick="anonymize()">k-anonymize dataset…</button>
+  <div id="error"></div>
+</div>
+<div id="panels"></div>
+<script>
+async function api(path, opts) {
+  const res = await fetch(path, opts);
+  const body = await res.json();
+  if (!res.ok) throw new Error(body.error || res.statusText);
+  return body;
+}
+function setError(e) { document.getElementById('error').textContent = e ? String(e.message || e) : ''; }
+async function refreshDatasets() {
+  const list = await api('/api/datasets');
+  const sel = document.getElementById('dataset');
+  const current = sel.value;
+  sel.innerHTML = '';
+  for (const d of list) {
+    const o = document.createElement('option');
+    o.value = d.name; o.textContent = d.name + ' (' + d.rows + ' rows)';
+    sel.appendChild(o);
+  }
+  if (current) sel.value = current;
+}
+function addPanel(p) {
+  const div = document.createElement('div');
+  div.className = 'panel';
+  const head = document.createElement('header');
+  const title = document.createElement('span');
+  title.textContent = '#' + p.id + ' ' + p.dataset + ' — ' + p.function;
+  const close = document.createElement('button');
+  close.className = 'close'; close.textContent = '✕';
+  close.onclick = async () => { await api('/api/panels/' + p.id, {method: 'DELETE'}); div.remove(); };
+  head.appendChild(title); head.appendChild(close);
+  const pre = document.createElement('pre');
+  pre.textContent = p.text || '';
+  div.appendChild(head); div.appendChild(pre);
+  document.getElementById('panels').appendChild(div);
+}
+async function quantify() {
+  setError();
+  try {
+    const filter = document.getElementById('filter').value
+      .split(',').map(s => s.trim()).filter(Boolean);
+    const p = await api('/api/quantify', {method: 'POST', body: JSON.stringify({
+      Dataset: document.getElementById('dataset').value,
+      Function: document.getElementById('function').value,
+      RankOnly: document.getElementById('rankonly').checked,
+      Filter: filter,
+      Objective: document.getElementById('objective').value,
+      Aggregator: document.getElementById('aggregator').value,
+      Distance: document.getElementById('distance').value,
+      Bins: parseInt(document.getElementById('bins').value, 10) || 5,
+    })});
+    addPanel(p);
+  } catch (e) { setError(e); }
+}
+async function generate() {
+  setError();
+  try {
+    const preset = prompt('Preset (crowdsourcing, taskrabbit, fiverr):', 'crowdsourcing');
+    if (!preset) return;
+    const n = parseInt(prompt('Workers:', '2000'), 10) || 2000;
+    const out = await api('/api/datasets/generate', {method: 'POST',
+      body: JSON.stringify({preset: preset, n: n, seed: 1})});
+    await refreshDatasets();
+    alert('Generated ' + out.name + '. Jobs:\n' + (out.jobs || []).join('\n'));
+  } catch (e) { setError(e); }
+}
+async function anonymize() {
+  setError();
+  try {
+    const k = parseInt(prompt('k:', '5'), 10);
+    if (!k) return;
+    const algorithm = prompt('Algorithm (mondrian, datafly):', 'mondrian');
+    const out = await api('/api/datasets/anonymize', {method: 'POST',
+      body: JSON.stringify({dataset: document.getElementById('dataset').value, k: k, algorithm: algorithm})});
+    await refreshDatasets();
+    alert('Created ' + out.name);
+  } catch (e) { setError(e); }
+}
+refreshDatasets().catch(setError);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,363 @@
+// Package server exposes FaiRank's interactive exploration over HTTP:
+// a JSON API plus an embedded single-page UI reproducing the workflow
+// of the paper's Figure 3 — a Configuration box (dataset, scoring
+// function, fairness criterion, filters), side-by-side result panels
+// with partitioning trees, and per-node statistics.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/histogram"
+	"repro/internal/marketplace"
+	"repro/internal/partition"
+	"repro/internal/report"
+)
+
+// Server wires a core.Session to HTTP handlers.
+type Server struct {
+	sess *core.Session
+	mux  *http.ServeMux
+}
+
+// New returns a server over the given session.
+func New(sess *core.Session) *Server {
+	s := &Server{sess: sess, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /api/datasets/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /api/datasets/anonymize", s.handleAnonymize)
+	s.mux.HandleFunc("POST /api/quantify", s.handleQuantify)
+	s.mux.HandleFunc("GET /api/panels", s.handlePanels)
+	s.mux.HandleFunc("GET /api/panels/{id}", s.handlePanel)
+	s.mux.HandleFunc("DELETE /api/panels/{id}", s.handlePanelDelete)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the client sees a truncated
+		// body and retries.
+		return
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// datasetInfo describes a dataset for the configuration box.
+type datasetInfo struct {
+	Name       string     `json:"name"`
+	Rows       int        `json:"rows"`
+	Attributes []attrInfo `json:"attributes"`
+}
+
+type attrInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Role string `json:"role"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var out []datasetInfo
+	for _, name := range s.sess.DatasetNames() {
+		d, err := s.sess.Dataset(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		info := datasetInfo{Name: name, Rows: d.Len()}
+		for i := 0; i < d.Schema().Len(); i++ {
+			a := d.Schema().At(i)
+			info.Attributes = append(info.Attributes, attrInfo{Name: a.Name, Kind: a.Kind.String(), Role: a.Role.String()})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// generateRequest asks for a synthetic marketplace population.
+type generateRequest struct {
+	Name   string `json:"name"`
+	Preset string `json:"preset"`
+	N      int    `json:"n"`
+	Seed   uint64 `json:"seed"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	if req.N <= 0 {
+		req.N = 1000
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	m, err := marketplace.PresetByName(req.Preset, req.N, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = m.Name
+	}
+	if err := s.sess.AddDataset(name, m.Workers); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := make([]string, 0, len(m.Jobs))
+	for _, j := range m.Jobs {
+		jobs = append(jobs, fmt.Sprintf("%s: %s", j.Name, j.Function))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "rows": m.Workers.Len(), "jobs": jobs})
+}
+
+// anonymizeRequest asks for a k-anonymized copy of a dataset.
+type anonymizeRequest struct {
+	Dataset   string `json:"dataset"`
+	Name      string `json:"name"`
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm"` // "mondrian" (default) or "datafly"
+}
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req anonymizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	d, err := s.sess.Dataset(req.Dataset)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if req.K < 2 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: k must be >= 2, got %d", req.K))
+		return
+	}
+	quasi := d.Schema().Protected()
+	if len(quasi) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: dataset %q has no protected attributes", req.Dataset))
+		return
+	}
+	var anon *dataset.Dataset
+	switch req.Algorithm {
+	case "", "mondrian":
+		anon, err = anonymize.Mondrian(d, quasi, req.K)
+	case "datafly":
+		// Suppression-only hierarchies generated from the domains:
+		// the zero-configuration Datafly an ARX user starts with.
+		var hs []*anonymize.Hierarchy
+		for _, q := range quasi {
+			a, aerr := d.Schema().Attr(q)
+			if aerr != nil {
+				writeErr(w, http.StatusInternalServerError, aerr)
+				return
+			}
+			if a.Kind != dataset.Categorical {
+				continue
+			}
+			vals, verr := d.DistinctValues(q, nil)
+			if verr != nil {
+				writeErr(w, http.StatusInternalServerError, verr)
+				return
+			}
+			h, herr := anonymize.SuppressionHierarchy(q, vals)
+			if herr != nil {
+				writeErr(w, http.StatusInternalServerError, herr)
+				return
+			}
+			hs = append(hs, h)
+		}
+		if len(hs) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: no categorical protected attributes to generalize"))
+			return
+		}
+		var res *anonymize.DataflyResult
+		res, err = anonymize.Datafly(d, hs, req.K, d.Len()/20)
+		if err == nil {
+			anon = res.Data
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown algorithm %q", req.Algorithm))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-k%d", req.Dataset, req.K)
+	}
+	if err := s.sess.AddDataset(name, anon); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "rows": anon.Len()})
+}
+
+// panelSummary is the JSON form of a panel.
+type panelSummary struct {
+	ID         int       `json:"id"`
+	Dataset    string    `json:"dataset"`
+	Function   string    `json:"function"`
+	Criterion  string    `json:"criterion"`
+	Filter     string    `json:"filter,omitempty"`
+	Population int       `json:"population"`
+	Unfairness float64   `json:"unfairness"`
+	Partitions int       `json:"partitions"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	Tree       *treeNode `json:"tree,omitempty"`
+	Text       string    `json:"text,omitempty"`
+}
+
+// treeNode is the JSON form of a partitioning tree node.
+type treeNode struct {
+	Label     string      `json:"label"`
+	Size      int         `json:"size"`
+	SplitAttr string      `json:"split_attr,omitempty"`
+	MeanScore float64     `json:"mean_score"`
+	Histogram []float64   `json:"histogram,omitempty"`
+	Children  []*treeNode `json:"children,omitempty"`
+}
+
+func buildTree(p *core.Panel) *treeNode {
+	if p.Result.Tree == nil {
+		return nil
+	}
+	hists := make(map[string]histogram.Hist, len(p.Result.Groups))
+	for i, g := range p.Result.Groups {
+		hists[g.Key()] = p.Result.Hists[i]
+	}
+	var walk func(n *partition.Node) *treeNode
+	walk = func(n *partition.Node) *treeNode {
+		gs := report.StatsFor(n.Group, p.Scores)
+		out := &treeNode{
+			Label:     n.Group.Label(),
+			Size:      n.Group.Size(),
+			SplitAttr: n.SplitAttr,
+			MeanScore: gs.Score.Mean,
+		}
+		if h, ok := hists[n.Group.Key()]; ok && n.IsLeaf() {
+			out.Histogram = append([]float64(nil), h.Counts...)
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, walk(c))
+		}
+		return out
+	}
+	return walk(p.Result.Tree.Root)
+}
+
+func toSummary(p *core.Panel, includeDetail bool) panelSummary {
+	out := panelSummary{
+		ID:         p.ID,
+		Dataset:    p.Dataset,
+		Function:   p.Function,
+		Criterion:  p.Criterion,
+		Filter:     p.Filter,
+		Population: p.Population,
+		Unfairness: p.Result.Unfairness,
+		Partitions: len(p.Result.Groups),
+		ElapsedMS:  float64(p.Result.Stats.Elapsed.Microseconds()) / 1000,
+	}
+	if includeDetail {
+		out.Tree = buildTree(p)
+		out.Text = report.RenderResult(p.Result, p.Scores, report.ResultOptions{Histograms: true, Pairwise: true})
+	}
+	return out
+}
+
+func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
+	var req core.PanelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	p, err := s.sess.Quantify(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown dataset") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSummary(p, true))
+}
+
+func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {
+	panels := s.sess.Panels()
+	out := make([]panelSummary, 0, len(panels))
+	for _, p := range panels {
+		out = append(out, toSummary(p, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) panelID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("server: bad panel id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
+	id, err := s.panelID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.sess.Panel(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSummary(p, true))
+}
+
+func (s *Server) handlePanelDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := s.panelID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sess.RemovePanel(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+}

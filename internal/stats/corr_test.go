@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation: got %g", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anti-correlation: got %g", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("zero-variance series should give 0, got %g", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("n<2 should error")
+	}
+}
+
+func TestAverageRanksBestFirst(t *testing.T) {
+	ranks := AverageRanks([]float64{0.1, 0.9, 0.5})
+	// 0.9 is best (rank 1), 0.5 rank 2, 0.1 rank 3.
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("AverageRanks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestAverageRanksTies(t *testing.T) {
+	ranks := AverageRanks([]float64{0.5, 0.5, 0.9, 0.1})
+	// 0.9 rank 1; the two 0.5s tie for ranks 2,3 -> 2.5; 0.1 rank 4.
+	want := []float64{2.5, 2.5, 1, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("tied AverageRanks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("monotone Spearman: got %g, want 1", r)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// Identical samples -> 0.
+	d, err := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical KS: got %g", d)
+	}
+	// Fully separated samples -> 1.
+	d, err = KolmogorovSmirnov([]float64{1, 2}, []float64{10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("separated KS: got %g, want 1", d)
+	}
+}
+
+func TestKolmogorovSmirnovEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestKolmogorovSmirnovSymmetry(t *testing.T) {
+	g := NewRNG(55)
+	a := make([]float64, 40)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = g.Float64()
+	}
+	for i := range b {
+		b[i] = g.Float64() * 2
+	}
+	d1, _ := KolmogorovSmirnov(a, b)
+	d2, _ := KolmogorovSmirnov(b, a)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("KS not symmetric: %g vs %g", d1, d2)
+	}
+}

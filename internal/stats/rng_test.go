@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewRNG(7)
+	c1 := g.Split()
+	c2 := g.Split()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("split children look identical")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) produced %g", v)
+		}
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 2000; i++ {
+		v := g.TruncNormal(0.5, 0.2, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("TruncNormal escaped bounds: %g", v)
+		}
+	}
+}
+
+func TestTruncNormalFarTailClamps(t *testing.T) {
+	g := NewRNG(13)
+	v := g.TruncNormal(100, 0.001, 0, 1)
+	if v != 1 {
+		t.Fatalf("far-tail TruncNormal should clamp to hi, got %g", v)
+	}
+}
+
+func TestTruncNormalSwappedBounds(t *testing.T) {
+	g := NewRNG(17)
+	v := g.TruncNormal(0.5, 0.1, 1, 0) // lo > hi is tolerated
+	if v < 0 || v > 1 {
+		t.Fatalf("TruncNormal with swapped bounds escaped: %g", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(5)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Normal(2, 3)
+	}
+	if m := Mean(xs); math.Abs(m-2) > 0.1 {
+		t.Errorf("Normal mean: got %g want ~2", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-3) > 0.1 {
+		t.Errorf("Normal sd: got %g want ~3", sd)
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	g := NewRNG(9)
+	a, b := 2.0, 5.0
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Beta(a, b)
+		if xs[i] < 0 || xs[i] > 1 {
+			t.Fatalf("Beta sample outside [0,1]: %g", xs[i])
+		}
+	}
+	wantMean := a / (a + b)
+	if m := Mean(xs); math.Abs(m-wantMean) > 0.01 {
+		t.Errorf("Beta mean: got %g want ~%g", m, wantMean)
+	}
+}
+
+func TestBetaShapeBelowOne(t *testing.T) {
+	g := NewRNG(21)
+	for i := 0; i < 1000; i++ {
+		v := g.Beta(0.5, 0.5)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Beta(0.5,0.5) invalid sample %g", v)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) should panic")
+		}
+	}()
+	NewRNG(1).Gamma(0)
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(31)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		k, err := g.Categorical(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[k]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio: got %g want ~3", ratio)
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	g := NewRNG(1)
+	if _, err := g.Categorical(nil); err == nil {
+		t.Error("empty weights should error")
+	}
+	if _, err := g.Categorical([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := g.Categorical([]float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := g.Categorical([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should error")
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(2)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBetaAlwaysInUnitIntervalQuick(t *testing.T) {
+	g := NewRNG(99)
+	f := func(a, b uint8) bool {
+		sa := 0.1 + float64(a%40)/10
+		sb := 0.1 + float64(b%40)/10
+		v := g.Beta(sa, sb)
+		return v >= 0 && v <= 1 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
