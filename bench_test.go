@@ -9,6 +9,7 @@ package fairank
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -119,6 +120,48 @@ func BenchmarkE3(b *testing.B) {
 			u = res.Unfairness
 		}
 		b.ReportMetric(u, "unfairness")
+	})
+}
+
+// BenchmarkQuantify compares the sequential baseline (Workers=1)
+// against the parallel engine (Workers=GOMAXPROCS), both cold-cache,
+// plus the warm path where a shared Cache serves the memoized
+// histograms and EMD distances of a previous identical run — the
+// interactive-session revisit pattern. TryAllRoots widens the root
+// fan-out the pool spreads over. All three variants return
+// bit-identical results (see core's TestParallelEquivalence).
+func BenchmarkQuantify(b *testing.B) {
+	d, scores := benchPopulation(b, 20000, 6, 3)
+	base := Config{TryAllRoots: true}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Workers = 1
+			if _, err := Quantify(d, scores, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if _, err := Quantify(d, scores, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel/warm-cache", func(b *testing.B) {
+		cfg := base
+		cfg.Cache = NewCache()
+		if _, err := Quantify(d, scores, cfg); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Quantify(d, scores, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -71,7 +71,7 @@ commands:
   figure2                     reproduce Figure 2 of the paper
   experiment <id|all> [-quick] [-seed N]
                               run reproduction experiments (E1..E11)
-  quantify   -data <src> -fn <expr> [flags]
+  quantify   -data <src> -fn <expr> [-workers N] [flags]
                               quantify fairness of one ranking
   rank       -data <src> -fn <expr> [-top N]
                               print the ranking a scoring function induces
@@ -199,6 +199,7 @@ func runQuantify(args []string, out io.Writer) error {
 	minGroup := fs.Int("min-group", 1, "minimum partition size")
 	maxDepth := fs.Int("max-depth", 0, "maximum tree depth (0 = unlimited)")
 	allRoots := fs.Bool("all-roots", false, "restart the greedy from every root attribute, keep the best")
+	workers := fs.Int("workers", 0, "solver worker goroutines (0 = all CPUs, 1 = sequential; result is identical)")
 	exhaustive := fs.Bool("exhaustive", false, "use the exact exponential solver")
 	protected := fs.String("protected", "", "CSV loading: comma-separated protected columns")
 	meta := fs.String("meta", "", "CSV loading: comma-separated meta columns")
@@ -229,6 +230,7 @@ func runQuantify(args []string, out io.Writer) error {
 		MaxDepth:     *maxDepth,
 		TryAllRoots:  *allRoots,
 		Exhaustive:   *exhaustive,
+		Workers:      *workers,
 	})
 	if err != nil {
 		return err

@@ -32,6 +32,27 @@
 //	scores, _ := fn.Score(d)
 //	res, _ := fairank.Quantify(d, scores, fairank.Config{})
 //	fmt.Println(fairank.RenderResult(res, scores))
+//
+// # Concurrency and caching
+//
+// Quantify is a parallel engine: sibling subtrees of the partition
+// tree, candidate splits, and TryAllRoots restarts fan out over a
+// bounded pool of Config.Workers goroutines (0 selects GOMAXPROCS,
+// 1 runs fully sequentially; the fairank CLI exposes this as the
+// -workers flag on quantify). Results are bit-identical for every
+// worker count: all value comparisons are resolved in deterministic
+// candidate order after the parallel phase, so fairness measurements
+// stay reproducible no matter the hardware.
+//
+// Histograms, candidate-split scores, and pairwise EMD distances are
+// memoized in a single-flight cache. By default the cache lives for
+// one run; set Config.Cache (see NewCache) to share it across runs,
+// as Session does automatically — repeated or overlapping panels of
+// an interactive session then skip the histogram and EMD work already
+// done (panels that Filter or Normalize derive request-local
+// populations and keep a private cache). Cache entries are scoped by
+// dataset, exact score vector, and fairness measure, so a shared
+// cache can only skip work, never change a result.
 package fairank
 
 import (
@@ -86,8 +107,13 @@ type (
 	Aggregator = fairness.Aggregator
 	// Measure is a complete fairness formulation.
 	Measure = fairness.Measure
-	// Config parameterizes a quantification run.
+	// Config parameterizes a quantification run (see Config.Workers
+	// for the concurrency knob and Config.Cache for cross-run
+	// memoization).
 	Config = core.Config
+	// Cache shares memoized histograms, split scores and EMD
+	// distances across quantification runs.
+	Cache = core.Cache
 	// Result is a solved partitioning with its quantification.
 	Result = core.Result
 	// Objective selects most- vs least-unfair search.
@@ -231,6 +257,11 @@ func Exhaustive(d *Dataset, scores []float64, cfg Config) (*Result, error) {
 
 // NewSession returns an empty exploration session.
 func NewSession() *Session { return core.NewSession() }
+
+// NewCache returns an empty memoization cache to share across
+// Quantify runs via Config.Cache. Sharing can only skip work, never
+// change a result: entries are scoped by dataset, scores and measure.
+func NewCache() *Cache { return core.NewCache() }
 
 // RandIndex measures pairwise agreement between two partitionings of
 // the same n individuals (1 = identical groupings). Use it to compare

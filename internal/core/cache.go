@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/histogram"
+)
+
+// Cache memoizes the expensive sub-computations of the quantification
+// engine — group histograms, candidate-split evaluations, and pairwise
+// histogram distances (the EMD calls that dominate Algorithm 1's cost)
+// — so that TryAllRoots restarts, repeated panels of an interactive
+// session, and overlapping subgroups across requests never recompute
+// the same value.
+//
+// Entries are scoped by the identity of the inputs they depend on: the
+// dataset (by pointer — datasets are immutable), the exact score
+// vector, and the fairness measure (distance, aggregator, bins). Two
+// runs only share entries when all three match, so a shared Cache can
+// never change a result — only skip work.
+//
+// A Cache is safe for concurrent use by any number of engine runs; a
+// nil *Cache is valid everywhere one is accepted and simply scopes the
+// memoization to the single run. Each entry is computed exactly once
+// (single-flight), which also keeps Stats counters deterministic
+// regardless of worker count.
+type Cache struct {
+	mu     sync.Mutex
+	scopes map[scopeKey][]*cacheScope
+}
+
+// NewCache returns an empty cache ready to be shared across runs via
+// Config.Cache. A Session creates one automatically.
+func NewCache() *Cache {
+	return &Cache{scopes: make(map[scopeKey][]*cacheScope)}
+}
+
+// dropDataset removes every scope keyed by d, releasing the memoized
+// work of a dataset that is being replaced or discarded. (If the same
+// dataset is registered under several names, dropping one drops the
+// memoized work for all — sharing then rebuilds the scope on demand.)
+func (c *Cache) dropDataset(d *dataset.Dataset) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.scopes {
+		if k.data == d {
+			delete(c.scopes, k)
+		}
+	}
+}
+
+// Reset drops every memoized entry, releasing the datasets and score
+// vectors the cache holds references to.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scopes = make(map[scopeKey][]*cacheScope)
+}
+
+// scopeKey identifies the inputs a memoized value depends on.
+type scopeKey struct {
+	data      *dataset.Dataset
+	scoreHash uint64
+	measure   string
+}
+
+// measureID renders every measure field that can change a histogram or
+// distance value. Measure.Name() alone is not enough: EMDThresholded's
+// Alpha, for instance, is not part of its name, and the Lo/Hi score
+// range reshapes every histogram bin.
+func measureID(m fairness.Measure) string {
+	return fmt.Sprintf("%T%+v|%T%+v|bins=%d|lo=%g|hi=%g", m.Dist, m.Dist, m.Agg, m.Agg, m.Bins, m.Lo, m.Hi)
+}
+
+// hashScores folds the bit patterns of the score vector with FNV-64a.
+// Collisions are guarded against by the exact comparison in scopeFor.
+func hashScores(scores []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range scores {
+		bits := math.Float64bits(s)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// equalBits compares score vectors by bit pattern (NaN-safe).
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// scopeFor returns the scope for (d, scores, measure), creating it on
+// first use. On a nil Cache it returns a fresh private scope.
+func (c *Cache) scopeFor(d *dataset.Dataset, scores []float64, m fairness.Measure) *cacheScope {
+	if c == nil {
+		return &cacheScope{}
+	}
+	key := scopeKey{data: d, scoreHash: hashScores(scores), measure: measureID(m)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scopes == nil {
+		c.scopes = make(map[scopeKey][]*cacheScope)
+	}
+	for _, s := range c.scopes[key] {
+		if equalBits(s.scores, scores) {
+			return s
+		}
+	}
+	s := &cacheScope{scores: append([]float64(nil), scores...)}
+	c.scopes[key] = append(c.scopes[key], s)
+	return s
+}
+
+// cacheScope holds the memo tables of one (dataset, scores, measure)
+// combination. The sync.Map values are single-flight entries, so
+// concurrent workers asking for the same key block on one computation
+// instead of duplicating it.
+type cacheScope struct {
+	scores []float64
+	hists  sync.Map // Group.Key() -> *histEntry
+	splits sync.Map // Group.Key()+"\x00"+attr -> *splitEntry
+	dists  sync.Map // ordered pair of Group.Key()s -> *distEntry
+}
+
+type histEntry struct {
+	once sync.Once
+	h    histogram.Hist
+	err  error
+}
+
+type splitEntry struct {
+	once sync.Once
+	val  float64
+	err  error
+}
+
+type distEntry struct {
+	once sync.Once
+	v    float64
+	err  error
+}
+
+func (s *cacheScope) histEntry(key string) *histEntry {
+	if e, ok := s.hists.Load(key); ok {
+		return e.(*histEntry)
+	}
+	e, _ := s.hists.LoadOrStore(key, &histEntry{})
+	return e.(*histEntry)
+}
+
+func (s *cacheScope) splitEntry(key string) *splitEntry {
+	if e, ok := s.splits.Load(key); ok {
+		return e.(*splitEntry)
+	}
+	e, _ := s.splits.LoadOrStore(key, &splitEntry{})
+	return e.(*splitEntry)
+}
+
+func (s *cacheScope) distEntry(key string) *distEntry {
+	if e, ok := s.dists.Load(key); ok {
+		return e.(*distEntry)
+	}
+	e, _ := s.dists.LoadOrStore(key, &distEntry{})
+	return e.(*distEntry)
+}

@@ -7,6 +7,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -76,6 +79,17 @@ type Config struct {
 	// plain greedy at roughly |attributes|× the cost — a cheap step
 	// toward the exhaustive optimum.
 	TryAllRoots bool
+	// Workers bounds the solver's concurrency: sibling subtrees,
+	// candidate splits and root restarts fan out over a pool of this
+	// many workers. 0 selects runtime.GOMAXPROCS(0); 1 runs fully
+	// sequentially. Results are bit-identical for every worker count.
+	Workers int
+	// Cache optionally shares memoized histograms, split evaluations
+	// and pairwise distances across runs (see Cache). Entries are
+	// scoped by dataset, scores and measure, so sharing can only skip
+	// work, never change a result. Nil scopes the memoization to the
+	// single run.
+	Cache *Cache
 }
 
 // normalize fills defaults and validates the configuration against d.
@@ -85,6 +99,12 @@ func (c Config) normalize(d *dataset.Dataset) (Config, error) {
 	}
 	if c.MaxDepth < 0 {
 		return c, fmt.Errorf("core: negative MaxDepth %d", c.MaxDepth)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if len(c.Attributes) == 0 {
 		for _, name := range d.Schema().Protected() {
@@ -120,9 +140,17 @@ func (c Config) normalize(d *dataset.Dataset) (Config, error) {
 
 // Stats reports the work a solver performed.
 type Stats struct {
-	// DistanceEvals counts histogram-distance computations.
+	// DistanceEvals counts the histogram-distance evaluations the
+	// solver requested. The count is identical for every worker
+	// count: an evaluation answered by the memoization cache still
+	// counts (see CachedDistances), though distance work skipped
+	// wholesale by a memoized split score is not re-counted.
 	DistanceEvals int
-	// SplitsEvaluated counts candidate splits scored by mostUnfair.
+	// CachedDistances counts how many of DistanceEvals were answered
+	// by the memoization cache instead of being recomputed.
+	CachedDistances int
+	// SplitsEvaluated counts candidate splits scored by mostUnfair
+	// (like DistanceEvals, memoized evaluations included).
 	SplitsEvaluated int
 	// Partitionings counts full partitionings evaluated (exhaustive
 	// solver only).
@@ -150,15 +178,29 @@ type Result struct {
 	Stats     Stats
 }
 
-// engine carries the shared state of one solver run.
+// engine carries the shared state of one solver run. All of its
+// methods are safe for concurrent use by the worker pool: memoized
+// values live in single-flight cache entries and the counters are
+// atomic.
 type engine struct {
 	d       *dataset.Dataset
 	scores  []float64
 	cfg     Config
 	measure fairness.Measure
-	// histCache memoizes group histograms by Group.Key().
-	histCache map[string]histogram.Hist
-	stats     Stats
+	// scope holds the memoized histograms, split evaluations and
+	// pairwise distances for this (dataset, scores, measure)
+	// combination — private to the run, or shared via Config.Cache.
+	scope *cacheScope
+	// sem is the worker pool: each held token is one extra goroutine
+	// beyond the caller. Nil when Workers == 1 (fully sequential).
+	sem chan struct{}
+
+	distEvals       atomic.Int64
+	cachedDists     atomic.Int64
+	splitsEvaluated atomic.Int64
+	// partitionings is only touched by the sequential exhaustive
+	// enumeration.
+	partitionings int
 }
 
 func newEngine(d *dataset.Dataset, scores []float64, cfg Config) (*engine, error) {
@@ -172,33 +214,117 @@ func newEngine(d *dataset.Dataset, scores []float64, cfg Config) (*engine, error
 	if err != nil {
 		return nil, err
 	}
-	return &engine{
-		d:         d,
-		scores:    scores,
-		cfg:       cfg,
-		measure:   cfg.Measure,
-		histCache: make(map[string]histogram.Hist),
-	}, nil
+	e := &engine{
+		d:       d,
+		scores:  scores,
+		cfg:     cfg,
+		measure: cfg.Measure,
+		scope:   cfg.Cache.scopeFor(d, scores, cfg.Measure),
+	}
+	if cfg.Workers > 1 {
+		e.sem = make(chan struct{}, cfg.Workers-1)
+	}
+	return e, nil
 }
 
-// histOf returns the (cached) normalized histogram of a group.
+// runParallel runs fn(0) .. fn(n-1), spreading calls over the worker
+// pool when tokens are free and running them inline on the calling
+// goroutine otherwise (which bounds total concurrency at Workers and
+// cannot deadlock under recursion). Each call writes only to its own
+// index, so the outcome is independent of scheduling; the first error
+// in index order is returned.
+func (e *engine) runParallel(n int, fn func(int) error) error {
+	if e.sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				errs[i] = fn(i)
+			}(i)
+		default:
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histOf returns the (memoized) normalized histogram of a group.
 func (e *engine) histOf(g partition.Group) (histogram.Hist, error) {
-	key := g.Key()
-	if h, ok := e.histCache[key]; ok {
-		return h, nil
-	}
-	h, err := e.measure.Histogram(e.scores, g.Rows)
-	if err != nil {
-		return histogram.Hist{}, fmt.Errorf("core: histogram of %q: %w", g.Label(), err)
-	}
-	e.histCache[key] = h
-	return h, nil
+	ent := e.scope.histEntry(g.Key())
+	ent.once.Do(func() {
+		ent.h, ent.err = e.measure.Histogram(e.scores, g.Rows)
+		if ent.err != nil {
+			ent.err = fmt.Errorf("core: histogram of %q: %w", g.Label(), ent.err)
+		}
+	})
+	return ent.h, ent.err
 }
 
-// distance computes (and counts) one histogram distance.
-func (e *engine) distance(a, b histogram.Hist) (float64, error) {
-	e.stats.DistanceEvals++
-	return e.measure.PairwiseDistance(a, b)
+// groupDistance returns the (memoized) histogram distance between two
+// groups, keyed by the canonical ordering of their keys so both
+// argument orders share one entry (distances are symmetric).
+func (e *engine) groupDistance(a, b partition.Group) (float64, error) {
+	ka, kb := a.Key(), b.Key()
+	if kb < ka {
+		ka, kb = kb, ka
+		a, b = b, a
+	}
+	e.distEvals.Add(1)
+	ent := e.scope.distEntry(ka + "\x00" + kb)
+	computed := false
+	ent.once.Do(func() {
+		computed = true
+		var ha, hb histogram.Hist
+		if ha, ent.err = e.histOf(a); ent.err != nil {
+			return
+		}
+		if hb, ent.err = e.histOf(b); ent.err != nil {
+			return
+		}
+		ent.v, ent.err = e.measure.PairwiseDistance(ha, hb)
+	})
+	if !computed {
+		e.cachedDists.Add(1)
+	}
+	return ent.v, ent.err
+}
+
+// evalSplit returns the children a split of g on attr creates and the
+// (memoized) aggregated pairwise distance among them — the score
+// mostUnfairAttr ranks candidate attributes by. The children are
+// recomputed per call rather than cached: their condition lists carry
+// the caller's root-to-group path order, which differs between
+// restarts reaching the same canonical group, while the aggregate
+// value depends only on the rows and is safe to share.
+func (e *engine) evalSplit(g partition.Group, attr string) ([]partition.Group, float64, error) {
+	children, err := partition.Split(e.d, g, attr)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.splitsEvaluated.Add(1)
+	ent := e.scope.splitEntry(g.Key() + "\x00" + attr)
+	ent.once.Do(func() {
+		ent.val, ent.err = e.aggWithin(children)
+	})
+	return children, ent.val, ent.err
 }
 
 // aggAcross aggregates the distances from each group in as to each
@@ -211,16 +337,8 @@ func (e *engine) aggAcross(as, bs []partition.Group) (float64, error) {
 	}
 	var dists []float64
 	for _, a := range as {
-		ha, err := e.histOf(a)
-		if err != nil {
-			return 0, err
-		}
 		for _, b := range bs {
-			hb, err := e.histOf(b)
-			if err != nil {
-				return 0, err
-			}
-			d, err := e.distance(ha, hb)
+			d, err := e.groupDistance(a, b)
 			if err != nil {
 				return 0, err
 			}
@@ -238,16 +356,8 @@ func (e *engine) aggWithin(groups []partition.Group) (float64, error) {
 	}
 	var dists []float64
 	for i := 0; i < len(groups); i++ {
-		hi, err := e.histOf(groups[i])
-		if err != nil {
-			return 0, err
-		}
 		for j := i + 1; j < len(groups); j++ {
-			hj, err := e.histOf(groups[j])
-			if err != nil {
-				return 0, err
-			}
-			d, err := e.distance(hi, hj)
+			d, err := e.groupDistance(groups[i], groups[j])
 			if err != nil {
 				return 0, err
 			}
@@ -255,6 +365,16 @@ func (e *engine) aggWithin(groups []partition.Group) (float64, error) {
 		}
 	}
 	return agg.Aggregate(dists), nil
+}
+
+// statsSnapshot reads the work counters into a Stats value.
+func (e *engine) statsSnapshot() Stats {
+	return Stats{
+		DistanceEvals:   int(e.distEvals.Load()),
+		CachedDistances: int(e.cachedDists.Load()),
+		SplitsEvaluated: int(e.splitsEvaluated.Load()),
+		Partitionings:   e.partitionings,
+	}
 }
 
 // better reports whether candidate improves on incumbent under the
@@ -266,8 +386,12 @@ func (e *engine) better(candidate, incumbent float64) bool {
 	return candidate > incumbent
 }
 
-// finalize computes Definition 2 on the final groups and assembles the
-// Result.
+// finalize computes Definition 2 on the final groups and assembles
+// the Result. The O(leaves²) pairwise breakdown deliberately bypasses
+// the groupDistance memo: for the default closed-form 5-bin EMD,
+// computing a distance is cheaper than building its cache key
+// (routing this matrix through the memo measured 12× slower on
+// BenchmarkQuantify), and most leaf pairs never recur in the search.
 func (e *engine) finalize(tree *partition.Tree, groups []partition.Group) (*Result, error) {
 	hists := make([]histogram.Hist, len(groups))
 	for i, g := range groups {
@@ -289,6 +413,6 @@ func (e *engine) finalize(tree *partition.Tree, groups []partition.Group) (*Resu
 		Unfairness: unfairness,
 		Objective:  e.cfg.Objective,
 		Measure:    e.measure,
-		Stats:      e.stats,
+		Stats:      e.statsSnapshot(),
 	}, nil
 }

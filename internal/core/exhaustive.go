@@ -23,34 +23,6 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	}
 	root := partition.Root(d)
 
-	// distCache memoizes pairwise distances across partitionings: the
-	// same pair of groups appears in many enumerated partitionings.
-	distCache := make(map[string]float64)
-	pairDist := func(a, b partition.Group) (float64, error) {
-		ka, kb := a.Key(), b.Key()
-		if kb < ka {
-			ka, kb = kb, ka
-		}
-		key := ka + "||" + kb
-		if v, ok := distCache[key]; ok {
-			return v, nil
-		}
-		ha, err := e.histOf(a)
-		if err != nil {
-			return 0, err
-		}
-		hb, err := e.histOf(b)
-		if err != nil {
-			return 0, err
-		}
-		v, err := e.distance(ha, hb)
-		if err != nil {
-			return 0, err
-		}
-		distCache[key] = v
-		return v, nil
-	}
-
 	agg := e.measure.Agg
 	if agg == nil {
 		agg = fairness.Average{}
@@ -59,12 +31,14 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	var best []partition.Group
 	bestVal := 0.0
 	found := false
+	// The same pair of groups appears in many enumerated
+	// partitionings; groupDistance memoizes each pair once.
 	err = partition.ForEachPartitioning(d, root, e.cfg.Attributes, e.cfg.MinGroupSize, e.cfg.EnumerationLimit, func(leaves []partition.Group) error {
-		e.stats.Partitionings++
+		e.partitionings++
 		var dists []float64
 		for i := 0; i < len(leaves); i++ {
 			for j := i + 1; j < len(leaves); j++ {
-				v, err := pairDist(leaves[i], leaves[j])
+				v, err := e.groupDistance(leaves[i], leaves[j])
 				if err != nil {
 					return err
 				}

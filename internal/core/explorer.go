@@ -55,6 +55,9 @@ type PanelRequest struct {
 	TryAllRoots bool
 	// Exhaustive switches from Algorithm 1 to the exact solver.
 	Exhaustive bool
+	// Workers bounds the solver's concurrency (0 = GOMAXPROCS,
+	// 1 = sequential). The result is identical for every value.
+	Workers int
 }
 
 // Panel is one quantification result with its provenance, displayed
@@ -81,17 +84,22 @@ type Panel struct {
 
 // Session is an exploration session: a set of named datasets and the
 // panels computed over them. It is safe for concurrent use by the
-// HTTP server.
+// HTTP server. All quantifications of a session share one memoization
+// Cache, so revisiting overlapping groups across panels and restarts
+// skips the histogram and EMD work already done. Panels that Filter
+// or Normalize derive a request-local population and run with a
+// private cache (their dataset copy is never seen twice).
 type Session struct {
 	mu       sync.Mutex
 	datasets map[string]*dataset.Dataset
 	panels   []*Panel
 	nextID   int
+	cache    *Cache
 }
 
 // NewSession returns an empty session.
 func NewSession() *Session {
-	return &Session{datasets: make(map[string]*dataset.Dataset), nextID: 1}
+	return &Session{datasets: make(map[string]*dataset.Dataset), nextID: 1, cache: NewCache()}
 }
 
 // AddDataset registers a dataset under a name, replacing any previous
@@ -105,6 +113,12 @@ func (s *Session) AddDataset(name string, d *dataset.Dataset) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.datasets[name]; ok && old != d {
+		// The replaced dataset's pointer can never be requested
+		// again; drop its cache scopes or they pin it (and all its
+		// memoized histograms and distances) for the session's life.
+		s.cache.dropDataset(old)
+	}
 	s.datasets[name] = d
 	return nil
 }
@@ -188,9 +202,12 @@ func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
 		return nil, err
 	}
 
-	// Population restriction.
+	// Population restriction. Filter (and Normalize below) derive a
+	// fresh dataset copy for this request only.
+	derived := false
 	filterLabel := ""
 	if len(req.Filter) > 0 {
+		derived = true
 		pred, err := parseFilter(req.Filter)
 		if err != nil {
 			return nil, err
@@ -224,6 +241,7 @@ func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
 			return nil, err
 		}
 		if req.Normalize {
+			derived = true
 			attrs := make([]string, 0, len(fn.Terms()))
 			for _, t := range fn.Terms() {
 				attrs = append(attrs, t.Attr)
@@ -269,6 +287,16 @@ func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
 		MinGroupSize: req.MinGroupSize,
 		MaxDepth:     req.MaxDepth,
 		TryAllRoots:  req.TryAllRoots,
+		Workers:      req.Workers,
+		Cache:        s.cache,
+	}
+	if derived {
+		// Cache entries are scoped by dataset identity, and a
+		// Filter/Normalize copy is a new allocation every request:
+		// shared entries could never be reused and would accumulate
+		// in the session cache unboundedly. Quantify derived
+		// populations with a run-private cache instead.
+		cfg.Cache = nil
 	}
 
 	var res *Result

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/marketplace"
+)
+
+// equivalenceDatasets returns the builtin populations the equivalence
+// suite runs over: the paper's Table 1 example plus the generated
+// marketplace presets.
+func equivalenceDatasets(t *testing.T) map[string]struct {
+	d      *dataset.Dataset
+	scores []float64
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		d      *dataset.Dataset
+		scores []float64
+	})
+	d, scores := table1Scores(t)
+	out["table1"] = struct {
+		d      *dataset.Dataset
+		scores []float64
+	}{d, scores}
+	for _, preset := range []string{"crowdsourcing", "taskrabbit", "fiverr"} {
+		m, err := marketplace.PresetByName(preset, 400, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Score(m.Jobs[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[preset] = struct {
+			d      *dataset.Dataset
+			scores []float64
+		}{m.Workers, s}
+	}
+	return out
+}
+
+// stripTiming zeroes the only legitimately nondeterministic field so
+// the rest of the Result can be compared exactly.
+func stripTiming(r *Result) *Result {
+	c := *r
+	c.Stats.Elapsed = 0
+	return &c
+}
+
+// The parallel engine returns byte-identical Result trees to the
+// sequential path for every worker count, across the builtin datasets
+// and config variants. Stats (minus wall-clock) must match too: the
+// single-flight cache computes each unique value exactly once
+// regardless of scheduling.
+func TestParallelEquivalence(t *testing.T) {
+	configs := map[string]Config{
+		"default":      {},
+		"all-roots":    {TryAllRoots: true},
+		"least-unfair": {Objective: LeastUnfair},
+		"depth-2":      {MaxDepth: 2, TryAllRoots: true},
+		"min-group-5":  {MinGroupSize: 5},
+	}
+	for dname, data := range equivalenceDatasets(t) {
+		for cname, cfg := range configs {
+			t.Run(dname+"/"+cname, func(t *testing.T) {
+				var want *Result
+				for _, workers := range []int{1, 2, 8} {
+					c := cfg
+					c.Workers = workers
+					res, err := Quantify(data.d, data.scores, c)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					res = stripTiming(res)
+					if want == nil {
+						want = res
+						continue
+					}
+					if res.Unfairness != want.Unfairness {
+						t.Fatalf("workers=%d unfairness %v, want %v", workers, res.Unfairness, want.Unfairness)
+					}
+					if res.Tree.String() != want.Tree.String() {
+						t.Fatalf("workers=%d tree:\n%swant:\n%s", workers, res.Tree.String(), want.Tree.String())
+					}
+					if !reflect.DeepEqual(res, want) {
+						t.Fatalf("workers=%d Result differs from workers=1", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Negative worker counts are rejected.
+func TestNegativeWorkers(t *testing.T) {
+	d, scores := table1Scores(t)
+	if _, err := Quantify(d, scores, Config{Workers: -1}); err == nil {
+		t.Fatal("expected error for Workers=-1")
+	}
+}
+
+// A shared Cache eliminates recomputation across runs: on the second
+// run over the same inputs every requested distance is served from
+// the cache, and the result is identical.
+func TestCacheReuseAcrossRuns(t *testing.T) {
+	d, scores := table1Scores(t)
+	cache := NewCache()
+	cfg := Config{TryAllRoots: true, Cache: cache}
+	first, err := Quantify(d, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.DistanceEvals == 0 {
+		t.Fatal("cold run recorded no distance evals")
+	}
+	if first.Stats.CachedDistances >= first.Stats.DistanceEvals {
+		t.Errorf("cold run served %d of %d distances from cache", first.Stats.CachedDistances, first.Stats.DistanceEvals)
+	}
+	second, err := Quantify(d, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.DistanceEvals == 0 {
+		t.Error("warm run requested no distance evals")
+	}
+	if second.Stats.CachedDistances != second.Stats.DistanceEvals {
+		t.Errorf("warm run recomputed %d distances", second.Stats.DistanceEvals-second.Stats.CachedDistances)
+	}
+	// Work counters legitimately differ on the warm run; everything
+	// else must be identical.
+	f, s := *first, *second
+	f.Stats, s.Stats = Stats{}, Stats{}
+	if !reflect.DeepEqual(&f, &s) {
+		t.Error("warm result differs from cold result")
+	}
+}
+
+// The cache never leaks values across different score vectors: same
+// dataset, different scores must be a different scope.
+func TestCacheScopedByScores(t *testing.T) {
+	d, scores := table1Scores(t)
+	flipped := make([]float64, len(scores))
+	for i, s := range scores {
+		flipped[i] = 1 - s
+	}
+	cache := NewCache()
+	a, err := Quantify(d, scores, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Quantify(d, flipped, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.DistanceEvals == 0 {
+		t.Error("different scores hit the cache of the first run")
+	}
+	// Sanity: both runs produced valid, independent quantifications.
+	if len(a.Groups) == 0 || len(b.Groups) == 0 {
+		t.Error("empty partitioning")
+	}
+}
+
+// Measures differing only in score range must not share a scope: the
+// range reshapes every histogram bin.
+func TestCacheScopedByScoreRange(t *testing.T) {
+	d, scores := table1Scores(t)
+	cache := NewCache()
+	narrow, err := Quantify(d, scores, Config{
+		Measure: fairness.Measure{Bins: 5, Lo: 0, Hi: 1},
+		Cache:   cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Quantify(d, scores, Config{
+		Measure: fairness.Measure{Bins: 5, Lo: 0, Hi: 10},
+		Cache:   cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := Quantify(d, scores, Config{
+		Measure: fairness.Measure{Bins: 5, Lo: 0, Hi: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Unfairness != uncached.Unfairness {
+		t.Errorf("shared cache changed the wide-range result: %v, want %v", wide.Unfairness, uncached.Unfairness)
+	}
+	if narrow.Unfairness == wide.Unfairness {
+		t.Errorf("narrow and wide ranges agree (%v); the range is not reshaping histograms", narrow.Unfairness)
+	}
+}
+
+// Reset drops memoized work.
+func TestCacheReset(t *testing.T) {
+	d, scores := table1Scores(t)
+	cache := NewCache()
+	if _, err := Quantify(d, scores, Config{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cache.Reset()
+	res, err := Quantify(d, scores, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DistanceEvals == 0 {
+		t.Error("reset cache still served memoized distances")
+	}
+}
+
+// Many goroutines quantifying concurrently against one shared cache —
+// the interactive-server pattern — agree on the result. Run with
+// -race to exercise the synchronization.
+func TestSharedCacheConcurrent(t *testing.T) {
+	d, scores := table1Scores(t)
+	cache := NewCache()
+	const n = 16
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{TryAllRoots: true, Cache: cache, Workers: 1 + i%4}
+			results[i], errs[i] = Quantify(d, scores, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Unfairness != results[0].Unfairness {
+			t.Errorf("goroutine %d unfairness %v, want %v", i, results[i].Unfairness, results[0].Unfairness)
+		}
+		if results[i].Tree.String() != results[0].Tree.String() {
+			t.Errorf("goroutine %d produced a different tree", i)
+		}
+	}
+}
+
+// Sessions thread the shared cache through panels: re-running an
+// identical panel request performs no new distance work.
+func TestSessionSharesCache(t *testing.T) {
+	s := sessionWithTable1(t)
+	req := PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+		Workers:  4,
+	}
+	first, err := s.Quantify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Quantify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Result.Stats; st.CachedDistances != st.DistanceEvals {
+		t.Errorf("repeat panel recomputed %d distances", st.DistanceEvals-st.CachedDistances)
+	}
+	if first.Result.Unfairness != second.Result.Unfairness {
+		t.Error("repeat panel changed the result")
+	}
+}
+
+// Filtered panels derive a request-local dataset; they must still
+// quantify correctly and must not accumulate scopes in the session
+// cache (each request's dataset copy can never be revisited).
+func TestSessionFilteredPanelPrivateCache(t *testing.T) {
+	s := sessionWithTable1(t)
+	req := PanelRequest{
+		Dataset:  "table1",
+		Function: "0.3*language_test + 0.7*rating",
+		Filter:   []string{"gender=Male"},
+	}
+	for i := 0; i < 3; i++ {
+		p, err := s.Quantify(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run-private cache: a fresh run can never start warm.
+		if st := p.Result.Stats; st.DistanceEvals == 0 || st.CachedDistances == st.DistanceEvals {
+			t.Errorf("filtered panel %d looks warm: %+v", i, st)
+		}
+	}
+	s.cache.mu.Lock()
+	scopes := len(s.cache.scopes)
+	s.cache.mu.Unlock()
+	if scopes != 0 {
+		t.Errorf("filtered panels leaked %d scopes into the session cache", scopes)
+	}
+}
+
+// Replacing a registered dataset evicts the replaced pointer's cache
+// scopes; a long-lived server regenerating datasets must not pin
+// every generation's memoized work.
+func TestAddDatasetEvictsScopes(t *testing.T) {
+	s := sessionWithTable1(t)
+	req := PanelRequest{Dataset: "table1", Function: "0.3*language_test + 0.7*rating"}
+	if _, err := s.Quantify(req); err != nil {
+		t.Fatal(err)
+	}
+	countScopes := func() int {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		return len(s.cache.scopes)
+	}
+	if countScopes() == 0 {
+		t.Fatal("quantify left no cache scope")
+	}
+	// Replace "table1" with a fresh copy (a distinct pointer).
+	if err := s.AddDataset("table1", dataset.Table1()); err != nil {
+		t.Fatal(err)
+	}
+	if n := countScopes(); n != 0 {
+		t.Errorf("replaced dataset left %d cache scopes pinned", n)
+	}
+	// The replacement quantifies cleanly into a fresh scope.
+	if _, err := s.Quantify(req); err != nil {
+		t.Fatal(err)
+	}
+	if countScopes() != 1 {
+		t.Errorf("expected one fresh scope, got %d", countScopes())
+	}
+}
+
+// The exhaustive solver also benefits from and stays correct under the
+// shared scope (its enumeration reuses memoized pair distances).
+func TestExhaustiveMatchesAcrossCacheStates(t *testing.T) {
+	d, scores := table1Scores(t)
+	cache := NewCache()
+	cfg := Config{Attributes: []string{dataset.AttrGender, dataset.AttrLanguage}, Cache: cache}
+	cold, err := Exhaustive(d, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Exhaustive(d, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Unfairness != warm.Unfairness {
+		t.Errorf("warm exhaustive %v, cold %v", warm.Unfairness, cold.Unfairness)
+	}
+	if cold.Stats.Partitionings != warm.Stats.Partitionings {
+		t.Errorf("partitionings %d vs %d", cold.Stats.Partitionings, warm.Stats.Partitionings)
+	}
+}
+
+// Benchmark-style sanity inside the race suite: parallel work on a
+// wider synthetic population still matches the sequential tree.
+func TestParallelEquivalenceWidePopulation(t *testing.T) {
+	spec := marketplace.PopulationSpec{
+		N:      600,
+		Skills: []marketplace.SkillSpec{{Name: "skill", Mean: 0.55, StdDev: 0.18}},
+	}
+	for a := 0; a < 5; a++ {
+		attr := marketplace.AttrSpec{Name: fmt.Sprintf("p%d", a+1)}
+		for v := 0; v < 3; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v+1))
+		}
+		spec.Protected = append(spec.Protected, attr)
+		spec.Biases = append(spec.Biases, marketplace.Bias{
+			Attr: attr.Name, Value: "v1", Skill: "skill", Shift: -0.1 / float64(a+1),
+		})
+	}
+	d, err := marketplace.Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.Num("skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{TryAllRoots: true}
+	var want *Result
+	for _, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.Workers = workers
+		res, err := Quantify(d, scores, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if res.Unfairness != want.Unfairness || res.Tree.String() != want.Tree.String() {
+			t.Fatalf("workers=%d diverged from sequential", workers)
+		}
+	}
+}

@@ -21,6 +21,14 @@ import (
 // set and the used attribute removed (line 13). For the least-unfair
 // objective the comparison flips, as §3.2 notes ("other formulations
 // require to change this test only").
+//
+// The recursion fans out over a bounded pool of cfg.Workers goroutines
+// (sibling subtrees, candidate splits and TryAllRoots restarts run
+// concurrently) and memoizes histograms, split evaluations and
+// pairwise distances in a single-flight cache (see Cache). All
+// comparisons are resolved in deterministic candidate order after the
+// parallel phase, so the result is bit-identical for every worker
+// count.
 func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
 	start := time.Now()
 	e, err := newEngine(d, scores, cfg)
@@ -58,21 +66,29 @@ func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error)
 		rootAttrs = []string{attr}
 	}
 
-	var best *Result
-	for _, attr := range rootAttrs {
-		tree, err := e.buildTree(rootGroup, attr, d.Len())
+	results := make([]*Result, len(rootAttrs))
+	err = e.runParallel(len(rootAttrs), func(i int) error {
+		tree, err := e.buildTree(rootGroup, rootAttrs[i], d.Len())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := e.finalize(tree, tree.LeafGroups())
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	for _, res := range results {
 		if best == nil || e.better(res.Unfairness, best.Unfairness) {
 			best = res
 		}
 	}
-	best.Stats = e.stats
+	best.Stats = e.statsSnapshot()
 	best.Stats.Elapsed = time.Since(start)
 	return best, nil
 }
@@ -91,10 +107,11 @@ func (e *engine) buildTree(rootGroup partition.Group, rootAttr string, numRows i
 	}
 	if e.cfg.MaxDepth != 1 {
 		remaining := without(e.cfg.Attributes, rootAttr)
-		for i, child := range rootNode.Children {
-			if err := e.quantify(child, otherGroups(children, i), remaining, 2); err != nil {
-				return nil, err
-			}
+		err := e.runParallel(len(rootNode.Children), func(i int) error {
+			return e.quantify(rootNode.Children[i], otherGroups(children, i), remaining, 2)
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if err := tree.Validate(); err != nil {
@@ -143,42 +160,40 @@ func (e *engine) quantify(node *partition.Node, siblings []partition.Group, avai
 		node.Children = append(node.Children, &partition.Node{Group: g})
 	}
 	// Lines 12-14: recurse per child with the other children as
-	// siblings.
-	for i, child := range node.Children {
-		if err := e.quantify(child, otherGroups(children, i), remaining, depth+1); err != nil {
-			return err
-		}
-	}
-	return nil
+	// siblings, sibling subtrees in parallel.
+	return e.runParallel(len(node.Children), func(i int) error {
+		return e.quantify(node.Children[i], otherGroups(children, i), remaining, depth+1)
+	})
 }
 
 // mostUnfairAttr scores each candidate attribute by the aggregated
 // pairwise distance among the children its split would create, and
 // returns the best under the objective (argmax for most-unfair,
-// argmin for least-unfair), together with those children. Ties keep
-// the earliest attribute in the candidate order (deterministic).
+// argmin for least-unfair), together with those children. Candidates
+// are evaluated concurrently (memoized via evalSplit), then compared
+// in candidate order, so ties keep the earliest attribute
+// (deterministic).
 func (e *engine) mostUnfairAttr(g partition.Group, candidates []string) (string, []partition.Group, error) {
 	if len(candidates) == 0 {
 		return "", nil, fmt.Errorf("core: no splittable attributes for %q", g.Label())
 	}
-	bestAttr := ""
-	var bestChildren []partition.Group
-	bestVal := 0.0
-	for _, attr := range candidates {
-		children, err := partition.Split(e.d, g, attr)
-		if err != nil {
-			return "", nil, err
-		}
-		e.stats.SplitsEvaluated++
-		val, err := e.aggWithin(children)
-		if err != nil {
-			return "", nil, err
-		}
-		if bestAttr == "" || e.better(val, bestVal) {
-			bestAttr, bestChildren, bestVal = attr, children, val
+	children := make([][]partition.Group, len(candidates))
+	vals := make([]float64, len(candidates))
+	err := e.runParallel(len(candidates), func(i int) error {
+		var err error
+		children[i], vals[i], err = e.evalSplit(g, candidates[i])
+		return err
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		if e.better(vals[i], vals[best]) {
+			best = i
 		}
 	}
-	return bestAttr, bestChildren, nil
+	return candidates[best], children[best], nil
 }
 
 // without returns attrs minus drop, preserving order.

@@ -100,6 +100,100 @@ func TestTransportSingleSupplier(t *testing.T) {
 	}
 }
 
+// Identity: the EMD of a distribution against itself is zero — no
+// mass has to move. Checked over randomized histograms (fixed seed)
+// for both the transport solver and the closed-form 1-D path.
+func TestEMDIdentityQuick(t *testing.T) {
+	g := stats.NewRNG(7004)
+	f := func(nn uint8) bool {
+		n := int(nn%10) + 2
+		p := randDist(g, n)
+		ground := GroundDistance1D(n, 1.0/float64(n))
+		d, err := EMD(p, p, ground)
+		if err != nil {
+			return false
+		}
+		h, err := Hist1D(p, p, 1.0/float64(n))
+		if err != nil {
+			return false
+		}
+		return math.Abs(d) < 1e-12 && math.Abs(h) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Symmetry: with a symmetric ground distance, EMD(p,q) = EMD(q,p),
+// and the closed-form 1-D solver agrees with itself under swap.
+func TestEMDSymmetryQuick(t *testing.T) {
+	g := stats.NewRNG(7005)
+	f := func(nn uint8) bool {
+		n := int(nn%10) + 2
+		p := randDist(g, n)
+		q := randDist(g, n)
+		ground := GroundDistance1D(n, 1.0/float64(n))
+		ab, err := EMD(p, q, ground)
+		if err != nil {
+			return false
+		}
+		ba, err := EMD(q, p, ground)
+		if err != nil {
+			return false
+		}
+		hab, err := Hist1D(p, q, 1.0/float64(n))
+		if err != nil {
+			return false
+		}
+		hba, err := Hist1D(q, p, 1.0/float64(n))
+		if err != nil {
+			return false
+		}
+		return math.Abs(ab-ba) < 1e-9 && math.Abs(hab-hba) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hat is positively homogeneous: scaling both masses by α scales
+// ÊMD_α by α (transport work is linear in mass, and so is the
+// |Σp−Σq| mismatch penalty). Exercised over unequal-mass inputs where
+// the penalty term is active.
+func TestHatScaleInvarianceQuick(t *testing.T) {
+	g := stats.NewRNG(7006)
+	f := func(nn, aa uint8) bool {
+		n := int(nn%8) + 2
+		p := randDist(g, n)
+		q := randDist(g, n)
+		// Deflate q so the mass-mismatch penalty participates.
+		for i := range q {
+			q[i] *= 0.5
+		}
+		alpha := float64(aa%4) * 0.5
+		ground := GroundDistance1D(n, 0.1)
+		base, err := Hat(p, q, ground, alpha)
+		if err != nil {
+			return false
+		}
+		scale := 0.25 + 3*g.Float64()
+		ps := make([]float64, n)
+		qs := make([]float64, n)
+		for i := range p {
+			ps[i] = scale * p[i]
+			qs[i] = scale * q[i]
+		}
+		scaled, err := Hat(ps, qs, ground, alpha)
+		if err != nil {
+			return false
+		}
+		return math.Abs(scaled-scale*base) < 1e-8*math.Max(1, scale*base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // The optimal 1-D transport never moves more total mass-distance than
 // the naive plan that ships everything to one end and back.
 func TestHist1DUpperBoundQuick(t *testing.T) {

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Golden-file tests pin the exact JSON/HTML the API serves, so engine
+// changes (such as the Workers knob or the shared memoization cache)
+// cannot silently alter responses. Regenerate with:
+//
+//	go test ./internal/server -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenQuantifyRequest is the canonical panel request the suite pins.
+// Workers is deliberately > 1: the parallel engine must serve the
+// byte-identical response the sequential engine recorded.
+func goldenQuantifyRequest(workers int) map[string]any {
+	return map[string]any{
+		"Dataset":    "table1",
+		"Function":   "0.3*language_test + 0.7*rating",
+		"Attributes": []string{dataset.AttrGender, dataset.AttrLanguage},
+		"Workers":    workers,
+	}
+}
+
+// workLine matches the rendered report's work summary, which embeds
+// wall-clock time and cache-dependent eval counters.
+var workLine = regexp.MustCompile(`(?m)^work      : .*$`)
+
+// scrubTiming recursively removes the nondeterministic parts of a
+// response: the wall-clock field and the work line of the rendered
+// text report (its distance-eval counters depend on cache warmth, by
+// design).
+func scrubTiming(v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		if _, ok := t["elapsed_ms"]; ok {
+			t["elapsed_ms"] = 0
+		}
+		if s, ok := t["text"].(string); ok {
+			t["text"] = workLine.ReplaceAllString(s, "work      : [scrubbed]")
+		}
+		for _, c := range t {
+			scrubTiming(c)
+		}
+	case []any:
+		for _, c := range t {
+			scrubTiming(c)
+		}
+	}
+}
+
+// canonicalJSON parses a response body, scrubs timing, and re-renders
+// it with stable indentation for comparison and storage.
+func canonicalJSON(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	scrubTiming(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func readBody(t *testing.T, res *http.Response) []byte {
+	t.Helper()
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestGoldenResponses(t *testing.T) {
+	ts := testServer(t)
+
+	get := func(path string) []byte {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, res.StatusCode)
+		}
+		return readBody(t, res)
+	}
+	post := func(path string, body any) []byte {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, res.StatusCode)
+		}
+		return readBody(t, res)
+	}
+
+	checkGolden(t, "datasets.golden.json", canonicalJSON(t, get("/api/datasets")))
+	checkGolden(t, "quantify.golden.json", canonicalJSON(t, post("/api/quantify", goldenQuantifyRequest(8))))
+	checkGolden(t, "panels.golden.json", canonicalJSON(t, get("/api/panels")))
+	checkGolden(t, "panel1.golden.json", canonicalJSON(t, get("/api/panels/1")))
+	checkGolden(t, "index.golden.html", get("/"))
+}
+
+// Every worker count serves the same quantify response: the
+// concurrency knob must never leak into API output. Each worker count
+// gets a fresh session so caching cannot mask a divergence.
+func TestGoldenQuantifyWorkerInvariance(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		sess := core.NewSession()
+		if err := sess.AddDataset("table1", dataset.Table1()); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(sess).Handler())
+		buf, err := json.Marshal(goldenQuantifyRequest(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.Post(ts.URL+"/api/quantify", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := canonicalJSON(t, readBody(t, res))
+		ts.Close()
+		if want == nil {
+			want = body
+			continue
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d response differs:\n%s\nwant:\n%s", workers, body, want)
+		}
+	}
+}
+
+// A repeated identical request is served from the session cache with
+// zero new distance work and the same body (elapsed aside).
+func TestGoldenRepeatRequestStable(t *testing.T) {
+	ts := testServer(t)
+	var first, second []byte
+	for i, dst := range []*[]byte{&first, &second} {
+		buf, err := json.Marshal(goldenQuantifyRequest(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.Post(ts.URL+"/api/quantify", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := canonicalJSON(t, readBody(t, res))
+		// Panel ids increment per request; normalize before comparing.
+		*dst = bytes.Replace(body, []byte(fmt.Sprintf(`"id": %d`, i+1)), []byte(`"id": 0`), 1)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("repeat request diverged:\n%s\nvs:\n%s", first, second)
+	}
+}

@@ -3,6 +3,14 @@
 // of the paper's Figure 3 — a Configuration box (dataset, scoring
 // function, fairness criterion, filters), side-by-side result panels
 // with partitioning trees, and per-node statistics.
+//
+// Quantify requests accept a Workers field bounding the solver's
+// concurrency (0 = GOMAXPROCS, 1 = sequential); every worker count
+// produces an identical response. All requests against one server
+// share the session's memoization cache, so repeated or overlapping
+// explorations reuse histogram and EMD work across requests (except
+// requests with Filter or Normalize, whose derived populations are
+// request-local).
 package server
 
 import (
