@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench bench-short
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path benchmark suite with -benchmem and emits a
+# BENCH_*.json data point (see scripts/bench.sh for the knobs).
+bench:
+	sh scripts/bench.sh
+
+# bench-short is the non-blocking CI form: one iteration per
+# benchmark, enough to catch compile rot and emit a smoke data point.
+bench-short:
+	BENCHTIME=1x OUT=bench-short.json sh scripts/bench.sh

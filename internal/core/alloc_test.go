@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// Allocation regression guards for the quantification hot path
+// (ISSUE 2): Split, the histogram build and a warm groupDistance must
+// stay at single-digit allocations per call, so future PRs cannot
+// silently reintroduce per-call map or sort churn.
+
+// TestSplitAllocs bounds the allocations of one partition.Split call:
+// the output slice plus one shared rows backing, one shared conds
+// backing, and one interned key string per child.
+func TestSplitAllocs(t *testing.T) {
+	d, _ := table1Scores(t)
+	root := partition.Root(d)
+	// Warm the splitter pool and the column's by-value order.
+	if _, err := partition.Split(d, root, "language"); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := partition.Split(d, root, "language"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 3 children: 1 out + 1 rows + 1 conds + 3 keys = 6; allow slack
+	// up to single digits.
+	if avg > 9 {
+		t.Errorf("partition.Split allocates %.1f times per call, want single digits", avg)
+	}
+}
+
+// TestHistogramBuildAllocs bounds the allocations of one histogram
+// build on a warm engine (bin indexer already computed): the counts
+// slice and nothing else.
+func TestHistogramBuildAllocs(t *testing.T) {
+	d, scores := table1Scores(t)
+	e, err := newEngine(d, scores, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := e.scope.binIndexer(e.measure, e.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := d.AllRows()
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.buildHist(bi, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Errorf("histogram build allocates %.1f times per call, want ≤ 2", avg)
+	}
+}
+
+// TestGroupDistanceWarmAllocs bounds the allocations of a memoized
+// groupDistance call: interned keys and struct-keyed map lookups leave
+// nothing to allocate on the warm path.
+func TestGroupDistanceWarmAllocs(t *testing.T) {
+	d, scores := table1Scores(t)
+	e, err := newEngine(d, scores, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	children, err := e.splitChildren(partition.Root(d), "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 2 {
+		t.Fatalf("gender split has %d children", len(children))
+	}
+	if _, err := e.groupDistance(children[0], children[1]); err != nil {
+		t.Fatal(err) // warm the memo
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.groupDistance(children[0], children[1]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Errorf("warm groupDistance allocates %.1f times per call, want ≤ 2", avg)
+	}
+}

@@ -9,14 +9,15 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fairness"
 	"repro/internal/histogram"
+	"repro/internal/partition"
 )
 
 // Cache memoizes the expensive sub-computations of the quantification
-// engine — group histograms, candidate-split evaluations, and pairwise
-// histogram distances (the EMD calls that dominate Algorithm 1's cost)
-// — so that TryAllRoots restarts, repeated panels of an interactive
-// session, and overlapping subgroups across requests never recompute
-// the same value.
+// engine — group histograms, candidate-split evaluations (scores and
+// children row-sets), and pairwise histogram distances (the EMD calls
+// that dominate Algorithm 1's cost) — so that TryAllRoots restarts,
+// repeated panels of an interactive session, and overlapping subgroups
+// across requests never recompute the same value.
 //
 // Entries are scoped by the identity of the inputs they depend on: the
 // dataset (by pointer — datasets are immutable), the exact score
@@ -133,15 +134,49 @@ func (c *Cache) scopeFor(d *dataset.Dataset, scores []float64, m fairness.Measur
 	return s
 }
 
+// splitKey identifies one candidate split: a canonical group and the
+// attribute it would be divided on.
+type splitKey struct {
+	group partition.Key
+	attr  string
+}
+
+// distKey identifies one unordered group pair by the canonical
+// ordering of their keys (distances are symmetric).
+type distKey struct {
+	a, b partition.Key
+}
+
 // cacheScope holds the memo tables of one (dataset, scores, measure)
-// combination. The sync.Map values are single-flight entries, so
-// concurrent workers asking for the same key block on one computation
-// instead of duplicating it.
+// combination. Tables are plain maps keyed by comparable structs under
+// an RWMutex — the warm path is a read-locked lookup with no interface
+// boxing, so a memo hit allocates nothing. The entries hold sync.Once
+// values, so concurrent workers asking for the same key block on one
+// computation instead of duplicating it (single-flight).
 type cacheScope struct {
 	scores []float64
-	hists  sync.Map // Group.Key() -> *histEntry
-	splits sync.Map // Group.Key()+"\x00"+attr -> *splitEntry
-	dists  sync.Map // ordered pair of Group.Key()s -> *distEntry
+
+	// binOnce guards the scope's shared per-row bin index vector, the
+	// precomputation that turns every histogram build into a counting
+	// loop.
+	binOnce sync.Once
+	binIdx  *fairness.BinIndexer
+	binErr  error
+
+	mu       sync.RWMutex
+	hists    map[partition.Key]*histEntry
+	splits   map[splitKey]*splitEntry
+	children map[splitKey]*childrenEntry
+	dists    map[distKey]*distEntry
+}
+
+// binIndexer returns the scope's per-row bin index vector, computing
+// it once from the engine's scores and measure.
+func (s *cacheScope) binIndexer(m fairness.Measure, scores []float64) (*fairness.BinIndexer, error) {
+	s.binOnce.Do(func() {
+		s.binIdx, s.binErr = m.NewBinIndexer(scores)
+	})
+	return s.binIdx, s.binErr
 }
 
 type histEntry struct {
@@ -156,32 +191,100 @@ type splitEntry struct {
 	err  error
 }
 
+// childrenEntry memoizes the row partition a split creates, so a memo
+// hit skips the O(rows) counting sort. The stored children's condition
+// lists carry the first caller's root-to-group path order; evalSplit
+// re-labels them when a different path reaches the same canonical
+// group.
+type childrenEntry struct {
+	once        sync.Once
+	parentConds []partition.Cond
+	children    []partition.Group
+	err         error
+}
+
 type distEntry struct {
 	once sync.Once
 	v    float64
 	err  error
 }
 
-func (s *cacheScope) histEntry(key string) *histEntry {
-	if e, ok := s.hists.Load(key); ok {
-		return e.(*histEntry)
+func (s *cacheScope) histEntry(key partition.Key) *histEntry {
+	s.mu.RLock()
+	e := s.hists[key]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
 	}
-	e, _ := s.hists.LoadOrStore(key, &histEntry{})
-	return e.(*histEntry)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hists == nil {
+		s.hists = make(map[partition.Key]*histEntry)
+	}
+	if e := s.hists[key]; e != nil {
+		return e
+	}
+	e = &histEntry{}
+	s.hists[key] = e
+	return e
 }
 
-func (s *cacheScope) splitEntry(key string) *splitEntry {
-	if e, ok := s.splits.Load(key); ok {
-		return e.(*splitEntry)
+func (s *cacheScope) splitEntry(key splitKey) *splitEntry {
+	s.mu.RLock()
+	e := s.splits[key]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
 	}
-	e, _ := s.splits.LoadOrStore(key, &splitEntry{})
-	return e.(*splitEntry)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.splits == nil {
+		s.splits = make(map[splitKey]*splitEntry)
+	}
+	if e := s.splits[key]; e != nil {
+		return e
+	}
+	e = &splitEntry{}
+	s.splits[key] = e
+	return e
 }
 
-func (s *cacheScope) distEntry(key string) *distEntry {
-	if e, ok := s.dists.Load(key); ok {
-		return e.(*distEntry)
+func (s *cacheScope) childrenEntry(key splitKey) *childrenEntry {
+	s.mu.RLock()
+	e := s.children[key]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
 	}
-	e, _ := s.dists.LoadOrStore(key, &distEntry{})
-	return e.(*distEntry)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.children == nil {
+		s.children = make(map[splitKey]*childrenEntry)
+	}
+	if e := s.children[key]; e != nil {
+		return e
+	}
+	e = &childrenEntry{}
+	s.children[key] = e
+	return e
+}
+
+func (s *cacheScope) distEntry(key distKey) *distEntry {
+	s.mu.RLock()
+	e := s.dists[key]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dists == nil {
+		s.dists = make(map[distKey]*distEntry)
+	}
+	if e := s.dists[key]; e != nil {
+		return e
+	}
+	e = &distEntry{}
+	s.dists[key] = e
+	return e
 }

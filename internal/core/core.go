@@ -266,16 +266,69 @@ func (e *engine) runParallel(n int, fn func(int) error) error {
 	return nil
 }
 
-// histOf returns the (memoized) normalized histogram of a group.
+// histOf returns the (memoized) normalized histogram of a group. The
+// build counts the scope's precomputed per-row bin indices — no float
+// arithmetic per row — and fans large row sets out over the worker
+// pool.
 func (e *engine) histOf(g partition.Group) (histogram.Hist, error) {
 	ent := e.scope.histEntry(g.Key())
 	ent.once.Do(func() {
-		ent.h, ent.err = e.measure.Histogram(e.scores, g.Rows)
-		if ent.err != nil {
-			ent.err = fmt.Errorf("core: histogram of %q: %w", g.Label(), ent.err)
+		bi, err := e.scope.binIndexer(e.measure, e.scores)
+		if err == nil {
+			ent.h, err = e.buildHist(bi, g.Rows)
+		}
+		if err != nil {
+			ent.err = fmt.Errorf("core: histogram of %q: %w", g.Label(), err)
 		}
 	})
 	return ent.h, ent.err
+}
+
+// histShardRows is the number of rows one histogram-count shard
+// covers; groups smaller than two shards are counted inline.
+const histShardRows = 8192
+
+// buildHist counts rows into a normalized histogram via the bin
+// indexer. Large groups are sharded across the worker pool: each shard
+// counts into its own buffer and the buffers are summed in shard
+// order, so the result is bit-identical to the sequential count
+// (integer-valued float64 additions are exact).
+func (e *engine) buildHist(bi *fairness.BinIndexer, rows []int) (histogram.Hist, error) {
+	shards := 0
+	if e.sem != nil {
+		shards = len(rows) / histShardRows
+		if shards > e.cfg.Workers {
+			shards = e.cfg.Workers
+		}
+	}
+	if shards < 2 {
+		return bi.Histogram(rows)
+	}
+	counts := make([][]float64, shards)
+	chunk := (len(rows) + shards - 1) / shards
+	err := e.runParallel(shards, func(i int) error {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		counts[i] = make([]float64, bi.Bins())
+		return bi.Count(counts[i], rows[lo:hi])
+	})
+	if err != nil {
+		return histogram.Hist{}, err
+	}
+	merged := counts[0]
+	for _, c := range counts[1:] {
+		for j := range merged {
+			merged[j] += c[j]
+		}
+	}
+	t := float64(len(rows))
+	for j := range merged {
+		merged[j] /= t
+	}
+	lo, hi := bi.Range()
+	return histogram.Hist{Lo: lo, Hi: hi, Counts: merged}, nil
 }
 
 // groupDistance returns the (memoized) histogram distance between two
@@ -288,7 +341,7 @@ func (e *engine) groupDistance(a, b partition.Group) (float64, error) {
 		a, b = b, a
 	}
 	e.distEvals.Add(1)
-	ent := e.scope.distEntry(ka + "\x00" + kb)
+	ent := e.scope.distEntry(distKey{a: ka, b: kb})
 	computed := false
 	ent.once.Do(func() {
 		computed = true
@@ -307,20 +360,61 @@ func (e *engine) groupDistance(a, b partition.Group) (float64, error) {
 	return ent.v, ent.err
 }
 
+// splitChildren returns the (memoized) children of splitting g on
+// attr. The row partition is computed once per canonical (group,
+// attr); a memo hit skips the counting sort entirely. Condition lists
+// carry the caller's root-to-group path order, which differs between
+// restarts reaching the same canonical group — when it does, the
+// cached children are re-labelled for this caller, sharing their rows
+// and canonical keys.
+func (e *engine) splitChildren(g partition.Group, attr string) ([]partition.Group, error) {
+	ent := e.scope.childrenEntry(splitKey{group: g.Key(), attr: attr})
+	ent.once.Do(func() {
+		ent.parentConds = g.Conds
+		ent.children, ent.err = partition.Split(e.d, g, attr)
+	})
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	if condsEqual(ent.parentConds, g.Conds) {
+		return ent.children, nil
+	}
+	out := make([]partition.Group, len(ent.children))
+	for i, c := range ent.children {
+		conds := make([]partition.Cond, len(g.Conds)+1)
+		copy(conds, g.Conds)
+		conds[len(g.Conds)] = c.Conds[len(c.Conds)-1]
+		out[i] = c.Relabel(conds)
+	}
+	return out, nil
+}
+
+// condsEqual reports whether two condition lists are identical
+// including order (the cheap common case in splitChildren: the memoized
+// children were built from the same path).
+func condsEqual(a, b []partition.Cond) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // evalSplit returns the children a split of g on attr creates and the
 // (memoized) aggregated pairwise distance among them — the score
-// mostUnfairAttr ranks candidate attributes by. The children are
-// recomputed per call rather than cached: their condition lists carry
-// the caller's root-to-group path order, which differs between
-// restarts reaching the same canonical group, while the aggregate
-// value depends only on the rows and is safe to share.
+// mostUnfairAttr ranks candidate attributes by. The aggregate value
+// depends only on the rows and is safe to share across restarts.
 func (e *engine) evalSplit(g partition.Group, attr string) ([]partition.Group, float64, error) {
-	children, err := partition.Split(e.d, g, attr)
+	children, err := e.splitChildren(g, attr)
 	if err != nil {
 		return nil, 0, err
 	}
 	e.splitsEvaluated.Add(1)
-	ent := e.scope.splitEntry(g.Key() + "\x00" + attr)
+	ent := e.scope.splitEntry(splitKey{group: g.Key(), attr: attr})
 	ent.once.Do(func() {
 		ent.val, ent.err = e.aggWithin(children)
 	})

@@ -28,34 +28,49 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 		agg = fairness.Average{}
 	}
 
-	var best []partition.Group
-	bestVal := 0.0
-	found := false
-	// The same pair of groups appears in many enumerated
-	// partitionings; groupDistance memoizes each pair once.
+	// Collect the candidate partitionings, then score them over the
+	// worker pool: the same pair of groups appears in many enumerated
+	// partitionings and groupDistance memoizes each pair once
+	// (single-flight), so the scoring order cannot change any value.
+	// The best is selected in enumeration order afterwards, keeping the
+	// result bit-identical for every worker count.
+	var all [][]partition.Group
 	err = partition.ForEachPartitioning(d, root, e.cfg.Attributes, e.cfg.MinGroupSize, e.cfg.EnumerationLimit, func(leaves []partition.Group) error {
-		e.partitionings++
-		var dists []float64
-		for i := 0; i < len(leaves); i++ {
-			for j := i + 1; j < len(leaves); j++ {
-				v, err := e.groupDistance(leaves[i], leaves[j])
+		all = append(all, leaves)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: exhaustive search: %w", err)
+	}
+	e.partitionings = len(all)
+	vals := make([]float64, len(all))
+	err = e.runParallel(len(all), func(i int) error {
+		leaves := all[i]
+		dists := make([]float64, 0, len(leaves)*(len(leaves)-1)/2)
+		for a := 0; a < len(leaves); a++ {
+			for b := a + 1; b < len(leaves); b++ {
+				v, err := e.groupDistance(leaves[a], leaves[b])
 				if err != nil {
 					return err
 				}
 				dists = append(dists, v)
 			}
 		}
-		val := agg.Aggregate(dists)
-		if !found || e.better(val, bestVal) {
-			// Copy: the enumerator may reuse backing arrays.
-			best = append([]partition.Group(nil), leaves...)
-			bestVal = val
-			found = true
-		}
+		vals[i] = agg.Aggregate(dists)
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: exhaustive search: %w", err)
+	}
+	var best []partition.Group
+	bestVal := 0.0
+	found := false
+	for i, leaves := range all {
+		if !found || e.better(vals[i], bestVal) {
+			best = leaves
+			bestVal = vals[i]
+			found = true
+		}
 	}
 	if !found {
 		return nil, fmt.Errorf("core: exhaustive search visited no partitionings")

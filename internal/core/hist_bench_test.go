@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/marketplace"
+)
+
+// benchEngine builds an engine over a synthetic population.
+func benchEngine(b *testing.B, n, workers int) *engine {
+	b.Helper()
+	spec := marketplace.PopulationSpec{
+		N:      n,
+		Skills: []marketplace.SkillSpec{{Name: "skill", Mean: 0.55, StdDev: 0.18}},
+	}
+	for a := 0; a < 4; a++ {
+		attr := marketplace.AttrSpec{Name: fmt.Sprintf("p%d", a+1)}
+		for v := 0; v < 3; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v+1))
+		}
+		spec.Protected = append(spec.Protected, attr)
+	}
+	d, err := marketplace.Generate(spec, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := d.Num("skill")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := newEngine(d, scores, Config{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkHistogram measures building one group histogram from raw
+// rows — the per-group cost behind every cold histOf call. "direct"
+// is the pre-indexing build (per-row float arithmetic); "indexed" is
+// the engine's counting loop over the scope's precomputed bin
+// indices.
+func BenchmarkHistogram(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		e := benchEngine(b, n, 1)
+		rows := e.d.AllRows()
+		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.measure.Histogram(e.scores, rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("indexed/n=%d", n), func(b *testing.B) {
+			bi, err := e.scope.binIndexer(e.measure, e.scores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.buildHist(bi, rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// syntheticDataset builds a dataset with one protected attribute from
+// per-row records.
+func syntheticDataset(t *testing.T, records [][]string) *dataset.Dataset {
+	t.Helper()
+	schema, err := dataset.NewSchema(
+		dataset.Attribute{Name: "p", Kind: dataset.Categorical, Role: dataset.Protected},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(schema)
+	for i, rec := range records {
+		b.Append(fmt.Sprintf("id%d", i), rec)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Sharded histogram builds must be bit-identical to the sequential
+// count, for row sets well above the shard threshold and any worker
+// count. Integer-valued float64 additions are exact, so the per-shard
+// buffers sum to exactly the sequential counts.
+func TestBuildHistShardedEquivalence(t *testing.T) {
+	const n = 3 * histShardRows
+	g := stats.NewRNG(99)
+	scores := make([]float64, n)
+	records := make([][]string, n)
+	for i := range scores {
+		scores[i] = g.Float64()
+		records[i] = []string{fmt.Sprintf("v%d", i%3)}
+	}
+	d := syntheticDataset(t, records)
+	rows := d.AllRows()
+
+	seq, err := newEngine(d, scores, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biSeq, err := seq.scope.binIndexer(seq.measure, seq.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.buildHist(biSeq, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the unindexed build.
+	direct, err := seq.measure.Histogram(scores, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Counts {
+		if math.Float64bits(want.Counts[i]) != math.Float64bits(direct.Counts[i]) {
+			t.Fatalf("indexed build differs from direct build at bin %d: %v vs %v", i, want.Counts[i], direct.Counts[i])
+		}
+	}
+
+	for _, workers := range []int{2, 3, 8} {
+		e, err := newEngine(d, scores, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := e.scope.binIndexer(e.measure, e.scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.buildHist(bi, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != want.Lo || got.Hi != want.Hi || len(got.Counts) != len(want.Counts) {
+			t.Fatalf("workers=%d: shape mismatch", workers)
+		}
+		for i := range got.Counts {
+			if math.Float64bits(got.Counts[i]) != math.Float64bits(want.Counts[i]) {
+				t.Errorf("workers=%d: bin %d differs: %v vs %v", workers, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+}
+
+// Sharded builds report the same first-offending-row error the
+// sequential path does.
+func TestBuildHistShardedErrors(t *testing.T) {
+	const n = 3 * histShardRows
+	scores := make([]float64, n)
+	records := make([][]string, n)
+	for i := range records {
+		records[i] = []string{"v"}
+	}
+	scores[n-1] = math.NaN()
+	d := syntheticDataset(t, records)
+	rows := d.AllRows()
+
+	for _, workers := range []int{1, 8} {
+		e, err := newEngine(d, scores, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := e.scope.binIndexer(e.measure, e.scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = e.buildHist(bi, rows)
+		if err == nil {
+			t.Fatalf("workers=%d: NaN score not rejected", workers)
+		}
+		want := fmt.Sprintf("fairness: row %d: histogram: cannot add NaN", n-1)
+		if err.Error() != want {
+			t.Errorf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+}

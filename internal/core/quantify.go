@@ -98,7 +98,7 @@ func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error)
 func (e *engine) buildTree(rootGroup partition.Group, rootAttr string, numRows int) (*partition.Tree, error) {
 	rootNode := &partition.Node{Group: rootGroup, SplitAttr: rootAttr}
 	tree := &partition.Tree{Root: rootNode, NumRows: numRows}
-	children, err := partition.Split(e.d, rootGroup, rootAttr)
+	children, err := e.splitChildren(rootGroup, rootAttr)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Kind classifies an attribute as categorical or numeric.
@@ -160,6 +161,12 @@ type catColumn struct {
 	domain []string
 	lookup map[string]int
 	codes  []int
+	// byValue caches the domain codes in ascending value order, the
+	// deterministic child order partition.Split emits. Computed once
+	// per column on first use — datasets are immutable after
+	// construction, so the order can never go stale.
+	sortOnce sync.Once
+	byValue  []int
 }
 
 func (c *catColumn) kind() Kind  { return Categorical }
@@ -174,6 +181,21 @@ func (c *catColumn) selectRows(rows []int) column {
 		out.codes[i] = c.codes[r]
 	}
 	return out
+}
+
+// codesByValue returns the domain codes sorted by domain value,
+// computed once and shared.
+func (c *catColumn) codesByValue() []int {
+	c.sortOnce.Do(func() {
+		c.byValue = make([]int, len(c.domain))
+		for i := range c.byValue {
+			c.byValue[i] = i
+		}
+		sort.Slice(c.byValue, func(i, j int) bool {
+			return c.domain[c.byValue[i]] < c.domain[c.byValue[j]]
+		})
+	})
+	return c.byValue
 }
 
 func (c *catColumn) code(v string) int {
@@ -213,6 +235,11 @@ type Dataset struct {
 	schema *Schema
 	ids    []string
 	cols   []column
+	// allRows caches the identity row set (0..n-1) handed out by
+	// AllRows, so partition.Root and friends stop allocating a fresh
+	// full-population slice per call.
+	rowsOnce sync.Once
+	allRows  []int
 }
 
 // Len returns the number of individuals.
@@ -244,6 +271,10 @@ type CatView struct {
 	// Domain holds the distinct values; Codes[r] indexes into it.
 	Domain []string
 	Codes  []int
+	// ByValue lists the domain codes in ascending Domain-value order.
+	// It is cached on the column and shared across views; callers must
+	// not modify it.
+	ByValue []int
 }
 
 // Cat returns a view of the named categorical column.
@@ -256,7 +287,7 @@ func (d *Dataset) Cat(attr string) (CatView, error) {
 	if !ok {
 		return CatView{}, fmt.Errorf("dataset: attribute %q is %s, not categorical", attr, d.cols[i].kind())
 	}
-	return CatView{Domain: c.domain, Codes: c.codes}, nil
+	return CatView{Domain: c.domain, Codes: c.codes, ByValue: c.codesByValue()}, nil
 }
 
 // Num returns a read-only view of the named numeric column. The
@@ -320,13 +351,18 @@ func (d *Dataset) Select(rows []int) (*Dataset, error) {
 	return out, nil
 }
 
-// AllRows returns the row indices 0..n-1.
+// AllRows returns the row indices 0..n-1. The slice is built once per
+// dataset and shared by every caller; treat it as read-only (copy it
+// before sorting or truncating).
 func (d *Dataset) AllRows() []int {
-	rows := make([]int, d.Len())
-	for i := range rows {
-		rows[i] = i
-	}
-	return rows
+	d.rowsOnce.Do(func() {
+		rows := make([]int, d.Len())
+		for i := range rows {
+			rows[i] = i
+		}
+		d.allRows = rows
+	})
+	return d.allRows
 }
 
 // Builder assembles a Dataset row by row.

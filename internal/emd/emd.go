@@ -147,23 +147,154 @@ func EMD(p, q []float64, cost [][]float64) (float64, error) {
 // moving min(Σp, Σq) mass, plus α · maxCost · |Σp − Σq| as a penalty
 // for unmatched mass. With α=1 and a thresholded ground distance this
 // is the metric the FastEMD paper recommends for histogram comparison.
+//
+// Hat revalidates and rescans the cost matrix on every call; callers
+// that evaluate many pairs under one ground distance should build a
+// Ground once and use Ground.Hat.
 func Hat(p, q []float64, cost [][]float64, alpha float64) (float64, error) {
-	if alpha < 0 || math.IsNaN(alpha) {
-		return 0, fmt.Errorf("emd: invalid alpha %g", alpha)
-	}
-	work, _, masses, err := minWork(p, q, cost)
+	g, err := NewGround(cost)
 	if err != nil {
 		return 0, err
 	}
-	maxCost := 0.0
+	return g.Hat(p, q, alpha)
+}
+
+// Ground is a validated ground-distance matrix with the metadata the
+// solvers need — the maximum entry (the ÊMD mass-mismatch scale) and
+// linear-1-D structure detection — hoisted out of the per-call path,
+// so evaluating many histogram pairs under one ground distance stops
+// rescanning O(n·m) entries per pair.
+type Ground struct {
+	cost [][]float64
+	n, m int
+	max  float64
+	// linearW > 0 marks cost[i][j] == |i-j|·linearW exactly (a square,
+	// unthresholded 1-D ground distance), enabling the closed-form CDF
+	// fast path for equal-mass inputs.
+	linearW float64
+}
+
+// NewGround validates cost (rectangular, finite, non-negative) and
+// precomputes its solver metadata.
+func NewGround(cost [][]float64) (*Ground, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, fmt.Errorf("emd: empty ground distance")
+	}
+	m := len(cost[0])
+	if err := validateCost(cost, n, m); err != nil {
+		return nil, err
+	}
+	g := &Ground{cost: cost, n: n, m: m}
 	for _, row := range cost {
 		for _, c := range row {
-			if c > maxCost {
-				maxCost = c
+			if c > g.max {
+				g.max = c
 			}
 		}
 	}
-	return work + alpha*maxCost*math.Abs(masses[0]-masses[1]), nil
+	g.linearW = detectLinear1D(cost)
+	return g, nil
+}
+
+// Linear1D returns the Ground for the n-bin 1-D histogram distance
+// |i-j|·binWidth, with metadata filled in by construction.
+func Linear1D(n int, binWidth float64) *Ground {
+	return &Ground{
+		cost:    GroundDistance1D(n, binWidth),
+		n:       n,
+		m:       n,
+		max:     float64(n-1) * binWidth,
+		linearW: binWidth,
+	}
+}
+
+// Thresholded1D returns the Ground for the thresholded 1-D distance
+// min(|i-j|·binWidth, t) of Pele & Werman. When the threshold does not
+// bind (t ≥ diameter) the ground is plain linear and keeps the
+// closed-form fast path.
+func Thresholded1D(n int, binWidth, t float64) *Ground {
+	diameter := float64(n-1) * binWidth
+	if t >= diameter {
+		return Linear1D(n, binWidth)
+	}
+	return &Ground{
+		cost: Threshold(GroundDistance1D(n, binWidth), t),
+		n:    n,
+		m:    n,
+		max:  math.Max(t, 0),
+	}
+}
+
+// detectLinear1D reports the bin width w when cost is exactly the
+// square 1-D matrix |i-j|·w with w > 0, and 0 otherwise.
+func detectLinear1D(cost [][]float64) float64 {
+	n := len(cost)
+	if n < 2 || len(cost[0]) != n {
+		return 0
+	}
+	w := cost[0][1]
+	if w <= 0 {
+		return 0
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return 0
+		}
+		for j, c := range row {
+			if c != math.Abs(float64(i-j))*w {
+				return 0
+			}
+		}
+	}
+	return w
+}
+
+// Hat returns the ÊMD_α of Pele & Werman under this ground distance
+// (see Hat). The maximum-cost scan and matrix validation happened at
+// construction; for a linear 1-D ground with (near-)equal masses the
+// transport work reduces to the closed-form CDF distance and no flow
+// network is built at all.
+func (g *Ground) Hat(p, q []float64, alpha float64) (float64, error) {
+	if alpha < 0 || math.IsNaN(alpha) {
+		return 0, fmt.Errorf("emd: invalid alpha %g", alpha)
+	}
+	if len(p) != g.n || len(q) != g.m {
+		return 0, fmt.Errorf("emd: histograms %dx%d do not match %dx%d ground distance", len(p), len(q), g.n, g.m)
+	}
+	totP, err := validateMass("p", p)
+	if err != nil {
+		return 0, err
+	}
+	totQ, err := validateMass("q", q)
+	if err != nil {
+		return 0, err
+	}
+	if totP <= 0 || totQ <= 0 {
+		return 0, fmt.Errorf("emd: zero-mass histogram (%g, %g)", totP, totQ)
+	}
+	work, err := g.minWork(p, q, totP, totQ)
+	if err != nil {
+		return 0, err
+	}
+	return work + alpha*g.max*math.Abs(totP-totQ), nil
+}
+
+// minWork computes the minimum work moving min(Σp, Σq) mass under g,
+// taking the closed form when the ground is linear 1-D and the masses
+// balance.
+func (g *Ground) minWork(p, q []float64, totP, totQ float64) (float64, error) {
+	if g.linearW > 0 && math.Abs(totP-totQ) <= massTol*math.Max(1, math.Max(totP, totQ)) {
+		var cum, dist float64
+		for i := range p {
+			cum += p[i] - q[i]
+			dist += math.Abs(cum)
+		}
+		return dist * g.linearW, nil
+	}
+	solver := newSSP(p, q, g.cost)
+	work, _, err := solver.run()
+	return work, err
 }
 
 // Transport solves the balanced transportation problem exactly:

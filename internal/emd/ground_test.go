@@ -1,0 +1,141 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Ground.Hat must agree with the matrix-passing Hat for arbitrary
+// ground distances — the hoisted metadata cannot change any value.
+func TestGroundHatMatchesHat(t *testing.T) {
+	g := stats.NewRNG(5001)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + trial%7
+		p := randDist(g, n)
+		q := randDist(g, n)
+		if trial%3 == 0 {
+			for i := range q { // unequal masses exercise the penalty
+				q[i] *= 0.4
+			}
+		}
+		cost := GroundDistance1D(n, 0.1)
+		if trial%2 == 1 {
+			cost = Threshold(cost, 0.05+0.1*float64(trial%4))
+		}
+		want, err := Hat(p, q, cost, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ground, err := NewGround(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ground.Hat(p, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("trial %d: Ground.Hat=%g, Hat=%g", trial, got, want)
+		}
+	}
+}
+
+// The by-construction grounds match NewGround over the explicitly
+// built matrices, including the linear fast-path flag and max cost.
+func TestConstructedGroundsMatchDetection(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		w float64
+		t float64
+	}{
+		{5, 0.2, 0.5},  // threshold binds
+		{5, 0.2, 0.81}, // threshold above diameter: plain linear
+		{2, 0.5, 10},
+	} {
+		built := Thresholded1D(tc.n, tc.w, tc.t)
+		detected, err := NewGround(Threshold(GroundDistance1D(tc.n, tc.w), tc.t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built.max != detected.max {
+			t.Errorf("n=%d w=%g t=%g: max %g vs detected %g", tc.n, tc.w, tc.t, built.max, detected.max)
+		}
+		if (built.linearW > 0) != (detected.linearW > 0) {
+			t.Errorf("n=%d w=%g t=%g: linear flag %g vs detected %g", tc.n, tc.w, tc.t, built.linearW, detected.linearW)
+		}
+	}
+	lin := Linear1D(6, 0.25)
+	if lin.linearW != 0.25 || lin.max != 5*0.25 {
+		t.Errorf("Linear1D metadata wrong: %+v", lin)
+	}
+}
+
+// The closed-form fast path for linear grounds must agree with the
+// min-cost-flow solver on equal-mass inputs.
+func TestGroundLinearClosedFormMatchesSolver(t *testing.T) {
+	g := stats.NewRNG(5002)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + trial%9
+		p := randDist(g, n)
+		q := randDist(g, n)
+		w := 1.0 / float64(n)
+		ground := Linear1D(n, w)
+		if ground.linearW <= 0 {
+			t.Fatal("Linear1D lost its fast path")
+		}
+		fast, err := ground.Hat(p, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := (&Ground{cost: ground.cost, n: n, m: n, max: ground.max}).Hat(p, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-slow) > 1e-9 {
+			t.Errorf("trial %d: closed=%g, solver=%g", trial, fast, slow)
+		}
+	}
+}
+
+// Mass-mismatched inputs must not take the closed form (it is only
+// exact for balanced transport).
+func TestGroundLinearMismatchUsesSolver(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0, 0, 0.5}
+	ground := Linear1D(3, 1)
+	got, err := ground.Hat(p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move 0.5 mass over distance 2 (work 1.0) plus penalty
+	// 1·max(2)·0.5 = 1.0.
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Hat = %g, want 2", got)
+	}
+}
+
+// NewGround validation mirrors the solver's: negative, NaN and ragged
+// matrices are rejected.
+func TestNewGroundRejectsBadMatrices(t *testing.T) {
+	if _, err := NewGround([][]float64{}); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, err := NewGround([][]float64{{-1}}); err == nil {
+		t.Error("negative cost should error")
+	}
+	if _, err := NewGround([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost should error")
+	}
+	if _, err := NewGround([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	g, err := NewGround([][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Hat([]float64{1}, []float64{1}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}

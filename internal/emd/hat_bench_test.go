@@ -1,0 +1,60 @@
+package emd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// randDistB mirrors the test helper for benchmark use.
+func randDistB(g *stats.RNG, n int) []float64 {
+	v := make([]float64, n)
+	s := 0.0
+	for i := range v {
+		v[i] = g.Float64() + 1e-9
+		s += v[i]
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+// BenchmarkHatEMD measures the thresholded ÊMD across bin counts, the
+// distance EMDThresholded evaluates per group pair. "matrix" passes
+// the raw cost matrix through Hat (per-call validation + maxCost
+// scan); "ground" reuses a prebuilt Ground, the hoisted path the
+// fairness layer uses.
+func BenchmarkHatEMD(b *testing.B) {
+	g := stats.NewRNG(42)
+	for _, bins := range []int{5, 25, 100} {
+		p, q := randDistB(g, bins), randDistB(g, bins)
+		w := 1.0 / float64(bins)
+		t := 0.5 // threshold binds for bins ≥ 3
+		cost := Threshold(GroundDistance1D(bins, w), t)
+		b.Run(fmt.Sprintf("matrix/bins=%d", bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Hat(p, q, cost, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ground := Thresholded1D(bins, w, t)
+		b.Run(fmt.Sprintf("ground/bins=%d", bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ground.Hat(p, q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		unbounded := Linear1D(bins, w)
+		b.Run(fmt.Sprintf("linear-closed/bins=%d", bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := unbounded.Hat(p, q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,14 +1,20 @@
 package emd
 
 import (
-	"fmt"
 	"math"
 )
 
-// ssp implements min-cost flow by successive shortest paths with
-// Bellman-Ford path search on the residual network. Problem sizes are
-// small (histogram bins, typically 5-256), so the simple algorithm is
-// both fast enough and easy to verify. Nodes are numbered:
+// ssp implements min-cost flow by successive shortest paths. Path
+// search is Dijkstra over reduced costs with Johnson potentials: the
+// original ground distances are non-negative (validated upstream), so
+// zero initial potentials are valid, and each augmentation folds the
+// computed distances back into the potentials. The transport network
+// is dense (every supply connects to every demand), so the frontier
+// uses the O(V²) linear-scan extraction rather than a heap — no
+// per-edge queue traffic, and each edge is relaxed exactly once per
+// augmentation. This replaces the earlier Bellman-Ford (SPFA) search,
+// which re-relaxed edges many times per augmentation. Nodes are
+// numbered:
 //
 //	0                source
 //	1 .. n           supply bins
@@ -37,8 +43,26 @@ const flowEps = 1e-12
 func newSSP(supply, demand []float64, cost [][]float64) *ssp {
 	n, m := len(supply), len(demand)
 	s := &ssp{n: n, m: m, nodes: n + m + 2}
-	s.adj = make([][]int, s.nodes)
 	src, snk := 0, n+m+1
+	// Exact-size adjacency: source→supplies, the dense bipartite core,
+	// demands→sink, plus one reverse edge per forward edge.
+	s.edges = make([]edge, 0, 2*(n+n*m+m))
+	s.adj = make([][]int, s.nodes)
+	adjBacking := make([]int, 2*(n+n*m+m))
+	next := 0
+	carve := func(c int) []int {
+		out := adjBacking[next : next : next+c]
+		next += c
+		return out
+	}
+	s.adj[src] = carve(n)
+	for i := 1; i <= n; i++ {
+		s.adj[i] = carve(1 + m)
+	}
+	for j := 1; j <= m; j++ {
+		s.adj[n+j] = carve(n + 1)
+	}
+	s.adj[snk] = carve(m)
 	for i, sv := range supply {
 		s.addEdge(src, 1+i, sv, 0)
 	}
@@ -67,43 +91,63 @@ func (s *ssp) run() (float64, []Flow, error) {
 	totalCost := 0.0
 	dist := make([]float64, s.nodes)
 	prevEdge := make([]int, s.nodes)
-	inQueue := make([]bool, s.nodes)
+	done := make([]bool, s.nodes)
+	pot := make([]float64, s.nodes)
 	for {
-		// Bellman-Ford (SPFA variant) from source.
+		// Dense Dijkstra from source over reduced costs
+		// c'(u,v) = c(u,v) + pot[u] - pot[v] ≥ 0 (clamped against
+		// floating-point drift).
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prevEdge[i] = -1
+			done[i] = false
 		}
 		dist[src] = 0
-		queue := []int{src}
-		inQueue[src] = true
-		relaxations := 0
-		maxRelax := s.nodes * len(s.edges)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			inQueue[u] = false
+		for {
+			u, best := -1, math.Inf(1)
+			for v, dv := range dist {
+				if !done[v] && dv < best {
+					u, best = v, dv
+				}
+			}
+			if u < 0 || u == snk {
+				// Once the sink is the frontier minimum its distance is
+				// final; every node still open sits at ≥ dist[snk] and
+				// cannot lie on a shortest augmenting path.
+				break
+			}
+			done[u] = true
+			du := dist[u]
+			potU := pot[u]
 			for _, ei := range s.adj[u] {
 				e := &s.edges[ei]
 				if e.cap-e.flow <= flowEps {
 					continue
 				}
-				if nd := dist[u] + e.cost; nd < dist[e.to]-1e-15 {
+				rc := e.cost + potU - pot[e.to]
+				if rc < 0 {
+					rc = 0
+				}
+				if nd := du + rc; nd < dist[e.to]-1e-15 {
 					dist[e.to] = nd
 					prevEdge[e.to] = ei
-					if !inQueue[e.to] {
-						queue = append(queue, e.to)
-						inQueue[e.to] = true
-					}
-					relaxations++
-					if relaxations > maxRelax {
-						return 0, nil, fmt.Errorf("emd: negative cycle detected in transport network")
-					}
 				}
 			}
 		}
 		if math.IsInf(dist[snk], 1) {
 			break // no more augmenting paths
+		}
+		// Fold the distances into the potentials. Nodes the truncated
+		// search did not finalize take the sink distance (their true
+		// distance is no smaller), which keeps every reduced cost
+		// non-negative on later rounds.
+		dsnk := dist[snk]
+		for v := range pot {
+			if dv := dist[v]; done[v] && dv < dsnk {
+				pot[v] += dv
+			} else {
+				pot[v] += dsnk
+			}
 		}
 		// Bottleneck along the path.
 		bottleneck := math.Inf(1)

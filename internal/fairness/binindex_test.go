@@ -1,0 +1,89 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// BinIndexer.Histogram must be bit-identical to Measure.Histogram for
+// every measure shape, including values outside [Lo, Hi] (clamped into
+// the boundary bins).
+func TestBinIndexerMatchesHistogram(t *testing.T) {
+	g := stats.NewRNG(314)
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = g.Float64()*1.4 - 0.2 // deliberately out of range
+	}
+	measures := []Measure{
+		{},
+		{Bins: 7},
+		{Bins: 3, Lo: -1, Hi: 2},
+		DefaultMeasure(),
+	}
+	rowSets := [][]int{
+		{0},
+		{1, 2, 3},
+		nil, // filled below with all rows
+	}
+	all := make([]int, len(scores))
+	for i := range all {
+		all[i] = i
+	}
+	rowSets[2] = all
+	for mi, m := range measures {
+		bi, err := m.NewBinIndexer(scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, rows := range rowSets {
+			want, err := m.Histogram(scores, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bi.Histogram(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Lo != want.Lo || got.Hi != want.Hi || len(got.Counts) != len(want.Counts) {
+				t.Fatalf("measure %d rows %d: shape mismatch", mi, ri)
+			}
+			for b := range got.Counts {
+				if math.Float64bits(got.Counts[b]) != math.Float64bits(want.Counts[b]) {
+					t.Errorf("measure %d rows %d bin %d: %v vs %v", mi, ri, b, got.Counts[b], want.Counts[b])
+				}
+			}
+		}
+	}
+}
+
+// Error behaviour matches Measure.Histogram: empty partitions,
+// out-of-range rows and NaN scores are rejected with the same
+// messages.
+func TestBinIndexerErrors(t *testing.T) {
+	scores := []float64{0.5, math.NaN(), 0.7}
+	m := DefaultMeasure()
+	bi, err := m.NewBinIndexer(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]int{{}, {5}, {-1}, {0, 1}} {
+		_, wantErr := m.Histogram(scores, rows)
+		_, gotErr := bi.Histogram(rows)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("rows %v: error presence differs: %v vs %v", rows, gotErr, wantErr)
+		}
+		if wantErr != nil && gotErr.Error() != wantErr.Error() {
+			t.Errorf("rows %v: error %q, want %q", rows, gotErr.Error(), wantErr.Error())
+		}
+	}
+}
+
+// An invalid measure fails at indexer construction, like Histogram.
+func TestBinIndexerInvalidMeasure(t *testing.T) {
+	m := Measure{Bins: -1}
+	if _, err := m.NewBinIndexer([]float64{0.5}); err == nil {
+		t.Error("invalid measure should error")
+	}
+}

@@ -13,6 +13,7 @@ package fairness
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/emd"
 	"repro/internal/histogram"
@@ -56,6 +57,18 @@ type EMDThresholded struct {
 // Name implements Distance.
 func (d EMDThresholded) Name() string { return fmt.Sprintf("emd-hat(t=%g)", d.Threshold) }
 
+// thresholdedGrounds caches prebuilt thresholded ground distances per
+// (bins, bin width, threshold) so repeated Between calls skip both the
+// O(bins²) matrix construction and emd.Hat's metadata scans. The
+// cardinality is the number of distinct histogram shapes a process
+// quantifies with — a handful in practice — so the cache is unbounded.
+var thresholdedGrounds sync.Map // groundKey -> *emd.Ground
+
+type groundKey struct {
+	bins int
+	w, t float64
+}
+
 // Between implements Distance.
 func (d EMDThresholded) Between(a, b histogram.Hist) (float64, error) {
 	if err := histogram.Compatible(a, b); err != nil {
@@ -64,8 +77,12 @@ func (d EMDThresholded) Between(a, b histogram.Hist) (float64, error) {
 	if d.Threshold <= 0 {
 		return 0, fmt.Errorf("fairness: EMDThresholded needs positive threshold, got %g", d.Threshold)
 	}
-	ground := emd.Threshold(emd.GroundDistance1D(a.Bins(), a.BinWidth()), d.Threshold)
-	return emd.Hat(a.Counts, b.Counts, ground, d.Alpha)
+	key := groundKey{bins: a.Bins(), w: a.BinWidth(), t: d.Threshold}
+	g, ok := thresholdedGrounds.Load(key)
+	if !ok {
+		g, _ = thresholdedGrounds.LoadOrStore(key, emd.Thresholded1D(key.bins, key.w, key.t))
+	}
+	return g.(*emd.Ground).Hat(a.Counts, b.Counts, d.Alpha)
 }
 
 // KS is the Kolmogorov–Smirnov distance between the histogram CDFs: a
@@ -284,6 +301,9 @@ func (m Measure) Pairwise(hists []histogram.Hist) ([]float64, error) {
 		return nil, err
 	}
 	var out []float64
+	if n := len(hists) * (len(hists) - 1) / 2; n > 0 {
+		out = make([]float64, 0, n) // preallocated; nil stays nil for no pairs
+	}
 	for i := 0; i < len(hists); i++ {
 		for j := i + 1; j < len(hists); j++ {
 			d, err := mm.Dist.Between(hists[i], hists[j])
@@ -337,6 +357,10 @@ func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, er
 	}
 	var pairs []PairBreakdown
 	var dists []float64
+	if n := len(hists) * (len(hists) - 1) / 2; n > 0 {
+		pairs = make([]PairBreakdown, 0, n) // preallocated; nil stays nil
+		dists = make([]float64, 0, n)
+	}
 	for i := 0; i < len(hists); i++ {
 		for j := i + 1; j < len(hists); j++ {
 			d, err := mm.Dist.Between(hists[i], hists[j])
@@ -348,4 +372,88 @@ func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, er
 		}
 	}
 	return pairs, mm.Agg.Aggregate(dists), nil
+}
+
+// BinIndexer precomputes the histogram bin index of every score under
+// one measure's (Bins, Lo, Hi), so building a group's histogram
+// becomes a pure counting loop over row indices instead of per-row
+// float arithmetic. One indexer serves every group of a
+// (scores, measure) combination; the engine computes it once per
+// cache scope.
+type BinIndexer struct {
+	bins   int
+	lo, hi float64
+	// idx[r] is the bin of scores[r]; -1 marks a NaN score, rejected
+	// when a partition containing it is counted (matching
+	// Measure.Histogram's lazy per-row error).
+	idx []int32
+}
+
+// NewBinIndexer builds the per-row bin index vector for scores. The
+// placement of every value is exactly Measure.Histogram's, so counting
+// with the indexer is bit-identical to the direct build.
+func (m Measure) NewBinIndexer(scores []float64) (*BinIndexer, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return nil, err
+	}
+	h, err := histogram.New(mm.Bins, mm.Lo, mm.Hi)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int32, len(scores))
+	for i, v := range scores {
+		if math.IsNaN(v) {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = int32(h.BinOf(v))
+	}
+	return &BinIndexer{bins: mm.Bins, lo: mm.Lo, hi: mm.Hi, idx: idx}, nil
+}
+
+// Bins returns the histogram resolution the indexer was built for.
+func (b *BinIndexer) Bins() int { return b.bins }
+
+// Range returns the score range the indexer was built for.
+func (b *BinIndexer) Range() (lo, hi float64) { return b.lo, b.hi }
+
+// Len returns the number of indexed scores.
+func (b *BinIndexer) Len() int { return len(b.idx) }
+
+// Count adds one unit of mass per row into counts, which must have
+// Bins entries. Errors match Measure.Histogram: out-of-range rows and
+// NaN scores are rejected at the first offending row.
+func (b *BinIndexer) Count(counts []float64, rows []int) error {
+	idx := b.idx
+	for _, r := range rows {
+		if r < 0 || r >= len(idx) {
+			return fmt.Errorf("fairness: row %d outside scores of length %d", r, len(idx))
+		}
+		i := idx[r]
+		if i < 0 {
+			return fmt.Errorf("fairness: row %d: histogram: cannot add NaN", r)
+		}
+		counts[i]++
+	}
+	return nil
+}
+
+// Histogram builds the normalized score histogram of one partition,
+// bit-identical to Measure.Histogram over the same scores: integer
+// counts are exact in float64 and the normalizing total equals the row
+// count exactly.
+func (b *BinIndexer) Histogram(rows []int) (histogram.Hist, error) {
+	if len(rows) == 0 {
+		return histogram.Hist{}, fmt.Errorf("fairness: empty partition has no score distribution")
+	}
+	counts := make([]float64, b.bins)
+	if err := b.Count(counts, rows); err != nil {
+		return histogram.Hist{}, err
+	}
+	t := float64(len(rows))
+	for i := range counts {
+		counts[i] /= t
+	}
+	return histogram.Hist{Lo: b.lo, Hi: b.hi, Counts: counts}, nil
 }

@@ -56,13 +56,15 @@ func FromValues(values []float64, bins int, lo, hi float64) (Hist, error) {
 		if math.IsNaN(v) {
 			return Hist{}, fmt.Errorf("histogram: value %d is NaN", i)
 		}
-		h.Counts[h.binOf(v)]++
+		h.Counts[h.BinOf(v)]++
 	}
 	return h, nil
 }
 
-// binOf returns the bin index for v, clamping out-of-range values.
-func (h Hist) binOf(v float64) int {
+// BinOf returns the bin index for v, clamping out-of-range values.
+// Exported so callers can precompute per-value bin indices (the
+// engine's hot histogram path) with exactly Add's placement.
+func (h Hist) BinOf(v float64) int {
 	n := len(h.Counts)
 	if v <= h.Lo {
 		return 0
@@ -82,7 +84,7 @@ func (h Hist) Add(v float64) error {
 	if math.IsNaN(v) {
 		return fmt.Errorf("histogram: cannot add NaN")
 	}
-	h.Counts[h.binOf(v)]++
+	h.Counts[h.BinOf(v)]++
 	return nil
 }
 

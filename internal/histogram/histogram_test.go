@@ -219,7 +219,7 @@ func TestMassConservationQuick(t *testing.T) {
 	}
 }
 
-// Property: every bin index produced by binOf is in range.
+// Property: every bin index produced by BinOf is in range.
 func TestBinOfInRangeQuick(t *testing.T) {
 	g := stats.NewRNG(88)
 	f := func(bins uint8) bool {
@@ -230,7 +230,7 @@ func TestBinOfInRangeQuick(t *testing.T) {
 		}
 		for i := 0; i < 100; i++ {
 			v := g.Float64()*4 - 2
-			idx := h.binOf(v)
+			idx := h.BinOf(v)
 			if idx < 0 || idx >= nb {
 				return false
 			}

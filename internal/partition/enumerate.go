@@ -23,7 +23,9 @@ var ErrEnumerationLimit = fmt.Errorf("partition: enumeration limit exceeded")
 // minSize forbids splits creating groups smaller than minSize.
 // limit bounds the number of partitionings visited (0 means a default
 // of 1<<20); exceeding it aborts with ErrEnumerationLimit. A non-nil
-// error from fn stops the enumeration and is returned.
+// error from fn stops the enumeration and is returned. Each callback
+// receives a distinct leaf slice that fn may retain (the parallel
+// exhaustive solver scores them after the enumeration completes).
 func ForEachPartitioning(d *dataset.Dataset, root Group, attrs []string, minSize, limit int, fn func(leaves []Group) error) error {
 	if limit <= 0 {
 		limit = 1 << 20

@@ -1,0 +1,286 @@
+package partition
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// oldStyleKey reproduces the pre-interning key scheme (sorted
+// unescaped "attr=value" joined by "|"), which collided when values
+// contained the delimiters.
+func oldStyleKey(conds []Cond) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// adversarialDataset builds a dataset whose category values embed the
+// old key scheme's delimiters: attribute p takes the value "x|q=y",
+// which under sort+join keys renders identically to {p=x, q=y}.
+func adversarialDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	schema, err := dataset.NewSchema(
+		dataset.Attribute{Name: "p", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "q", Kind: dataset.Categorical, Role: dataset.Protected},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(schema)
+	b.Append("1", []string{"x|q=y", "y"})
+	b.Append("2", []string{"x|q=y", "z"})
+	b.Append("3", []string{"x", "y"})
+	b.Append("4", []string{"x", "z"})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Regression for the delimiter-collision bug: the condition set
+// {p=x|q=y} and the set {p=x, q=y} rendered the same old-style key but
+// must have distinct canonical keys, both for hand-built groups
+// (escaped fallback) and for Split-produced groups (interned keys).
+func TestKeyDelimiterCollision(t *testing.T) {
+	single := Group{Conds: []Cond{{Attr: "p", Value: "x|q=y"}}}
+	double := Group{Conds: []Cond{{Attr: "p", Value: "x"}, {Attr: "q", Value: "y"}}}
+	if oldStyleKey(single.Conds) != oldStyleKey(double.Conds) {
+		t.Fatalf("adversarial values no longer collide under the old scheme; pick worse ones")
+	}
+	if single.Key() == double.Key() {
+		t.Errorf("escaped keys collide: %q", single.Key())
+	}
+
+	// The same two condition sets reached through Split.
+	d := adversarialDataset(t)
+	pChildren, err := Split(d, Root(d), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value order: "x" before "x|q=y".
+	if got := pChildren[0].Conds[0].Value; got != "x" {
+		t.Fatalf("unexpected child order: %q first", got)
+	}
+	weird := pChildren[1] // {p=x|q=y}
+	qChildren, err := Split(d, pChildren[0], "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := qChildren[0] // {p=x, q=y}
+	if oldStyleKey(weird.Conds) != oldStyleKey(nested.Conds) {
+		t.Fatalf("split groups no longer collide under the old scheme")
+	}
+	if weird.Key() == nested.Key() {
+		t.Errorf("interned keys collide: %q", weird.Key())
+	}
+}
+
+// Escaping itself must be unambiguous: sets whose escaped renderings
+// could fold together if escaping were naive stay distinct.
+func TestKeyEscapingUnambiguous(t *testing.T) {
+	groups := []Group{
+		{Conds: []Cond{{Attr: "a", Value: `x\`}, {Attr: "b", Value: "y"}}},
+		{Conds: []Cond{{Attr: "a", Value: `x\|b=y`}}},
+		{Conds: []Cond{{Attr: "a", Value: "x"}, {Attr: "b", Value: "y"}}},
+		{Conds: []Cond{{Attr: "a=b", Value: "x"}}},
+		{Conds: []Cond{{Attr: "a", Value: "b=x"}}},
+	}
+	seen := make(map[Key]int)
+	for i, g := range groups {
+		if j, dup := seen[g.Key()]; dup {
+			t.Errorf("groups %d and %d share key %q", i, j, g.Key())
+		}
+		seen[g.Key()] = i
+	}
+}
+
+// condSetEqual reports whether two condition sets are equal ignoring
+// order.
+func condSetEqual(a, b []Cond) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Cond(nil), a...)
+	bs := append([]Cond(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i].Attr < as[j].Attr })
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Attr < bs[j].Attr })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Old-key-vs-interned-key equivalence: over every group reachable by
+// splitting Table 1 in both attribute orders, interned keys agree
+// exactly when the old-style keys agree (no adversarial values here,
+// so the old scheme is collision-free and defines the ground truth),
+// and both agree with condition-set equality.
+func TestInternedKeyMatchesOldKeyEquivalence(t *testing.T) {
+	d := dataset.Table1()
+	var groups []Group
+	var descend func(g Group, attrs []string)
+	descend = func(g Group, attrs []string) {
+		groups = append(groups, g)
+		for i, attr := range attrs {
+			children, err := Split(d, g, attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rest := append(append([]string(nil), attrs[:i]...), attrs[i+1:]...)
+			for _, c := range children {
+				descend(c, rest)
+			}
+		}
+	}
+	descend(Root(d), []string{dataset.AttrGender, dataset.AttrLanguage})
+	if len(groups) < 10 {
+		t.Fatalf("only %d groups enumerated", len(groups))
+	}
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			oldEq := oldStyleKey(groups[i].Conds) == oldStyleKey(groups[j].Conds)
+			newEq := groups[i].Key() == groups[j].Key()
+			setEq := condSetEqual(groups[i].Conds, groups[j].Conds)
+			if oldEq != newEq || newEq != setEq {
+				t.Errorf("groups %q and %q: oldEq=%v newEq=%v setEq=%v (keys %q, %q)",
+					groups[i].Label(), groups[j].Label(), oldEq, newEq, setEq,
+					groups[i].Key(), groups[j].Key())
+			}
+		}
+	}
+}
+
+// Split-produced keys are order independent: the same canonical group
+// reached via gender→language and via language→gender shares one
+// interned key, while its Label still reflects the path.
+func TestInternedKeyOrderIndependent(t *testing.T) {
+	d := dataset.Table1()
+	g1, err := Split(d, Root(d), dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGender, err := Split(d, g1[1], dataset.AttrLanguage) // Male → languages
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := Split(d, Root(d), dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maleEnglish *Group
+	for i := range l1 {
+		if l1[i].Conds[0].Value != "English" {
+			continue
+		}
+		viaLanguage, err := Split(d, l1[i], dataset.AttrGender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range viaLanguage {
+			if viaLanguage[j].Conds[1].Value == "Male" {
+				maleEnglish = &viaLanguage[j]
+			}
+		}
+	}
+	if maleEnglish == nil {
+		t.Fatal("language=English ∧ gender=Male not found")
+	}
+	if viaGender[0].Conds[1].Value != "English" {
+		t.Fatalf("unexpected child order: %v", viaGender[0].Conds)
+	}
+	if viaGender[0].Key() != maleEnglish.Key() {
+		t.Errorf("same canonical group, different keys: %q vs %q", viaGender[0].Key(), maleEnglish.Key())
+	}
+	if viaGender[0].Label() == maleEnglish.Label() {
+		t.Errorf("labels should reflect distinct paths, both %q", maleEnglish.Label())
+	}
+}
+
+// Relabel reorders the condition list without touching the canonical
+// key.
+func TestRelabelKeepsKey(t *testing.T) {
+	d := dataset.Table1()
+	g1, err := Split(d, Root(d), dataset.AttrGender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Split(d, g1[1], dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sub[0]
+	flipped := []Cond{g.Conds[1], g.Conds[0]}
+	r := g.Relabel(flipped)
+	if r.Key() != g.Key() {
+		t.Errorf("Relabel changed key: %q vs %q", r.Key(), g.Key())
+	}
+	if r.Label() == g.Label() {
+		t.Errorf("Relabel did not reorder the label: %q", r.Label())
+	}
+	if &r.Rows[0] != &g.Rows[0] {
+		t.Error("Relabel copied rows")
+	}
+}
+
+// Appending to one child's rows or conditions must not corrupt its
+// siblings: Split hands out capacity-limited sub-slices of shared
+// backings.
+func TestSplitChildrenAppendIsolation(t *testing.T) {
+	d := dataset.Table1()
+	children, err := Split(d, Root(d), dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) < 2 {
+		t.Fatalf("want ≥2 children, got %d", len(children))
+	}
+	wantRows := append([]int(nil), children[1].Rows...)
+	wantConds := append([]Cond(nil), children[1].Conds...)
+	children[0].Rows = append(children[0].Rows, -99)
+	children[0].Conds = append(children[0].Conds, Cond{Attr: "zz", Value: "zz"})
+	for i, r := range children[1].Rows {
+		if r != wantRows[i] {
+			t.Fatalf("sibling rows corrupted: %v, want %v", children[1].Rows, wantRows)
+		}
+	}
+	for i, c := range children[1].Conds {
+		if c != wantConds[i] {
+			t.Fatalf("sibling conds corrupted: %v, want %v", children[1].Conds, wantConds)
+		}
+	}
+}
+
+// Splitting a group twice yields identical children (the pooled
+// scratch buffers leave no state behind), and an out-of-range row
+// leaves the pool usable.
+func TestSplitterReuseClean(t *testing.T) {
+	d := dataset.Table1()
+	first, err := Split(d, Root(d), dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Split(d, Group{Rows: []int{99}}, dataset.AttrLanguage); err == nil {
+		t.Fatal("out-of-range row should error")
+	}
+	second, err := Split(d, Root(d), dataset.AttrLanguage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("child counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Key() != second[i].Key() || first[i].Size() != second[i].Size() {
+			t.Errorf("child %d differs across reuse", i)
+		}
+	}
+}

@@ -11,9 +11,11 @@
 package partition
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 )
@@ -28,11 +30,30 @@ type Cond struct {
 // String renders the condition as "attr=value".
 func (c Cond) String() string { return c.Attr + "=" + c.Value }
 
+// Key is the canonical identity of a group's condition set,
+// independent of condition order. Groups produced by Split carry an
+// interned key: a tag byte followed by 8-byte big-endian
+// (attrIndex, code) pairs in ascending order, referencing the
+// dataset's schema and per-column domains. Groups assembled by hand
+// fall back to an escaped textual encoding under a different tag
+// byte, so the two namespaces can never collide — and neither can two
+// distinct condition sets, even when attribute values contain '|' or
+// '=' (the old sort+join keys collided there).
+type Key string
+
+const (
+	keyTagInterned = "\x01"
+	keyTagEscaped  = "\x02"
+)
+
 // Group is a set of individuals (row indices into a dataset) defined
 // by a conjunction of protected-attribute conditions.
 type Group struct {
 	Conds []Cond
 	Rows  []int
+	// key holds the interned canonical key when the group was produced
+	// by Split; when empty, Key falls back to escaping the conditions.
+	key Key
 }
 
 // Root returns the group of all rows of d with no conditions.
@@ -55,41 +76,191 @@ func (g Group) Label() string {
 
 // Key returns a canonical identity for the group's condition set,
 // independent of condition order. Used to cache histograms and
-// distances across the exhaustive search.
-func (g Group) Key() string {
-	parts := make([]string, len(g.Conds))
-	for i, c := range g.Conds {
-		parts[i] = c.String()
+// distances across the search. Split-produced groups return their
+// precomputed interned key at zero cost; hand-built groups pay for an
+// escaped string encoding per call.
+func (g Group) Key() Key {
+	if g.key != "" || len(g.Conds) == 0 {
+		return g.key
+	}
+	return escapedKey(g.Conds)
+}
+
+// Relabel returns g with its condition list replaced by conds, which
+// must hold the same conditions, possibly reordered: the canonical key
+// is carried over unchanged. The quantification engine uses this to
+// give memoized split children the caller's root-to-group path order.
+func (g Group) Relabel(conds []Cond) Group {
+	g.Conds = conds
+	return g
+}
+
+// escapeInto appends s to b with '\\', '|' and '=' escaped, so the
+// rendered condition list of one set can never equal that of another.
+func escapeInto(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '|':
+			b.WriteString(`\p`)
+		case '=':
+			b.WriteString(`\e`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// escapedKey is the fallback canonical key for condition sets that
+// carry no interned key: escaped "attr=value" renderings, sorted and
+// joined.
+func escapedKey(conds []Cond) Key {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		var b strings.Builder
+		b.Grow(len(c.Attr) + len(c.Value) + 1)
+		escapeInto(&b, c.Attr)
+		b.WriteByte('=')
+		escapeInto(&b, c.Value)
+		parts[i] = b.String()
 	}
 	sort.Strings(parts)
-	return strings.Join(parts, "|")
+	return Key(keyTagEscaped + strings.Join(parts, "|"))
+}
+
+// packCond encodes a condition as attrIndex<<32 | code.
+func packCond(attrIdx, code int) uint64 {
+	return uint64(uint32(attrIdx))<<32 | uint64(uint32(code))
+}
+
+// keyChunkAt decodes the 8-byte big-endian packed condition at offset
+// i of an interned key body.
+func keyChunkAt(s string, i int) uint64 {
+	return uint64(s[i])<<56 | uint64(s[i+1])<<48 | uint64(s[i+2])<<40 | uint64(s[i+3])<<32 |
+		uint64(s[i+4])<<24 | uint64(s[i+5])<<16 | uint64(s[i+6])<<8 | uint64(s[i+7])
+}
+
+// childKey builds the interned key of parent plus one (attrIdx, code)
+// condition, inserting the packed pair into the parent's sorted chunk
+// list via buf (reused scratch). It returns "" when the parent carries
+// conditions but no interned key — such hand-built lineages stay on
+// the escaped fallback.
+func childKey(parent Group, buf []byte, attrIdx, code int) (Key, []byte) {
+	if parent.key == "" && len(parent.Conds) > 0 {
+		return "", buf
+	}
+	body := ""
+	if parent.key != "" {
+		body = string(parent.key)[1:]
+	}
+	packed := packCond(attrIdx, code)
+	i := 0
+	for i < len(body) && keyChunkAt(body, i) < packed {
+		i += 8
+	}
+	buf = append(buf[:0], keyTagInterned...)
+	buf = append(buf, body[:i]...)
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], packed)
+	buf = append(buf, enc[:]...)
+	buf = append(buf, body[i:]...)
+	return Key(buf), buf
+}
+
+// splitter holds the reusable counting-sort state behind Split and
+// SplittableAttrs. Buffers are sized by the largest attribute domain
+// seen and pooled, so the hot path allocates only its outputs. The
+// counts buffer is all-zero between uses.
+type splitter struct {
+	counts []int // per-code row counts
+	starts []int // per-code scatter cursors
+	keyBuf []byte
+}
+
+var splitterPool = sync.Pool{New: func() any { return new(splitter) }}
+
+// grow ensures the per-code buffers cover a domain of dom codes.
+func (s *splitter) grow(dom int) {
+	if len(s.counts) < dom {
+		s.counts = make([]int, dom)
+		s.starts = make([]int, dom)
+	}
 }
 
 // Split divides g into one child per distinct value of attr among g's
 // rows, ordered by value for determinism. The attribute must be
 // categorical. A group in which attr takes a single value yields one
 // child identical to g (callers treat that as unsplittable).
+//
+// The implementation is a two-pass counting sort over the column's
+// codes: all children share one row backing and one condition backing
+// (capacity-limited sub-slices, so appending to a child cannot bleed
+// into a sibling), and each child carries its interned canonical key.
 func Split(d *dataset.Dataset, g Group, attr string) ([]Group, error) {
+	s := splitterPool.Get().(*splitter)
+	out, err := s.split(d, g, attr)
+	splitterPool.Put(s)
+	return out, err
+}
+
+func (s *splitter) split(d *dataset.Dataset, g Group, attr string) ([]Group, error) {
 	cv, err := d.Cat(attr)
 	if err != nil {
 		return nil, fmt.Errorf("partition: split on %q: %w", attr, err)
 	}
-	byCode := make(map[int][]int)
+	attrIdx, _ := d.Schema().Lookup(attr) // Cat succeeded, so attr exists
+	dom := len(cv.Domain)
+	s.grow(dom)
+	counts, starts := s.counts, s.starts
+
+	// Pass 1: count rows per code.
 	for _, r := range g.Rows {
 		if r < 0 || r >= len(cv.Codes) {
+			for c := 0; c < dom; c++ { // restore the all-zero invariant
+				counts[c] = 0
+			}
 			return nil, fmt.Errorf("partition: row %d out of range", r)
 		}
-		byCode[cv.Codes[r]] = append(byCode[cv.Codes[r]], r)
+		counts[cv.Codes[r]]++
 	}
-	codes := make([]int, 0, len(byCode))
-	for code := range byCode {
-		codes = append(codes, code)
+
+	// Child offsets in ascending-value order (deterministic output).
+	k, total := 0, 0
+	for _, c := range cv.ByValue {
+		if counts[c] == 0 {
+			continue
+		}
+		starts[c] = total
+		total += counts[c]
+		k++
 	}
-	sort.Slice(codes, func(i, j int) bool { return cv.Domain[codes[i]] < cv.Domain[codes[j]] })
-	out := make([]Group, 0, len(codes))
-	for _, code := range codes {
-		conds := append(append([]Cond(nil), g.Conds...), Cond{Attr: attr, Value: cv.Domain[code]})
-		out = append(out, Group{Conds: conds, Rows: byCode[code]})
+
+	// Pass 2: scatter rows, stable in g.Rows order, into one backing.
+	rowsBacking := make([]int, len(g.Rows))
+	for _, r := range g.Rows {
+		c := cv.Codes[r]
+		rowsBacking[starts[c]] = r
+		starts[c]++
+	}
+
+	nc := len(g.Conds)
+	condsBacking := make([]Cond, k*(nc+1))
+	out := make([]Group, 0, k)
+	for _, c := range cv.ByValue {
+		if counts[c] == 0 {
+			continue
+		}
+		hi := starts[c] // post-scatter cursor = end of this child's rows
+		lo := hi - counts[c]
+		conds := condsBacking[: nc+1 : nc+1]
+		condsBacking = condsBacking[nc+1:]
+		copy(conds, g.Conds)
+		conds[nc] = Cond{Attr: attr, Value: cv.Domain[c]}
+		var key Key
+		key, s.keyBuf = childKey(g, s.keyBuf, attrIdx, c)
+		out = append(out, Group{Conds: conds, Rows: rowsBacking[lo:hi:hi], key: key})
+		counts[c] = 0
 	}
 	return out, nil
 }
@@ -98,29 +269,37 @@ func Split(d *dataset.Dataset, g Group, attr string) ([]Group, error) {
 // be split (categorical, ≥2 distinct values among g's rows, and every
 // resulting child at least minSize rows).
 func SplittableAttrs(d *dataset.Dataset, g Group, attrs []string, minSize int) ([]string, error) {
+	s := splitterPool.Get().(*splitter)
+	out, err := s.splittableAttrs(d, g, attrs, minSize)
+	splitterPool.Put(s)
+	return out, err
+}
+
+func (s *splitter) splittableAttrs(d *dataset.Dataset, g Group, attrs []string, minSize int) ([]string, error) {
 	var out []string
 	for _, attr := range attrs {
 		cv, err := d.Cat(attr)
 		if err != nil {
 			return nil, fmt.Errorf("partition: %w", err)
 		}
-		counts := make(map[int]int)
+		dom := len(cv.Domain)
+		s.grow(dom)
+		counts := s.counts
 		for _, r := range g.Rows {
 			counts[cv.Codes[r]]++
 		}
-		if len(counts) < 2 {
-			continue
-		}
-		ok := true
-		if minSize > 1 {
-			for _, n := range counts {
-				if n < minSize {
-					ok = false
-					break
-				}
+		distinct, ok := 0, true
+		for c := 0; c < dom; c++ {
+			if counts[c] == 0 {
+				continue
 			}
+			distinct++
+			if counts[c] < minSize {
+				ok = false
+			}
+			counts[c] = 0
 		}
-		if ok {
+		if distinct >= 2 && ok {
 			out = append(out, attr)
 		}
 	}

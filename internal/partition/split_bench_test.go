@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+)
+
+// benchPopulation builds a synthetic population for split benchmarks:
+// 4 protected attributes × 4 values each.
+func benchPopulation(b *testing.B, n int) *dataset.Dataset {
+	b.Helper()
+	spec := marketplace.PopulationSpec{
+		N:      n,
+		Skills: []marketplace.SkillSpec{{Name: "skill", Mean: 0.55, StdDev: 0.18}},
+	}
+	for a := 0; a < 4; a++ {
+		attr := marketplace.AttrSpec{Name: fmt.Sprintf("p%d", a+1)}
+		for v := 0; v < 4; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v+1))
+		}
+		spec.Protected = append(spec.Protected, attr)
+	}
+	d, err := marketplace.Generate(spec, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSplit measures dividing a group into per-value children,
+// the inner operation of every candidate-split evaluation.
+func BenchmarkSplit(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		d := benchPopulation(b, n)
+		root := Root(d)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Split(d, root, "p1"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSplittableAttrs measures the splittability scan the greedy
+// recursion runs at every node.
+func BenchmarkSplittableAttrs(b *testing.B) {
+	d := benchPopulation(b, 20000)
+	root := Root(d)
+	attrs := []string{"p1", "p2", "p3", "p4"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplittableAttrs(d, root, attrs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupKey measures canonical key construction for a
+// deeply-conditioned group, the identity every memo lookup hashes.
+func BenchmarkGroupKey(b *testing.B) {
+	d := benchPopulation(b, 1000)
+	g := Root(d)
+	for _, attr := range []string{"p1", "p2", "p3", "p4"} {
+		children, err := Split(d, g, attr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = children[0]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -110,7 +110,7 @@ func RenderResult(res *core.Result, scores []float64, opts ResultOptions) string
 
 	if res.Tree != nil {
 		b.WriteString("\n")
-		renderNode(&b, res, scores, res.Tree.Root, 0, opts)
+		renderNode(&b, res, scores, res.Tree.Root, 0, opts, leafHistIndex(res))
 	} else {
 		b.WriteString("\npartitions (no tree; exhaustive search):\n")
 		for i, g := range res.Groups {
@@ -131,22 +131,22 @@ func RenderResult(res *core.Result, scores []float64, opts ResultOptions) string
 	return b.String()
 }
 
-// leafHistIndex maps leaf group labels to their histogram index.
-func leafHistIndex(res *core.Result) map[string]int {
-	idx := make(map[string]int, len(res.Groups))
+// leafHistIndex maps leaf group keys to their histogram index.
+func leafHistIndex(res *core.Result) map[partition.Key]int {
+	idx := make(map[partition.Key]int, len(res.Groups))
 	for i, g := range res.Groups {
 		idx[g.Key()] = i
 	}
 	return idx
 }
 
-func renderNode(b *strings.Builder, res *core.Result, scores []float64, n *partition.Node, depth int, opts ResultOptions) {
+func renderNode(b *strings.Builder, res *core.Result, scores []float64, n *partition.Node, depth int, opts ResultOptions, histIdx map[partition.Key]int) {
 	pad := strings.Repeat("  ", depth)
 	gs := StatsFor(n.Group, scores)
 	if n.IsLeaf() {
 		fmt.Fprintf(b, "%s▣ %s  (n=%d, mean=%.3f)\n", pad, gs.Label, gs.Size, gs.Score.Mean)
 		if opts.Histograms {
-			if i, ok := leafHistIndex(res)[n.Group.Key()]; ok {
+			if i, ok := histIdx[n.Group.Key()]; ok {
 				b.WriteString(indent(RenderHistogram(res.Hists[i], opts.BarWidth), pad))
 			}
 		}
@@ -154,7 +154,7 @@ func renderNode(b *strings.Builder, res *core.Result, scores []float64, n *parti
 	}
 	fmt.Fprintf(b, "%s▽ %s  (n=%d) — split on %s\n", pad, gs.Label, gs.Size, n.SplitAttr)
 	for _, c := range n.Children {
-		renderNode(b, res, scores, c, depth+1, opts)
+		renderNode(b, res, scores, c, depth+1, opts, histIdx)
 	}
 }
 

@@ -265,7 +265,7 @@ func buildTree(p *core.Panel) *treeNode {
 	if p.Result.Tree == nil {
 		return nil
 	}
-	hists := make(map[string]histogram.Hist, len(p.Result.Groups))
+	hists := make(map[partition.Key]histogram.Hist, len(p.Result.Groups))
 	for i, g := range p.Result.Groups {
 		hists[g.Key()] = p.Result.Hists[i]
 	}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Runs the benchmark suite with -benchmem and emits a BENCH_*.json
+# data point (see tools/benchjson). Knobs:
+#
+#   OUT       output file            (default BENCH_PR2.json)
+#   PATTERN   -bench regexp          (default the PR 2 hot-path set)
+#   BENCHTIME -benchtime             (default 2x; use e.g. 1s for stable numbers)
+#   PKGS      packages to benchmark  (default ./...)
+set -eu
+
+OUT=${OUT:-BENCH_PR2.json}
+PATTERN=${PATTERN:-'BenchmarkQuantify|BenchmarkSplit|BenchmarkSplittableAttrs|BenchmarkGroupKey|BenchmarkHistogram|BenchmarkHatEMD|BenchmarkE11EMD'}
+BENCHTIME=${BENCHTIME:-2x}
+PKGS=${PKGS:-./...}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$tmp"
+go run ./tools/benchjson "results=$tmp" > "$OUT"
+echo "wrote $OUT"

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench -benchmem` output into
+// the JSON benchmark records committed as BENCH_*.json, the per-PR
+// performance trajectory of the repository (ns/op, B/op, allocs/op and
+// any custom metrics per benchmark).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./tools/benchjson > BENCH_PRn.json
+//	go run ./tools/benchjson baseline=old.txt after=new.txt > BENCH_PRn.json
+//
+// With no arguments the tool reads one run from stdin into a section
+// named "results". Each argument names a section and a file of raw
+// benchmark output, letting one JSON file carry before/after pairs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark's parsed measurements.
+type metrics struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the emitted document.
+type report struct {
+	CPU      string                        `json:"cpu,omitempty"`
+	Go       string                        `json:"go,omitempty"`
+	Sections map[string]map[string]metrics `json:"sections"`
+}
+
+func main() {
+	rep := report{Sections: make(map[string]map[string]metrics)}
+	if len(os.Args) < 2 {
+		parse(os.Stdin, "results", &rep)
+	} else {
+		for _, arg := range os.Args[1:] {
+			label, path, ok := strings.Cut(arg, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=path\n", arg)
+				os.Exit(2)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			parse(f, label, &rep)
+			f.Close()
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans raw `go test -bench` output into one section.
+func parse(r io.Reader, label string, rep *report) {
+	section := rep.Sections[label]
+	if section == nil {
+		section = make(map[string]metrics)
+		rep.Sections[label] = section
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Go = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := metrics{Iterations: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = ptr(v)
+			case "allocs/op":
+				m.AllocsOp = ptr(v)
+			default:
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
+			}
+		}
+		section[fields[0]] = m
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
