@@ -165,6 +165,43 @@ func BenchmarkQuantify(b *testing.B) {
 	})
 }
 
+// BenchmarkMitigate measures the full quantify → mitigate →
+// re-quantify loop per strategy, plus the bare re-ranking cost of the
+// constrained merge (fair/rerank-only) without the two engine runs.
+func BenchmarkMitigate(b *testing.B) {
+	d, scores := benchPopulation(b, 20000, 6, 3)
+	cfg := Config{MaxDepth: 1}
+	for _, strategy := range MitigationStrategies() {
+		b.Run(strategy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Mitigate(d, scores, cfg, MitigateOptions{Strategy: strategy, K: 500}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("fair/rerank-only", func(b *testing.B) {
+		res, err := Quantify(d, scores, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts := make([][]int, len(res.Groups))
+		for i, g := range res.Groups {
+			parts[i] = g.Rows
+		}
+		m, err := MitigatorByName("fair")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Rerank(MitigateInput{Scores: scores, Groups: parts, K: 500}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE4Interactive measures QUANTIFY latency against population
 // size (the paper's "interactive response time" claim; 6 protected
 // attributes × 3 values).

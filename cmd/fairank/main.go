@@ -8,6 +8,7 @@
 //	fairank figure2                    reproduce Figure 2 of the paper
 //	fairank experiment <id|all>        run reproduction experiments E1..E11
 //	fairank quantify  [flags]          quantify fairness of one ranking
+//	fairank mitigate  [flags]          re-rank fairly and re-quantify
 //	fairank audit     [flags]          marketplace-wide fairness report
 //	fairank generate  [flags]          generate a synthetic marketplace CSV
 //	fairank anonymize [flags]          k-anonymize a dataset CSV
@@ -44,6 +45,8 @@ func main() {
 		err = runQuantify(os.Args[2:], os.Stdout)
 	case "rank":
 		err = runRank(os.Args[2:], os.Stdout)
+	case "mitigate":
+		err = runMitigate(os.Args[2:], os.Stdout)
 	case "audit":
 		err = runAudit(os.Args[2:], os.Stdout)
 	case "generate":
@@ -75,6 +78,8 @@ commands:
                               quantify fairness of one ranking
   rank       -data <src> -fn <expr> [-top N]
                               print the ranking a scoring function induces
+  mitigate   -data <src> -fn <expr> [-strategy fair|detgreedy|detcons|exposure] [-k N]
+                              re-rank fairly, re-quantify, report before/after
   audit      -preset <name> [-n N] [-rank-only]
                               marketplace-wide fairness report
   generate   -preset <name> [-n N] [-seed N] [-o file.csv]

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMitigateTable1(t *testing.T) {
+	var out bytes.Buffer
+	err := runMitigate([]string{
+		"-data", "table1",
+		"-fn", "0.3*language_test + 0.7*rating",
+		"-strategy", "fair",
+		"-k", "10",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"mitigation : fair (top-10",
+		"parity gap",
+		"worst exposure ratio",
+		"re-quantified most-unfair partitioning",
+		"before",
+		"after",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunMitigateImproves pins the acceptance property: on a builtin
+// dataset the fair strategy's top-k parity gap and exposure ratio both
+// improve.
+func TestRunMitigateImproves(t *testing.T) {
+	var out bytes.Buffer
+	err := runMitigate([]string{
+		"-data", "preset:crowdsourcing:1000",
+		"-fn", "0.7*language_test + 0.3*rating",
+		"-attrs", "language",
+		"-max-depth", "1",
+		"-strategy", "fair",
+		"-k", "100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	gapLine, expoLine := "", ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "parity gap") {
+			gapLine = line
+		}
+		if strings.Contains(line, "worst exposure ratio") {
+			expoLine = line
+		}
+	}
+	if gapLine == "" || expoLine == "" {
+		t.Fatalf("report lacks comparison lines:\n%s", text)
+	}
+	// The delta column is the last field: negative gap delta and
+	// positive exposure delta mean both statistics improved.
+	gapFields := strings.Fields(gapLine)
+	expoFields := strings.Fields(expoLine)
+	if delta := gapFields[len(gapFields)-1]; !strings.HasPrefix(delta, "-") {
+		t.Errorf("parity gap did not improve (delta %s):\n%s", delta, text)
+	}
+	if delta := expoFields[len(expoFields)-1]; !strings.HasPrefix(delta, "+") || delta == "+0.0000" {
+		t.Errorf("exposure ratio did not improve (delta %s):\n%s", delta, text)
+	}
+}
+
+func TestRunMitigateStrategiesAndTargets(t *testing.T) {
+	for _, strategy := range []string{"detgreedy", "detcons", "exposure"} {
+		var out bytes.Buffer
+		err := runMitigate([]string{
+			"-data", "preset:taskrabbit:300",
+			"-fn", "0.5*rating + 0.3*reviews + 0.2*response_rate",
+			"-attrs", "gender",
+			"-max-depth", "1",
+			"-strategy", strategy,
+			"-k", "20",
+			"-targets", "gender=Female=0.5,gender=Male=0.5",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if !strings.Contains(out.String(), "mitigation : "+strategy) {
+			t.Errorf("%s: report lacks strategy line:\n%s", strategy, out.String())
+		}
+	}
+}
+
+func TestRunMitigateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runMitigate([]string{"-data", "table1", "-fn", "rating", "-k", "-3"}, &out); err == nil {
+		t.Error("negative -k accepted")
+	}
+	if err := runMitigate([]string{"-data", "table1", "-fn", "rating", "-strategy", "nope"}, &out); err == nil {
+		t.Error("unknown strategy accepted")
+	} else if !strings.Contains(err.Error(), "detgreedy") {
+		t.Errorf("strategy error does not list the valid options: %v", err)
+	}
+	if err := runMitigate([]string{"-data", "table1", "-fn", "rating", "-targets", "oops"}, &out); err == nil {
+		t.Error("malformed -targets accepted")
+	}
+	if err := runMitigate([]string{"-data", "table1"}, &out); err == nil {
+		t.Error("missing -fn accepted")
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("gender=Female=0.5, gender=Male=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["gender=Female"] != 0.5 || got["gender=Male"] != 0.5 {
+		t.Errorf("parseTargets = %v", got)
+	}
+	if m, err := parseTargets(""); err != nil || m != nil {
+		t.Errorf("empty targets = %v, %v", m, err)
+	}
+	for _, bad := range []string{"=0.5", "gender=Female=", "gender=Female=x"} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}

@@ -25,6 +25,9 @@ func runRank(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *top < 0 {
+		return fmt.Errorf("-top must be non-negative, got %d", *top)
+	}
 	d, err := loadData(*data, splitList(*protected), nil)
 	if err != nil {
 		return err

@@ -103,4 +103,9 @@ func TestRunRankErrors(t *testing.T) {
 	if err := runRank([]string{"-data", "table1", "-fn", "experience"}, &buf); err == nil {
 		t.Error("unnormalized attribute should error")
 	}
+	if err := runRank([]string{"-data", "table1", "-fn", "rating", "-top", "-5"}, &buf); err == nil {
+		t.Error("negative -top should error")
+	} else if !strings.Contains(err.Error(), "-top") {
+		t.Errorf("negative -top error should name the flag: %v", err)
+	}
 }

@@ -26,6 +26,7 @@ func main() {
 	preset := flag.String("preset", "crowdsourcing", "initial marketplace preset (empty to skip)")
 	n := flag.Int("n", 2000, "initial population size")
 	seed := flag.Uint64("seed", 1, "random seed for the initial population")
+	maxScopes := flag.Int("max-cached-scopes", 64, "bound on retained memoization scopes, LRU-evicted (0 = unbounded)")
 	flag.Parse()
 
 	sess, m, err := buildSession(*preset, *n, *seed)
@@ -33,6 +34,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	sess.SetCacheLimit(*maxScopes)
 	if m != nil {
 		log.Printf("registered dataset %q (%d workers)", m.Name, m.Workers.Len())
 		for _, j := range m.Jobs {

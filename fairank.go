@@ -19,6 +19,7 @@
 //	internal/partition   partitioning trees and enumeration
 //	internal/histogram   score histograms
 //	internal/emd         Earth Mover's Distance solvers
+//	internal/mitigate    fair re-ranking: FA*IR, constrained interleaving, exposure caps
 //	internal/anonymize   k-anonymization (ARX replacement)
 //	internal/marketplace simulated job marketplaces with known bias
 //	internal/report      terminal rendering, auditor reports
@@ -67,6 +68,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/histogram"
 	"repro/internal/marketplace"
+	"repro/internal/mitigate"
 	"repro/internal/partition"
 	"repro/internal/report"
 	"repro/internal/scoring"
@@ -148,6 +150,22 @@ type (
 	DataflyResult = anonymize.DataflyResult
 	// LatticeResult reports an optimal full-domain generalization.
 	LatticeResult = anonymize.LatticeResult
+	// Mitigator re-ranks a population to improve group fairness.
+	Mitigator = mitigate.Mitigator
+	// MitigateInput is the population and constraints a Mitigator
+	// re-ranks.
+	MitigateInput = mitigate.Input
+	// MitigateOptions configures one quantify → mitigate → re-quantify
+	// run.
+	MitigateOptions = mitigate.Options
+	// MitigationOutcome is a completed mitigation loop with its
+	// before/after comparison.
+	MitigationOutcome = mitigate.Outcome
+	// MitigationMetrics is one side of the before/after comparison.
+	MitigationMetrics = mitigate.Metrics
+	// InfeasibleError reports representation constraints no ranking
+	// can satisfy (errors.Is(err, ErrInfeasible)).
+	InfeasibleError = mitigate.InfeasibleError
 	// JobAudit is one job's row of an auditor report.
 	JobAudit = report.JobAudit
 	// ExperimentOptions tunes experiment scale.
@@ -354,6 +372,30 @@ func RankJobsByUnfairness(audits []JobAudit) []JobAudit {
 func OptimalLattice(d *Dataset, hs []*Hierarchy, k, maxSuppress int) (*LatticeResult, error) {
 	return anonymize.OptimalLattice(d, hs, k, maxSuppress)
 }
+
+// ErrInfeasible marks mitigation constraint sets no permutation of
+// the population can satisfy.
+var ErrInfeasible = mitigate.ErrInfeasible
+
+// Mitigate runs the explore-and-repair loop: Quantify discovers the
+// most unfair partitioning of d under scores, the configured strategy
+// re-ranks the population to repair it, and the quantification engine
+// re-runs on the mitigated ranking. The Outcome carries the mitigated
+// order and the before/after fairness comparison.
+func Mitigate(d *Dataset, scores []float64, cfg Config, opts MitigateOptions) (*MitigationOutcome, error) {
+	return mitigate.Evaluate(d, scores, cfg, opts)
+}
+
+// MitigatorByName resolves "fair", "detgreedy", "detcons" or
+// "exposure" to its re-ranking strategy.
+func MitigatorByName(name string) (Mitigator, error) { return mitigate.ByName(name) }
+
+// MitigationStrategies lists the registered strategy names.
+func MitigationStrategies() []string { return mitigate.Strategies() }
+
+// RenderMitigation renders a mitigation outcome's before/after report
+// for the terminal.
+func RenderMitigation(o *MitigationOutcome) (string, error) { return report.MitigationTable(o) }
 
 // TopKParityGap returns the maximum difference between any two
 // partitions' top-k selection rates (0 = demographic parity at the

@@ -1,6 +1,7 @@
 package fairank
 
 import (
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -179,5 +180,51 @@ func TestFacadeCrawlPipeline(t *testing.T) {
 	}
 	if err := res.Tree.Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFacadeMitigatePipeline drives the quantify → mitigate →
+// re-quantify loop through the public facade.
+func TestFacadeMitigatePipeline(t *testing.T) {
+	d := Table1()
+	fn, err := NewScorer(Table1Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := fn.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Mitigate(d, scores, Config{Attributes: []string{"gender", "language"}}, MitigateOptions{
+		Strategy: "detcons",
+		K:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Strategy != "detcons" || len(o.Ranking) != d.Len() {
+		t.Fatalf("outcome %+v malformed", o)
+	}
+	text, err := RenderMitigation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "mitigation : detcons") {
+		t.Errorf("rendered report lacks strategy header:\n%s", text)
+	}
+	if len(MitigationStrategies()) != 4 {
+		t.Errorf("strategies = %v", MitigationStrategies())
+	}
+	if _, err := MitigatorByName("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	// Impossible targets surface the typed sentinel through the facade.
+	_, err = Mitigate(d, scores, Config{Attributes: []string{"gender"}}, MitigateOptions{
+		Strategy: "detgreedy",
+		K:        10,
+		Targets:  map[string]float64{"gender=Female": 0.9, "gender=Male": 0.1},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("expected ErrInfeasible, got %v", err)
 	}
 }

@@ -33,12 +33,72 @@ import (
 type Cache struct {
 	mu     sync.Mutex
 	scopes map[scopeKey][]*cacheScope
+	// nScopes counts every scope across the slices; maxScopes > 0
+	// bounds it with least-recently-used eviction (see SetMaxScopes).
+	nScopes   int
+	maxScopes int
+	// seq stamps scope accesses for the LRU order.
+	seq uint64
 }
 
 // NewCache returns an empty cache ready to be shared across runs via
 // Config.Cache. A Session creates one automatically.
 func NewCache() *Cache {
 	return &Cache{scopes: make(map[scopeKey][]*cacheScope)}
+}
+
+// SetMaxScopes bounds how many scopes — distinct (dataset, scores,
+// measure) combinations — the cache retains, evicting the least
+// recently used beyond the bound. Each scope holds every histogram,
+// split and distance memoized for its combination, so the bound is
+// what keeps a long-lived server's memory flat when clients keep
+// sending new score vectors. 0 (the default) means unbounded. The
+// limit is sticky on the cache: Config.MaxCachedScopes applies it at
+// the start of a run and later runs inherit it.
+func (c *Cache) SetMaxScopes(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxScopes = n
+	c.evictLocked()
+}
+
+// Scopes reports how many scopes the cache currently holds.
+func (c *Cache) Scopes() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nScopes
+}
+
+// evictLocked drops least-recently-used scopes until the bound holds.
+// Called with c.mu held.
+func (c *Cache) evictLocked() {
+	if c.maxScopes <= 0 {
+		return
+	}
+	for c.nScopes > c.maxScopes {
+		var oldestKey scopeKey
+		oldestIdx := -1
+		var oldest uint64
+		for k, ss := range c.scopes {
+			for i, s := range ss {
+				if oldestIdx < 0 || s.lastUsed < oldest {
+					oldestKey, oldestIdx, oldest = k, i, s.lastUsed
+				}
+			}
+		}
+		ss := c.scopes[oldestKey]
+		c.scopes[oldestKey] = append(ss[:oldestIdx], ss[oldestIdx+1:]...)
+		if len(c.scopes[oldestKey]) == 0 {
+			delete(c.scopes, oldestKey)
+		}
+		c.nScopes--
+	}
 }
 
 // dropDataset removes every scope keyed by d, releasing the memoized
@@ -51,8 +111,9 @@ func (c *Cache) dropDataset(d *dataset.Dataset) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k := range c.scopes {
+	for k, ss := range c.scopes {
 		if k.data == d {
+			c.nScopes -= len(ss)
 			delete(c.scopes, k)
 		}
 	}
@@ -67,6 +128,7 @@ func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.scopes = make(map[scopeKey][]*cacheScope)
+	c.nScopes = 0
 }
 
 // scopeKey identifies the inputs a memoized value depends on.
@@ -124,13 +186,17 @@ func (c *Cache) scopeFor(d *dataset.Dataset, scores []float64, m fairness.Measur
 	if c.scopes == nil {
 		c.scopes = make(map[scopeKey][]*cacheScope)
 	}
+	c.seq++
 	for _, s := range c.scopes[key] {
 		if equalBits(s.scores, scores) {
+			s.lastUsed = c.seq
 			return s
 		}
 	}
-	s := &cacheScope{scores: append([]float64(nil), scores...)}
+	s := &cacheScope{scores: append([]float64(nil), scores...), lastUsed: c.seq}
 	c.scopes[key] = append(c.scopes[key], s)
+	c.nScopes++
+	c.evictLocked()
 	return s
 }
 
@@ -155,6 +221,9 @@ type distKey struct {
 // computation instead of duplicating it (single-flight).
 type cacheScope struct {
 	scores []float64
+	// lastUsed is the cache's access stamp for LRU eviction, read and
+	// written under Cache.mu only.
+	lastUsed uint64
 
 	// binOnce guards the scope's shared per-row bin index vector, the
 	// precomputation that turns every histogram build into a counting

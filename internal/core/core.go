@@ -50,7 +50,7 @@ func ObjectiveByName(name string) (Objective, error) {
 	case "least", "least-unfair":
 		return LeastUnfair, nil
 	default:
-		return 0, fmt.Errorf("core: unknown objective %q", name)
+		return 0, fmt.Errorf("core: unknown objective %q (valid: most, most-unfair, least, least-unfair)", name)
 	}
 }
 
@@ -90,6 +90,13 @@ type Config struct {
 	// work, never change a result. Nil scopes the memoization to the
 	// single run.
 	Cache *Cache
+	// MaxCachedScopes, when positive and Cache is set, bounds how many
+	// (dataset, scores, measure) scopes the cache retains, evicting
+	// the least recently used — the knob that keeps a long-lived
+	// server's memory flat under a stream of distinct requests. The
+	// bound sticks to the cache (see Cache.SetMaxScopes); 0 leaves the
+	// cache's current bound unchanged.
+	MaxCachedScopes int
 }
 
 // normalize fills defaults and validates the configuration against d.
@@ -102,6 +109,9 @@ func (c Config) normalize(d *dataset.Dataset) (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.MaxCachedScopes < 0 {
+		return c, fmt.Errorf("core: negative MaxCachedScopes %d", c.MaxCachedScopes)
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -213,6 +223,9 @@ func newEngine(d *dataset.Dataset, scores []float64, cfg Config) (*engine, error
 	cfg, err := cfg.normalize(d)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.MaxCachedScopes > 0 {
+		cfg.Cache.SetMaxScopes(cfg.MaxCachedScopes)
 	}
 	e := &engine{
 		d:       d,

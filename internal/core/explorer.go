@@ -102,6 +102,16 @@ func NewSession() *Session {
 	return &Session{datasets: make(map[string]*dataset.Dataset), nextID: 1, cache: NewCache()}
 }
 
+// SetCacheLimit bounds the session cache's retained scopes with LRU
+// eviction (see Cache.SetMaxScopes); 0 restores unbounded retention.
+// Long-lived servers use it to keep memory flat while clients keep
+// sending distinct scoring functions.
+func (s *Session) SetCacheLimit(maxScopes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.SetMaxScopes(maxScopes)
+}
+
 // AddDataset registers a dataset under a name, replacing any previous
 // dataset of that name.
 func (s *Session) AddDataset(name string, d *dataset.Dataset) error {
@@ -194,9 +204,70 @@ func parseFilter(terms []string) (dataset.Predicate, error) {
 	return dataset.And(preds...), nil
 }
 
+// Resolved is a PanelRequest resolved against the session: the
+// (possibly derived) population, the scores the request induces, the
+// display labels, and the solver configuration — everything a
+// quantification or mitigation run needs. Produced by Resolve.
+type Resolved struct {
+	// Data is the population: the registered dataset, or a
+	// request-local copy when the request Filters or Normalizes.
+	Data *dataset.Dataset
+	// Scores holds the (pseudo-)scores, indexed by row of Data.
+	Scores []float64
+	// Function and Filter are the display labels of the request.
+	Function string
+	Filter   string
+	// Config is the solver configuration, with the session cache
+	// attached unless the population is request-local.
+	Config Config
+}
+
 // Quantify resolves a PanelRequest, runs the solver, and appends the
 // resulting panel to the session.
 func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
+	rp, err := s.Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if req.Exhaustive {
+		res, err = Exhaustive(rp.Data, rp.Scores, rp.Config)
+	} else {
+		res, err = Quantify(rp.Data, rp.Scores, rp.Config)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.AddPanel(req.Dataset, rp, res), nil
+}
+
+// AddPanel appends a solved result to the session's panels with the
+// provenance of the resolved request it came from, and returns the new
+// panel. Session.Quantify calls it internally; callers that run other
+// workloads over a Resolved request (such as the mitigation endpoint)
+// use it to publish their result alongside the quantify panels.
+func (s *Session) AddPanel(datasetName string, rp *Resolved, res *Result) *Panel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Panel{
+		ID:         s.nextID,
+		Dataset:    datasetName,
+		Function:   rp.Function,
+		Criterion:  fmt.Sprintf("%s %s", rp.Config.Objective, rp.Config.Measure.Name()),
+		Filter:     rp.Filter,
+		Population: rp.Data.Len(),
+		Scores:     rp.Scores,
+		Result:     res,
+	}
+	s.nextID++
+	s.panels = append(s.panels, p)
+	return p
+}
+
+// Resolve materializes a PanelRequest without running a solver: it
+// loads (and possibly derives) the population, computes the scores,
+// and assembles the solver configuration.
+func (s *Session) Resolve(req PanelRequest) (*Resolved, error) {
 	d, err := s.Dataset(req.Dataset)
 	if err != nil {
 		return nil, err
@@ -299,29 +370,11 @@ func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
 		cfg.Cache = nil
 	}
 
-	var res *Result
-	if req.Exhaustive {
-		res, err = Exhaustive(d, scores, cfg)
-	} else {
-		res, err = Quantify(d, scores, cfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := &Panel{
-		ID:         s.nextID,
-		Dataset:    req.Dataset,
-		Function:   funcLabel,
-		Criterion:  fmt.Sprintf("%s %s", obj, cfg.Measure.Name()),
-		Filter:     filterLabel,
-		Population: d.Len(),
-		Scores:     scores,
-		Result:     res,
-	}
-	s.nextID++
-	s.panels = append(s.panels, p)
-	return p, nil
+	return &Resolved{
+		Data:     d,
+		Scores:   scores,
+		Function: funcLabel,
+		Filter:   filterLabel,
+		Config:   cfg,
+	}, nil
 }

@@ -138,7 +138,7 @@ func DistanceByName(name string) (Distance, error) {
 	case "tv":
 		return TotalVariation{}, nil
 	default:
-		return nil, fmt.Errorf("fairness: unknown distance %q", name)
+		return nil, fmt.Errorf("fairness: unknown distance %q (valid: emd, emd-hat, ks, tv)", name)
 	}
 }
 
@@ -203,7 +203,7 @@ func AggregatorByName(name string) (Aggregator, error) {
 	case "variance":
 		return VarianceAgg{}, nil
 	default:
-		return nil, fmt.Errorf("fairness: unknown aggregator %q", name)
+		return nil, fmt.Errorf("fairness: unknown aggregator %q (valid: avg, max, min, variance)", name)
 	}
 }
 

@@ -2,6 +2,7 @@ package fairness
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -103,6 +104,12 @@ func TestDistanceByName(t *testing.T) {
 	}
 	if _, err := DistanceByName("nope"); err == nil {
 		t.Error("unknown distance should error")
+	} else {
+		for _, valid := range []string{"emd", "emd-hat", "ks", "tv"} {
+			if !strings.Contains(err.Error(), valid) {
+				t.Errorf("error %q does not list valid distance %q", err, valid)
+			}
+		}
 	}
 }
 
@@ -137,6 +144,12 @@ func TestAggregatorByName(t *testing.T) {
 	}
 	if _, err := AggregatorByName("nope"); err == nil {
 		t.Error("unknown aggregator should error")
+	} else {
+		for _, valid := range []string{"avg", "max", "min", "variance"} {
+			if !strings.Contains(err.Error(), valid) {
+				t.Errorf("error %q does not list valid aggregator %q", err, valid)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,109 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExposureCap is greedy rescoring that caps disparate exposure, the
+// position-bias notion of Singh & Joachims that
+// fairness.ExposureRatio already quantifies: a group's exposure is its
+// mean accumulated position bias 1/log2(1+rank), and the worst
+// pairwise ratio between group exposures should stay above a floor.
+//
+// The ranking is built greedily over every position (exposure has no
+// top-k cutoff; Input.K is ignored beyond validation). Each slot goes
+// to the best-scoring remaining candidate — unless, after the tentative
+// placement, the worst pairwise ratio of group mean exposures would sit
+// below MinRatio while a more under-exposed group still has members to
+// promote; then the slot goes to the most under-exposed such group
+// instead. Early positions therefore interleave the groups until their
+// means are within the cap, after which score order takes over — the
+// rescoring that trades the least utility for the exposure floor under
+// a greedy policy.
+//
+// Unlike the table-driven strategies the cap is best-effort, not a
+// certificate: with very unequal group sizes the final ratio can sit
+// below MinRatio even though every intervention was taken (the small
+// group's mean moves in steps of whole position weights).
+type ExposureCap struct {
+	// MinRatio is the exposure floor in (0, 1]; 0 selects 0.95.
+	MinRatio float64
+}
+
+// Name implements Mitigator.
+func (ExposureCap) Name() string { return "exposure" }
+
+// Rerank implements Mitigator.
+func (m ExposureCap) Rerank(in Input) ([]int, error) {
+	n, err := in.validate(m.Name())
+	if err != nil {
+		return nil, err
+	}
+	minRatio := m.MinRatio
+	if minRatio == 0 {
+		minRatio = in.MinExposureRatio
+	}
+	if minRatio == 0 {
+		minRatio = 0.95
+	}
+	if minRatio < 0 || minRatio > 1 {
+		return nil, fmt.Errorf("mitigate: exposure: ratio floor %g outside (0,1]", minRatio)
+	}
+
+	qs := in.queues()
+	expo := make([]float64, len(in.Groups)) // accumulated position bias per group
+	size := make([]float64, len(in.Groups))
+	for g, rows := range in.Groups {
+		size[g] = float64(len(rows))
+	}
+
+	// worstRatio is min over groups of mean exposure divided by max
+	// over groups — the statistic fairness.ExposureRatio reports,
+	// evaluated mid-construction (unplaced members contribute 0).
+	worstRatio := func() float64 {
+		lo, hi := math.Inf(1), 0.0
+		for g := range expo {
+			mean := expo[g] / size[g]
+			lo = math.Min(lo, mean)
+			hi = math.Max(hi, mean)
+		}
+		if hi == 0 {
+			return 1
+		}
+		return lo / hi
+	}
+
+	ranking := make([]int, 0, n)
+	for t := 1; t <= n; t++ {
+		w := 1 / math.Log2(1+float64(t))
+		g := bestOf(qs, in.Scores, nil)
+		expo[g] += w
+		if worstRatio() < minRatio {
+			expo[g] -= w
+			// The most under-exposed group that still has members;
+			// ties break toward the better head so the intervention
+			// costs the least utility.
+			boost := -1
+			for i := range in.Groups {
+				if qs[i].head() < 0 {
+					continue
+				}
+				if boost < 0 {
+					boost = i
+					continue
+				}
+				mi, mb := expo[i]/size[i], expo[boost]/size[boost]
+				if mi < mb || (mi == mb && betterHead(qs, in.Scores, i, boost)) {
+					boost = i
+				}
+			}
+			if boost >= 0 {
+				g = boost
+			}
+			expo[g] += w
+		}
+		ranking = append(ranking, qs[g].pop())
+	}
+	return ranking, nil
+}

@@ -1,0 +1,112 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interleave is deterministic constrained interleaving in the style of
+// Geyik et al.'s DetGreedy and DetCons (KDD 2019, LinkedIn Talent
+// Search): with target proportions p_g, every top-k prefix of length t
+// must hold at least floor(p_g·t) members of group g, and a group is
+// only advanced ahead of schedule while it is below its ceiling
+// ceil(p_g·t).
+//
+// The two published variants differ in how they fill positions no
+// floor forces yet:
+//
+//   - DetGreedy (Constrained = false) takes the best-scoring remaining
+//     candidate among the below-ceiling groups;
+//   - DetCons (Constrained = true) takes the below-ceiling group whose
+//     next floor increase comes soonest — spending slack on the group
+//     that will be constrained first, which trades a little utility
+//     for fewer forced placements later.
+//
+// Floors are enforced through the shared lazy-EDF merge, so rankings
+// satisfy every satisfiable floor even when several groups' floors
+// step up at the same prefix (the known DetGreedy infeasibility with
+// many groups) — infeasible targets return an *InfeasibleError
+// instead.
+type Interleave struct {
+	// Constrained selects the DetCons fill rule; false is DetGreedy.
+	Constrained bool
+}
+
+// Name implements Mitigator.
+func (m Interleave) Name() string {
+	if m.Constrained {
+		return "detcons"
+	}
+	return "detgreedy"
+}
+
+// Rerank implements Mitigator.
+func (m Interleave) Rerank(in Input) ([]int, error) {
+	n, err := in.validate(m.Name())
+	if err != nil {
+		return nil, err
+	}
+	targets, err := in.targets(m.Name(), n)
+	if err != nil {
+		return nil, err
+	}
+
+	tables := make([][]int, len(in.Groups))
+	for g := range in.Groups {
+		table := make([]int, in.K+1)
+		for t := 1; t <= in.K; t++ {
+			table[t] = int(math.Floor(targets[g] * float64(t)))
+		}
+		tables[g] = table
+		if table[in.K] > len(in.Groups[g]) {
+			return nil, &InfeasibleError{
+				Strategy: m.Name(),
+				Group:    g,
+				Detail: fmt.Sprintf("floor target %d at k=%d exceeds group size %d (target proportion %.3f)",
+					table[in.K], in.K, len(in.Groups[g]), targets[g]),
+			}
+		}
+	}
+
+	pick := func(t int, counts []int, qs []*queue) int {
+		if t > in.K {
+			return -1
+		}
+		best := -1
+		bestDeadline := 0
+		for g := range in.Groups {
+			if qs[g].head() < 0 {
+				continue
+			}
+			// Ceiling: a group already holding ceil(p_g·t) of the
+			// first t positions is not advanced further.
+			if float64(counts[g]) >= math.Ceil(targets[g]*float64(t)) {
+				continue
+			}
+			if !m.Constrained {
+				if best < 0 || betterHead(qs, in.Scores, g, best) {
+					best = g
+				}
+				continue
+			}
+			// DetCons: the next prefix at which g's floor reaches
+			// counts[g]+1 — smaller means constrained sooner. Tiny
+			// targets push the quotient past the int range; anything
+			// beyond K is equally unconstrained, so clamp there.
+			dl := math.MaxInt
+			if targets[g] > 0 {
+				if q := math.Ceil(float64(counts[g]+1) / targets[g]); q <= float64(in.K) {
+					dl = int(q)
+				}
+			}
+			switch {
+			case best < 0 || dl < bestDeadline:
+				best, bestDeadline = g, dl
+			case dl == bestDeadline && betterHead(qs, in.Scores, g, best):
+				best = g
+			}
+		}
+		return best
+	}
+	return constrainedMerge(m.Name(), in, tables, pick)
+}

@@ -1,0 +1,136 @@
+package mitigate
+
+import "fmt"
+
+// This file holds the constrained merge shared by the table-driven
+// strategies (FA*IR and the Geyik-style interleavers): given per-group
+// minimum-count tables over the top-k prefixes, produce the
+// best-scoring ranking that satisfies every table, or a typed
+// *InfeasibleError when none exists.
+//
+// The merge is a lazy earliest-deadline-first schedule. Each unit of a
+// group's minimum table is a unit job whose deadline is the first
+// prefix demanding it; a set of tables is satisfiable iff no prefix
+// window is over-booked (Hall's condition), and serving the
+// best-scoring candidate except when a window is exactly full — then
+// serving the most urgent constrained group — meets every satisfiable
+// table. This matters beyond two groups: minimum tables of several
+// groups can step up at the same prefix, where a merge that only
+// reacts to already-violated minima (the textbook binary FA*IR loop)
+// would wrongly report infeasibility.
+
+// pickFn chooses the group for an unconstrained position from the
+// per-group queues; used to give DetGreedy and DetCons their
+// characteristic selection while sharing the constraint machinery.
+// Returning -1 falls back to the best-scoring head overall.
+type pickFn func(t int, counts []int, qs []*queue) int
+
+// constrainedMerge builds a full ranking from in under per-group
+// minimum tables (tables[g][t] = minimum members of group g in the
+// first t positions, t ≤ in.K). pick, when non-nil, selects the group
+// for positions no table forces.
+func constrainedMerge(strategy string, in Input, tables [][]int, pick pickFn) ([]int, error) {
+	n := len(in.Scores)
+	qs := in.queues()
+	counts := make([]int, len(in.Groups))
+	ranking := make([]int, 0, n)
+	for t := 1; t <= n; t++ {
+		g := -1
+		if t <= in.K {
+			var err error
+			g, err = forcedPick(strategy, tables, counts, t, in.K, qs, in.Scores)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if g < 0 && pick != nil {
+			g = pick(t, counts, qs)
+		}
+		if g < 0 {
+			g = bestOf(qs, in.Scores, nil)
+		}
+		ranking = append(ranking, qs[g].pop())
+		counts[g]++
+	}
+	return ranking, nil
+}
+
+// forcedPick decides whether position t must go to a constrained group
+// to keep every minimum table satisfiable, returning that group, or -1
+// when the slot is free for utility. It scans the prefix windows
+// [t, t'] for t' ≤ k: a window whose outstanding table deficits equal
+// its size leaves no room for unconstrained candidates, so the slot
+// goes to the deficient group with the earliest deadline (ties by best
+// head candidate). A window with more deficits than slots is
+// unsatisfiable and yields an *InfeasibleError.
+func forcedPick(strategy string, tables [][]int, counts []int, t, k int, qs []*queue, scores []float64) (int, error) {
+	forcedEnd := -1
+	for tp := t; tp <= k && forcedEnd < 0; tp++ {
+		req := 0
+		for g := range tables {
+			if d := tables[g][tp] - counts[g]; d > 0 {
+				req += d
+			}
+		}
+		window := tp - t + 1
+		if req > window {
+			worst := 0
+			for g := range tables {
+				if tables[g][tp]-counts[g] > tables[worst][tp]-counts[worst] {
+					worst = g
+				}
+			}
+			return 0, &InfeasibleError{
+				Strategy: strategy,
+				Group:    worst,
+				Detail:   fmt.Sprintf("prefix %d demands %d constrained placements but only %d positions remain", tp, req, window),
+			}
+		}
+		if req == window {
+			forcedEnd = tp
+		}
+	}
+	if forcedEnd < 0 {
+		return -1, nil
+	}
+	best, bestDeadline := -1, 0
+	for g := range tables {
+		if tables[g][forcedEnd] <= counts[g] {
+			continue
+		}
+		dl := t
+		for tables[g][dl] <= counts[g] {
+			dl++
+		}
+		switch {
+		case best < 0 || dl < bestDeadline:
+			best, bestDeadline = g, dl
+		case dl == bestDeadline && betterHead(qs, scores, g, best):
+			best = g
+		}
+	}
+	if best < 0 || qs[best].head() < 0 {
+		// A deficient group with no remaining members: the up-front
+		// size checks make this unreachable, but fail loudly rather
+		// than panic on a miscomputed table.
+		return 0, &InfeasibleError{Strategy: strategy, Group: max(best, 0), Detail: "constrained group exhausted"}
+	}
+	return best, nil
+}
+
+// betterHead reports whether group a's best remaining candidate
+// outranks group b's (score descending, row ascending; an exhausted
+// queue loses).
+func betterHead(qs []*queue, scores []float64, a, b int) bool {
+	ra, rb := qs[a].head(), qs[b].head()
+	if ra < 0 {
+		return false
+	}
+	if rb < 0 {
+		return true
+	}
+	if scores[ra] != scores[rb] {
+		return scores[ra] > scores[rb]
+	}
+	return ra < rb
+}

@@ -1,0 +1,242 @@
+// Package mitigate closes FaiRank's explore-and-repair loop: where
+// internal/core quantifies on which partitioning a scoring function is
+// most unfair, this package re-ranks the population so that the
+// discovered groups are treated more fairly, and re-runs the
+// quantification engine on the repaired ranking to measure what the
+// intervention bought.
+//
+// Three re-ranking strategies are provided behind one Mitigator
+// interface:
+//
+//   - "fair": FA*IR top-k re-ranking (Zehlike et al., CIKM 2017) —
+//     every group must hold at least the binomial
+//     minimum-representation count at each top-k prefix, at an
+//     adjusted significance level (Bonferroni-corrected across the k
+//     prefix tests and the tested groups, the conservative multi-group
+//     form of the paper's model adjustment);
+//   - "detgreedy" / "detcons": deterministic constrained interleaving
+//     in the style of Geyik et al. (KDD 2019) — per-group floor/ceiling
+//     targets derived from population shares (or supplied by the
+//     caller) enforced at every top-k prefix;
+//   - "exposure": greedy rescoring that caps disparate exposure —
+//     whenever the worst pairwise ratio of group mean position bias
+//     (Singh & Joachims' exposure, the same statistic
+//     fairness.ExposureRatio reports) would drop below a floor, the
+//     next slot goes to the most under-exposed group instead of the
+//     best-scoring candidate.
+//
+// All strategies are deterministic: ties break by higher score, then
+// lower row index, so a mitigated ranking is reproducible across runs
+// and worker counts.
+package mitigate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Input is the population a Mitigator re-ranks.
+type Input struct {
+	// Scores orders the population best-first (ties by row index),
+	// indexed by row.
+	Scores []float64
+	// Groups is a disjoint partitioning of rows 0..len(Scores)-1 —
+	// typically the leaves of the partitioning the quantification
+	// engine found most unfair.
+	Groups [][]int
+	// K is the ranking prefix the representation constraints apply to.
+	// Positions beyond K are filled by score. Must be in [1, n].
+	K int
+	// Targets[g] is group g's target proportion of every ranking
+	// prefix. Empty derives population shares; when set it must have
+	// one non-negative entry per group summing to at most 1.
+	Targets []float64
+	// Alpha is the FA*IR significance level (default 0.1).
+	Alpha float64
+	// MinExposureRatio is the exposure floor of the "exposure"
+	// strategy, in (0, 1] (default 0.95).
+	MinExposureRatio float64
+}
+
+// Mitigator re-ranks a population to improve group fairness.
+type Mitigator interface {
+	// Name identifies the strategy in configs and reports.
+	Name() string
+	// Rerank returns the mitigated ranking as row indices, best first.
+	// The result is always a permutation of 0..len(in.Scores)-1; when
+	// the constraints cannot be met it returns an *InfeasibleError.
+	Rerank(in Input) ([]int, error)
+}
+
+// ErrInfeasible marks constraint sets no permutation of the input can
+// satisfy. Test with errors.Is; the concrete *InfeasibleError carries
+// the offending group.
+var ErrInfeasible = errors.New("mitigate: infeasible constraints")
+
+// InfeasibleError reports a representation constraint that no ranking
+// of the given population can satisfy, e.g. a target minimum larger
+// than the group itself.
+type InfeasibleError struct {
+	// Strategy is the mitigator that detected the infeasibility.
+	Strategy string
+	// Group indexes the partition whose constraint cannot be met.
+	Group int
+	// Detail explains the failing constraint.
+	Detail string
+}
+
+// Error implements error.
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("mitigate: %s: group %d: %s", e.Strategy, e.Group, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrInfeasible) succeed.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// Strategies lists the registered strategy names, sorted.
+func Strategies() []string { return []string{"detcons", "detgreedy", "exposure", "fair"} }
+
+// ByName resolves a strategy name to its Mitigator with default
+// parameters: "fair", "detgreedy", "detcons" or "exposure".
+func ByName(name string) (Mitigator, error) {
+	switch name {
+	case "fair", "":
+		return FAIR{}, nil
+	case "detgreedy":
+		return Interleave{}, nil
+	case "detcons":
+		return Interleave{Constrained: true}, nil
+	case "exposure":
+		return ExposureCap{}, nil
+	default:
+		return nil, fmt.Errorf("mitigate: unknown strategy %q (valid: detcons, detgreedy, exposure, fair)", name)
+	}
+}
+
+// validate checks the shared Input invariants and returns n.
+func (in Input) validate(strategy string) (int, error) {
+	n := len(in.Scores)
+	if n == 0 {
+		return 0, fmt.Errorf("mitigate: %s: no scores", strategy)
+	}
+	if len(in.Groups) == 0 {
+		return 0, fmt.Errorf("mitigate: %s: no groups", strategy)
+	}
+	if in.K < 1 || in.K > n {
+		return 0, fmt.Errorf("mitigate: %s: k=%d outside [1,%d]", strategy, in.K, n)
+	}
+	seen := make([]bool, n)
+	covered := 0
+	for g, rows := range in.Groups {
+		if len(rows) == 0 {
+			return 0, fmt.Errorf("mitigate: %s: group %d is empty", strategy, g)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= n {
+				return 0, fmt.Errorf("mitigate: %s: group %d row %d outside population of %d", strategy, g, r, n)
+			}
+			if seen[r] {
+				return 0, fmt.Errorf("mitigate: %s: row %d appears in two groups", strategy, r)
+			}
+			seen[r] = true
+			covered++
+		}
+	}
+	if covered != n {
+		return 0, fmt.Errorf("mitigate: %s: groups cover %d of %d rows; a full partitioning is required", strategy, covered, n)
+	}
+	return n, nil
+}
+
+// targets resolves Input.Targets, deriving population shares when
+// unset.
+func (in Input) targets(strategy string, n int) ([]float64, error) {
+	if len(in.Targets) == 0 {
+		out := make([]float64, len(in.Groups))
+		for g, rows := range in.Groups {
+			out[g] = float64(len(rows)) / float64(n)
+		}
+		return out, nil
+	}
+	if len(in.Targets) != len(in.Groups) {
+		return nil, fmt.Errorf("mitigate: %s: %d targets for %d groups", strategy, len(in.Targets), len(in.Groups))
+	}
+	sum := 0.0
+	for g, p := range in.Targets {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("mitigate: %s: target %g for group %d outside [0,1]", strategy, p, g)
+		}
+		sum += p
+	}
+	if sum > 1+1e-9 {
+		return nil, fmt.Errorf("mitigate: %s: targets sum to %g > 1", strategy, sum)
+	}
+	return append([]float64(nil), in.Targets...), nil
+}
+
+// queue holds one group's members in ranking order (score descending,
+// row ascending) with a cursor to its best remaining candidate.
+type queue struct {
+	rows []int
+	next int
+}
+
+// head returns the best remaining row, or -1 when exhausted.
+func (q *queue) head() int {
+	if q.next >= len(q.rows) {
+		return -1
+	}
+	return q.rows[q.next]
+}
+
+func (q *queue) pop() int {
+	r := q.rows[q.next]
+	q.next++
+	return r
+}
+
+// queues builds the per-group candidate queues, each sorted best
+// first with the deterministic score-then-row tie-break.
+func (in Input) queues() []*queue {
+	out := make([]*queue, len(in.Groups))
+	for g, rows := range in.Groups {
+		sorted := append([]int(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			ra, rb := sorted[a], sorted[b]
+			if in.Scores[ra] != in.Scores[rb] {
+				return in.Scores[ra] > in.Scores[rb]
+			}
+			return ra < rb
+		})
+		out[g] = &queue{rows: sorted}
+	}
+	return out
+}
+
+// bestOf returns the group among candidates whose head candidate ranks
+// first (score descending, row ascending); -1 when every candidate
+// queue is exhausted. candidates may be nil to consider every group.
+func bestOf(qs []*queue, scores []float64, candidates []int) int {
+	best := -1
+	var bestRow int
+	consider := func(g int) {
+		r := qs[g].head()
+		if r < 0 {
+			return
+		}
+		if best < 0 || scores[r] > scores[bestRow] || (scores[r] == scores[bestRow] && r < bestRow) {
+			best, bestRow = g, r
+		}
+	}
+	if candidates == nil {
+		for g := range qs {
+			consider(g)
+		}
+	} else {
+		for _, g := range candidates {
+			consider(g)
+		}
+	}
+	return best
+}

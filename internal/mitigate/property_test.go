@@ -1,0 +1,283 @@
+package mitigate
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+	"repro/internal/scoring"
+	"repro/internal/stats"
+)
+
+// populations yields named (dataset, scores) pairs spanning the
+// builtin data sources.
+func populations(t *testing.T) map[string]struct {
+	d      *dataset.Dataset
+	scores []float64
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		d      *dataset.Dataset
+		scores []float64
+	})
+	add := func(name string, d *dataset.Dataset, scores []float64) {
+		out[name] = struct {
+			d      *dataset.Dataset
+			scores []float64
+		}{d, scores}
+	}
+	d := dataset.Table1()
+	fn, err := scoring.NewLinear(dataset.Table1Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := fn.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("table1", d, scores)
+	for _, preset := range []string{"crowdsourcing", "taskrabbit"} {
+		m, err := marketplace.PresetByName(preset, 400, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Jobs[0].Function.Score(m.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(preset, m.Workers, s)
+	}
+	return out
+}
+
+// randomishGroups splits rows 0..n-1 into g groups deterministically
+// but unevenly (row r joins group (r*r+r/3) % g, adjusted so no group
+// is empty).
+func randomishGroups(n, g int) [][]int {
+	groups := make([][]int, g)
+	for r := 0; r < n; r++ {
+		i := (r*r + r/3) % g
+		groups[i] = append(groups[i], r)
+	}
+	for i := range groups {
+		if len(groups[i]) == 0 {
+			big := 0
+			for j := range groups {
+				if len(groups[j]) > len(groups[big]) {
+					big = j
+				}
+			}
+			groups[i] = append(groups[i], groups[big][len(groups[big])-1])
+			groups[big] = groups[big][:len(groups[big])-1]
+		}
+	}
+	return groups
+}
+
+// TestRerankIsPermutation drives every strategy over a grid of
+// populations, group counts and cutoffs: the output must always be a
+// permutation of the input or a typed infeasibility.
+func TestRerankIsPermutation(t *testing.T) {
+	rng := stats.NewRNG(7)
+	n := 150
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	for _, g := range []int{2, 3, 5, 9} {
+		groups := randomishGroups(n, g)
+		for _, k := range []int{1, 7, 50, n} {
+			for _, name := range Strategies() {
+				m, _ := ByName(name)
+				ranking, err := m.Rerank(Input{Scores: scores, Groups: groups, K: k})
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("%s g=%d k=%d: unexpected error %v", name, g, k, err)
+					}
+					continue
+				}
+				checkPermutation(t, ranking, n)
+			}
+		}
+	}
+}
+
+// TestRerankDeterministic reruns every strategy on the same input and
+// expects byte-identical rankings (ties in the synthetic scores break
+// by row index).
+func TestRerankDeterministic(t *testing.T) {
+	n := 80
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(i%10) / 10 // heavy ties
+	}
+	groups := randomishGroups(n, 4)
+	for _, name := range Strategies() {
+		m, _ := ByName(name)
+		first, err := m.Rerank(Input{Scores: scores, Groups: groups, K: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			again, err := m.Rerank(Input{Scores: scores, Groups: groups, K: 20})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("%s: rankings differ between runs", name)
+			}
+		}
+	}
+}
+
+// TestEvaluateWorkerEquivalence runs the full quantify → mitigate →
+// re-quantify loop at every worker count and expects bit-identical
+// outcomes — the mitigation subsystem inherits the engine's
+// determinism guarantee.
+func TestEvaluateWorkerEquivalence(t *testing.T) {
+	for name, pop := range populations(t) {
+		for _, strategy := range Strategies() {
+			var base *Outcome
+			for _, workers := range []int{1, 2, 8} {
+				cfg := core.Config{Workers: workers}
+				o, err := Evaluate(pop.d, pop.scores, cfg, Options{Strategy: strategy})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, strategy, workers, err)
+				}
+				// Elapsed is wall-clock and cache counters vary with
+				// scheduling; blank them before comparing.
+				o.BeforeResult.Stats = core.Stats{}
+				o.AfterResult.Stats = core.Stats{}
+				if base == nil {
+					base = o
+					continue
+				}
+				if !reflect.DeepEqual(base, o) {
+					t.Fatalf("%s/%s: workers=%d outcome differs from workers=1", name, strategy, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateLoop checks the harness semantics: the mitigated scores
+// realize the mitigated ranking, the before side matches the original
+// order, and the comparison is computed on the partitioning the first
+// quantification discovered.
+func TestEvaluateLoop(t *testing.T) {
+	// The full-size crowdsourcing population: large enough for the
+	// FA*IR minimum tables to bind on the language skew.
+	m, err := marketplace.PresetByName("crowdsourcing", 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var translation *marketplace.Job
+	for i := range m.Jobs {
+		if m.Jobs[i].Name == "translation" {
+			translation = &m.Jobs[i]
+		}
+	}
+	if translation == nil {
+		t.Fatal("no translation job in the crowdsourcing preset")
+	}
+	scores, err := translation.Function.Score(m.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Attributes: []string{"language"}, MaxDepth: 1}
+	o, err := Evaluate(m.Workers, scores, cfg, Options{Strategy: "fair", K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Workers.Len()
+	checkPermutation(t, o.Ranking, n)
+	if len(o.Scores) != n {
+		t.Fatalf("mitigated scores: %d for %d rows", len(o.Scores), n)
+	}
+	// The mitigated pseudo-scores must induce exactly the mitigated
+	// ranking: descending along o.Ranking.
+	for i := 1; i < n; i++ {
+		if o.Scores[o.Ranking[i-1]] <= o.Scores[o.Ranking[i]] {
+			t.Fatalf("mitigated scores do not realize the ranking at position %d", i)
+		}
+	}
+	if len(o.GroupLabels) != len(o.BeforeResult.Groups) {
+		t.Fatalf("%d labels for %d groups", len(o.GroupLabels), len(o.BeforeResult.Groups))
+	}
+	if len(o.Targets) != len(o.GroupLabels) {
+		t.Fatalf("%d targets for %d groups", len(o.Targets), len(o.GroupLabels))
+	}
+	sum := 0.0
+	for _, p := range o.Targets {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("derived targets sum to %f", sum)
+	}
+	// Both metric sides carry one entry per discovered group.
+	if len(o.Before.Stats) != len(o.GroupLabels) || len(o.After.Stats) != len(o.GroupLabels) {
+		t.Fatal("metric stats do not match the discovered partitioning")
+	}
+	// The acceptance property: on this builtin dataset the fair
+	// strategy improves both ranking-native fairness statistics.
+	if o.After.ParityGap >= o.Before.ParityGap {
+		t.Errorf("parity gap did not improve: %f -> %f", o.Before.ParityGap, o.After.ParityGap)
+	}
+	if o.After.ExposureRatio <= o.Before.ExposureRatio {
+		t.Errorf("exposure ratio did not improve: %f -> %f", o.Before.ExposureRatio, o.After.ExposureRatio)
+	}
+	// The re-quantified unfairness is the same measure the original
+	// search optimized, now over the mitigated ranking.
+	if o.AfterResult.Unfairness <= 0 {
+		t.Error("re-quantified unfairness vanished; the loop should still find structure")
+	}
+}
+
+// TestEvaluateTargetsByLabel exercises caller-supplied targets keyed
+// by group label, including the error paths.
+func TestEvaluateTargetsByLabel(t *testing.T) {
+	pop := populations(t)["crowdsourcing"]
+	cfg := core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+	o, err := Evaluate(pop.d, pop.scores, cfg, Options{
+		Strategy: "detgreedy",
+		K:        50,
+		Targets:  map[string]float64{"gender=Female": 0.5, "gender=Male": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	female := -1
+	for i, label := range o.GroupLabels {
+		if label == "gender=Female" {
+			female = i
+		}
+	}
+	if female < 0 {
+		t.Fatalf("no female group in %v", o.GroupLabels)
+	}
+	if got := o.After.Stats[female].TopKCount; got < 25 {
+		t.Errorf("female top-50 count %d below the 0.5 floor", got)
+	}
+	if _, err := Evaluate(pop.d, pop.scores, cfg, Options{
+		Targets: map[string]float64{"gender=Female": 0.5},
+	}); err == nil {
+		t.Error("missing group target accepted")
+	}
+	if _, err := Evaluate(pop.d, pop.scores, cfg, Options{
+		Targets: map[string]float64{"gender=Female": 0.5, "gender=Male": 0.4, "gender=Other": 0.1},
+	}); err == nil {
+		t.Error("unknown group target accepted")
+	}
+	if _, err := Evaluate(pop.d, pop.scores, cfg, Options{K: -3}); err == nil {
+		t.Error("negative k accepted")
+	}
+	leastCfg := cfg
+	leastCfg.Objective = core.LeastUnfair
+	if _, err := Evaluate(pop.d, pop.scores, leastCfg, Options{}); err == nil {
+		t.Error("least-unfair objective accepted; repairing the least unfair partitioning is nonsensical")
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mitigate"
+)
+
+// MitigationTable renders a completed quantify → mitigate →
+// re-quantify loop: the headline before/after comparison on the
+// partitioning under repair, the per-group ranking statistics both
+// sides, and the re-quantified worst partitioning of the mitigated
+// ranking.
+func MitigationTable(o *mitigate.Outcome) (string, error) {
+	if o == nil || len(o.GroupLabels) == 0 {
+		return "", fmt.Errorf("report: empty mitigation outcome")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mitigation : %s (top-%d", o.Strategy, o.K)
+	if len(o.Targets) > 0 {
+		fmt.Fprint(&b, ", targets")
+		for i, p := range o.Targets {
+			if i > 0 {
+				fmt.Fprint(&b, " /")
+			}
+			fmt.Fprintf(&b, " %.2f", p)
+		}
+	}
+	fmt.Fprint(&b, ")\n")
+	fmt.Fprintf(&b, "repairing  : %d-group partitioning found most unfair (%.4f %s)\n\n",
+		len(o.GroupLabels), o.BeforeResult.Unfairness, o.BeforeResult.Measure.Name())
+
+	delta := func(before, after float64) string {
+		return fmt.Sprintf("%+.4f", after-before)
+	}
+	b.WriteString(TextTable(
+		[]string{"measure", "before", "after", "delta"},
+		[][]string{
+			{fmt.Sprintf("top-%d parity gap (0 = parity)", o.K),
+				fmt.Sprintf("%.4f", o.Before.ParityGap), fmt.Sprintf("%.4f", o.After.ParityGap),
+				delta(o.Before.ParityGap, o.After.ParityGap)},
+			{"worst exposure ratio (1 = equal)",
+				fmt.Sprintf("%.4f", o.Before.ExposureRatio), fmt.Sprintf("%.4f", o.After.ExposureRatio),
+				delta(o.Before.ExposureRatio, o.After.ExposureRatio)},
+			{"unfairness of this partitioning (rank-normalized)",
+				fmt.Sprintf("%.4f", o.Before.Unfairness), fmt.Sprintf("%.4f", o.After.Unfairness),
+				delta(o.Before.Unfairness, o.After.Unfairness)},
+			{"re-quantified most-unfair partitioning",
+				fmt.Sprintf("%.4f", o.BeforeResult.Unfairness), fmt.Sprintf("%.4f", o.AfterResult.Unfairness),
+				delta(o.BeforeResult.Unfairness, o.AfterResult.Unfairness)},
+		},
+	))
+	b.WriteString("\n")
+
+	rows := make([][]string, len(o.GroupLabels))
+	for i, label := range o.GroupLabels {
+		bs, as := o.Before.Stats[i], o.After.Stats[i]
+		rows[i] = []string{
+			label,
+			fmt.Sprintf("%d", bs.Size),
+			fmt.Sprintf("%.3f", o.Targets[i]),
+			fmt.Sprintf("%d → %d", bs.TopKCount, as.TopKCount),
+			fmt.Sprintf("%.3f → %.3f", bs.SelectionRate, as.SelectionRate),
+			fmt.Sprintf("%.3f → %.3f", bs.Exposure, as.Exposure),
+		}
+	}
+	b.WriteString(TextTable(
+		[]string{"partition", "n", "target", "in top-k", "selection rate", "exposure"},
+		rows,
+	))
+	fmt.Fprintf(&b, "\nre-quantify: the mitigated ranking's most unfair partitioning has %d groups (%.4f)\n",
+		len(o.AfterResult.Groups), o.AfterResult.Unfairness)
+	return b.String(), nil
+}

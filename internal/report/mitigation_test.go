@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mitigate"
+	"repro/internal/scoring"
+)
+
+func table1Outcome(t *testing.T) *mitigate.Outcome {
+	t.Helper()
+	d := dataset.Table1()
+	fn, err := scoring.NewLinear(dataset.Table1Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := fn.Score(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := mitigate.Evaluate(d, scores, core.Config{
+		Attributes: []string{dataset.AttrGender, dataset.AttrLanguage},
+	}, mitigate.Options{Strategy: "fair", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestMitigationTable(t *testing.T) {
+	o := table1Outcome(t)
+	text, err := MitigationTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mitigation : fair (top-5",
+		"top-5 parity gap",
+		"worst exposure ratio",
+		"re-quantified most-unfair partitioning",
+		"partition",
+		"in top-k",
+		"re-quantify:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	// One row per discovered partition.
+	for _, label := range o.GroupLabels {
+		if !strings.Contains(text, label) {
+			t.Errorf("table missing group %q:\n%s", label, text)
+		}
+	}
+}
+
+func TestMitigationTableEmpty(t *testing.T) {
+	if _, err := MitigationTable(nil); err == nil {
+		t.Error("nil outcome accepted")
+	}
+	if _, err := MitigationTable(&mitigate.Outcome{}); err == nil {
+		t.Error("empty outcome accepted")
+	}
+}

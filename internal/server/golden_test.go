@@ -36,6 +36,25 @@ func goldenQuantifyRequest(workers int) map[string]any {
 	}
 }
 
+// goldenMitigateRequest is the canonical mitigation request the suite
+// pins: repair the Table 1 gender partitioning with constrained
+// interleaving under explicit 40/60 targets. The targets bind — the
+// mitigated ranking differs from the original and its worst exposure
+// ratio improves — so a regression that stops applying the
+// constraints changes this response.
+func goldenMitigateRequest(workers int) map[string]any {
+	return map[string]any{
+		"Dataset":    "table1",
+		"Function":   "0.3*language_test + 0.7*rating",
+		"Attributes": []string{dataset.AttrGender},
+		"MaxDepth":   1,
+		"Workers":    workers,
+		"Strategy":   "detcons",
+		"K":          5,
+		"Targets":    map[string]float64{"gender=Female": 0.4, "gender=Male": 0.6},
+	}
+}
+
 // workLine matches the rendered report's work summary, which embeds
 // wall-clock time and cache-dependent eval counters.
 var workLine = regexp.MustCompile(`(?m)^work      : .*$`)
@@ -140,9 +159,58 @@ func TestGoldenResponses(t *testing.T) {
 
 	checkGolden(t, "datasets.golden.json", canonicalJSON(t, get("/api/datasets")))
 	checkGolden(t, "quantify.golden.json", canonicalJSON(t, post("/api/quantify", goldenQuantifyRequest(8))))
+	checkGolden(t, "mitigate.golden.json", canonicalJSON(t, post("/api/mitigate", goldenMitigateRequest(8))))
 	checkGolden(t, "panels.golden.json", canonicalJSON(t, get("/api/panels")))
 	checkGolden(t, "panel1.golden.json", canonicalJSON(t, get("/api/panels/1")))
 	checkGolden(t, "index.golden.html", get("/"))
+}
+
+// Every worker count serves the same mitigation response — the full
+// quantify → mitigate → re-quantify loop inherits the engine's
+// determinism guarantee over HTTP.
+func TestGoldenMitigateWorkerInvariance(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		sess := core.NewSession()
+		if err := sess.AddDataset("table1", dataset.Table1()); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(sess).Handler())
+		buf, err := json.Marshal(goldenMitigateRequest(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.Post(ts.URL+"/api/mitigate", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, res.StatusCode)
+		}
+		body := canonicalJSON(t, readBody(t, res))
+		ts.Close()
+		// Guard against pinning a no-op: the canonical request's
+		// constraints must bind, visibly improving the exposure ratio.
+		var parsed struct {
+			Before, After struct {
+				ExposureRatio float64 `json:"exposure_ratio"`
+			}
+		}
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			t.Fatal(err)
+		}
+		if parsed.After.ExposureRatio <= parsed.Before.ExposureRatio {
+			t.Errorf("workers=%d: canonical mitigation did not improve the exposure ratio (%f -> %f)",
+				workers, parsed.Before.ExposureRatio, parsed.After.ExposureRatio)
+		}
+		if want == nil {
+			want = body
+			continue
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d mitigate response differs:\n%s\nwant:\n%s", workers, body, want)
+		}
+	}
 }
 
 // Every worker count serves the same quantify response: the

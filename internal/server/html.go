@@ -45,6 +45,11 @@ const indexHTML = `<!doctype html>
   </select></label>
   <label>Histogram bins <input id="bins" type="number" value="5" min="1"></label>
   <button onclick="quantify()">Quantify fairness</button>
+  <label>Mitigation strategy <select id="strategy">
+    <option>fair</option><option>detgreedy</option><option>detcons</option><option>exposure</option>
+  </select></label>
+  <label>Top-k cutoff <input id="topk" type="number" value="10" min="1"></label>
+  <button onclick="mitigate()">Mitigate &amp; re-quantify</button>
   <button class="secondary" onclick="generate()">Generate marketplace…</button>
   <button class="secondary" onclick="anonymize()">k-anonymize dataset…</button>
   <div id="error"></div>
@@ -101,6 +106,25 @@ async function quantify() {
       Bins: parseInt(document.getElementById('bins').value, 10) || 5,
     })});
     addPanel(p);
+  } catch (e) { setError(e); }
+}
+async function mitigate() {
+  setError();
+  try {
+    const filter = document.getElementById('filter').value
+      .split(',').map(s => s.trim()).filter(Boolean);
+    const out = await api('/api/mitigate', {method: 'POST', body: JSON.stringify({
+      Dataset: document.getElementById('dataset').value,
+      Function: document.getElementById('function').value,
+      Filter: filter,
+      Aggregator: document.getElementById('aggregator').value,
+      Distance: document.getElementById('distance').value,
+      Bins: parseInt(document.getElementById('bins').value, 10) || 5,
+      Strategy: document.getElementById('strategy').value,
+      K: parseInt(document.getElementById('topk').value, 10) || 0,
+    })});
+    addPanel({id: out.panel.id, dataset: out.panel.dataset,
+      function: out.panel.function, text: out.text + '\n' + (out.panel.text || '')});
   } catch (e) { setError(e); }
 }
 async function generate() {

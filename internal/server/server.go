@@ -4,6 +4,13 @@
 // function, fairness criterion, filters), side-by-side result panels
 // with partitioning trees, and per-node statistics.
 //
+// POST /api/mitigate closes the explore-and-repair loop server-side:
+// it quantifies the most unfair partitioning, re-ranks it with a
+// mitigation strategy (FA*IR, constrained interleaving or exposure
+// capping; see internal/mitigate), re-quantifies the mitigated
+// ranking, and registers the result as a panel next to the
+// explorations that led to it.
+//
 // Quantify requests accept a Workers field bounding the solver's
 // concurrency (0 = GOMAXPROCS, 1 = sequential); every worker count
 // produces an identical response. All requests against one server
@@ -15,6 +22,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -25,6 +33,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/histogram"
 	"repro/internal/marketplace"
+	"repro/internal/mitigate"
 	"repro/internal/partition"
 	"repro/internal/report"
 )
@@ -43,6 +52,7 @@ func New(sess *core.Session) *Server {
 	s.mux.HandleFunc("POST /api/datasets/generate", s.handleGenerate)
 	s.mux.HandleFunc("POST /api/datasets/anonymize", s.handleAnonymize)
 	s.mux.HandleFunc("POST /api/quantify", s.handleQuantify)
+	s.mux.HandleFunc("POST /api/mitigate", s.handleMitigate)
 	s.mux.HandleFunc("GET /api/panels", s.handlePanels)
 	s.mux.HandleFunc("GET /api/panels/{id}", s.handlePanel)
 	s.mux.HandleFunc("DELETE /api/panels/{id}", s.handlePanelDelete)
@@ -316,14 +326,144 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.sess.Quantify(req)
 	if err != nil {
+		writeErr(w, requestErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSummary(p, true))
+}
+
+// requestErrStatus maps a panel-resolution error to its HTTP status:
+// a missing dataset is the caller naming a resource that does not
+// exist (404), everything else is a bad request.
+func requestErrStatus(err error) int {
+	if strings.Contains(err.Error(), "unknown dataset") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// mitigateRequest configures one quantify → mitigate → re-quantify
+// run: a panel request (which partitioning search to repair) plus the
+// mitigation knobs.
+type mitigateRequest struct {
+	core.PanelRequest
+	// Strategy is "fair" (default), "detgreedy", "detcons" or
+	// "exposure".
+	Strategy string
+	// K is the top-k prefix the constraints apply to (0 = min(10, n)).
+	K int
+	// Alpha is the FA*IR significance level (default 0.1).
+	Alpha float64
+	// MinExposureRatio is the exposure strategy's floor (default 0.95).
+	MinExposureRatio float64
+	// Targets maps group labels to target proportions (empty derives
+	// population shares).
+	Targets map[string]float64
+}
+
+// metricsJSON is the JSON form of one side of the before/after
+// comparison.
+type metricsJSON struct {
+	Unfairness    float64         `json:"unfairness"`
+	ParityGap     float64         `json:"parity_gap"`
+	ExposureRatio float64         `json:"exposure_ratio"`
+	Groups        []groupStatJSON `json:"groups"`
+}
+
+type groupStatJSON struct {
+	Label         string  `json:"label"`
+	Size          int     `json:"size"`
+	TopKCount     int     `json:"top_k_count"`
+	SelectionRate float64 `json:"selection_rate"`
+	Exposure      float64 `json:"exposure"`
+}
+
+func toMetricsJSON(m mitigate.Metrics, labels []string) metricsJSON {
+	out := metricsJSON{
+		Unfairness:    m.Unfairness,
+		ParityGap:     m.ParityGap,
+		ExposureRatio: m.ExposureRatio,
+		Groups:        make([]groupStatJSON, len(m.Stats)),
+	}
+	for i, gs := range m.Stats {
+		out.Groups[i] = groupStatJSON{
+			Label:         labels[i],
+			Size:          gs.Size,
+			TopKCount:     gs.TopKCount,
+			SelectionRate: gs.SelectionRate,
+			Exposure:      gs.Exposure,
+		}
+	}
+	return out
+}
+
+// mitigateResponse is the JSON answer of POST /api/mitigate: the
+// before/after comparison plus the panel registered for the mitigated
+// ranking's re-quantification.
+type mitigateResponse struct {
+	Strategy string       `json:"strategy"`
+	K        int          `json:"k"`
+	Targets  []float64    `json:"targets"`
+	Before   metricsJSON  `json:"before"`
+	After    metricsJSON  `json:"after"`
+	Text     string       `json:"text"`
+	Panel    panelSummary `json:"panel"`
+}
+
+func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
+	var req mitigateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	if req.Exhaustive {
+		// The harness discovers the partitioning with the greedy
+		// engine; silently repairing a different partitioning than the
+		// exact one asked for would be worse than refusing.
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: mitigation does not support the exhaustive solver"))
+		return
+	}
+	rp, err := s.sess.Resolve(req.PanelRequest)
+	if err != nil {
+		writeErr(w, requestErrStatus(err), err)
+		return
+	}
+	o, err := mitigate.Evaluate(rp.Data, rp.Scores, rp.Config, mitigate.Options{
+		Strategy:         req.Strategy,
+		K:                req.K,
+		Targets:          req.Targets,
+		Alpha:            req.Alpha,
+		MinExposureRatio: req.MinExposureRatio,
+	})
+	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "unknown dataset") {
-			status = http.StatusNotFound
+		if errors.Is(err, mitigate.ErrInfeasible) {
+			status = http.StatusUnprocessableEntity
 		}
 		writeErr(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toSummary(p, true))
+	text, err := report.MitigationTable(o)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Publish the mitigated ranking's re-quantification as a regular
+	// panel, so it sits side by side with the exploration panels that
+	// led to it.
+	mrp := *rp
+	mrp.Function = fmt.Sprintf("%s [mitigated:%s]", rp.Function, o.Strategy)
+	mrp.Scores = o.Scores
+	p := s.sess.AddPanel(req.Dataset, &mrp, o.AfterResult)
+	writeJSON(w, http.StatusOK, mitigateResponse{
+		Strategy: o.Strategy,
+		K:        o.K,
+		Targets:  o.Targets,
+		Before:   toMetricsJSON(o.Before, o.GroupLabels),
+		After:    toMetricsJSON(o.After, o.GroupLabels),
+		Text:     text,
+		Panel:    toSummary(p, true),
+	})
 }
 
 func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {

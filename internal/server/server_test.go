@@ -298,3 +298,60 @@ func TestConcurrentQuantify(t *testing.T) {
 		ids[p.ID] = true
 	}
 }
+
+func TestMitigateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out mitigateResponse
+	res := postJSON(t, ts.URL+"/api/mitigate", map[string]any{
+		"Dataset":  "table1",
+		"Function": "0.3*language_test + 0.7*rating",
+		"Strategy": "detcons",
+		"K":        5,
+	}, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("mitigate status: %d (%+v)", res.StatusCode, out)
+	}
+	if out.Strategy != "detcons" || out.K != 5 || out.Text == "" {
+		t.Errorf("response: %+v", out)
+	}
+	if len(out.Before.Groups) == 0 || len(out.Before.Groups) != len(out.After.Groups) {
+		t.Errorf("metrics groups: %d before, %d after", len(out.Before.Groups), len(out.After.Groups))
+	}
+	if !strings.Contains(out.Panel.Function, "[mitigated:detcons]") {
+		t.Errorf("panel function: %q", out.Panel.Function)
+	}
+	// The mitigated re-quantification joins the panel list.
+	var panels []panelSummary
+	getJSON(t, ts.URL+"/api/panels", &panels)
+	if len(panels) != 1 || panels[0].ID != out.Panel.ID {
+		t.Errorf("panels: %+v", panels)
+	}
+}
+
+func TestMitigateEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	post := func(body map[string]any) int {
+		var out map[string]any
+		res := postJSON(t, ts.URL+"/api/mitigate", body, &out)
+		return res.StatusCode
+	}
+	fn := "0.3*language_test + 0.7*rating"
+	if got := post(map[string]any{"Dataset": "nope", "Function": fn}); got != http.StatusNotFound {
+		t.Errorf("unknown dataset: %d", got)
+	}
+	if got := post(map[string]any{"Dataset": "table1", "Function": fn, "Exhaustive": true}); got != http.StatusBadRequest {
+		t.Errorf("exhaustive: %d", got)
+	}
+	if got := post(map[string]any{"Dataset": "table1", "Function": fn, "Objective": "least"}); got != http.StatusBadRequest {
+		t.Errorf("least objective: %d", got)
+	}
+	if got := post(map[string]any{"Dataset": "table1", "Function": fn, "Strategy": "bogus"}); got != http.StatusBadRequest {
+		t.Errorf("unknown strategy: %d", got)
+	}
+	if got := post(map[string]any{"Dataset": "table1", "Function": fn, "Attributes": []string{"gender"},
+		"Strategy": "detgreedy", "K": 10,
+		"Targets": map[string]float64{"gender=Female": 0.9, "gender=Male": 0.1},
+	}); got != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible targets: %d", got)
+	}
+}

@@ -2,14 +2,14 @@
 # Runs the benchmark suite with -benchmem and emits a BENCH_*.json
 # data point (see tools/benchjson). Knobs:
 #
-#   OUT       output file            (default BENCH_PR2.json)
-#   PATTERN   -bench regexp          (default the PR 2 hot-path set)
+#   OUT       output file            (default BENCH_PR3.json)
+#   PATTERN   -bench regexp          (default the hot-path set + the mitigation loop)
 #   BENCHTIME -benchtime             (default 2x; use e.g. 1s for stable numbers)
 #   PKGS      packages to benchmark  (default ./...)
 set -eu
 
-OUT=${OUT:-BENCH_PR2.json}
-PATTERN=${PATTERN:-'BenchmarkQuantify|BenchmarkSplit|BenchmarkSplittableAttrs|BenchmarkGroupKey|BenchmarkHistogram|BenchmarkHatEMD|BenchmarkE11EMD'}
+OUT=${OUT:-BENCH_PR3.json}
+PATTERN=${PATTERN:-'BenchmarkQuantify|BenchmarkMitigate|BenchmarkSplit|BenchmarkSplittableAttrs|BenchmarkGroupKey|BenchmarkHistogram|BenchmarkHatEMD|BenchmarkE11EMD'}
 BENCHTIME=${BENCHTIME:-2x}
 PKGS=${PKGS:-./...}
 
