@@ -202,6 +202,53 @@ func BenchmarkMitigate(b *testing.B) {
 	})
 }
 
+// BenchmarkAudit measures the marketplace-wide batch audit — the
+// quantify → mitigate → re-quantify loop over every job — in three
+// modes: fully sequential (one job at a time, solver sequential),
+// parallel (jobs fanned over the audit pool, solver at GOMAXPROCS),
+// and warm-cache (the parallel audit repeated against a primed shared
+// cache: the re-audit pattern, where every histogram, split and EMD
+// is memoized). All three produce bit-identical reports (see audit's
+// TestAuditWorkerInvariance).
+func BenchmarkAudit(b *testing.B) {
+	m, err := Preset("crowdsourcing", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language", "region"}
+	opts := AuditOptions{Strategy: "detcons", K: 100}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := Config{Attributes: attrs, TryAllRoots: true, Workers: 1}
+			o := opts
+			o.Workers = 1
+			if _, err := AuditAll(m, cfg, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := Config{Attributes: attrs, TryAllRoots: true}
+			if _, err := AuditAll(m, cfg, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel/warm-cache", func(b *testing.B) {
+		cfg := Config{Attributes: attrs, TryAllRoots: true, Cache: NewCache()}
+		if _, err := AuditAll(m, cfg, opts); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := AuditAll(m, cfg, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE4Interactive measures QUANTIFY latency against population
 // size (the paper's "interactive response time" claim; 6 protected
 // attributes × 3 values).

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	fairank "repro"
+)
+
+// runAudit audits a whole marketplace. With -strategy set it runs the
+// full batch loop — quantify → mitigate → re-quantify every job over
+// a bounded worker pool — and prints the rollup report (worst-N jobs,
+// before/after fairness, NDCG@k utility loss). Without -strategy it
+// keeps the quantify-only report of the plain AUDITOR scenario.
+func runAudit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	preset := fs.String("preset", "crowdsourcing", "marketplace preset (crowdsourcing, taskrabbit, fiverr, qapa)")
+	n := fs.Int("n", 2000, "population size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	rankOnly := fs.Bool("rank-only", false, "audit from rankings only (quantify-only mode)")
+	agg := fs.String("agg", "avg", "avg | max | min | variance")
+	bins := fs.Int("bins", 5, "histogram bins")
+	strategy := fs.String("strategy", "", "mitigate every job with this strategy and re-audit: "+strings.Join(fairank.MitigationStrategies(), " | ")+" (empty = quantify only)")
+	k := fs.Int("k", 0, "top-k prefix for mitigation constraints and utility metrics (default min(10, n))")
+	topN := fs.Int("top-n", 0, "worst-N jobs in the rollup (default min(5, jobs))")
+	workers := fs.Int("workers", 0, "jobs audited concurrently (0 = all CPUs, 1 = sequential; report is identical)")
+	targets := fs.String("targets", "", "comma-separated group=proportion targets enforced on every job (use with -attrs and -max-depth 1)")
+	alpha := fs.Float64("alpha", 0.1, "FA*IR significance level")
+	minRatio := fs.Float64("min-ratio", 0.95, "exposure strategy: worst-group exposure ratio floor")
+	attrs := fs.String("attrs", "", "comma-separated protected attributes to partition on")
+	maxDepth := fs.Int("max-depth", 0, "maximum tree depth (0 = unlimited)")
+	parallel := fs.Int("parallel", 0, "quantify-only mode: worker goroutines (0 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 0 {
+		return fmt.Errorf("-k must be non-negative, got %d (0 selects the min(10, n) default)", *k)
+	}
+	if *topN < 0 {
+		return fmt.Errorf("-top-n must be non-negative, got %d (0 selects the min(5, jobs) default)", *topN)
+	}
+	m, err := fairank.Preset(*preset, *n, *seed)
+	if err != nil {
+		return err
+	}
+	aggFn, err := fairank.AggregatorByName(*agg)
+	if err != nil {
+		return err
+	}
+	cfg := fairank.Config{
+		Measure:    fairank.Measure{Agg: aggFn, Bins: *bins},
+		Attributes: splitList(*attrs),
+		MaxDepth:   *maxDepth,
+	}
+
+	if *strategy != "" {
+		if *rankOnly {
+			return fmt.Errorf("-rank-only and -strategy are mutually exclusive (the batch audit already compares in rank space)")
+		}
+		targetMap, err := parseTargets(*targets)
+		if err != nil {
+			return err
+		}
+		r, err := fairank.AuditAll(m, cfg, fairank.AuditOptions{
+			Strategy:         *strategy,
+			K:                *k,
+			TopN:             *topN,
+			Workers:          *workers,
+			Targets:          targetMap,
+			Alpha:            *alpha,
+			MinExposureRatio: *minRatio,
+		})
+		if err != nil {
+			return err
+		}
+		text, err := fairank.RenderAuditReport(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		return nil
+	}
+
+	var audits []fairank.JobAudit
+	switch {
+	case *rankOnly:
+		audits, err = fairank.AuditRankOnly(m, cfg)
+	case *parallel != 0:
+		audits, err = fairank.AuditParallel(m, cfg, *parallel)
+	default:
+		audits, err = fairank.Audit(m, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, fairank.RenderAudit(m.Name, audits))
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The acceptance path: -strategy switches the audit subcommand to the
+// full batch loop and the rollup names every preset job with its
+// before/after fairness and utility loss.
+func TestRunAuditBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAudit([]string{"-preset", "taskrabbit", "-n", "300", "-strategy", "detcons"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"MARKETPLACE AUDIT",
+		"strategy detcons",
+		"moving", "cleaning", "handyman", // every taskrabbit job
+		"NDCG@10",
+		"worst 3 job(s)",
+		"hotspot attributes",
+		"mean unfairness",
+		"utility cost",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch audit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAuditBatchFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAudit([]string{"-preset", "taskrabbit", "-n", "200", "-strategy", "fair",
+		"-k", "20", "-top-n", "1", "-workers", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "top-20") || !strings.Contains(out, "worst 1 job(s)") {
+		t.Errorf("-k/-top-n not honored:\n%s", out)
+	}
+}
+
+func TestRunAuditBatchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "nope"}, &buf); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair", "-rank-only"}, &buf); err == nil {
+		t.Error("-strategy with -rank-only should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair", "-k", "-1"}, &buf); err == nil {
+		t.Error("negative -k should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair", "-top-n", "-1"}, &buf); err == nil {
+		t.Error("negative -top-n should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair", "-targets", "bad"}, &buf); err == nil {
+		t.Error("malformed -targets should error")
+	}
+}

@@ -80,8 +80,9 @@ commands:
                               print the ranking a scoring function induces
   mitigate   -data <src> -fn <expr> [-strategy fair|detgreedy|detcons|exposure] [-k N]
                               re-rank fairly, re-quantify, report before/after
-  audit      -preset <name> [-n N] [-rank-only]
-                              marketplace-wide fairness report
+  audit      -preset <name> [-n N] [-strategy S] [-k N] [-top-n N] [-workers N] [-rank-only]
+                              marketplace-wide fairness report; with -strategy,
+                              mitigate every job and re-audit (batch loop)
   generate   -preset <name> [-n N] [-seed N] [-o file.csv]
                               generate a synthetic marketplace population
   anonymize  -data <src> -k N [-algorithm mondrian|datafly] [-o file.csv]
@@ -246,43 +247,6 @@ func runQuantify(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, ")\nfunction  : %s\n", p.Function)
 	fmt.Fprint(out, fairank.RenderResult(p.Result, p.Scores))
-	return nil
-}
-
-func runAudit(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
-	preset := fs.String("preset", "crowdsourcing", "marketplace preset (crowdsourcing, taskrabbit, fiverr, qapa)")
-	n := fs.Int("n", 2000, "population size")
-	seed := fs.Uint64("seed", 1, "random seed")
-	rankOnly := fs.Bool("rank-only", false, "audit from rankings only")
-	agg := fs.String("agg", "avg", "avg | max | min | variance")
-	bins := fs.Int("bins", 5, "histogram bins")
-	parallel := fs.Int("parallel", 0, "worker goroutines for the audit (0 = serial)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	m, err := fairank.Preset(*preset, *n, *seed)
-	if err != nil {
-		return err
-	}
-	aggFn, err := fairank.AggregatorByName(*agg)
-	if err != nil {
-		return err
-	}
-	cfg := fairank.Config{Measure: fairank.Measure{Agg: aggFn, Bins: *bins}}
-	var audits []fairank.JobAudit
-	switch {
-	case *rankOnly:
-		audits, err = fairank.AuditRankOnly(m, cfg)
-	case *parallel != 0:
-		audits, err = fairank.AuditParallel(m, cfg, *parallel)
-	default:
-		audits, err = fairank.Audit(m, cfg)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(out, fairank.RenderAudit(m.Name, audits))
 	return nil
 }
 

@@ -74,7 +74,7 @@ func TestRunMitigateImproves(t *testing.T) {
 }
 
 func TestRunMitigateStrategiesAndTargets(t *testing.T) {
-	for _, strategy := range []string{"detgreedy", "detcons", "exposure"} {
+	for _, strategy := range []string{"detgreedy", "detcons"} {
 		var out bytes.Buffer
 		err := runMitigate([]string{
 			"-data", "preset:taskrabbit:300",
@@ -91,6 +91,35 @@ func TestRunMitigateStrategiesAndTargets(t *testing.T) {
 		if !strings.Contains(out.String(), "mitigation : "+strategy) {
 			t.Errorf("%s: report lacks strategy line:\n%s", strategy, out.String())
 		}
+	}
+	// The exposure strategy enforces a ratio floor, not representation
+	// targets: explicit -targets are rejected, not silently ignored.
+	var out bytes.Buffer
+	err := runMitigate([]string{
+		"-data", "preset:taskrabbit:300",
+		"-fn", "0.5*rating + 0.3*reviews + 0.2*response_rate",
+		"-attrs", "gender",
+		"-max-depth", "1",
+		"-strategy", "exposure",
+		"-k", "20",
+		"-targets", "gender=Female=0.5,gender=Male=0.5",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no representation targets") {
+		t.Errorf("exposure with -targets should be rejected, got %v", err)
+	}
+	out.Reset()
+	if err := runMitigate([]string{
+		"-data", "preset:taskrabbit:300",
+		"-fn", "0.5*rating + 0.3*reviews + 0.2*response_rate",
+		"-attrs", "gender",
+		"-max-depth", "1",
+		"-strategy", "exposure",
+		"-k", "20",
+	}, &out); err != nil {
+		t.Fatalf("exposure without targets: %v", err)
+	}
+	if !strings.Contains(out.String(), "mitigation : exposure") {
+		t.Errorf("exposure report lacks strategy line:\n%s", out.String())
 	}
 }
 

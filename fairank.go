@@ -20,6 +20,7 @@
 //	internal/histogram   score histograms
 //	internal/emd         Earth Mover's Distance solvers
 //	internal/mitigate    fair re-ranking: FA*IR, constrained interleaving, exposure caps
+//	internal/audit       marketplace-wide batch audit: quantify → mitigate → re-audit
 //	internal/anonymize   k-anonymization (ARX replacement)
 //	internal/marketplace simulated job marketplaces with known bias
 //	internal/report      terminal rendering, auditor reports
@@ -61,6 +62,7 @@ import (
 	"net/http"
 
 	"repro/internal/anonymize"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/emd"
@@ -168,6 +170,20 @@ type (
 	InfeasibleError = mitigate.InfeasibleError
 	// JobAudit is one job's row of an auditor report.
 	JobAudit = report.JobAudit
+	// RankingUtility is the ranking-quality cost of a mitigation
+	// (NDCG@k and mean top-k score displacement).
+	RankingUtility = mitigate.Utility
+	// AuditOptions configures a marketplace-wide batch audit.
+	AuditOptions = audit.Options
+	// AuditReport is a completed batch audit with its rollups.
+	AuditReport = audit.Report
+	// AuditJobReport is one job's row of a batch audit.
+	AuditJobReport = audit.JobReport
+	// AuditRanking is one named ranking for AuditRankings.
+	AuditRanking = audit.Ranking
+	// AuditHotspot counts jobs whose worst partitioning splits on an
+	// attribute.
+	AuditHotspot = audit.Hotspot
 	// ExperimentOptions tunes experiment scale.
 	ExperimentOptions = experiments.Options
 	// ExperimentTable is a rendered experiment output.
@@ -359,6 +375,32 @@ func Audit(m *Marketplace, cfg Config) ([]JobAudit, error) {
 // bounded goroutine pool (workers <= 0 selects GOMAXPROCS).
 func AuditParallel(m *Marketplace, cfg Config, workers int) ([]JobAudit, error) {
 	return report.AuditParallel(m, cfg, workers)
+}
+
+// AuditAll runs the marketplace-wide batch audit: every job goes
+// through the full quantify → mitigate → re-quantify loop over a
+// bounded worker pool with one shared memoization cache, and the
+// findings roll up into an AuditReport (worst-N jobs, per-attribute
+// hotspots, infeasible tally, fairness and utility-loss means). The
+// report is bit-identical for every Workers count and invariant under
+// job-list permutation.
+func AuditAll(m *Marketplace, cfg Config, opts AuditOptions) (*AuditReport, error) {
+	return audit.Run(m, cfg, opts)
+}
+
+// AuditRankings is AuditAll for callers whose jobs are not a
+// Marketplace: any set of named rankings over one population.
+func AuditRankings(d *Dataset, rankings []AuditRanking, cfg Config, opts AuditOptions) (*AuditReport, error) {
+	return audit.RunRankings(d, rankings, cfg, opts)
+}
+
+// RenderAuditReport renders a batch audit for the terminal.
+func RenderAuditReport(r *AuditReport) (string, error) { return report.AuditTable(r) }
+
+// UtilityLoss measures the ranking-quality cost of a re-ranking under
+// the original scores: NDCG@k plus mean top-k score displacement.
+func UtilityLoss(scores []float64, ranking []int, k int) (RankingUtility, error) {
+	return mitigate.UtilityLoss(scores, ranking, k)
 }
 
 // RankJobsByUnfairness sorts audited jobs most-unfair first.

@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/marketplace"
+)
+
+// warmJobAllocCap bounds allocations for one re-audited job when the
+// shared cache is warm — the steady-state unit of a repeated
+// marketplace audit. With every histogram, split and distance
+// memoized, the remaining allocations are the per-run structures
+// (pseudo-score vectors, rerank queues, rank statistics, the two
+// Result assemblies); ~2.5k on this pinned config. The cap has
+// headroom for allocator jitter but fails if the warm path regresses
+// to recomputing cached work (a cold job is >10× this).
+const warmJobAllocCap = 3500
+
+// TestWarmAuditJobAllocs is the audit-path companion of the Split and
+// histogram guards in the core packages: the warm per-job loop must
+// stay allocation-bounded, or a thousand-job re-audit melts the GC.
+func TestWarmAuditJobAllocs(t *testing.T) {
+	m, err := marketplace.PresetByName("crowdsourcing", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Cache: core.NewCache(), Workers: 1}
+	opts := Options{Strategy: "detcons"}
+	// Prime: one full audit memoizes both quantify passes of every job.
+	if _, err := Run(m, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	job := m.Jobs[0]
+	scores, err := job.Function.Score(m.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Ranking{Name: job.Name, Function: job.Function.String(), Scores: scores}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := auditOne(m.Workers, r, cfg, opts, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs per warm re-audited job: %.1f", avg)
+	if avg > warmJobAllocCap {
+		t.Errorf("warm re-audited job allocates %.1f, cap %d", avg, warmJobAllocCap)
+	}
+}

@@ -1,0 +1,414 @@
+// Package audit runs FaiRank's explore-and-repair loop over a whole
+// marketplace at once: every job is quantified, mitigated and
+// re-quantified (quantify → mitigate → re-audit), and the per-job
+// findings roll up into one marketplace-level Report.
+//
+// This is the batch form of the AUDITOR scenario (paper §4). Geyik et
+// al. (KDD 2019) deployed fairness-aware re-ranking fleet-wide over
+// every LinkedIn Talent Search query rather than one query at a time;
+// this package is that scaling step for FaiRank — audit every job of
+// a platform in one call, report which jobs are hotspots, what the
+// repair buys (fairness deltas) and what it costs (NDCG@k and score
+// displacement, per Singh & Joachims' utility framing).
+//
+// Jobs fan out over a bounded worker pool; each per-job loop is
+// independent work against the same immutable population, and all
+// engine runs share one memoization Cache (Config.Cache; the runner
+// installs one when the caller didn't), so a re-audit of the same
+// marketplace — the "did the repair stick?" pass — skips the
+// histogram, split and EMD work of the first. Results are
+// bit-identical for every Workers count and invariant under job-list
+// permutation: per-job work writes only its own slot, and every
+// rollup is computed in a canonical order.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+	"repro/internal/mitigate"
+)
+
+// Options configures a batch audit on top of the solver Config.
+type Options struct {
+	// Strategy names the mitigation strategy applied to every job:
+	// "fair" (default), "detgreedy", "detcons" or "exposure".
+	Strategy string
+	// K is the top-k prefix the representation constraints and the
+	// parity/utility metrics apply to (0 = min(10, n)).
+	K int
+	// TopN bounds the worst-jobs rollup (0 = min(5, jobs)).
+	TopN int
+	// Workers bounds how many jobs are audited concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Independent of Config.Workers,
+	// which bounds the solver inside one job; the report is
+	// bit-identical for every combination.
+	Workers int
+	// Alpha is the FA*IR significance level (default 0.1).
+	Alpha float64
+	// MinExposureRatio is the "exposure" strategy's floor (default
+	// 0.95).
+	MinExposureRatio float64
+	// Targets maps group labels to target proportions, applied to
+	// every job (empty derives population shares per job). Because the
+	// same table is enforced marketplace-wide, it only makes sense
+	// with a Config that discovers the same partitioning for every
+	// job (e.g. Attributes plus MaxDepth 1); a job whose discovered
+	// groups don't match the targets fails the audit. Targets no
+	// ranking can satisfy count into the infeasible tally instead.
+	Targets map[string]float64
+}
+
+// Ranking is one named ranking to audit — a marketplace job's scores,
+// or any externally observed ranking over the same population.
+type Ranking struct {
+	// Name identifies the ranking in the report. Names must be unique
+	// within one audit.
+	Name string
+	// Function describes how the scores were produced (display only).
+	Function string
+	// Scores orders the population best-first, indexed by row.
+	Scores []float64
+}
+
+// JobReport is one job's row of the marketplace audit: the fairness
+// of its ranking before and after mitigation, and what the repair
+// cost in ranking quality.
+type JobReport struct {
+	// Job and Function identify the audited ranking.
+	Job      string
+	Function string
+	// Groups labels the partitioning under repair (the most unfair
+	// partitioning of the original ranking), in group order;
+	// Attributes lists the protected attributes it splits on, sorted.
+	Groups     []string
+	Attributes []string
+	// Before and After compare the original and mitigated rankings on
+	// that fixed partitioning (EMD unfairness over pseudo-scores,
+	// top-k parity gap, worst exposure ratio). After is zero when
+	// Infeasible.
+	Before, After mitigate.Metrics
+	// QuantifiedBefore is the unfairness of the discovered
+	// partitioning; QuantifiedAfter re-runs the same search on the
+	// mitigated ranking — the re-audit half of the loop (zero when
+	// Infeasible).
+	QuantifiedBefore, QuantifiedAfter float64
+	// Utility is the repair's ranking-quality cost (zero when
+	// Infeasible).
+	Utility mitigate.Utility
+	// Infeasible marks jobs whose representation targets no ranking
+	// of the population can satisfy; Detail carries the constraint
+	// that failed. The job still reports its before-side fairness.
+	Infeasible bool
+	Detail     string
+}
+
+// Improved reports whether mitigation strictly reduced the job's
+// re-quantified unfairness.
+func (j JobReport) Improved() bool {
+	return !j.Infeasible && j.QuantifiedAfter < j.QuantifiedBefore
+}
+
+// Hotspot counts how many jobs' most-unfair partitionings split on a
+// protected attribute — the marketplace-level "where does the bias
+// live" rollup.
+type Hotspot struct {
+	Attribute string
+	Jobs      int
+}
+
+// Report is a completed marketplace audit.
+type Report struct {
+	// Marketplace names the audited platform; Strategy and K echo the
+	// resolved options.
+	Marketplace string
+	Strategy    string
+	K           int
+	// Jobs holds one report per audited ranking, in input order.
+	Jobs []JobReport
+	// Worst names the TopN jobs with the highest pre-mitigation
+	// unfairness, worst first (ties by name).
+	Worst []string
+	// Hotspots counts, per protected attribute, the jobs whose
+	// most-unfair partitioning splits on it, ordered by count
+	// descending then attribute name.
+	Hotspots []Hotspot
+	// Infeasible counts jobs whose constraints could not be met.
+	Infeasible int
+	// Marketplace-level means over the feasible jobs (zero when every
+	// job is infeasible): re-quantified unfairness before and after
+	// mitigation, top-k parity gap before and after, and the utility
+	// cost of the repairs.
+	MeanUnfairnessBefore, MeanUnfairnessAfter float64
+	MeanParityGapBefore, MeanParityGapAfter   float64
+	MeanNDCG, MeanDisplacement                float64
+	// Elapsed is the wall-clock time of the whole audit.
+	Elapsed time.Duration
+}
+
+// Run audits every job of a marketplace: each job's ranking goes
+// through the full quantify → mitigate → re-quantify loop and the
+// findings roll up into one Report. cfg configures the quantification
+// engine exactly as in core.Quantify; opts adds the mitigation and
+// batching knobs.
+func Run(m *marketplace.Marketplace, cfg core.Config, opts Options) (*Report, error) {
+	if m == nil || len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("audit: marketplace has no jobs to audit")
+	}
+	rankings := make([]Ranking, len(m.Jobs))
+	for i, job := range m.Jobs {
+		scores, err := job.Function.Score(m.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("audit: scoring job %q: %w", job.Name, err)
+		}
+		rankings[i] = Ranking{Name: job.Name, Function: job.Function.String(), Scores: scores}
+	}
+	r, err := RunRankings(m.Workers, rankings, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Marketplace = m.Name
+	return r, nil
+}
+
+// RunRankings audits a set of named rankings over one population —
+// the generic entry point behind Run, for callers whose "jobs" are
+// not marketplace.Job values (externally observed rankings, A/B
+// variants of one function, ...).
+func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts Options) (*Report, error) {
+	start := time.Now()
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("audit: empty population")
+	}
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("audit: no rankings to audit")
+	}
+	seen := make(map[string]bool, len(rankings))
+	for i, r := range rankings {
+		if r.Name == "" {
+			return nil, fmt.Errorf("audit: ranking %d has no name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("audit: duplicate ranking name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if len(r.Scores) != d.Len() {
+			return nil, fmt.Errorf("audit: ranking %q has %d scores for %d individuals", r.Name, len(r.Scores), d.Len())
+		}
+	}
+	strategy, err := mitigate.ByName(opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("audit: negative Workers %d", opts.Workers)
+	}
+	if opts.TopN < 0 {
+		return nil, fmt.Errorf("audit: negative TopN %d", opts.TopN)
+	}
+	if opts.K < 0 {
+		return nil, fmt.Errorf("audit: negative K %d (0 selects the min(10, n) default)", opts.K)
+	}
+	k := mitigate.DefaultK(opts.K, d.Len())
+	if cfg.Cache == nil {
+		// One cache for the whole batch: the per-job before/after
+		// passes and any re-audit through the same Config share the
+		// memoized histograms, splits and distances.
+		cfg.Cache = core.NewCache()
+	}
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rankings) {
+		workers = len(rankings)
+	}
+	jobs := make([]JobReport, len(rankings))
+	errs := make([]error, len(rankings))
+	runOne := func(i int) {
+		jobs[i], errs[i] = auditOne(d, rankings[i], cfg, opts, k)
+	}
+	if workers <= 1 {
+		for i := range rankings {
+			runOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idx {
+					runOne(i)
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range rankings {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	// First error in input order, independent of completion order.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	r := &Report{Strategy: strategy.Name(), K: k, Jobs: jobs}
+	rollup(r, opts.TopN)
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// auditOne runs the full loop for one ranking. Infeasible constraint
+// sets are a finding, not a failure: the job keeps its before-side
+// fairness and is tallied, so one impossible target cannot sink a
+// thousand-job audit.
+func auditOne(d *dataset.Dataset, r Ranking, cfg core.Config, opts Options, k int) (JobReport, error) {
+	o, err := mitigate.Evaluate(d, r.Scores, cfg, mitigate.Options{
+		Strategy:         opts.Strategy,
+		K:                k,
+		Targets:          opts.Targets,
+		Alpha:            opts.Alpha,
+		MinExposureRatio: opts.MinExposureRatio,
+	})
+	if err == nil {
+		return JobReport{
+			Job:              r.Name,
+			Function:         r.Function,
+			Groups:           o.GroupLabels,
+			Attributes:       groupAttrs(o.BeforeResult),
+			Before:           o.Before,
+			After:            o.After,
+			QuantifiedBefore: o.BeforeResult.Unfairness,
+			QuantifiedAfter:  o.AfterResult.Unfairness,
+			Utility:          o.Utility,
+		}, nil
+	}
+	if !errors.Is(err, mitigate.ErrInfeasible) || o == nil {
+		return JobReport{}, fmt.Errorf("audit: job %q: %w", r.Name, err)
+	}
+
+	// Infeasible: Evaluate's partial Outcome already carries the
+	// before side, so the job is reported without redoing the
+	// quantification.
+	return JobReport{
+		Job:              r.Name,
+		Function:         r.Function,
+		Groups:           o.GroupLabels,
+		Attributes:       groupAttrs(o.BeforeResult),
+		Before:           o.Before,
+		QuantifiedBefore: o.BeforeResult.Unfairness,
+		Infeasible:       true,
+		Detail:           err.Error(),
+	}, nil
+}
+
+// groupAttrs returns the sorted set of protected attributes the
+// result's partitioning conditions on.
+func groupAttrs(res *core.Result) []string {
+	seen := map[string]bool{}
+	for _, g := range res.Groups {
+		for _, c := range g.Conds {
+			seen[c.Attr] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rollup fills the marketplace-level aggregates. Every aggregate is
+// computed in a canonical order (sorted copies, name tie-breaks), so
+// the rollup is invariant under permutation of the job list — not
+// just equal up to float reordering.
+func rollup(r *Report, topN int) {
+	if topN == 0 {
+		topN = 5
+	}
+	if topN > len(r.Jobs) {
+		topN = len(r.Jobs)
+	}
+
+	order := make([]int, len(r.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := r.Jobs[order[a]], r.Jobs[order[b]]
+		if ja.QuantifiedBefore != jb.QuantifiedBefore {
+			return ja.QuantifiedBefore > jb.QuantifiedBefore
+		}
+		return ja.Job < jb.Job
+	})
+	r.Worst = make([]string, 0, topN)
+	for _, i := range order[:topN] {
+		r.Worst = append(r.Worst, r.Jobs[i].Job)
+	}
+
+	counts := map[string]int{}
+	for _, j := range r.Jobs {
+		for _, a := range j.Attributes {
+			counts[a]++
+		}
+	}
+	r.Hotspots = make([]Hotspot, 0, len(counts))
+	for a, c := range counts {
+		r.Hotspots = append(r.Hotspots, Hotspot{Attribute: a, Jobs: c})
+	}
+	sort.Slice(r.Hotspots, func(a, b int) bool {
+		if r.Hotspots[a].Jobs != r.Hotspots[b].Jobs {
+			return r.Hotspots[a].Jobs > r.Hotspots[b].Jobs
+		}
+		return r.Hotspots[a].Attribute < r.Hotspots[b].Attribute
+	})
+
+	var ub, ua, pb, pa, nd, md []float64
+	for _, j := range r.Jobs {
+		if j.Infeasible {
+			r.Infeasible++
+			continue
+		}
+		ub = append(ub, j.QuantifiedBefore)
+		ua = append(ua, j.QuantifiedAfter)
+		pb = append(pb, j.Before.ParityGap)
+		pa = append(pa, j.After.ParityGap)
+		nd = append(nd, j.Utility.NDCG)
+		md = append(md, j.Utility.MeanDisplacement)
+	}
+	r.MeanUnfairnessBefore = meanSorted(ub)
+	r.MeanUnfairnessAfter = meanSorted(ua)
+	r.MeanParityGapBefore = meanSorted(pb)
+	r.MeanParityGapAfter = meanSorted(pa)
+	r.MeanNDCG = meanSorted(nd)
+	r.MeanDisplacement = meanSorted(md)
+}
+
+// meanSorted averages vals after sorting them, so the float summation
+// order — and therefore the result, bit for bit — does not depend on
+// the order jobs were listed in.
+func meanSorted(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

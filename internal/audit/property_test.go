@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The audit report is bit-identical for every combination of the
+// audit-level pool size and the solver's worker count: per-job work
+// writes only its own slot and the rollups are computed in canonical
+// order, so concurrency can never leak into a fairness report.
+func TestAuditWorkerInvariance(t *testing.T) {
+	m := testMarketplace(t, 250)
+	for _, strategy := range []string{"fair", "detcons", "exposure"} {
+		var want *Report
+		for _, workers := range []int{1, 2, 8} {
+			for _, solverWorkers := range []int{1, 4} {
+				cfg := core.Config{Workers: solverWorkers}
+				r, err := Run(m, cfg, Options{Strategy: strategy, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s workers=%d solver=%d: %v", strategy, workers, solverWorkers, err)
+				}
+				r.Elapsed = 0
+				if want == nil {
+					want = r
+					continue
+				}
+				if !reportsEqual(want, r) {
+					t.Errorf("%s: report differs at workers=%d solver=%d", strategy, workers, solverWorkers)
+				}
+			}
+		}
+	}
+}
+
+// Permuting the job list permutes Report.Jobs with it and changes
+// nothing else: every per-job row is identical, and every rollup —
+// including the float means — is bit-identical, because aggregation
+// runs in canonical order, not input order.
+func TestAuditJobPermutationInvariance(t *testing.T) {
+	m := testMarketplace(t, 250)
+	base, err := Run(m, core.Config{}, Options{Strategy: "detcons"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]JobReport{}
+	for _, j := range base.Jobs {
+		byName[j.Job] = j
+	}
+
+	perms := [][]int{
+		{3, 2, 1, 0},
+		{1, 3, 0, 2},
+		{2, 0, 3, 1},
+	}
+	for _, perm := range perms {
+		shuffled := *m
+		shuffled.Jobs = nil
+		for _, i := range perm {
+			shuffled.Jobs = append(shuffled.Jobs, m.Jobs[i])
+		}
+		r, err := Run(&shuffled, core.Config{}, Options{Strategy: "detcons"})
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		for pos, j := range r.Jobs {
+			if j.Job != m.Jobs[perm[pos]].Name {
+				t.Fatalf("perm %v: job %d is %q, want input order preserved", perm, pos, j.Job)
+			}
+			if !jobsEqual(j, byName[j.Job]) {
+				t.Errorf("perm %v: job %q row differs from base audit", perm, j.Job)
+			}
+		}
+		// Rollups must be equal bit for bit, not merely approximately:
+		// zero the permutation-dependent fields (none) and compare via
+		// a base copy with the permuted Jobs slice.
+		want := *base
+		want.Jobs = r.Jobs
+		want.Elapsed = r.Elapsed
+		if !reportsEqual(&want, r) {
+			t.Errorf("perm %v: rollups differ from base audit", perm)
+		}
+	}
+}

@@ -102,6 +102,16 @@ func NewSession() *Session {
 	return &Session{datasets: make(map[string]*dataset.Dataset), nextID: 1, cache: NewCache()}
 }
 
+// SharedCache returns the session's memoization cache, for workloads
+// that run the engine outside PanelRequest resolution (such as the
+// batch audit endpoint) but should still share histogram and EMD work
+// with the session's panels.
+func (s *Session) SharedCache() *Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache
+}
+
 // SetCacheLimit bounds the session cache's retained scopes with LRU
 // eviction (see Cache.SetMaxScopes); 0 restores unbounded retention.
 // Long-lived servers use it to keep memory flat while clients keep

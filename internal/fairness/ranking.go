@@ -103,11 +103,19 @@ func TopKParityGap(scores []float64, parts [][]int, k int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return ParityGapFromStats(gs), nil
+}
+
+// ParityGapFromStats derives the top-k parity gap from already
+// computed rank statistics, so callers that need several of these
+// measures (the mitigation metrics, the batch audit) rank the
+// population once instead of once per measure.
+func ParityGapFromStats(gs []GroupRankStats) float64 {
 	rates := make([]float64, len(gs))
 	for i, g := range gs {
 		rates[i] = g.SelectionRate
 	}
-	return stats.Max(rates) - stats.Min(rates), nil
+	return stats.Max(rates) - stats.Min(rates)
 }
 
 // ExposureRatio returns the minimum over pairs of the ratio between
@@ -121,6 +129,13 @@ func ExposureRatio(scores []float64, parts [][]int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return WorstExposureRatioFromStats(gs), nil
+}
+
+// WorstExposureRatioFromStats derives the worst pairwise exposure
+// ratio from already computed rank statistics. Exposure does not
+// depend on the top-k cutoff, so statistics computed at any k serve.
+func WorstExposureRatioFromStats(gs []GroupRankStats) float64 {
 	worst := 1.0
 	for i := 0; i < len(gs); i++ {
 		for j := i + 1; j < len(gs); j++ {
@@ -134,5 +149,5 @@ func ExposureRatio(scores []float64, parts [][]int) (float64, error) {
 			}
 		}
 	}
-	return worst, nil
+	return worst
 }

@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -52,7 +53,8 @@ type Metrics struct {
 // Outcome is a completed quantify → mitigate → re-quantify loop.
 type Outcome struct {
 	// Strategy, K and Targets echo the resolved options (Targets in
-	// group order).
+	// group order; nil for the exposure strategy, which enforces an
+	// exposure-ratio floor rather than representation targets).
 	Strategy string
 	K        int
 	Targets  []float64
@@ -67,6 +69,10 @@ type Outcome struct {
 	// Before and After compare the original and mitigated rankings on
 	// the partitioning BeforeResult discovered.
 	Before, After Metrics
+	// Utility is what the repair cost in ranking quality: NDCG@K of
+	// the mitigated ranking under the original scores, and the mean
+	// original score the top-K prefix gave up.
+	Utility Utility
 	// BeforeResult is the quantification that discovered the
 	// partitioning under repair; AfterResult re-runs the same search
 	// on the mitigated ranking — the re-quantify half of the loop,
@@ -89,20 +95,27 @@ type Outcome struct {
 // mode) before the first quantification, because the mitigated side
 // only has an order — quantifying both sides on pseudo-scores makes
 // every before/after number differ by the re-ranking alone.
+//
+// When the constraints are infeasible, the returned error satisfies
+// errors.Is(err, ErrInfeasible) and the returned Outcome is non-nil
+// but partial: the before side (Before, BeforeResult, GroupLabels,
+// Targets) is populated, the mitigated side is zero. Every other
+// error returns a nil Outcome.
 func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Options) (*Outcome, error) {
 	if opts.K < 0 {
 		return nil, fmt.Errorf("mitigate: negative k %d", opts.K)
 	}
 	n := len(scores)
-	if opts.K == 0 {
-		opts.K = 10
-		if n < 10 {
-			opts.K = n
-		}
-	}
+	opts.K = DefaultK(opts.K, n)
 	m, err := ByName(opts.Strategy)
 	if err != nil {
 		return nil, err
+	}
+	usesTargets := m.Name() != "exposure"
+	if !usesTargets && len(opts.Targets) > 0 {
+		// ExposureCap never reads representation targets; accepting
+		// them would present unenforced proportions as enforced.
+		return nil, fmt.Errorf("mitigate: the exposure strategy takes no representation targets (it caps the exposure ratio; tune MinExposureRatio instead)")
 	}
 	if cfg.Objective != core.MostUnfair {
 		// Repairing the partitioning the engine found LEAST unfair is
@@ -142,13 +155,41 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 		MinExposureRatio: opts.MinExposureRatio,
 	}
 	// Resolve derived targets once so the Outcome reports exactly what
-	// the strategy enforced (Input.targets re-derives the same values).
-	if targets, err = in.targets(m.Name(), n); err != nil {
-		return nil, err
+	// the strategy enforced (Input.targets re-derives the same
+	// values); the exposure strategy enforces none, so it reports none.
+	if usesTargets {
+		if targets, err = in.targets(m.Name(), n); err != nil {
+			return nil, err
+		}
+	} else {
+		targets = nil
 	}
-	ranking, err := m.Rerank(in)
+
+	// The before side depends only on the original ranking, so it is
+	// computed first: when the constraints are infeasible, the partial
+	// Outcome carries it alongside the error and callers (the batch
+	// audit) don't redo the quantification to report the job.
+	beforeM, err := metricsFor(original, parts, opts.K, cfg.Measure)
 	if err != nil {
 		return nil, err
+	}
+
+	ranking, err := m.Rerank(in)
+	if err != nil {
+		if !errors.Is(err, ErrInfeasible) {
+			// Configuration errors (bad Alpha, bad floor, ...) are not
+			// findings about the population; no partial outcome.
+			return nil, err
+		}
+		partial := &Outcome{
+			Strategy:     m.Name(),
+			K:            opts.K,
+			Targets:      targets,
+			GroupLabels:  labels,
+			Before:       beforeM,
+			BeforeResult: before,
+		}
+		return partial, err
 	}
 
 	mitigated, err := pseudoFromOrder(ranking, n)
@@ -156,11 +197,15 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 		return nil, err
 	}
 
-	beforeM, err := metricsFor(original, parts, opts.K, cfg.Measure)
+	afterM, err := metricsFor(mitigated, parts, opts.K, cfg.Measure)
 	if err != nil {
 		return nil, err
 	}
-	afterM, err := metricsFor(mitigated, parts, opts.K, cfg.Measure)
+
+	// Utility loss is measured against the raw input scores — the
+	// relevance ground truth the marketplace actually ranks by — not
+	// the pseudo-scores the fairness comparison runs on.
+	util, err := UtilityLoss(scores, ranking, opts.K)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +224,7 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 		Scores:       mitigated,
 		Before:       beforeM,
 		After:        afterM,
+		Utility:      util,
 		BeforeResult: before,
 		AfterResult:  after,
 	}, nil
@@ -222,17 +268,12 @@ func pseudoFromOrder(order []int, n int) ([]float64, error) {
 }
 
 // metricsFor computes one side of the comparison on a fixed
-// partitioning.
+// partitioning. The population is ranked once: the parity gap and
+// exposure ratio derive from the same RankStats pass (exposure does
+// not depend on k), which matters when the batch audit runs this per
+// job per side.
 func metricsFor(scores []float64, parts [][]int, k int, measure fairness.Measure) (Metrics, error) {
 	stats, err := fairness.RankStats(scores, parts, k)
-	if err != nil {
-		return Metrics{}, err
-	}
-	gap, err := fairness.TopKParityGap(scores, parts, k)
-	if err != nil {
-		return Metrics{}, err
-	}
-	ratio, err := fairness.ExposureRatio(scores, parts)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -240,5 +281,10 @@ func metricsFor(scores []float64, parts [][]int, k int, measure fairness.Measure
 	if err != nil {
 		return Metrics{}, err
 	}
-	return Metrics{Unfairness: unfair, ParityGap: gap, ExposureRatio: ratio, Stats: stats}, nil
+	return Metrics{
+		Unfairness:    unfair,
+		ParityGap:     fairness.ParityGapFromStats(stats),
+		ExposureRatio: fairness.WorstExposureRatioFromStats(stats),
+		Stats:         stats,
+	}, nil
 }

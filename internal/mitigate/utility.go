@@ -1,0 +1,104 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fairness"
+)
+
+// Utility quantifies what a mitigated ranking costs in ranking
+// quality, following the framing of Singh & Joachims (utility under
+// fairness constraints) and Geyik et al. (NDCG alongside fairness
+// deltas in the LinkedIn deployment): a fairness repair is only
+// actionable when the operator can see what it gives up.
+//
+// Both statistics treat the original scores as the relevance ground
+// truth, so a ranking that never moves anyone has NDCG 1 and
+// displacement 0, and every deviation the constraints force shows up
+// as loss.
+type Utility struct {
+	// NDCG is the normalized discounted cumulative gain of the
+	// mitigated ranking's top-k prefix under the original scores
+	// (1 = the mitigation kept the score-optimal prefix order).
+	NDCG float64
+	// MeanDisplacement is the mean original score the top-k prefix
+	// gave up: mean score of the k best candidates minus mean score of
+	// the k candidates actually ranked. Always >= 0, and 0 when the
+	// mitigated prefix selects the score-optimal set.
+	MeanDisplacement float64
+}
+
+// UtilityLoss measures the ranking-quality cost of ranking under the
+// original scores: NDCG@k plus the mean top-k score displacement.
+// ranking is the mitigated order (row indices, best first) and must be
+// a permutation of 0..len(scores)-1; k must be in [1, n].
+func UtilityLoss(scores []float64, ranking []int, k int) (Utility, error) {
+	n := len(scores)
+	if n == 0 {
+		return Utility{}, fmt.Errorf("mitigate: utility: no scores")
+	}
+	if len(ranking) != n {
+		return Utility{}, fmt.Errorf("mitigate: utility: ranking has %d entries for %d scores", len(ranking), n)
+	}
+	if k < 1 || k > n {
+		return Utility{}, fmt.Errorf("mitigate: utility: k=%d outside [1,%d]", k, n)
+	}
+	seen := make([]bool, n)
+	for _, r := range ranking {
+		if r < 0 || r >= n {
+			return Utility{}, fmt.Errorf("mitigate: utility: row %d outside population of %d", r, n)
+		}
+		if seen[r] {
+			return Utility{}, fmt.Errorf("mitigate: utility: row %d ranked twice", r)
+		}
+		seen[r] = true
+	}
+
+	// Ideal prefix: scores sorted descending.
+	ideal := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+
+	var dcg, idcg, gotSum, idealSum float64
+	for p := 0; p < k; p++ {
+		disc := 1 / math.Log2(float64(p)+2)
+		dcg += scores[ranking[p]] * disc
+		idcg += ideal[p] * disc
+		gotSum += scores[ranking[p]]
+		idealSum += ideal[p]
+	}
+	u := Utility{NDCG: 1}
+	if idcg > 0 {
+		u.NDCG = dcg / idcg
+	}
+	if d := (idealSum - gotSum) / float64(k); d > 0 {
+		// The ideal prefix holds the k largest scores, so the signed
+		// mean is non-negative up to float rounding; clamp the rounding.
+		u.MeanDisplacement = d
+	}
+	return u, nil
+}
+
+// MetricsFor computes one side of a before/after comparison on a
+// fixed partitioning: the configured unfairness measure, the top-k
+// parity gap, the worst exposure ratio and the per-group ranking
+// statistics. It is the shared helper behind Evaluate and the batch
+// audit path, so every layer reports the same numbers for the same
+// ranking.
+func MetricsFor(scores []float64, parts [][]int, k int, measure fairness.Measure) (Metrics, error) {
+	return metricsFor(scores, parts, k, measure)
+}
+
+// DefaultK resolves the top-k prefix the constraints apply to: k when
+// positive, otherwise min(10, n) — the default Evaluate and the batch
+// audit share.
+func DefaultK(k, n int) int {
+	if k > 0 {
+		return k
+	}
+	if n < 10 {
+		return n
+	}
+	return 10
+}

@@ -1,0 +1,216 @@
+package mitigate
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/marketplace"
+)
+
+// evalFixture is a small biased population and a ranking over it.
+func evalFixture(t *testing.T) (*dataset.Dataset, []float64) {
+	t.Helper()
+	m, err := marketplace.PresetByName("crowdsourcing", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Workers, scores
+}
+
+func evalConfig() core.Config {
+	return core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+}
+
+func TestUtilityLossIdentityRanking(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.5, 0.3, 0.1}
+	u, err := UtilityLoss(scores, []int{0, 1, 2, 3, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NDCG != 1 {
+		t.Errorf("identity ranking NDCG = %f, want 1", u.NDCG)
+	}
+	if u.MeanDisplacement != 0 {
+		t.Errorf("identity ranking displacement = %f, want 0", u.MeanDisplacement)
+	}
+}
+
+func TestUtilityLossWorstPrefix(t *testing.T) {
+	scores := []float64{1, 0.8, 0.6, 0, 0}
+	// The two zero-score rows take the top-2 prefix.
+	u, err := UtilityLoss(scores, []int{3, 4, 0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NDCG != 0 {
+		t.Errorf("all-zero prefix NDCG = %f, want 0", u.NDCG)
+	}
+	// Ideal top-2 mean is (1+0.8)/2 = 0.9; the ranked prefix holds 0.
+	if math.Abs(u.MeanDisplacement-0.9) > 1e-12 {
+		t.Errorf("displacement = %f, want 0.9", u.MeanDisplacement)
+	}
+}
+
+func TestUtilityLossSwapWithinPrefix(t *testing.T) {
+	scores := []float64{0.9, 0.6, 0.3}
+	// Swapping positions 1 and 2 inside the prefix keeps the selected
+	// set (displacement 0) but discounts the 0.9 at rank 2: NDCG < 1.
+	u, err := UtilityLoss(scores, []int{1, 0, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MeanDisplacement != 0 {
+		t.Errorf("same-set prefix displacement = %f, want 0", u.MeanDisplacement)
+	}
+	if u.NDCG >= 1 || u.NDCG <= 0 {
+		t.Errorf("swapped prefix NDCG = %f, want in (0,1)", u.NDCG)
+	}
+	// Hand-computed: DCG = 0.6 + 0.9/log2(3), IDCG = 0.9 + 0.6/log2(3).
+	want := (0.6 + 0.9/math.Log2(3)) / (0.9 + 0.6/math.Log2(3))
+	if math.Abs(u.NDCG-want) > 1e-12 {
+		t.Errorf("NDCG = %f, want %f", u.NDCG, want)
+	}
+}
+
+func TestUtilityLossDegenerateAllZeroScores(t *testing.T) {
+	u, err := UtilityLoss([]float64{0, 0, 0}, []int{2, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NDCG != 1 || u.MeanDisplacement != 0 {
+		t.Errorf("zero-score population should cost nothing, got %+v", u)
+	}
+}
+
+func TestUtilityLossValidation(t *testing.T) {
+	scores := []float64{0.5, 0.4}
+	cases := []struct {
+		name    string
+		scores  []float64
+		ranking []int
+		k       int
+	}{
+		{"empty scores", nil, nil, 1},
+		{"length mismatch", scores, []int{0}, 1},
+		{"k too small", scores, []int{0, 1}, 0},
+		{"k too large", scores, []int{0, 1}, 3},
+		{"row out of range", scores, []int{0, 2}, 1},
+		{"row twice", scores, []int{0, 0}, 1},
+	}
+	for _, tc := range cases {
+		if _, err := UtilityLoss(tc.scores, tc.ranking, tc.k); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// Evaluate surfaces the shared helper's numbers on its Outcome, so the
+// CLI and report layers show the same utility loss the audit does.
+func TestEvaluateReportsUtility(t *testing.T) {
+	d, scores := evalFixture(t)
+	o, err := Evaluate(d, scores, evalConfig(), Options{Strategy: "detcons", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := UtilityLoss(scores, o.Ranking, o.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Utility != want {
+		t.Errorf("Outcome.Utility = %+v, want %+v", o.Utility, want)
+	}
+	if o.Utility.NDCG <= 0 || o.Utility.NDCG > 1 {
+		t.Errorf("NDCG %f outside (0,1]", o.Utility.NDCG)
+	}
+}
+
+// MetricsFor is the same computation Evaluate uses internally.
+func TestMetricsForMatchesEvaluate(t *testing.T) {
+	d, scores := evalFixture(t)
+	cfg := evalConfig()
+	o, err := Evaluate(d, scores, cfg, Options{Strategy: "detcons", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]int, len(o.BeforeResult.Groups))
+	for i, g := range o.BeforeResult.Groups {
+		parts[i] = g.Rows
+	}
+	got, err := MetricsFor(o.Scores, parts, o.K, cfg.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unfairness != o.After.Unfairness || got.ParityGap != o.After.ParityGap ||
+		got.ExposureRatio != o.After.ExposureRatio {
+		t.Errorf("MetricsFor = %+v, want Evaluate's after side %+v", got, o.After)
+	}
+}
+
+// The exposure strategy enforces an exposure-ratio floor, not
+// representation targets: explicit targets are rejected rather than
+// silently ignored, and the outcome reports no targets.
+func TestEvaluateExposureTakesNoTargets(t *testing.T) {
+	d, scores := evalFixture(t)
+	cfg := evalConfig()
+	if _, err := Evaluate(d, scores, cfg, Options{
+		Strategy: "exposure",
+		Targets:  map[string]float64{"gender=Female": 0.5, "gender=Male": 0.5},
+	}); err == nil {
+		t.Error("exposure strategy accepted representation targets")
+	}
+	o, err := Evaluate(d, scores, cfg, Options{Strategy: "exposure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Targets != nil {
+		t.Errorf("exposure outcome reports targets %v it never enforced", o.Targets)
+	}
+}
+
+// Infeasible constraints return a partial Outcome alongside the typed
+// error: the before side is populated so callers (the batch audit)
+// report the job without redoing the quantification.
+func TestEvaluateInfeasiblePartialOutcome(t *testing.T) {
+	d, scores := evalFixture(t)
+	o, err := Evaluate(d, scores, evalConfig(), Options{
+		Strategy: "detcons",
+		K:        d.Len() - 1,
+		Targets:  map[string]float64{"gender=Female": 1.0, "gender=Male": 0.0},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if o == nil {
+		t.Fatal("infeasible Evaluate returned no partial outcome")
+	}
+	if o.BeforeResult == nil || o.BeforeResult.Unfairness <= 0 || len(o.GroupLabels) == 0 {
+		t.Errorf("partial outcome missing the before side: %+v", o)
+	}
+	if o.Before.Stats == nil {
+		t.Error("partial outcome missing before metrics")
+	}
+	if o.Ranking != nil || o.AfterResult != nil || o.Utility != (Utility{}) {
+		t.Errorf("partial outcome carries mitigated-side data: %+v", o)
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	cases := []struct{ k, n, want int }{
+		{0, 5, 5},
+		{0, 100, 10},
+		{7, 100, 7},
+		{7, 5, 7}, // explicit k is passed through; Evaluate validates range
+	}
+	for _, tc := range cases {
+		if got := DefaultK(tc.k, tc.n); got != tc.want {
+			t.Errorf("DefaultK(%d, %d) = %d, want %d", tc.k, tc.n, got, tc.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/marketplace"
 	"repro/internal/scoring"
@@ -77,6 +78,60 @@ func AuditRankOnly(m *marketplace.Marketplace, cfg core.Config) ([]JobAudit, err
 		})
 	}
 	return audits, nil
+}
+
+// AuditTable renders a batch audit — the quantify → mitigate →
+// re-audit loop over every job — for the terminal: the per-job
+// before/after fairness and utility-loss table, then the
+// marketplace-level rollups (worst jobs, attribute hotspots,
+// infeasible tally, means).
+func AuditTable(r *audit.Report) (string, error) {
+	if r == nil || len(r.Jobs) == 0 {
+		return "", fmt.Errorf("report: empty audit report")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MARKETPLACE AUDIT — %q (%d jobs, strategy %s, top-%d)\n\n",
+		r.Marketplace, len(r.Jobs), r.Strategy, r.K)
+
+	rows := make([][]string, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if j.Infeasible {
+			rows = append(rows, []string{
+				j.Job,
+				fmt.Sprintf("%.4f", j.QuantifiedBefore), "infeasible",
+				fmt.Sprintf("%.4f", j.Before.ParityGap), "—",
+				"—", "—",
+			})
+			continue
+		}
+		rows = append(rows, []string{
+			j.Job,
+			fmt.Sprintf("%.4f", j.QuantifiedBefore), fmt.Sprintf("%.4f", j.QuantifiedAfter),
+			fmt.Sprintf("%.4f", j.Before.ParityGap), fmt.Sprintf("%.4f", j.After.ParityGap),
+			fmt.Sprintf("%.4f", j.Utility.NDCG), fmt.Sprintf("%.4f", j.Utility.MeanDisplacement),
+		})
+	}
+	b.WriteString(TextTable(
+		[]string{"job", "unfair before", "unfair after", fmt.Sprintf("gap@%d before", r.K), "gap after", fmt.Sprintf("NDCG@%d", r.K), "score displ."},
+		rows,
+	))
+
+	fmt.Fprintf(&b, "\nworst %d job(s): %s\n", len(r.Worst), strings.Join(r.Worst, ", "))
+	if len(r.Hotspots) > 0 {
+		parts := make([]string, 0, len(r.Hotspots))
+		for _, h := range r.Hotspots {
+			parts = append(parts, fmt.Sprintf("%s (%d)", h.Attribute, h.Jobs))
+		}
+		fmt.Fprintf(&b, "hotspot attributes: %s\n", strings.Join(parts, ", "))
+	}
+	if r.Infeasible > 0 {
+		fmt.Fprintf(&b, "infeasible targets: %d of %d jobs\n", r.Infeasible, len(r.Jobs))
+	}
+	fmt.Fprintf(&b, "mean unfairness   : %.4f -> %.4f\n", r.MeanUnfairnessBefore, r.MeanUnfairnessAfter)
+	fmt.Fprintf(&b, "mean top-%d gap    : %.4f -> %.4f\n", r.K, r.MeanParityGapBefore, r.MeanParityGapAfter)
+	fmt.Fprintf(&b, "utility cost      : NDCG@%d %.4f, mean score displacement %.4f\n",
+		r.K, r.MeanNDCG, r.MeanDisplacement)
+	return b.String(), nil
 }
 
 // RenderAudit renders the auditor's marketplace-wide fairness report.

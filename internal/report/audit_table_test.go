@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/marketplace"
+	"repro/internal/mitigate"
+)
+
+func TestAuditTable(t *testing.T) {
+	m, err := marketplace.PresetByName("crowdsourcing", 250, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := audit.Run(m, core.Config{}, audit.Options{Strategy: "detcons", TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := AuditTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"MARKETPLACE AUDIT",
+		`"crowdsourcing"`,
+		"strategy detcons",
+		"translation", "data-entry", "writing", "moderation",
+		"unfair before", "unfair after",
+		"NDCG@10",
+		"worst 2 job(s)",
+		"hotspot attributes",
+		"utility cost",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("audit table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "infeasible targets") {
+		t.Errorf("feasible audit renders an infeasible tally:\n%s", text)
+	}
+}
+
+func TestAuditTableInfeasibleRow(t *testing.T) {
+	r := &audit.Report{
+		Marketplace: "x",
+		Strategy:    "detcons",
+		K:           10,
+		Jobs: []audit.JobReport{
+			{Job: "broken", QuantifiedBefore: 0.3,
+				Before:     mitigate.Metrics{ParityGap: 0.5},
+				Infeasible: true, Detail: "floor exceeds group"},
+		},
+		Worst:      []string{"broken"},
+		Infeasible: 1,
+	}
+	text, err := AuditTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "infeasible targets: 1 of 1 jobs") || !strings.Contains(text, "infeasible") {
+		t.Errorf("infeasible tally missing:\n%s", text)
+	}
+}
+
+func TestAuditTableEmpty(t *testing.T) {
+	if _, err := AuditTable(nil); err == nil {
+		t.Error("nil report should error")
+	}
+	if _, err := AuditTable(&audit.Report{}); err == nil {
+		t.Error("empty report should error")
+	}
+}

@@ -49,6 +49,12 @@ func MitigationTable(o *mitigate.Outcome) (string, error) {
 			{"re-quantified most-unfair partitioning",
 				fmt.Sprintf("%.4f", o.BeforeResult.Unfairness), fmt.Sprintf("%.4f", o.AfterResult.Unfairness),
 				delta(o.BeforeResult.Unfairness, o.AfterResult.Unfairness)},
+			{fmt.Sprintf("utility: NDCG@%d (1 = no loss)", o.K),
+				"1.0000", fmt.Sprintf("%.4f", o.Utility.NDCG),
+				delta(1, o.Utility.NDCG)},
+			{fmt.Sprintf("utility: mean top-%d score displacement", o.K),
+				"0.0000", fmt.Sprintf("%.4f", o.Utility.MeanDisplacement),
+				delta(0, o.Utility.MeanDisplacement)},
 		},
 	))
 	b.WriteString("\n")
@@ -56,10 +62,17 @@ func MitigationTable(o *mitigate.Outcome) (string, error) {
 	rows := make([][]string, len(o.GroupLabels))
 	for i, label := range o.GroupLabels {
 		bs, as := o.Before.Stats[i], o.After.Stats[i]
+		// The exposure strategy enforces a ratio floor, not
+		// representation targets: its Targets is nil and the column
+		// must not present unenforced proportions as enforced.
+		target := "—"
+		if len(o.Targets) > 0 {
+			target = fmt.Sprintf("%.3f", o.Targets[i])
+		}
 		rows[i] = []string{
 			label,
 			fmt.Sprintf("%d", bs.Size),
-			fmt.Sprintf("%.3f", o.Targets[i]),
+			target,
 			fmt.Sprintf("%d → %d", bs.TopKCount, as.TopKCount),
 			fmt.Sprintf("%.3f → %.3f", bs.SelectionRate, as.SelectionRate),
 			fmt.Sprintf("%.3f → %.3f", bs.Exposure, as.Exposure),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/marketplace"
 	"repro/internal/mitigate"
 	"repro/internal/scoring"
 )
@@ -63,5 +64,34 @@ func TestMitigationTableEmpty(t *testing.T) {
 	}
 	if _, err := MitigationTable(&mitigate.Outcome{}); err == nil {
 		t.Error("empty outcome accepted")
+	}
+}
+
+// The exposure strategy enforces no representation targets; the table
+// must render its target column as "—" instead of presenting derived
+// proportions as enforced.
+func TestMitigationTableExposureHidesTargets(t *testing.T) {
+	m, err := marketplace.PresetByName("crowdsourcing", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+	o, err := mitigate.Evaluate(m.Workers, scores, cfg, mitigate.Options{Strategy: "exposure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := MitigationTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, ", targets") {
+		t.Errorf("exposure header claims targets:\n%s", text)
+	}
+	if !strings.Contains(text, "—") {
+		t.Errorf("exposure table should render '—' in the target column:\n%s", text)
 	}
 }

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/marketplace"
+	"repro/internal/report"
+	"repro/internal/scoring"
+)
+
+// auditRequest configures one marketplace-wide batch audit: which
+// jobs to audit (a generated preset marketplace, or a registered
+// dataset plus explicit job functions), the fairness formulation, and
+// the mitigation knobs applied to every job.
+type auditRequest struct {
+	// Preset generates a marketplace to audit (with N workers and
+	// Seed); mutually exclusive with Dataset+Jobs.
+	Preset string
+	N      int
+	Seed   uint64
+	// Dataset names a registered dataset; Jobs lists the scoring
+	// functions to audit over it.
+	Dataset string
+	Jobs    []auditJobSpec
+	// Strategy, K, TopN, Workers, Targets, Alpha and MinExposureRatio
+	// configure the batch loop (see audit.Options).
+	Strategy         string
+	K                int
+	TopN             int
+	Workers          int
+	Targets          map[string]float64
+	Alpha            float64
+	MinExposureRatio float64
+	// Aggregator, Distance, Bins, Attributes, MinGroupSize, MaxDepth
+	// and SolverWorkers configure the quantification engine, as in a
+	// panel request.
+	Aggregator    string
+	Distance      string
+	Bins          int
+	Attributes    []string
+	MinGroupSize  int
+	MaxDepth      int
+	SolverWorkers int
+}
+
+// auditJobSpec names one scoring function to audit.
+type auditJobSpec struct {
+	Name     string
+	Function string
+}
+
+// auditJobJSON is the JSON form of one job's audit row.
+type auditJobJSON struct {
+	Job              string      `json:"job"`
+	Function         string      `json:"function"`
+	Groups           []string    `json:"groups"`
+	Attributes       []string    `json:"attributes"`
+	Before           metricsJSON `json:"before"`
+	After            metricsJSON `json:"after"`
+	UnfairnessBefore float64     `json:"unfairness_before"`
+	UnfairnessAfter  float64     `json:"unfairness_after"`
+	NDCG             float64     `json:"ndcg"`
+	MeanDisplacement float64     `json:"mean_displacement"`
+	Improved         bool        `json:"improved"`
+	Infeasible       bool        `json:"infeasible"`
+	Detail           string      `json:"detail,omitempty"`
+}
+
+// auditResponse is the JSON answer of POST /api/audit.
+type auditResponse struct {
+	Marketplace          string         `json:"marketplace"`
+	Strategy             string         `json:"strategy"`
+	K                    int            `json:"k"`
+	Jobs                 []auditJobJSON `json:"jobs"`
+	Worst                []string       `json:"worst"`
+	Hotspots             []hotspotJSON  `json:"hotspots"`
+	Infeasible           int            `json:"infeasible"`
+	MeanUnfairnessBefore float64        `json:"mean_unfairness_before"`
+	MeanUnfairnessAfter  float64        `json:"mean_unfairness_after"`
+	MeanParityGapBefore  float64        `json:"mean_parity_gap_before"`
+	MeanParityGapAfter   float64        `json:"mean_parity_gap_after"`
+	MeanNDCG             float64        `json:"mean_ndcg"`
+	MeanDisplacement     float64        `json:"mean_displacement"`
+	ElapsedMS            float64        `json:"elapsed_ms"`
+	Text                 string         `json:"text"`
+	HTML                 string         `json:"html"`
+}
+
+type hotspotJSON struct {
+	Attribute string `json:"attribute"`
+	Jobs      int    `json:"jobs"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req auditRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+
+	dist, err := fairness.DistanceByName(req.Distance)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	agg, err := fairness.AggregatorByName(req.Aggregator)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := core.Config{
+		Measure:      fairness.Measure{Dist: dist, Agg: agg, Bins: req.Bins},
+		Attributes:   req.Attributes,
+		MinGroupSize: req.MinGroupSize,
+		MaxDepth:     req.MaxDepth,
+		Workers:      req.SolverWorkers,
+	}
+	opts := audit.Options{
+		Strategy:         req.Strategy,
+		K:                req.K,
+		TopN:             req.TopN,
+		Workers:          req.Workers,
+		Targets:          req.Targets,
+		Alpha:            req.Alpha,
+		MinExposureRatio: req.MinExposureRatio,
+	}
+
+	var rep *audit.Report
+	switch {
+	case req.Preset != "" && (req.Dataset != "" || len(req.Jobs) > 0):
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: Preset and Dataset/Jobs are mutually exclusive"))
+		return
+	case req.Preset != "":
+		if req.N <= 0 {
+			req.N = 1000
+		}
+		if req.Seed == 0 {
+			req.Seed = 1
+		}
+		m, merr := marketplace.PresetByName(req.Preset, req.N, req.Seed)
+		if merr != nil {
+			writeErr(w, http.StatusBadRequest, merr)
+			return
+		}
+		rep, err = audit.Run(m, cfg, opts)
+	case req.Dataset != "":
+		d, derr := s.sess.Dataset(req.Dataset)
+		if derr != nil {
+			writeErr(w, http.StatusNotFound, derr)
+			return
+		}
+		if len(req.Jobs) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: dataset audit needs at least one job {Name, Function}"))
+			return
+		}
+		rankings := make([]audit.Ranking, len(req.Jobs))
+		for i, j := range req.Jobs {
+			fn, ferr := scoring.Parse(j.Function)
+			if ferr != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, ferr))
+				return
+			}
+			scores, serr := fn.Score(d)
+			if serr != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, serr))
+				return
+			}
+			rankings[i] = audit.Ranking{Name: j.Name, Function: fn.String(), Scores: scores}
+		}
+		// Registered datasets share the session cache, so a re-audit
+		// (or the panels that prompted it) reuses the memoized work.
+		cfg.Cache = s.sess.SharedCache()
+		rep, err = audit.RunRankings(d, rankings, cfg, opts)
+		if rep != nil {
+			rep.Marketplace = req.Dataset
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: audit needs a Preset or a Dataset with Jobs"))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	text, err := report.AuditTable(rep)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toAuditResponse(rep, text))
+}
+
+func toAuditResponse(rep *audit.Report, text string) auditResponse {
+	out := auditResponse{
+		Marketplace:          rep.Marketplace,
+		Strategy:             rep.Strategy,
+		K:                    rep.K,
+		Jobs:                 make([]auditJobJSON, len(rep.Jobs)),
+		Worst:                rep.Worst,
+		Hotspots:             make([]hotspotJSON, len(rep.Hotspots)),
+		Infeasible:           rep.Infeasible,
+		MeanUnfairnessBefore: rep.MeanUnfairnessBefore,
+		MeanUnfairnessAfter:  rep.MeanUnfairnessAfter,
+		MeanParityGapBefore:  rep.MeanParityGapBefore,
+		MeanParityGapAfter:   rep.MeanParityGapAfter,
+		MeanNDCG:             rep.MeanNDCG,
+		MeanDisplacement:     rep.MeanDisplacement,
+		ElapsedMS:            float64(rep.Elapsed.Microseconds()) / 1000,
+		Text:                 text,
+		HTML:                 auditHTML(rep),
+	}
+	for i, j := range rep.Jobs {
+		out.Jobs[i] = auditJobJSON{
+			Job:              j.Job,
+			Function:         j.Function,
+			Groups:           j.Groups,
+			Attributes:       j.Attributes,
+			Before:           toMetricsJSON(j.Before, j.Groups),
+			After:            toMetricsJSON(j.After, j.Groups),
+			UnfairnessBefore: j.QuantifiedBefore,
+			UnfairnessAfter:  j.QuantifiedAfter,
+			NDCG:             j.Utility.NDCG,
+			MeanDisplacement: j.Utility.MeanDisplacement,
+			Improved:         j.Improved(),
+			Infeasible:       j.Infeasible,
+			Detail:           j.Detail,
+		}
+	}
+	for i, h := range rep.Hotspots {
+		out.Hotspots[i] = hotspotJSON{Attribute: h.Attribute, Jobs: h.Jobs}
+	}
+	return out
+}
+
+// auditHTML renders the audit's summary table for the embedded UI: a
+// per-job before/after row set plus the marketplace rollup footer.
+func auditHTML(rep *audit.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<h3>Marketplace audit — %s (%d jobs, strategy %s, top-%d)</h3>\n",
+		html.EscapeString(rep.Marketplace), len(rep.Jobs), html.EscapeString(rep.Strategy), rep.K)
+	b.WriteString("<table class=\"audit\"><thead><tr>" +
+		"<th>job</th><th>unfairness</th><th>parity gap</th><th>exposure ratio</th>" +
+		fmt.Sprintf("<th>NDCG@%d</th><th>score displ.</th><th>status</th>", rep.K) +
+		"</tr></thead><tbody>\n")
+	arrow := func(before, after float64) string {
+		return fmt.Sprintf("%.4f &rarr; %.4f", before, after)
+	}
+	for _, j := range rep.Jobs {
+		name := html.EscapeString(j.Job)
+		if j.Infeasible {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>—</td><td>—</td><td class=\"infeasible\">infeasible: %s</td></tr>\n",
+				name, j.QuantifiedBefore, j.Before.ParityGap, j.Before.ExposureRatio, html.EscapeString(j.Detail))
+			continue
+		}
+		status := "mitigated"
+		if j.Improved() {
+			status = "improved"
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.4f</td><td>%.4f</td><td>%s</td></tr>\n",
+			name,
+			arrow(j.QuantifiedBefore, j.QuantifiedAfter),
+			arrow(j.Before.ParityGap, j.After.ParityGap),
+			arrow(j.Before.ExposureRatio, j.After.ExposureRatio),
+			j.Utility.NDCG, j.Utility.MeanDisplacement, status)
+	}
+	b.WriteString("</tbody><tfoot>\n")
+	fmt.Fprintf(&b, "<tr><td>mean</td><td>%s</td><td>%s</td><td></td><td>%.4f</td><td>%.4f</td><td>%d infeasible</td></tr>\n",
+		arrow(rep.MeanUnfairnessBefore, rep.MeanUnfairnessAfter),
+		arrow(rep.MeanParityGapBefore, rep.MeanParityGapAfter),
+		rep.MeanNDCG, rep.MeanDisplacement, rep.Infeasible)
+	b.WriteString("</tfoot></table>\n")
+	fmt.Fprintf(&b, "<p>worst job(s): %s</p>\n", html.EscapeString(strings.Join(rep.Worst, ", ")))
+	if len(rep.Hotspots) > 0 {
+		parts := make([]string, 0, len(rep.Hotspots))
+		for _, h := range rep.Hotspots {
+			parts = append(parts, fmt.Sprintf("%s (%d)", html.EscapeString(h.Attribute), h.Jobs))
+		}
+		fmt.Fprintf(&b, "<p>hotspot attributes: %s</p>\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}

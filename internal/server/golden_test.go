@@ -55,6 +55,23 @@ func goldenMitigateRequest(workers int) map[string]any {
 	}
 }
 
+// goldenAuditRequest is the canonical batch-audit request the suite
+// pins: mitigate every job of a small crowdsourcing marketplace with
+// constrained interleaving and re-audit. The population-share floors
+// bind on the biased preset — at least one job's top-k parity gap
+// visibly improves — so a regression that stops mitigating changes
+// this response (see TestGoldenAuditImproves).
+func goldenAuditRequest(workers int) map[string]any {
+	return map[string]any{
+		"Preset":   "crowdsourcing",
+		"N":        300,
+		"Seed":     1,
+		"Strategy": "detcons",
+		"K":        10,
+		"Workers":  workers,
+	}
+}
+
 // workLine matches the rendered report's work summary, which embeds
 // wall-clock time and cache-dependent eval counters.
 var workLine = regexp.MustCompile(`(?m)^work      : .*$`)
@@ -163,6 +180,72 @@ func TestGoldenResponses(t *testing.T) {
 	checkGolden(t, "panels.golden.json", canonicalJSON(t, get("/api/panels")))
 	checkGolden(t, "panel1.golden.json", canonicalJSON(t, get("/api/panels/1")))
 	checkGolden(t, "index.golden.html", get("/"))
+
+	auditBody := canonicalJSON(t, post("/api/audit", goldenAuditRequest(8)))
+	checkGolden(t, "audit.golden.json", auditBody)
+	// The HTML summary table the UI embeds is pinned on its own, so a
+	// renderer change is reviewable as HTML rather than inside a JSON
+	// string.
+	var auditParsed struct {
+		HTML string `json:"html"`
+	}
+	if err := json.Unmarshal(auditBody, &auditParsed); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "audit_table.golden.html", []byte(auditParsed.HTML))
+}
+
+// The pinned audit response must show the mitigation doing visible
+// good: at least one job's top-k parity gap strictly improves, and no
+// job is left unmitigated. Guards against pinning a no-op golden.
+func TestGoldenAuditImproves(t *testing.T) {
+	ts := testServer(t)
+	buf, err := json.Marshal(goldenAuditRequest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/api/audit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var parsed struct {
+		Jobs []struct {
+			Job        string `json:"job"`
+			Infeasible bool   `json:"infeasible"`
+			Before     struct {
+				ParityGap float64 `json:"parity_gap"`
+			} `json:"before"`
+			After struct {
+				ParityGap float64 `json:"parity_gap"`
+			} `json:"after"`
+			NDCG float64 `json:"ndcg"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(readBody(t, res), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Jobs) == 0 {
+		t.Fatal("audit returned no jobs")
+	}
+	improved := 0
+	for _, j := range parsed.Jobs {
+		if j.Infeasible {
+			t.Errorf("job %q unexpectedly infeasible", j.Job)
+			continue
+		}
+		if j.After.ParityGap < j.Before.ParityGap {
+			improved++
+		}
+		if j.NDCG <= 0 || j.NDCG > 1 {
+			t.Errorf("job %q NDCG %f outside (0,1]", j.Job, j.NDCG)
+		}
+	}
+	if improved == 0 {
+		t.Error("no job's parity gap improved; the pinned audit is a no-op")
+	}
 }
 
 // Every worker count serves the same mitigation response — the full

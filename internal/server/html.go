@@ -24,6 +24,12 @@ const indexHTML = `<!doctype html>
   .panel pre { margin: 0; padding: 10px; font-size: 12px; overflow-x: auto; }
   .panel .close { cursor: pointer; color: #a22; border: 0; background: none; }
   #error { color: #a22; font-size: 12px; margin-top: 10px; white-space: pre-wrap; }
+  .panel .audit-summary { padding: 10px; font-size: 13px; }
+  table.audit { border-collapse: collapse; font-size: 12px; }
+  table.audit th, table.audit td { border: 1px solid #ccc; padding: 3px 7px; text-align: left; }
+  table.audit thead { background: #e8ecf3; }
+  table.audit tfoot { background: #f4f5f7; font-weight: 600; }
+  table.audit .infeasible { color: #a22; }
 </style>
 </head>
 <body>
@@ -50,6 +56,7 @@ const indexHTML = `<!doctype html>
   </select></label>
   <label>Top-k cutoff <input id="topk" type="number" value="10" min="1"></label>
   <button onclick="mitigate()">Mitigate &amp; re-quantify</button>
+  <button onclick="auditAll()">Audit whole marketplace…</button>
   <button class="secondary" onclick="generate()">Generate marketplace…</button>
   <button class="secondary" onclick="anonymize()">k-anonymize dataset…</button>
   <div id="error"></div>
@@ -125,6 +132,36 @@ async function mitigate() {
     })});
     addPanel({id: out.panel.id, dataset: out.panel.dataset,
       function: out.panel.function, text: out.text + '\n' + (out.panel.text || '')});
+  } catch (e) { setError(e); }
+}
+async function auditAll() {
+  setError();
+  try {
+    const preset = prompt('Preset to audit (crowdsourcing, taskrabbit, fiverr, qapa):', 'crowdsourcing');
+    if (!preset) return;
+    const n = parseInt(prompt('Workers:', '1000'), 10) || 1000;
+    const out = await api('/api/audit', {method: 'POST', body: JSON.stringify({
+      Preset: preset, N: n,
+      Strategy: document.getElementById('strategy').value,
+      K: parseInt(document.getElementById('topk').value, 10) || 0,
+      Aggregator: document.getElementById('aggregator').value,
+      Distance: document.getElementById('distance').value,
+      Bins: parseInt(document.getElementById('bins').value, 10) || 5,
+    })});
+    const div = document.createElement('div');
+    div.className = 'panel';
+    const head = document.createElement('header');
+    const title = document.createElement('span');
+    title.textContent = 'audit ' + out.marketplace + ' — ' + out.strategy;
+    const close = document.createElement('button');
+    close.className = 'close'; close.textContent = '✕';
+    close.onclick = () => div.remove();
+    head.appendChild(title); head.appendChild(close);
+    const body = document.createElement('div');
+    body.className = 'audit-summary';
+    body.innerHTML = out.html;
+    div.appendChild(head); div.appendChild(body);
+    document.getElementById('panels').appendChild(div);
   } catch (e) { setError(e); }
 }
 async function generate() {

@@ -11,6 +11,14 @@
 // ranking, and registers the result as a panel next to the
 // explorations that led to it.
 //
+// POST /api/audit scales that loop to a whole marketplace: every job
+// of a generated preset (or every supplied function over a registered
+// dataset) is quantified, mitigated and re-quantified over a bounded
+// worker pool, and the response carries the per-job before/after
+// fairness, the NDCG@k utility loss, the marketplace rollups
+// (worst-N jobs, attribute hotspots, infeasible tally) and an HTML
+// summary table for the UI.
+//
 // Quantify requests accept a Workers field bounding the solver's
 // concurrency (0 = GOMAXPROCS, 1 = sequential); every worker count
 // produces an identical response. All requests against one server
@@ -53,6 +61,7 @@ func New(sess *core.Session) *Server {
 	s.mux.HandleFunc("POST /api/datasets/anonymize", s.handleAnonymize)
 	s.mux.HandleFunc("POST /api/quantify", s.handleQuantify)
 	s.mux.HandleFunc("POST /api/mitigate", s.handleMitigate)
+	s.mux.HandleFunc("POST /api/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /api/panels", s.handlePanels)
 	s.mux.HandleFunc("GET /api/panels/{id}", s.handlePanel)
 	s.mux.HandleFunc("DELETE /api/panels/{id}", s.handlePanelDelete)
@@ -406,8 +415,15 @@ type mitigateResponse struct {
 	Targets  []float64    `json:"targets"`
 	Before   metricsJSON  `json:"before"`
 	After    metricsJSON  `json:"after"`
+	Utility  utilityJSON  `json:"utility"`
 	Text     string       `json:"text"`
 	Panel    panelSummary `json:"panel"`
+}
+
+// utilityJSON is the JSON form of a mitigation's ranking-quality cost.
+type utilityJSON struct {
+	NDCG             float64 `json:"ndcg"`
+	MeanDisplacement float64 `json:"mean_displacement"`
 }
 
 func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
@@ -461,6 +477,7 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 		Targets:  o.Targets,
 		Before:   toMetricsJSON(o.Before, o.GroupLabels),
 		After:    toMetricsJSON(o.After, o.GroupLabels),
+		Utility:  utilityJSON{NDCG: o.Utility.NDCG, MeanDisplacement: o.Utility.MeanDisplacement},
 		Text:     text,
 		Panel:    toSummary(p, true),
 	})

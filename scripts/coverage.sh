@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Coverage gate for the subsystems whose correctness the audit loop
+# leans on. Prints the full per-function coverage report for visibility
+# (non-blocking), then fails the build if a package's total statement
+# coverage regresses below its floor.
+#
+# Floors are set a few points under the measured coverage at the time
+# the gate was added (audit 93.9%, mitigate 91.7%), so honest churn
+# passes but a test-free feature drop does not. Override per package:
+#
+#   FLOOR_AUDIT=80 FLOOR_MITIGATE=80 sh scripts/coverage.sh
+set -eu
+
+FLOOR_AUDIT=${FLOOR_AUDIT:-88}
+FLOOR_MITIGATE=${FLOOR_MITIGATE:-85}
+
+fail=0
+
+check() {
+	pkg=$1
+	floor=$2
+	profile=$(mktemp)
+	go test -coverprofile="$profile" "$pkg" >/dev/null
+	echo "== coverage report: $pkg =="
+	go tool cover -func="$profile"
+	total=$(go tool cover -func="$profile" | awk '/^total:/ { sub("%", "", $3); print $3 }')
+	rm -f "$profile"
+	if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 < f+0) }'; then
+		echo "FAIL: $pkg coverage ${total}% is below the ${floor}% floor" >&2
+		fail=1
+	else
+		echo "OK: $pkg coverage ${total}% (floor ${floor}%)"
+	fi
+	echo
+}
+
+check ./internal/audit "$FLOOR_AUDIT"
+check ./internal/mitigate "$FLOOR_MITIGATE"
+
+exit "$fail"
