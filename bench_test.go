@@ -249,6 +249,65 @@ func BenchmarkAudit(b *testing.B) {
 	})
 }
 
+// BenchmarkAuditIncremental measures the incremental re-audit path
+// against the warm-cache re-audit it replaces: all-reused skips every
+// job outright (fingerprints plus rollup — the floor of the audit
+// lifecycle), one-changed re-runs a single job against a warm cache,
+// the operational "one scoring function drifted" case.
+func BenchmarkAuditIncremental(b *testing.B) {
+	m, err := Preset("crowdsourcing", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := []string{"gender", "ethnicity", "language", "region"}
+	cfg := Config{Attributes: attrs, TryAllRoots: true, Cache: NewCache()}
+	opts := AuditOptions{Strategy: "detcons", K: 100}
+	rankings, err := MarketplaceRankings(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	first, err := AuditRankings(m.Workers, rankings, cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := NewAuditSnapshot("bench", cfg, opts, rankings, first)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("all-reused", func(b *testing.B) {
+		o := opts
+		o.Baseline = snap.Baseline("bench")
+		for i := 0; i < b.N; i++ {
+			r, err := AuditRankings(m.Workers, rankings, cfg, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Reused != len(rankings) {
+				b.Fatalf("reused %d of %d jobs", r.Reused, len(rankings))
+			}
+		}
+	})
+	b.Run("one-changed", func(b *testing.B) {
+		drifted := make([]AuditRanking, len(rankings))
+		copy(drifted, rankings)
+		scores := append([]float64(nil), rankings[0].Scores...)
+		scores[0], scores[len(scores)-1] = scores[len(scores)-1], scores[0]
+		drifted[0].Scores = scores
+		o := opts
+		o.Baseline = snap.Baseline("bench")
+		for i := 0; i < b.N; i++ {
+			r, err := AuditRankings(m.Workers, drifted, cfg, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Reused != len(rankings)-1 {
+				b.Fatalf("reused %d of %d jobs", r.Reused, len(rankings))
+			}
+		}
+	})
+}
+
 // BenchmarkE4Interactive measures QUANTIFY latency against population
 // size (the paper's "interactive response time" claim; 6 protected
 // attributes × 3 values).

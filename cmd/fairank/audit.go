@@ -14,6 +14,10 @@ import (
 // a bounded worker pool — and prints the rollup report (worst-N jobs,
 // before/after fairness, NDCG@k utility loss). Without -strategy it
 // keeps the quantify-only report of the plain AUDITOR scenario.
+//
+// -out persists the audit as a snapshot file; -diff re-audits
+// incrementally against a stored snapshot — skipping every job whose
+// scores did not change — and prints the longitudinal drift report.
 func runAudit(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	preset := fs.String("preset", "crowdsourcing", "marketplace preset (crowdsourcing, taskrabbit, fiverr, qapa)")
@@ -32,6 +36,8 @@ func runAudit(args []string, out io.Writer) error {
 	attrs := fs.String("attrs", "", "comma-separated protected attributes to partition on")
 	maxDepth := fs.Int("max-depth", 0, "maximum tree depth (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "quantify-only mode: worker goroutines (0 = serial)")
+	outPath := fs.String("out", "", "persist the audit as a snapshot file (batch mode only)")
+	diffPath := fs.String("diff", "", "re-audit incrementally against this stored snapshot and print what drifted (batch mode only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +51,10 @@ func runAudit(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *topN > len(m.Jobs) {
+		return fmt.Errorf("-top-n %d exceeds the marketplace's %d job(s); pass at most %d (or 0 for the default)",
+			*topN, len(m.Jobs), len(m.Jobs))
+	}
 	aggFn, err := fairank.AggregatorByName(*agg)
 	if err != nil {
 		return err
@@ -55,6 +65,13 @@ func runAudit(args []string, out io.Writer) error {
 		MaxDepth:   *maxDepth,
 	}
 
+	if *outPath != "" || *diffPath != "" {
+		if *strategy == "" {
+			return fmt.Errorf("-out/-diff need the batch audit; pass -strategy (one of %s)",
+				strings.Join(fairank.MitigationStrategies(), " | "))
+		}
+	}
+
 	if *strategy != "" {
 		if *rankOnly {
 			return fmt.Errorf("-rank-only and -strategy are mutually exclusive (the batch audit already compares in rank space)")
@@ -63,7 +80,7 @@ func runAudit(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r, err := fairank.AuditAll(m, cfg, fairank.AuditOptions{
+		opts := fairank.AuditOptions{
 			Strategy:         *strategy,
 			K:                *k,
 			TopN:             *topN,
@@ -71,15 +88,77 @@ func runAudit(args []string, out io.Writer) error {
 			Targets:          targetMap,
 			Alpha:            *alpha,
 			MinExposureRatio: *minRatio,
-		})
+		}
+		rankings, err := fairank.MarketplaceRankings(m)
 		if err != nil {
 			return err
 		}
+		// The stored snapshot becomes the incremental baseline: every
+		// job whose score vector (and parameters) did not change is
+		// spliced in from disk instead of re-audited. A snapshot taken
+		// under different parameters or over a different population
+		// cannot be compared — that would misreport a config change as
+		// longitudinal drift — so refuse it up front instead of after
+		// a wasted full re-audit.
+		datasetID := fmt.Sprintf("preset:%s/n=%d/seed=%d", *preset, *n, *seed)
+		var prev *fairank.AuditSnapshot
+		if *diffPath != "" {
+			prev, err = fairank.ReadAuditSnapshotFile(*diffPath)
+			if err != nil {
+				return err
+			}
+			params, err := fairank.AuditParamsKey(cfg, opts)
+			if err != nil {
+				return err
+			}
+			if prev.Params != params {
+				return fmt.Errorf("snapshot %s was audited under different parameters; re-run with the snapshot's configuration or take a new baseline with -out\n  snapshot: %s\n  this run: %s",
+					*diffPath, prev.Params, params)
+			}
+			if prev.Dataset != datasetID {
+				// Population drift is the longitudinal use case —
+				// report it, but never splice reports across
+				// populations (Baseline refuses the mismatch, so
+				// nothing is reused) and say so.
+				fmt.Fprintf(out, "note: snapshot %s covers population %s, this run is %s — nothing reused; the diff below is population drift\n\n",
+					*diffPath, prev.Dataset, datasetID)
+			}
+			opts.Baseline = prev.Baseline(datasetID)
+		}
+		r, err := fairank.AuditRankings(m.Workers, rankings, cfg, opts)
+		if err != nil {
+			return err
+		}
+		r.Marketplace = m.Name
 		text, err := fairank.RenderAuditReport(r)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, text)
+		if prev != nil {
+			fmt.Fprintf(out, "\nincremental re-audit: %d of %d job(s) reused from %s\n",
+				r.Reused, len(r.Jobs), *diffPath)
+			d, err := fairank.CompareAuditReports(prev.Report, r)
+			if err != nil {
+				return err
+			}
+			diffText, err := fairank.RenderAuditDiff(d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, "\n"+diffText)
+		}
+		if *outPath != "" {
+			datasetID := fmt.Sprintf("preset:%s/n=%d/seed=%d", *preset, *n, *seed)
+			snap, err := fairank.NewAuditSnapshot(datasetID, cfg, opts, rankings, r)
+			if err != nil {
+				return err
+			}
+			if err := fairank.WriteAuditSnapshotFile(*outPath, snap); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nsnapshot written to %s (config %s)\n", *outPath, snap.ID)
+		}
 		return nil
 	}
 

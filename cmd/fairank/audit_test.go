@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,5 +62,105 @@ func TestRunAuditBatchErrors(t *testing.T) {
 	}
 	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair", "-targets", "bad"}, &buf); err == nil {
 		t.Error("malformed -targets should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-out", "x.json"}, &buf); err == nil {
+		t.Error("-out without -strategy should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-diff", "x.json"}, &buf); err == nil {
+		t.Error("-diff without -strategy should error")
+	}
+	if err := runAudit([]string{"-preset", "taskrabbit", "-strategy", "fair",
+		"-diff", "/nonexistent/snapshot.json"}, &buf); err == nil {
+		t.Error("missing -diff snapshot should error")
+	}
+}
+
+// A -top-n larger than the marketplace's job count is a user mistake
+// the CLI must name, not silently clamp: the taskrabbit preset has 3
+// jobs.
+func TestRunAuditTopNTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAudit([]string{"-preset", "taskrabbit", "-n", "200", "-strategy", "fair", "-top-n", "4"}, &buf)
+	if err == nil {
+		t.Fatal("-top-n 4 on a 3-job marketplace should error")
+	}
+	for _, want := range []string{"-top-n 4", "3 job(s)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// The quantify-only mode gets the same guard.
+	if err := runAudit([]string{"-preset", "taskrabbit", "-n", "200", "-top-n", "4"}, &buf); err == nil {
+		t.Error("-top-n 4 should error in quantify-only mode too")
+	}
+}
+
+// The lifecycle round trip: -out persists a snapshot, a second run
+// with -diff re-audits incrementally (everything reused, no drift),
+// and a perturbed marketplace reports exactly the changed jobs.
+func TestRunAuditSnapshotDiff(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "audit.json")
+	var buf bytes.Buffer
+	if err := runAudit([]string{"-preset", "taskrabbit", "-n", "300", "-strategy", "detcons",
+		"-out", snap}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "snapshot written to "+snap) {
+		t.Errorf("no snapshot confirmation:\n%s", buf.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical re-run: everything reused, diff reports no drift.
+	buf.Reset()
+	if err := runAudit([]string{"-preset", "taskrabbit", "-n", "300", "-strategy", "detcons",
+		"-diff", snap}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"incremental re-audit: 3 of 3 job(s) reused",
+		"AUDIT DIFF",
+		"no drift",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stable diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Different population (seed change = every score vector moves):
+	// nothing reused, and the diff reports the drift per job.
+	buf.Reset()
+	if err := runAudit([]string{"-preset", "taskrabbit", "-n", "300", "-seed", "7",
+		"-strategy", "detcons", "-diff", snap}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "incremental re-audit: 0 of 3 job(s) reused") {
+		t.Errorf("perturbed marketplace reused stored jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "population drift") {
+		t.Errorf("cross-population diff not announced as such:\n%s", out)
+	}
+	if strings.Contains(out, "no drift") {
+		t.Errorf("perturbed marketplace diffs as stable:\n%s", out)
+	}
+
+	// Mismatched parameters: the cross-config comparison is refused
+	// up front (before any re-audit), whether the difference is the
+	// top-k cutoff or a quantification knob like -bins.
+	for _, extra := range [][]string{{"-k", "20"}, {"-bins", "10"}} {
+		buf.Reset()
+		args := append([]string{"-preset", "taskrabbit", "-n", "300", "-strategy", "detcons",
+			"-diff", snap}, extra...)
+		err := runAudit(args, &buf)
+		if err == nil {
+			t.Errorf("%v: cross-configuration diff should error", extra)
+			continue
+		}
+		if !strings.Contains(err.Error(), "different parameters") {
+			t.Errorf("%v: error %q does not name the parameter mismatch", extra, err)
+		}
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 	n := flag.Int("n", 2000, "initial population size")
 	seed := flag.Uint64("seed", 1, "random seed for the initial population")
 	maxScopes := flag.Int("max-cached-scopes", 64, "bound on retained memoization scopes, LRU-evicted (0 = unbounded)")
+	auditDir := flag.String("audit-dir", "", "persist audit snapshots under this directory (enables incremental re-audits and GET /api/audit/history)")
 	flag.Parse()
 
 	sess, m, err := buildSession(*preset, *n, *seed)
@@ -41,8 +42,17 @@ func main() {
 			log.Printf("  job %s: %s", j.Name, j.Function)
 		}
 	}
+	handler := fairank.ServeHandler(sess)
+	if *auditDir != "" {
+		handler, err = fairank.ServeHandlerWithAudit(sess, *auditDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("audit snapshots persisted under %s", *auditDir)
+	}
 	log.Printf("FaiRank explorer listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, fairank.ServeHandler(sess)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "fairankd:", err)
 		os.Exit(1)
 	}

@@ -11,12 +11,20 @@
 // shows the shared memoization cache at work: the warm re-audit skips
 // the histogram and EMD work of the first.
 //
+// The last section walks the audit lifecycle: the audit is persisted
+// as a snapshot, one job's scores drift, and an incremental re-audit
+// splices the unchanged jobs straight from the snapshot — skipping
+// their work entirely, not just warm-caching it — before the
+// longitudinal diff names exactly what moved.
+//
 //	go run ./examples/audit
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	fairank "repro"
 )
@@ -60,4 +68,61 @@ func main() {
 			fmt.Printf("job %s: repair cost %.1f%% NDCG@%d\n", j.Job, (1-j.Utility.NDCG)*100, r.K)
 		}
 	}
+
+	// ------------------------------------------------------------------
+	// The audit lifecycle: persist the audit, drift one job, and run an
+	// INCREMENTAL re-audit — jobs whose scores did not change are
+	// spliced in from the snapshot without re-running anything, and the
+	// longitudinal diff names exactly what moved.
+	rankings, err := fairank.MarketplaceRankings(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "fairank-audit-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "taskrabbit.json")
+	snap, err := fairank.NewAuditSnapshot("preset:taskrabbit/n=2000/seed=1", cfg, opts, rankings, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fairank.WriteAuditSnapshotFile(snapPath, snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s (config %s)\n", snapPath, snap.ID)
+
+	// A week later: one job's scoring drifted (here: the ranking of
+	// job 0 inverted). Everything else is untouched.
+	drifted := make([]fairank.AuditRanking, len(rankings))
+	copy(drifted, rankings)
+	scores := append([]float64(nil), rankings[0].Scores...)
+	for i := range scores {
+		scores[i] = 1 - scores[i]
+	}
+	drifted[0].Scores = scores
+
+	prev, err := fairank.ReadAuditSnapshotFile(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	incOpts := opts
+	incOpts.Baseline = prev.Baseline("preset:taskrabbit/n=2000/seed=1")
+	r3, err := fairank.AuditRankings(m.Workers, drifted, cfg, incOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental re-audit: %d of %d jobs reused, %v elapsed\n",
+		r3.Reused, len(r3.Jobs), r3.Elapsed)
+
+	d, err := fairank.CompareAuditReports(prev.Report, r3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diffText, err := fairank.RenderAuditDiff(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("\n" + diffText)
 }

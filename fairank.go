@@ -21,6 +21,7 @@
 //	internal/emd         Earth Mover's Distance solvers
 //	internal/mitigate    fair re-ranking: FA*IR, constrained interleaving, exposure caps
 //	internal/audit       marketplace-wide batch audit: quantify → mitigate → re-audit
+//	internal/auditstore  versioned audit snapshots, longitudinal diffs, incremental baselines
 //	internal/anonymize   k-anonymization (ARX replacement)
 //	internal/marketplace simulated job marketplaces with known bias
 //	internal/report      terminal rendering, auditor reports
@@ -63,6 +64,7 @@ import (
 
 	"repro/internal/anonymize"
 	"repro/internal/audit"
+	"repro/internal/auditstore"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/emd"
@@ -184,6 +186,19 @@ type (
 	// AuditHotspot counts jobs whose worst partitioning splits on an
 	// attribute.
 	AuditHotspot = audit.Hotspot
+	// AuditDiff is the longitudinal comparison of two audits of the
+	// same configuration.
+	AuditDiff = audit.Diff
+	// AuditJobDelta is one job's row of an AuditDiff.
+	AuditJobDelta = audit.JobDelta
+	// AuditBaseline feeds an incremental re-audit: jobs whose scores
+	// did not change since the baseline are skipped entirely.
+	AuditBaseline = audit.Baseline
+	// AuditSnapshot is one persisted audit with its identity and
+	// per-job score fingerprints.
+	AuditSnapshot = auditstore.Snapshot
+	// AuditStore is a directory of versioned audit snapshots.
+	AuditStore = auditstore.Store
 	// ExperimentOptions tunes experiment scale.
 	ExperimentOptions = experiments.Options
 	// ExperimentTable is a rendered experiment output.
@@ -397,6 +412,48 @@ func AuditRankings(d *Dataset, rankings []AuditRanking, cfg Config, opts AuditOp
 // RenderAuditReport renders a batch audit for the terminal.
 func RenderAuditReport(r *AuditReport) (string, error) { return report.AuditTable(r) }
 
+// MarketplaceRankings scores every job of a marketplace into the
+// named-ranking form AuditRankings consumes — the step AuditAll
+// performs implicitly, exposed for callers that also need the score
+// vectors (snapshot fingerprints, incremental baselines).
+func MarketplaceRankings(m *Marketplace) ([]AuditRanking, error) { return audit.Rankings(m) }
+
+// AuditParamsKey canonicalizes everything besides the score vectors
+// that shapes an audit report. Two audits with equal keys and equal
+// per-job score fingerprints produce identical reports.
+func AuditParamsKey(cfg Config, opts AuditOptions) (string, error) {
+	return audit.ParamsKey(cfg, opts)
+}
+
+// CompareAuditReports diffs two audits of the same configuration into
+// the longitudinal drift report: per-job fairness/utility deltas,
+// regressed and newly-infeasible jobs, added/removed jobs.
+func CompareAuditReports(old, new *AuditReport) (*AuditDiff, error) { return audit.Compare(old, new) }
+
+// RenderAuditDiff renders a longitudinal audit diff for the terminal.
+func RenderAuditDiff(d *AuditDiff) (string, error) { return report.AuditDiffTable(d) }
+
+// NewAuditSnapshot captures a completed audit for persistence:
+// dataset labels the audited population, cfg/opts must be the
+// configuration the report was computed under, and rankings the
+// exact rankings audited.
+func NewAuditSnapshot(dataset string, cfg Config, opts AuditOptions, rankings []AuditRanking, rep *AuditReport) (*AuditSnapshot, error) {
+	return auditstore.New(dataset, cfg, opts, rankings, rep)
+}
+
+// WriteAuditSnapshotFile atomically writes a snapshot to path.
+func WriteAuditSnapshotFile(path string, s *AuditSnapshot) error {
+	return auditstore.WriteFile(path, s)
+}
+
+// ReadAuditSnapshotFile loads a snapshot written by
+// WriteAuditSnapshotFile (or by a store).
+func ReadAuditSnapshotFile(path string) (*AuditSnapshot, error) { return auditstore.ReadFile(path) }
+
+// OpenAuditStore opens (creating if needed) a directory of versioned
+// audit snapshots.
+func OpenAuditStore(dir string) (*AuditStore, error) { return auditstore.Open(dir) }
+
 // UtilityLoss measures the ranking-quality cost of a re-ranking under
 // the original scores: NDCG@k plus mean top-k score displacement.
 func UtilityLoss(scores []float64, ranking []int, k int) (RankingUtility, error) {
@@ -478,6 +535,19 @@ func RenderResult(res *Result, scores []float64) string {
 // ServeHandler returns the HTTP handler of the interactive explorer
 // (JSON API + embedded UI) over the given session.
 func ServeHandler(sess *Session) http.Handler { return server.New(sess).Handler() }
+
+// ServeHandlerWithAudit is ServeHandler with the audit lifecycle
+// enabled: every POST /api/audit persists a versioned snapshot under
+// auditDir (re-auditing incrementally against the previous one), and
+// GET /api/audit/history serves the stored lineages and their
+// longitudinal diffs.
+func ServeHandlerWithAudit(sess *Session, auditDir string) (http.Handler, error) {
+	st, err := auditstore.Open(auditDir)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(sess, server.WithAuditStore(st)).Handler(), nil
+}
 
 // RunExperiment executes one of the paper-reproduction experiments
 // (E1..E11); see ExperimentIDs.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -63,7 +64,32 @@ type Options struct {
 	// groups don't match the targets fails the audit. Targets no
 	// ranking can satisfy count into the infeasible tally instead.
 	Targets map[string]float64
+	// Emit, when non-nil, streams per-job reports as the audit runs:
+	// it is called exactly once per error-free job, in canonical
+	// input order, from whichever worker completes the emit frontier.
+	// Calls are serialized, and the emitted sequence is bit-identical
+	// for every Workers count — the invariance every other audit
+	// output already has. Jobs reused from a Baseline are emitted
+	// like any other.
+	Emit func(index int, job JobReport)
+	// Baseline, when non-nil, turns the run into an incremental
+	// re-audit: jobs whose name, function and score fingerprint match
+	// the stored run are skipped entirely — no quantification, no
+	// mitigation — and the stored JobReport is spliced in. The
+	// baseline applies only when its Params match this run's
+	// ParamsKey; see Report.Reused for how many jobs were skipped.
+	Baseline *Baseline
+	// Cancel, when non-nil, aborts the audit once the channel is
+	// closed: no further jobs are dispatched (in-flight jobs finish),
+	// and the run returns ErrCanceled instead of a report. This is
+	// how a streaming handler stops paying for a client that hung up
+	// mid-audit.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by Run/RunRankings when Options.Cancel
+// closes before the audit completes.
+var ErrCanceled = errors.New("audit: canceled")
 
 // Ranking is one named ranking to audit — a marketplace job's scores,
 // or any externally observed ranking over the same population.
@@ -107,6 +133,10 @@ type JobReport struct {
 	// that failed. The job still reports its before-side fairness.
 	Infeasible bool
 	Detail     string
+	// Reused marks jobs spliced in from an Options.Baseline without
+	// re-running the loop. Excluded from the serialized form so an
+	// incremental re-audit reproduces a stored report byte for byte.
+	Reused bool `json:"-"`
 }
 
 // Improved reports whether mitigation strictly reduced the job's
@@ -148,8 +178,14 @@ type Report struct {
 	MeanUnfairnessBefore, MeanUnfairnessAfter float64
 	MeanParityGapBefore, MeanParityGapAfter   float64
 	MeanNDCG, MeanDisplacement                float64
-	// Elapsed is the wall-clock time of the whole audit.
-	Elapsed time.Duration
+	// Reused counts jobs spliced in from an Options.Baseline without
+	// re-running the loop; Elapsed is the wall-clock time of the
+	// whole audit. Both are run artifacts, not findings, and are
+	// excluded from the serialized form so that a report's JSON is
+	// fully deterministic (snapshots of identical audits are byte
+	// identical).
+	Reused  int           `json:"-"`
+	Elapsed time.Duration `json:"-"`
 }
 
 // Run audits every job of a marketplace: each job's ranking goes
@@ -158,6 +194,23 @@ type Report struct {
 // engine exactly as in core.Quantify; opts adds the mitigation and
 // batching knobs.
 func Run(m *marketplace.Marketplace, cfg core.Config, opts Options) (*Report, error) {
+	rankings, err := Rankings(m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := RunRankings(m.Workers, rankings, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Marketplace = m.Name
+	return r, nil
+}
+
+// Rankings scores every job of a marketplace into the named-ranking
+// form RunRankings audits — the step Run performs implicitly, exposed
+// for callers that also need the score vectors themselves (snapshot
+// fingerprints, incremental baselines).
+func Rankings(m *marketplace.Marketplace) ([]Ranking, error) {
 	if m == nil || len(m.Jobs) == 0 {
 		return nil, fmt.Errorf("audit: marketplace has no jobs to audit")
 	}
@@ -169,12 +222,7 @@ func Run(m *marketplace.Marketplace, cfg core.Config, opts Options) (*Report, er
 		}
 		rankings[i] = Ranking{Name: job.Name, Function: job.Function.String(), Scores: scores}
 	}
-	r, err := RunRankings(m.Workers, rankings, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	r.Marketplace = m.Name
-	return r, nil
+	return rankings, nil
 }
 
 // RunRankings audits a set of named rankings over one population —
@@ -232,11 +280,64 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 	}
 	jobs := make([]JobReport, len(rankings))
 	errs := make([]error, len(rankings))
+
+	// Incremental re-audit: splice stored reports for every ranking
+	// the baseline covers; only the rest go through the loop.
+	var reused []bool
+	if opts.Baseline != nil {
+		params, perr := ParamsKey(cfg, opts)
+		if perr != nil {
+			return nil, perr
+		}
+		reused = opts.Baseline.plan(params, rankings, jobs)
+	}
+	skip := func(i int) bool { return reused != nil && reused[i] }
+
+	// Streaming: jobs complete in scheduling order, but Emit must see
+	// them in canonical input order so the stream is bit-identical
+	// for every worker count. markDone advances a frontier over the
+	// completed set and emits every contiguous finished job.
+	var emitMu sync.Mutex
+	emitted := 0
+	finished := make([]bool, len(rankings))
+	markDone := func(i int) {
+		if opts.Emit == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		finished[i] = true
+		for emitted < len(finished) && finished[emitted] {
+			if errs[emitted] == nil {
+				opts.Emit(emitted, jobs[emitted])
+			}
+			emitted++
+		}
+	}
 	runOne := func(i int) {
 		jobs[i], errs[i] = auditOne(d, rankings[i], cfg, opts, k)
+		markDone(i)
+	}
+	canceled := func() bool {
+		if opts.Cancel == nil {
+			return false
+		}
+		select {
+		case <-opts.Cancel:
+			return true
+		default:
+			return false
+		}
 	}
 	if workers <= 1 {
 		for i := range rankings {
+			if canceled() {
+				return nil, ErrCanceled
+			}
+			if skip(i) {
+				markDone(i)
+				continue
+			}
 			runOne(i)
 		}
 	} else {
@@ -250,12 +351,37 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 				done <- struct{}{}
 			}()
 		}
+		wasCanceled := false
 		for i := range rankings {
-			idx <- i
+			if canceled() {
+				wasCanceled = true
+				break
+			}
+			if skip(i) {
+				markDone(i)
+				continue
+			}
+			// Dispatch, but stop waiting for a free worker if the
+			// caller cancels while every worker is busy.
+			if opts.Cancel == nil {
+				idx <- i
+				continue
+			}
+			select {
+			case idx <- i:
+			case <-opts.Cancel:
+				wasCanceled = true
+			}
+			if wasCanceled {
+				break
+			}
 		}
 		close(idx)
 		for w := 0; w < workers; w++ {
 			<-done
+		}
+		if wasCanceled {
+			return nil, ErrCanceled
 		}
 	}
 	// First error in input order, independent of completion order.
@@ -266,6 +392,11 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 	}
 
 	r := &Report{Strategy: strategy.Name(), K: k, Jobs: jobs}
+	for i := range jobs {
+		if skip(i) {
+			r.Reused++
+		}
+	}
 	rollup(r, opts.TopN)
 	r.Elapsed = time.Since(start)
 	return r, nil

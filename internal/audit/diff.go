@@ -1,0 +1,192 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JobDelta is one job's longitudinal change between two audits of the
+// same configuration: did the repair stick, did the job drift, did
+// its constraints stop being satisfiable?
+type JobDelta struct {
+	// Job names the ranking present in both reports.
+	Job string
+	// Changed reports whether anything about the job moved between
+	// the two audits (exact comparison — the engine is deterministic,
+	// so any difference is real drift, not float noise).
+	Changed bool
+	// WasInfeasible / NowInfeasible track constraint satisfiability
+	// across the two runs.
+	WasInfeasible, NowInfeasible bool
+	// Old/New pre- and post-mitigation re-quantified unfairness, and
+	// their deltas (new − old). After-side values are zero for
+	// infeasible jobs, mirroring JobReport.
+	OldBefore, NewBefore float64
+	OldAfter, NewAfter   float64
+	DeltaBefore          float64
+	DeltaAfter           float64
+	// DeltaParityGapAfter, DeltaNDCG and DeltaDisplacement are the
+	// new − old movements of the repair's top-k parity gap, NDCG@k
+	// and mean score displacement.
+	DeltaParityGapAfter float64
+	DeltaNDCG           float64
+	DeltaDisplacement   float64
+	// Regressed marks jobs whose post-repair unfairness got strictly
+	// worse (or whose targets became infeasible); Improved marks the
+	// opposite movement.
+	Regressed, Improved bool
+}
+
+// Diff is the longitudinal comparison of two audit reports — the
+// "did the repair stick?" artifact an operator reads after deploying
+// mitigated rankings and re-auditing later.
+type Diff struct {
+	// Strategy and K echo the (shared) configuration of both runs.
+	Strategy string
+	K        int
+	// Jobs holds one delta per job present in both reports, in the
+	// new report's order.
+	Jobs []JobDelta
+	// Added and Removed name jobs present in only one report (sorted
+	// by the order of the report they appear in).
+	Added, Removed []string
+	// NewlyInfeasible and NowFeasible name jobs whose constraint
+	// satisfiability flipped between the runs.
+	NewlyInfeasible, NowFeasible []string
+	// Regressed and Improved name jobs whose post-repair unfairness
+	// moved, worst movement first (ties by name).
+	Regressed, Improved []string
+	// Changed counts jobs with any movement at all.
+	Changed int
+	// Delta* are the movements of the marketplace-level means
+	// (new − old).
+	DeltaMeanUnfairnessAfter float64
+	DeltaMeanParityGapAfter  float64
+	DeltaMeanNDCG            float64
+}
+
+// Stable reports whether nothing moved between the two audits: no
+// per-job drift, no jobs added or removed.
+func (d *Diff) Stable() bool {
+	return d.Changed == 0 && len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// Compare diffs two audit reports of the same configuration. The old
+// report typically comes from a stored snapshot (see
+// internal/auditstore); the new one from a fresh — possibly
+// incremental — re-audit. Reports audited under different strategies
+// or top-k cutoffs are not comparable and return an error.
+func Compare(old, new *Report) (*Diff, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("audit: cannot diff a nil report")
+	}
+	if old.Strategy != new.Strategy {
+		return nil, fmt.Errorf("audit: cannot diff strategy %q against %q", old.Strategy, new.Strategy)
+	}
+	if old.K != new.K {
+		return nil, fmt.Errorf("audit: cannot diff top-%d against top-%d", old.K, new.K)
+	}
+	d := &Diff{Strategy: new.Strategy, K: new.K}
+
+	oldByName := make(map[string]JobReport, len(old.Jobs))
+	for _, j := range old.Jobs {
+		oldByName[j.Job] = j
+	}
+	seen := make(map[string]bool, len(new.Jobs))
+	for _, nj := range new.Jobs {
+		seen[nj.Job] = true
+		oj, ok := oldByName[nj.Job]
+		if !ok {
+			d.Added = append(d.Added, nj.Job)
+			continue
+		}
+		d.Jobs = append(d.Jobs, jobDelta(oj, nj))
+	}
+	for _, oj := range old.Jobs {
+		if !seen[oj.Job] {
+			d.Removed = append(d.Removed, oj.Job)
+		}
+	}
+
+	for _, jd := range d.Jobs {
+		if jd.Changed {
+			d.Changed++
+		}
+		switch {
+		case jd.NowInfeasible && !jd.WasInfeasible:
+			d.NewlyInfeasible = append(d.NewlyInfeasible, jd.Job)
+		case jd.WasInfeasible && !jd.NowInfeasible:
+			d.NowFeasible = append(d.NowFeasible, jd.Job)
+		}
+		if jd.Regressed {
+			d.Regressed = append(d.Regressed, jd.Job)
+		}
+		if jd.Improved {
+			d.Improved = append(d.Improved, jd.Job)
+		}
+	}
+	sortByMovement(d.Regressed, d.Jobs)
+	sortByMovement(d.Improved, d.Jobs)
+
+	d.DeltaMeanUnfairnessAfter = new.MeanUnfairnessAfter - old.MeanUnfairnessAfter
+	d.DeltaMeanParityGapAfter = new.MeanParityGapAfter - old.MeanParityGapAfter
+	d.DeltaMeanNDCG = new.MeanNDCG - old.MeanNDCG
+	return d, nil
+}
+
+// jobDelta compares one job across the two runs.
+func jobDelta(oj, nj JobReport) JobDelta {
+	jd := JobDelta{
+		Job:                 nj.Job,
+		WasInfeasible:       oj.Infeasible,
+		NowInfeasible:       nj.Infeasible,
+		OldBefore:           oj.QuantifiedBefore,
+		NewBefore:           nj.QuantifiedBefore,
+		OldAfter:            oj.QuantifiedAfter,
+		NewAfter:            nj.QuantifiedAfter,
+		DeltaBefore:         nj.QuantifiedBefore - oj.QuantifiedBefore,
+		DeltaAfter:          nj.QuantifiedAfter - oj.QuantifiedAfter,
+		DeltaParityGapAfter: nj.After.ParityGap - oj.After.ParityGap,
+		DeltaNDCG:           nj.Utility.NDCG - oj.Utility.NDCG,
+		DeltaDisplacement:   nj.Utility.MeanDisplacement - oj.Utility.MeanDisplacement,
+	}
+	jd.Changed = jd.WasInfeasible != jd.NowInfeasible ||
+		jd.DeltaBefore != 0 || jd.DeltaAfter != 0 ||
+		jd.DeltaParityGapAfter != 0 || jd.DeltaNDCG != 0 || jd.DeltaDisplacement != 0 ||
+		oj.Function != nj.Function
+	switch {
+	case jd.NowInfeasible && !jd.WasInfeasible:
+		jd.Regressed = true
+	case jd.WasInfeasible && !jd.NowInfeasible:
+		jd.Improved = true
+	case !jd.WasInfeasible && !jd.NowInfeasible && jd.DeltaAfter > 0:
+		jd.Regressed = true
+	case !jd.WasInfeasible && !jd.NowInfeasible && jd.DeltaAfter < 0:
+		jd.Improved = true
+	}
+	return jd
+}
+
+// sortByMovement orders the named jobs by |DeltaAfter|, biggest
+// movement first, ties by name — so the headline lists lead with the
+// jobs that drifted most.
+func sortByMovement(names []string, deltas []JobDelta) {
+	mag := make(map[string]float64, len(names))
+	for _, jd := range deltas {
+		m := jd.DeltaAfter
+		if m < 0 {
+			m = -m
+		}
+		// Feasibility flips outrank any numeric movement.
+		if jd.WasInfeasible != jd.NowInfeasible {
+			m = 1e18
+		}
+		mag[jd.Job] = m
+	}
+	sort.SliceStable(names, func(a, b int) bool {
+		if mag[names[a]] != mag[names[b]] {
+			return mag[names[a]] > mag[names[b]]
+		}
+		return names[a] < names[b]
+	})
+}

@@ -1,0 +1,81 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mitigate"
+)
+
+// ScoreFingerprint hashes a score vector into a short stable
+// identifier. Two rankings share a fingerprint exactly when they have
+// the same length and bit-identical scores in the same row order —
+// the precondition under which a stored JobReport can be reused
+// verbatim by an incremental re-audit (see Options.Baseline).
+func ScoreFingerprint(scores []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(scores)))
+	h.Write(buf[:])
+	for _, s := range scores {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ParamsKey canonicalizes everything besides the score vectors that
+// shapes an audit report: the fairness formulation, the partitioning
+// search knobs, and the mitigation options. Concurrency knobs
+// (Options.Workers, Config.Workers) and the cache are deliberately
+// excluded — they never change a report. Two audits with equal
+// ParamsKey and equal per-job score fingerprints produce identical
+// reports, which is what lets a stored snapshot stand in for a
+// re-run.
+func ParamsKey(cfg core.Config, opts Options) (string, error) {
+	strategy, err := mitigate.ByName(opts.Strategy)
+	if err != nil {
+		return "", err
+	}
+	dist := "emd"
+	if cfg.Measure.Dist != nil {
+		dist = cfg.Measure.Dist.Name()
+	}
+	agg := "avg"
+	if cfg.Measure.Agg != nil {
+		agg = cfg.Measure.Agg.Name()
+	}
+	bins := cfg.Measure.Bins
+	if bins == 0 {
+		bins = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|dist=%s|agg=%s|bins=%d|lo=%g|hi=%g|obj=%d|attrs=%s|min-group=%d|max-depth=%d|all-roots=%t|enum=%d",
+		dist, agg, bins, cfg.Measure.Lo, cfg.Measure.Hi, cfg.Objective,
+		strings.Join(cfg.Attributes, ","), cfg.MinGroupSize, cfg.MaxDepth,
+		cfg.TryAllRoots, cfg.EnumerationLimit)
+	fmt.Fprintf(&b, "|strategy=%s|k=%d|top-n=%d|alpha=%g|min-ratio=%g",
+		strategy.Name(), opts.K, opts.TopN, opts.Alpha, opts.MinExposureRatio)
+	if len(opts.Targets) > 0 {
+		keys := make([]string, 0, len(opts.Targets))
+		for k := range opts.Targets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("|targets=")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%g", k, opts.Targets[k])
+		}
+	}
+	return b.String(), nil
+}

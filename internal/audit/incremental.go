@@ -1,0 +1,71 @@
+package audit
+
+// Baseline is a previously computed audit an incremental re-audit can
+// reuse: the full quantify → mitigate → re-quantify loop is skipped —
+// not merely warm-cached — for every job whose name, function and
+// score-vector fingerprint match the stored run, and the stored
+// JobReport is spliced into the new report in input order.
+//
+// A Baseline only applies when its Params equal the ParamsKey of the
+// new run; otherwise every job is re-audited from scratch. Because
+// the engine is deterministic, a reused report is bit-identical to
+// what the re-run would have produced, so splicing can never change a
+// result — only skip work.
+//
+// That guarantee additionally requires the baseline to come from an
+// audit of the SAME population: score fingerprints bind each
+// ranking's length and values, but not the protected attributes the
+// quantification partitions on. Constructors that know the dataset
+// identity enforce this (auditstore's Snapshot.Baseline takes the
+// dataset label and refuses a mismatch); callers building a Baseline
+// directly with NewBaseline own that precondition.
+type Baseline struct {
+	// Params is the ParamsKey the stored reports were computed under.
+	Params string
+	// Jobs indexes the stored per-job reports by job name.
+	Jobs map[string]BaselineJob
+}
+
+// BaselineJob is one stored job report plus the fingerprint of the
+// score vector it was computed from.
+type BaselineJob struct {
+	Fingerprint string
+	Report      JobReport
+}
+
+// NewBaseline captures a completed audit as a Baseline for later
+// incremental re-audits. params must be the ParamsKey of the run that
+// produced rep, and rankings the exact rankings it audited.
+func NewBaseline(params string, rankings []Ranking, rep *Report) *Baseline {
+	b := &Baseline{Params: params, Jobs: make(map[string]BaselineJob, len(rep.Jobs))}
+	fps := make(map[string]string, len(rankings))
+	for _, r := range rankings {
+		fps[r.Name] = ScoreFingerprint(r.Scores)
+	}
+	for _, j := range rep.Jobs {
+		if fp, ok := fps[j.Job]; ok {
+			b.Jobs[j.Job] = BaselineJob{Fingerprint: fp, Report: j}
+		}
+	}
+	return b
+}
+
+// plan marks which rankings the baseline covers. It fills jobs[i]
+// with the stored report for every covered index and returns the
+// reuse mask (nil when the baseline does not apply).
+func (b *Baseline) plan(params string, rankings []Ranking, jobs []JobReport) []bool {
+	if b == nil || b.Params != params {
+		return nil
+	}
+	reused := make([]bool, len(rankings))
+	for i, r := range rankings {
+		bj, ok := b.Jobs[r.Name]
+		if !ok || bj.Report.Function != r.Function || bj.Fingerprint != ScoreFingerprint(r.Scores) {
+			continue
+		}
+		jobs[i] = bj.Report
+		jobs[i].Reused = true
+		reused[i] = true
+	}
+	return reused
+}

@@ -1,0 +1,401 @@
+// Package auditstore persists audit.Report snapshots to disk and
+// retrieves them for longitudinal "did the repair stick?" tracking.
+//
+// A Snapshot is one completed marketplace audit plus the identity
+// needed to reuse it later: the dataset label, the canonical
+// parameter key (audit.ParamsKey), and a score-vector fingerprint per
+// job. Snapshots are content-addressed — the ID is a hash of the
+// dataset and parameter key — so every audit of one configuration
+// lands in the same lineage, versioned by an increasing sequence
+// number. Two consumers build on that:
+//
+//   - audit.Compare diffs any two snapshots of a lineage into the
+//     per-job drift report (regressed jobs, newly infeasible jobs,
+//     fairness/utility deltas);
+//   - Snapshot.Baseline feeds an incremental re-audit
+//     (audit.Options.Baseline) that skips every job whose scores did
+//     not change since the snapshot, splicing the stored reports in.
+//
+// Snapshot files are plain indented JSON, written atomically
+// (temp file + rename), and safe to commit, diff and ship around.
+package auditstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+)
+
+// Version is the snapshot schema version this package writes. Readers
+// reject newer versions rather than misparse them.
+const Version = 1
+
+// Snapshot is one persisted audit: the report plus everything needed
+// to diff against it or incrementally re-audit from it.
+type Snapshot struct {
+	// SchemaVersion is the snapshot file format version (see Version).
+	SchemaVersion int `json:"schema_version"`
+	// ID content-addresses the audited configuration: a hash of
+	// Dataset and Params. Every audit of the same dataset under the
+	// same parameters shares an ID and forms one lineage.
+	ID string `json:"id"`
+	// Seq numbers the snapshot within its lineage (assigned by
+	// Store.Save, starting at 1; 0 for standalone files).
+	Seq int `json:"seq,omitempty"`
+	// CreatedAt records when the snapshot was taken.
+	CreatedAt time.Time `json:"created_at"`
+	// Dataset labels the audited population (marketplace preset plus
+	// generation knobs, or a registered dataset name).
+	Dataset string `json:"dataset"`
+	// Params is the canonical parameter key (audit.ParamsKey) the
+	// report was computed under.
+	Params string `json:"params"`
+	// Fingerprints maps each job name to the fingerprint of the score
+	// vector it was audited with (audit.ScoreFingerprint).
+	Fingerprints map[string]string `json:"fingerprints"`
+	// Report is the audit itself.
+	Report *audit.Report `json:"report"`
+}
+
+// New captures a completed audit as a Snapshot. dataset labels the
+// population, cfg/opts must be the configuration the report was
+// computed under, and rankings the exact rankings audited.
+func New(dataset string, cfg core.Config, opts audit.Options, rankings []audit.Ranking, rep *audit.Report) (*Snapshot, error) {
+	if rep == nil || len(rep.Jobs) == 0 {
+		return nil, fmt.Errorf("auditstore: empty report")
+	}
+	params, err := audit.ParamsKey(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	fps := make(map[string]string, len(rankings))
+	for _, r := range rankings {
+		fps[r.Name] = audit.ScoreFingerprint(r.Scores)
+	}
+	for _, j := range rep.Jobs {
+		if _, ok := fps[j.Job]; !ok {
+			return nil, fmt.Errorf("auditstore: report job %q has no ranking to fingerprint", j.Job)
+		}
+	}
+	return &Snapshot{
+		SchemaVersion: Version,
+		ID:            ConfigID(dataset, params),
+		CreatedAt:     time.Now().UTC(),
+		Dataset:       dataset,
+		Params:        params,
+		Fingerprints:  fps,
+		Report:        rep,
+	}, nil
+}
+
+// ConfigID content-addresses an audited configuration: the hash of
+// the dataset label and the canonical parameter key.
+func ConfigID(dataset, params string) string {
+	sum := sha256.Sum256([]byte(dataset + "\x00" + params))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Baseline converts the snapshot into the incremental re-audit input
+// (audit.Options.Baseline): the new run reuses the stored JobReport
+// for every job whose name, function and score fingerprint still
+// match, provided the run's ParamsKey equals the snapshot's.
+//
+// dataset must be the identity label of the population the new run
+// audits; a snapshot of a different population returns nil (no
+// reuse). Score fingerprints bind the rankings but not the protected
+// attributes underneath them, so reusing a report across populations
+// could return stale fairness numbers as current findings — the
+// dataset label is the guard against that.
+func (s *Snapshot) Baseline(dataset string) *audit.Baseline {
+	if dataset != s.Dataset {
+		return nil
+	}
+	b := &audit.Baseline{Params: s.Params, Jobs: make(map[string]audit.BaselineJob, len(s.Report.Jobs))}
+	for _, j := range s.Report.Jobs {
+		fp, ok := s.Fingerprints[j.Job]
+		if !ok {
+			continue
+		}
+		b.Jobs[j.Job] = audit.BaselineJob{Fingerprint: fp, Report: j}
+	}
+	return b
+}
+
+// Write serializes the snapshot as indented JSON.
+func Write(w io.Writer, s *Snapshot) error {
+	if s == nil || s.Report == nil {
+		return fmt.Errorf("auditstore: nil snapshot")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a snapshot written by Write and validates its schema
+// version and integrity.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("auditstore: decoding snapshot: %w", err)
+	}
+	if s.SchemaVersion > Version {
+		return nil, fmt.Errorf("auditstore: snapshot schema version %d is newer than supported %d", s.SchemaVersion, Version)
+	}
+	if s.Report == nil || len(s.Report.Jobs) == 0 {
+		return nil, fmt.Errorf("auditstore: snapshot has no report")
+	}
+	if want := ConfigID(s.Dataset, s.Params); s.ID != want {
+		return nil, fmt.Errorf("auditstore: snapshot id %q does not match its dataset/params (want %q)", s.ID, want)
+	}
+	return &s, nil
+}
+
+// WriteFile atomically writes the snapshot to path.
+func WriteFile(path string, s *Snapshot) error {
+	var b strings.Builder
+	if err := Write(&b, s); err != nil {
+		return err
+	}
+	return atomicWrite(path, []byte(b.String()))
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("auditstore: %w", err)
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("auditstore: reading %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Store is a directory of snapshot lineages: one JSON file per
+// snapshot, named <id>-<seq>.json. A Store is safe for concurrent
+// use: Save serializes the read-sequence/write-file step so parallel
+// audits of one configuration cannot claim the same version.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("auditstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("auditstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Save appends the snapshot to its lineage: Seq is assigned as one
+// past the lineage's latest version, and the file is written
+// atomically. Returns the path written.
+func (st *Store) Save(s *Snapshot) (string, error) {
+	if s == nil || s.Report == nil {
+		return "", fmt.Errorf("auditstore: nil snapshot")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	files, err := st.lineageFiles(s.ID)
+	if err != nil {
+		return "", err
+	}
+	seq := 1
+	if n := len(files); n > 0 {
+		seq = files[n-1].seq + 1
+	}
+	s.Seq = seq
+	path := filepath.Join(st.dir, fmt.Sprintf("%s-%06d.json", s.ID, seq))
+	var b strings.Builder
+	if err := Write(&b, s); err != nil {
+		return "", err
+	}
+	if err := atomicWrite(path, []byte(b.String())); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// lineageFile is one on-disk snapshot of a lineage, located by file
+// name alone (no decode).
+type lineageFile struct {
+	name string
+	seq  int
+}
+
+// lineageFiles lists one lineage's snapshot files, oldest first,
+// without decoding them — Save and Latest must not pay for the whole
+// store (lineages grow without bound).
+func (st *Store) lineageFiles(id string) ([]lineageFile, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("auditstore: %w", err)
+	}
+	var out []lineageFile
+	for _, e := range entries {
+		fid, seq, ok := parseName(e.Name())
+		if !ok || fid != id {
+			continue
+		}
+		out = append(out, lineageFile{name: e.Name(), seq: seq})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out, nil
+}
+
+// loadNamed reads one store file and cross-checks it against the
+// identity its file name claims.
+func (st *Store) loadNamed(f lineageFile, id string) (*Snapshot, error) {
+	s, err := ReadFile(filepath.Join(st.dir, f.name))
+	if err != nil {
+		return nil, err
+	}
+	if s.ID != id {
+		return nil, fmt.Errorf("auditstore: %s holds snapshot id %q", f.name, s.ID)
+	}
+	return s, nil
+}
+
+// List loads every snapshot in the store, ordered by ID then Seq.
+func (st *Store) List() ([]*Snapshot, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("auditstore: %w", err)
+	}
+	var out []*Snapshot
+	for _, e := range entries {
+		id, _, ok := parseName(e.Name())
+		if !ok {
+			continue
+		}
+		s, err := ReadFile(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if s.ID != id {
+			return nil, fmt.Errorf("auditstore: %s holds snapshot id %q", e.Name(), s.ID)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].ID != out[b].ID {
+			return out[a].ID < out[b].ID
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out, nil
+}
+
+// Versions loads one lineage's snapshots, oldest first. Only that
+// lineage's files are read — the rest of the store is untouched.
+func (st *Store) Versions(id string) ([]*Snapshot, error) {
+	files, err := st.lineageFiles(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Snapshot, 0, len(files))
+	for _, f := range files {
+		s, err := st.loadNamed(f, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Latest returns the newest snapshot of a lineage — reading exactly
+// one file — or an error when the lineage is empty.
+func (st *Store) Latest(id string) (*Snapshot, error) {
+	files, err := st.lineageFiles(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("auditstore: no snapshots for config %q", id)
+	}
+	return st.loadNamed(files[len(files)-1], id)
+}
+
+// Diff compares a lineage's two newest snapshots — the longitudinal
+// "what moved since last audit?" question — reading exactly those
+// two files. Errors when the lineage has fewer than two versions.
+func (st *Store) Diff(id string) (*audit.Diff, error) {
+	files, err := st.lineageFiles(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) < 2 {
+		return nil, fmt.Errorf("auditstore: config %q has %d snapshot(s); diff needs two", id, len(files))
+	}
+	old, err := st.loadNamed(files[len(files)-2], id)
+	if err != nil {
+		return nil, err
+	}
+	new, err := st.loadNamed(files[len(files)-1], id)
+	if err != nil {
+		return nil, err
+	}
+	return audit.Compare(old.Report, new.Report)
+}
+
+// parseName splits a store file name <id>-<seq>.json.
+func parseName(name string) (id string, seq int, ok bool) {
+	base, found := strings.CutSuffix(name, ".json")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(base, '-')
+	if i <= 0 || i == len(base)-1 {
+		return "", 0, false
+	}
+	seq, err := strconv.Atoi(base[i+1:])
+	if err != nil || seq < 1 {
+		return "", 0, false
+	}
+	return base[:i], seq, true
+}
+
+// atomicWrite writes data to path via a temp file + rename, so a
+// crash can never leave a half-written snapshot in the store.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".auditstore-*")
+	if err != nil {
+		return fmt.Errorf("auditstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("auditstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("auditstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("auditstore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,407 @@
+package auditstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/marketplace"
+)
+
+// fixture runs one small batch audit and returns everything a
+// snapshot needs.
+func fixture(t testing.TB) (rankings []audit.Ranking, cfg core.Config, opts audit.Options, rep *audit.Report) {
+	t.Helper()
+	m, err := marketplace.PresetByName("crowdsourcing", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankings, err = audit.Rankings(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = audit.Options{Strategy: "detcons"}
+	rep, err = audit.RunRankings(m.Workers, rankings, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rankings, cfg, opts, rep
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	snap, err := New("preset:crowdsourcing/n=200/seed=1", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != Version {
+		t.Errorf("schema version %d, want %d", snap.SchemaVersion, Version)
+	}
+	if snap.ID != ConfigID(snap.Dataset, snap.Params) {
+		t.Error("snapshot ID is not the dataset/params content address")
+	}
+	if len(snap.Fingerprints) != len(rankings) {
+		t.Errorf("%d fingerprints for %d rankings", len(snap.Fingerprints), len(rankings))
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != snap.ID || got.Dataset != snap.Dataset || got.Params != snap.Params {
+		t.Error("identity fields did not round-trip")
+	}
+	a, _ := json.Marshal(snap.Report)
+	b, _ := json.Marshal(got.Report)
+	if !bytes.Equal(a, b) {
+		t.Error("report did not round-trip byte-for-byte")
+	}
+
+	// A baseline is bound to its population: the right label converts,
+	// any other label refuses (score fingerprints can't see protected
+	// attributes, so cross-population reuse must be impossible).
+	if got.Baseline("preset:crowdsourcing/n=200/seed=1") == nil {
+		t.Error("matching dataset label refused a baseline")
+	}
+	if got.Baseline("preset:crowdsourcing/n=200/seed=2") != nil {
+		t.Error("different population label produced a baseline")
+	}
+}
+
+// A snapshot written to disk and read back reuses every unchanged job.
+func TestSnapshotFileBaseline(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	snap, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := marketplace.PresetByName("crowdsourcing", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Baseline = loaded.Baseline("d")
+	second, err := audit.RunRankings(m.Workers, rankings, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Reused != len(rankings) {
+		t.Errorf("reused %d of %d jobs after a disk round-trip", second.Reused, len(rankings))
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(second)
+	if !bytes.Equal(a, b) {
+		t.Error("re-audit from a disk snapshot is not byte-identical to the stored report")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	if _, err := New("d", cfg, opts, rankings, nil); err == nil {
+		t.Error("nil report accepted")
+	}
+	if _, err := New("d", cfg, audit.Options{Strategy: "nope"}, rankings, rep); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := New("d", cfg, opts, rankings[:1], rep); err == nil {
+		t.Error("report with unfingerprinted jobs accepted")
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"schema_version": 999}`)); err == nil {
+		t.Error("future schema version accepted")
+	}
+	rankings, cfg, opts, rep := fixture(t)
+	snap, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.ID = "tampered"
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("tampered content address accepted")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStoreLineage(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three saves of the same configuration form one lineage with
+	// increasing sequence numbers.
+	var id string
+	for want := 1; want <= 3; want++ {
+		snap, err := New("d", cfg, opts, rankings, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := st.Save(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Seq != want {
+			t.Errorf("save %d assigned seq %d", want, snap.Seq)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("save %d: %v", want, err)
+		}
+		id = snap.ID
+	}
+
+	versions, err := st.Versions(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("%d versions, want 3", len(versions))
+	}
+	for i, v := range versions {
+		if v.Seq != i+1 {
+			t.Errorf("version %d has seq %d", i, v.Seq)
+		}
+	}
+	latest, err := st.Latest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Seq != 3 {
+		t.Errorf("latest seq %d, want 3", latest.Seq)
+	}
+
+	// A different dataset label is a different lineage.
+	other, err := New("other", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(other); err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == id {
+		t.Error("different dataset labels share a config ID")
+	}
+	all, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Errorf("store lists %d snapshots, want 4", len(all))
+	}
+
+	if _, err := st.Latest("nope"); err == nil {
+		t.Error("empty lineage has a latest snapshot")
+	}
+}
+
+func TestStoreDiff(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(snap1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Diff(snap1.ID); err == nil {
+		t.Error("single-version lineage diffed")
+	}
+
+	// Second audit with one inverted job: the lineage diff reports
+	// exactly that drift.
+	perturbed := make([]audit.Ranking, len(rankings))
+	copy(perturbed, rankings)
+	scores := append([]float64(nil), rankings[0].Scores...)
+	for i := range scores {
+		scores[i] = 1 - scores[i]
+	}
+	perturbed[0].Scores = scores
+	m, err := marketplace.PresetByName("crowdsourcing", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := audit.RunRankings(m.Workers, perturbed, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := New("d", cfg, opts, perturbed, rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.ID != snap1.ID {
+		t.Fatal("same configuration produced two lineages")
+	}
+	if _, err := st.Save(snap2); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := st.Diff(snap1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stable() {
+		t.Error("perturbed lineage diffs as stable")
+	}
+	if d.Changed != 1 {
+		t.Errorf("%d changed jobs, want 1", d.Changed)
+	}
+}
+
+// Parallel saves of one configuration (concurrent POST /api/audit
+// handlers) must each get their own version — no silent overwrite.
+func TestStoreConcurrentSaves(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			snap, err := New("d", cfg, opts, rankings, rep)
+			if err == nil {
+				_, err = st.Save(snap)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, err := st.Versions(ConfigID("d", mustParams(t, cfg, opts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != n {
+		t.Fatalf("%d concurrent saves produced %d versions", n, len(versions))
+	}
+	for i, v := range versions {
+		if v.Seq != i+1 {
+			t.Errorf("version %d has seq %d", i, v.Seq)
+		}
+	}
+}
+
+func mustParams(t *testing.T, cfg core.Config, opts audit.Options) string {
+	t.Helper()
+	params, err := audit.ParamsKey(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"README.md", "notes.json", "x-0.json", "-1.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := st.List()
+	if err != nil {
+		t.Fatalf("foreign files broke the listing: %v", err)
+	}
+	if len(all) != 0 {
+		t.Errorf("listed %d foreign snapshots", len(all))
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty directory accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dir() != dir {
+		t.Errorf("Dir() = %q, want %q", st.Dir(), dir)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("Open did not create the directory: %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Error("nil snapshot written")
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "s.json"), nil); err == nil {
+		t.Error("nil snapshot written to file")
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(nil); err == nil {
+		t.Error("nil snapshot saved")
+	}
+}
+
+// A snapshot whose file name disagrees with its content is corruption
+// the store must surface, not paper over.
+func TestListRejectsMismatchedFile(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := st.Save(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(dir, "deadbeefdeadbeef-000001.json")
+	if err := os.Rename(path, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.List(); err == nil {
+		t.Error("mismatched file name accepted")
+	}
+}

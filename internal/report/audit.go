@@ -134,6 +134,86 @@ func AuditTable(r *audit.Report) (string, error) {
 	return b.String(), nil
 }
 
+// AuditDiffTable renders a longitudinal audit diff — what moved
+// between two audits of the same configuration — for the terminal:
+// the changed jobs with their fairness and utility deltas, the
+// feasibility flips, added/removed jobs, and the marketplace-level
+// mean movements. A stable diff renders as a one-line all-clear.
+func AuditDiffTable(d *audit.Diff) (string, error) {
+	if d == nil {
+		return "", fmt.Errorf("report: nil audit diff")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "AUDIT DIFF — strategy %s, top-%d (%d jobs compared)\n\n",
+		d.Strategy, d.K, len(d.Jobs))
+	if d.Stable() {
+		b.WriteString("no drift: every job reproduces the stored audit exactly\n")
+		return b.String(), nil
+	}
+
+	delta := func(v float64) string {
+		return fmt.Sprintf("%+.4f", v)
+	}
+	rows := make([][]string, 0, d.Changed)
+	for _, jd := range d.Jobs {
+		if !jd.Changed {
+			continue
+		}
+		status := "drifted"
+		switch {
+		case jd.NowInfeasible && !jd.WasInfeasible:
+			status = "newly infeasible"
+		case jd.WasInfeasible && !jd.NowInfeasible:
+			status = "now feasible"
+		case jd.Regressed:
+			status = "regressed"
+		case jd.Improved:
+			status = "improved"
+		}
+		after := fmt.Sprintf("%.4f -> %.4f", jd.OldAfter, jd.NewAfter)
+		if jd.NowInfeasible {
+			after = fmt.Sprintf("%.4f -> infeasible", jd.OldAfter)
+		}
+		rows = append(rows, []string{
+			jd.Job,
+			fmt.Sprintf("%.4f -> %.4f", jd.OldBefore, jd.NewBefore),
+			after,
+			delta(jd.DeltaParityGapAfter),
+			delta(jd.DeltaNDCG),
+			status,
+		})
+	}
+	b.WriteString(TextTable(
+		[]string{"job", "unfair before", "unfair after", "Δ gap", "Δ NDCG", "status"},
+		rows,
+	))
+
+	unchanged := len(d.Jobs) - d.Changed
+	fmt.Fprintf(&b, "\n%d job(s) changed, %d unchanged\n", d.Changed, unchanged)
+	if len(d.Regressed) > 0 {
+		fmt.Fprintf(&b, "regressed: %s\n", strings.Join(d.Regressed, ", "))
+	}
+	if len(d.Improved) > 0 {
+		fmt.Fprintf(&b, "improved : %s\n", strings.Join(d.Improved, ", "))
+	}
+	if len(d.NewlyInfeasible) > 0 {
+		fmt.Fprintf(&b, "newly infeasible: %s\n", strings.Join(d.NewlyInfeasible, ", "))
+	}
+	if len(d.NowFeasible) > 0 {
+		fmt.Fprintf(&b, "now feasible: %s\n", strings.Join(d.NowFeasible, ", "))
+	}
+	if len(d.Added) > 0 {
+		fmt.Fprintf(&b, "added jobs  : %s\n", strings.Join(d.Added, ", "))
+	}
+	if len(d.Removed) > 0 {
+		fmt.Fprintf(&b, "removed jobs: %s\n", strings.Join(d.Removed, ", "))
+	}
+	fmt.Fprintf(&b, "Δ mean unfairness after: %s\n", delta(d.DeltaMeanUnfairnessAfter))
+	fmt.Fprintf(&b, "Δ mean top-%d gap after : %s\n", d.K, delta(d.DeltaMeanParityGapAfter))
+	fmt.Fprintf(&b, "Δ mean NDCG@%d          : %s\n", d.K, delta(d.DeltaMeanNDCG))
+	return b.String(), nil
+}
+
 // RenderAudit renders the auditor's marketplace-wide fairness report.
 func RenderAudit(marketplaceName string, audits []JobAudit) string {
 	var b strings.Builder

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/mitigate"
+)
+
+// syntheticReports builds an old/new audit pair with every kind of
+// drift the diff table renders: a stable job, a regressed job, an
+// improved job, a newly infeasible job, plus one added and one
+// removed job.
+func syntheticReports() (*audit.Report, *audit.Report) {
+	job := func(name string, before, after float64, infeasible bool) audit.JobReport {
+		j := audit.JobReport{
+			Job:              name,
+			Function:         "f",
+			QuantifiedBefore: before,
+			QuantifiedAfter:  after,
+			Before:           mitigate.Metrics{ParityGap: before / 2},
+			After:            mitigate.Metrics{ParityGap: after / 2},
+			Utility:          mitigate.Utility{NDCG: 0.99},
+		}
+		if infeasible {
+			j.QuantifiedAfter = 0
+			j.After = mitigate.Metrics{}
+			j.Utility = mitigate.Utility{}
+			j.Infeasible = true
+			j.Detail = "unsatisfiable"
+		}
+		return j
+	}
+	old := &audit.Report{
+		Strategy: "detcons", K: 10,
+		Jobs: []audit.JobReport{
+			job("stable", 0.5, 0.2, false),
+			job("regressor", 0.5, 0.2, false),
+			job("improver", 0.5, 0.3, false),
+			job("flipper", 0.5, 0.2, false),
+			job("retired", 0.4, 0.1, false),
+		},
+		MeanUnfairnessAfter: 0.2, MeanParityGapAfter: 0.1, MeanNDCG: 0.99,
+	}
+	new := &audit.Report{
+		Strategy: "detcons", K: 10,
+		Jobs: []audit.JobReport{
+			job("stable", 0.5, 0.2, false),
+			job("regressor", 0.6, 0.4, false),
+			job("improver", 0.5, 0.1, false),
+			job("flipper", 0.5, 0, true),
+			job("hired", 0.3, 0.1, false),
+		},
+		MeanUnfairnessAfter: 0.25, MeanParityGapAfter: 0.12, MeanNDCG: 0.98,
+	}
+	return old, new
+}
+
+func TestAuditDiffTable(t *testing.T) {
+	old, new := syntheticReports()
+	d, err := audit.Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := AuditDiffTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"AUDIT DIFF", "strategy detcons", "top-10",
+		"regressed: flipper, regressor", // feasibility flips outrank numeric drift
+		"improved : improver",
+		"newly infeasible: flipper",
+		"added jobs  : hired",
+		"removed jobs: retired",
+		"3 job(s) changed, 1 unchanged",
+		"0.2000 -> 0.4000", // the regressor's after movement
+		"-> infeasible",    // the flipper's after cell
+		"Δ mean NDCG@10",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff table missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "stable") {
+		t.Errorf("unchanged job rendered in the drift table:\n%s", text)
+	}
+
+	// A diff of identical reports is the one-line all-clear.
+	same, err := audit.Compare(old, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := AuditDiffTable(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clear, "no drift") {
+		t.Errorf("stable diff not rendered as all-clear:\n%s", clear)
+	}
+
+	if _, err := AuditDiffTable(nil); err == nil {
+		t.Error("nil diff accepted")
+	}
+}

@@ -8,9 +8,12 @@ import (
 	"strings"
 
 	"repro/internal/audit"
+	"repro/internal/auditstore"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/fairness"
 	"repro/internal/marketplace"
+	"repro/internal/mitigate"
 	"repro/internal/report"
 	"repro/internal/scoring"
 )
@@ -91,11 +94,144 @@ type auditResponse struct {
 	ElapsedMS            float64        `json:"elapsed_ms"`
 	Text                 string         `json:"text"`
 	HTML                 string         `json:"html"`
+	// Snapshot/lineage fields, set only when the server has an audit
+	// store (fairankd -audit-dir): where this audit was persisted,
+	// how many jobs the incremental path reused from the previous
+	// snapshot, and the longitudinal diff against it.
+	SnapshotID  string `json:"snapshot_id,omitempty"`
+	SnapshotSeq int    `json:"snapshot_seq,omitempty"`
+	Reused      int    `json:"reused,omitempty"`
+	DiffText    string `json:"diff_text,omitempty"`
 }
 
 type hotspotJSON struct {
 	Attribute string `json:"attribute"`
 	Jobs      int    `json:"jobs"`
+}
+
+// resolvedAudit is a fully prepared batch audit: the population, the
+// named rankings to audit over it, the engine config and the batch
+// options — everything both the blocking POST /api/audit and the
+// streaming GET /api/audit/stream need before running.
+type resolvedAudit struct {
+	// name labels the report (marketplace or dataset name); datasetID
+	// identifies the audited population for snapshot content
+	// addressing (preset plus generation knobs, or dataset name).
+	name      string
+	datasetID string
+	data      *dataset.Dataset
+	rankings  []audit.Ranking
+	cfg       core.Config
+	opts      audit.Options
+}
+
+// resolveAudit validates an audit request and prepares the run. The
+// returned status is the HTTP status to use when err is non-nil.
+func (s *Server) resolveAudit(req auditRequest) (*resolvedAudit, int, error) {
+	dist, err := fairness.DistanceByName(req.Distance)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	agg, err := fairness.AggregatorByName(req.Aggregator)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Validate the strategy before any work (and, for the streaming
+	// endpoint, before the SSE headers go out).
+	if _, err := mitigate.ByName(req.Strategy); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ra := &resolvedAudit{
+		cfg: core.Config{
+			Measure:      fairness.Measure{Dist: dist, Agg: agg, Bins: req.Bins},
+			Attributes:   req.Attributes,
+			MinGroupSize: req.MinGroupSize,
+			MaxDepth:     req.MaxDepth,
+			Workers:      req.SolverWorkers,
+		},
+		opts: audit.Options{
+			Strategy:         req.Strategy,
+			K:                req.K,
+			TopN:             req.TopN,
+			Workers:          req.Workers,
+			Targets:          req.Targets,
+			Alpha:            req.Alpha,
+			MinExposureRatio: req.MinExposureRatio,
+		},
+	}
+
+	switch {
+	case req.Preset != "" && (req.Dataset != "" || len(req.Jobs) > 0):
+		return nil, http.StatusBadRequest, fmt.Errorf("server: Preset and Dataset/Jobs are mutually exclusive")
+	case req.Preset != "":
+		if req.N <= 0 {
+			req.N = 1000
+		}
+		if req.Seed == 0 {
+			req.Seed = 1
+		}
+		m, err := marketplace.PresetByName(req.Preset, req.N, req.Seed)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		rankings, err := audit.Rankings(m)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		ra.name = m.Name
+		ra.datasetID = fmt.Sprintf("preset:%s/n=%d/seed=%d", req.Preset, req.N, req.Seed)
+		ra.data = m.Workers
+		ra.rankings = rankings
+	case req.Dataset != "":
+		d, err := s.sess.Dataset(req.Dataset)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		if len(req.Jobs) == 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("server: dataset audit needs at least one job {Name, Function}")
+		}
+		rankings := make([]audit.Ranking, len(req.Jobs))
+		for i, j := range req.Jobs {
+			fn, err := scoring.Parse(j.Function)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, err)
+			}
+			scores, err := fn.Score(d)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, err)
+			}
+			rankings[i] = audit.Ranking{Name: j.Name, Function: fn.String(), Scores: scores}
+		}
+		// Registered datasets share the session cache, so a re-audit
+		// (or the panels that prompted it) reuses the memoized work.
+		ra.cfg.Cache = s.sess.SharedCache()
+		ra.name = req.Dataset
+		ra.datasetID = "dataset:" + req.Dataset
+		ra.data = d
+		ra.rankings = rankings
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("server: audit needs a Preset or a Dataset with Jobs")
+	}
+	return ra, http.StatusOK, nil
+}
+
+// loadBaseline pulls the latest stored snapshot of this audit's
+// lineage (if any) so the run can skip jobs whose scores did not
+// change. Returns nil when the server has no store or the lineage is
+// empty — the run is then a full audit.
+func (s *Server) loadBaseline(ra *resolvedAudit) *auditstore.Snapshot {
+	if s.store == nil {
+		return nil
+	}
+	params, err := audit.ParamsKey(ra.cfg, ra.opts)
+	if err != nil {
+		return nil
+	}
+	prev, err := s.store.Latest(auditstore.ConfigID(ra.datasetID, params))
+	if err != nil {
+		return nil
+	}
+	return prev
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
@@ -104,98 +240,51 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
-
-	dist, err := fairness.DistanceByName(req.Distance)
+	ra, status, err := s.resolveAudit(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, status, err)
 		return
 	}
-	agg, err := fairness.AggregatorByName(req.Aggregator)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	cfg := core.Config{
-		Measure:      fairness.Measure{Dist: dist, Agg: agg, Bins: req.Bins},
-		Attributes:   req.Attributes,
-		MinGroupSize: req.MinGroupSize,
-		MaxDepth:     req.MaxDepth,
-		Workers:      req.SolverWorkers,
-	}
-	opts := audit.Options{
-		Strategy:         req.Strategy,
-		K:                req.K,
-		TopN:             req.TopN,
-		Workers:          req.Workers,
-		Targets:          req.Targets,
-		Alpha:            req.Alpha,
-		MinExposureRatio: req.MinExposureRatio,
+	prev := s.loadBaseline(ra)
+	if prev != nil {
+		ra.opts.Baseline = prev.Baseline(ra.datasetID)
 	}
 
-	var rep *audit.Report
-	switch {
-	case req.Preset != "" && (req.Dataset != "" || len(req.Jobs) > 0):
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: Preset and Dataset/Jobs are mutually exclusive"))
-		return
-	case req.Preset != "":
-		if req.N <= 0 {
-			req.N = 1000
-		}
-		if req.Seed == 0 {
-			req.Seed = 1
-		}
-		m, merr := marketplace.PresetByName(req.Preset, req.N, req.Seed)
-		if merr != nil {
-			writeErr(w, http.StatusBadRequest, merr)
-			return
-		}
-		rep, err = audit.Run(m, cfg, opts)
-	case req.Dataset != "":
-		d, derr := s.sess.Dataset(req.Dataset)
-		if derr != nil {
-			writeErr(w, http.StatusNotFound, derr)
-			return
-		}
-		if len(req.Jobs) == 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: dataset audit needs at least one job {Name, Function}"))
-			return
-		}
-		rankings := make([]audit.Ranking, len(req.Jobs))
-		for i, j := range req.Jobs {
-			fn, ferr := scoring.Parse(j.Function)
-			if ferr != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, ferr))
-				return
-			}
-			scores, serr := fn.Score(d)
-			if serr != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("server: job %q: %w", j.Name, serr))
-				return
-			}
-			rankings[i] = audit.Ranking{Name: j.Name, Function: fn.String(), Scores: scores}
-		}
-		// Registered datasets share the session cache, so a re-audit
-		// (or the panels that prompted it) reuses the memoized work.
-		cfg.Cache = s.sess.SharedCache()
-		rep, err = audit.RunRankings(d, rankings, cfg, opts)
-		if rep != nil {
-			rep.Marketplace = req.Dataset
-		}
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: audit needs a Preset or a Dataset with Jobs"))
-		return
-	}
+	rep, err := audit.RunRankings(ra.data, ra.rankings, ra.cfg, ra.opts)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	rep.Marketplace = ra.name
 
 	text, err := report.AuditTable(rep)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toAuditResponse(rep, text))
+	out := toAuditResponse(rep, text)
+	if s.store != nil {
+		snap, serr := auditstore.New(ra.datasetID, ra.cfg, ra.opts, ra.rankings, rep)
+		if serr != nil {
+			writeErr(w, http.StatusInternalServerError, serr)
+			return
+		}
+		if _, serr := s.store.Save(snap); serr != nil {
+			writeErr(w, http.StatusInternalServerError, serr)
+			return
+		}
+		out.SnapshotID = snap.ID
+		out.SnapshotSeq = snap.Seq
+		out.Reused = rep.Reused
+		if prev != nil {
+			if d, derr := audit.Compare(prev.Report, rep); derr == nil {
+				if dt, derr := report.AuditDiffTable(d); derr == nil {
+					out.DiffText = dt
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func toAuditResponse(rep *audit.Report, text string) auditResponse {

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/auditstore"
+	"repro/internal/report"
+)
+
+// snapshotMetaJSON is one stored snapshot's listing row: the lineage
+// identity plus the headline numbers, without the full per-job
+// report.
+type snapshotMetaJSON struct {
+	ID                   string    `json:"id"`
+	Seq                  int       `json:"seq"`
+	CreatedAt            time.Time `json:"created_at"`
+	Dataset              string    `json:"dataset"`
+	Params               string    `json:"params"`
+	Strategy             string    `json:"strategy"`
+	K                    int       `json:"k"`
+	Jobs                 int       `json:"jobs"`
+	Infeasible           int       `json:"infeasible"`
+	MeanUnfairnessBefore float64   `json:"mean_unfairness_before"`
+	MeanUnfairnessAfter  float64   `json:"mean_unfairness_after"`
+}
+
+func toSnapshotMeta(s *auditstore.Snapshot) snapshotMetaJSON {
+	return snapshotMetaJSON{
+		ID:                   s.ID,
+		Seq:                  s.Seq,
+		CreatedAt:            s.CreatedAt,
+		Dataset:              s.Dataset,
+		Params:               s.Params,
+		Strategy:             s.Report.Strategy,
+		K:                    s.Report.K,
+		Jobs:                 len(s.Report.Jobs),
+		Infeasible:           s.Report.Infeasible,
+		MeanUnfairnessBefore: s.Report.MeanUnfairnessBefore,
+		MeanUnfairnessAfter:  s.Report.MeanUnfairnessAfter,
+	}
+}
+
+// historyResponse answers GET /api/audit/history: every stored
+// snapshot, or — with ?config=<id> — one lineage plus the
+// longitudinal diff of its two newest versions.
+type historyResponse struct {
+	Snapshots []snapshotMetaJSON `json:"snapshots"`
+	Config    string             `json:"config,omitempty"`
+	Diff      *audit.Diff        `json:"diff,omitempty"`
+	DiffText  string             `json:"diff_text,omitempty"`
+}
+
+// GET /api/audit/history serves the audit lifecycle's longitudinal
+// memory. Requires an audit store (fairankd -audit-dir); without one
+// the endpoint answers 404 so clients can hide the feature.
+func (s *Server) handleAuditHistory(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no audit store configured (start fairankd with -audit-dir)"))
+		return
+	}
+	out := historyResponse{Snapshots: []snapshotMetaJSON{}}
+	if id := r.URL.Query().Get("config"); id != "" {
+		versions, err := s.store.Versions(id)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if len(versions) == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("server: no snapshots for config %q", id))
+			return
+		}
+		out.Config = id
+		for _, v := range versions {
+			out.Snapshots = append(out.Snapshots, toSnapshotMeta(v))
+		}
+		if len(versions) >= 2 {
+			d, err := s.store.Diff(id)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			text, err := report.AuditDiffTable(d)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			out.Diff = d
+			out.DiffText = text
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	all, err := s.store.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, snap := range all {
+		out.Snapshots = append(out.Snapshots, toSnapshotMeta(snap))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

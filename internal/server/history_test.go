@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/auditstore"
+	"repro/internal/core"
+)
+
+func storeServer(t *testing.T) (*httptest.Server, *auditstore.Store) {
+	t.Helper()
+	st, err := auditstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession()
+	ts := httptest.NewServer(New(sess, WithAuditStore(st)).Handler())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func postAudit(t *testing.T, ts *httptest.Server, req map[string]any) auditResponse {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/api/audit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var out auditResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// With a store configured, every POST /api/audit persists a snapshot,
+// the second audit of the same configuration is fully incremental
+// (every job reused), and the response carries the lineage diff.
+func TestAuditPersistsAndReaudits(t *testing.T) {
+	ts, st := storeServer(t)
+	req := goldenAuditRequest(4)
+
+	first := postAudit(t, ts, req)
+	if first.SnapshotID == "" || first.SnapshotSeq != 1 {
+		t.Fatalf("first audit snapshot %q seq %d, want persisted seq 1", first.SnapshotID, first.SnapshotSeq)
+	}
+	if first.Reused != 0 {
+		t.Errorf("first audit reused %d jobs", first.Reused)
+	}
+	if first.DiffText != "" {
+		t.Errorf("first audit has a diff against nothing: %q", first.DiffText)
+	}
+
+	second := postAudit(t, ts, req)
+	if second.SnapshotID != first.SnapshotID {
+		t.Errorf("same configuration produced lineage %q then %q", first.SnapshotID, second.SnapshotID)
+	}
+	if second.SnapshotSeq != 2 {
+		t.Errorf("second snapshot seq %d, want 2", second.SnapshotSeq)
+	}
+	if second.Reused != len(second.Jobs) {
+		t.Errorf("incremental re-audit reused %d of %d jobs", second.Reused, len(second.Jobs))
+	}
+	if second.DiffText == "" {
+		t.Error("second audit carries no longitudinal diff")
+	}
+
+	snaps, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("store holds %d snapshots, want 2", len(snaps))
+	}
+
+	// A different configuration starts its own lineage.
+	other := goldenAuditRequest(4)
+	other["K"] = 5
+	third := postAudit(t, ts, other)
+	if third.SnapshotID == first.SnapshotID {
+		t.Error("different K landed in the same lineage")
+	}
+	if third.SnapshotSeq != 1 {
+		t.Errorf("new lineage starts at seq %d", third.SnapshotSeq)
+	}
+}
+
+func TestAuditHistoryEndpoint(t *testing.T) {
+	ts, _ := storeServer(t)
+	req := goldenAuditRequest(4)
+	first := postAudit(t, ts, req)
+	postAudit(t, ts, req)
+
+	var hist historyResponse
+	res := getJSON(t, ts.URL+"/api/audit/history", &hist)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("history status %d", res.StatusCode)
+	}
+	if len(hist.Snapshots) != 2 {
+		t.Fatalf("history lists %d snapshots, want 2", len(hist.Snapshots))
+	}
+	for i, s := range hist.Snapshots {
+		if s.ID != first.SnapshotID || s.Seq != i+1 {
+			t.Errorf("snapshot %d = %s seq %d", i, s.ID, s.Seq)
+		}
+		if s.Jobs == 0 || s.Strategy != "detcons" {
+			t.Errorf("snapshot %d meta incomplete: %+v", i, s)
+		}
+	}
+
+	var lineage historyResponse
+	res = getJSON(t, ts.URL+"/api/audit/history?config="+first.SnapshotID, &lineage)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("lineage status %d", res.StatusCode)
+	}
+	if lineage.Config != first.SnapshotID || len(lineage.Snapshots) != 2 {
+		t.Errorf("lineage response %+v", lineage)
+	}
+	if lineage.Diff == nil || lineage.DiffText == "" {
+		t.Fatal("two-version lineage has no diff")
+	}
+	if !lineage.Diff.Stable() {
+		t.Errorf("identical re-audit diffs as unstable: %+v", lineage.Diff)
+	}
+
+	res, err := http.Get(ts.URL + "/api/audit/history?config=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown config status %d, want 404", res.StatusCode)
+	}
+}
+
+// Without a store the history endpoint is absent (404), and audits
+// carry no snapshot fields.
+func TestAuditHistoryWithoutStore(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/audit/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("history without a store answered %d, want 404", res.StatusCode)
+	}
+	out := postAudit(t, ts, goldenAuditRequest(4))
+	if out.SnapshotID != "" || out.SnapshotSeq != 0 || out.DiffText != "" {
+		t.Errorf("storeless audit leaked snapshot fields: %+v", out)
+	}
+}

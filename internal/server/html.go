@@ -57,6 +57,7 @@ const indexHTML = `<!doctype html>
   <label>Top-k cutoff <input id="topk" type="number" value="10" min="1"></label>
   <button onclick="mitigate()">Mitigate &amp; re-quantify</button>
   <button onclick="auditAll()">Audit whole marketplace…</button>
+  <button onclick="auditStream()">Audit (streamed, per-job)…</button>
   <button class="secondary" onclick="generate()">Generate marketplace…</button>
   <button class="secondary" onclick="anonymize()">k-anonymize dataset…</button>
   <div id="error"></div>
@@ -163,6 +164,77 @@ async function auditAll() {
     div.appendChild(head); div.appendChild(body);
     document.getElementById('panels').appendChild(div);
   } catch (e) { setError(e); }
+}
+function auditStream() {
+  setError();
+  const preset = prompt('Preset to audit (crowdsourcing, taskrabbit, fiverr, qapa):', 'crowdsourcing');
+  if (!preset) return;
+  const n = parseInt(prompt('Workers:', '1000'), 10) || 1000;
+  const params = new URLSearchParams({
+    preset: preset, n: n,
+    strategy: document.getElementById('strategy').value,
+    k: document.getElementById('topk').value,
+    aggregator: document.getElementById('aggregator').value,
+    distance: document.getElementById('distance').value,
+    bins: document.getElementById('bins').value,
+  });
+  const div = document.createElement('div');
+  div.className = 'panel';
+  const head = document.createElement('header');
+  const title = document.createElement('span');
+  title.textContent = 'audit (streaming) ' + preset + '…';
+  const close = document.createElement('button');
+  close.className = 'close'; close.textContent = '✕';
+  head.appendChild(title); head.appendChild(close);
+  const body = document.createElement('div');
+  body.className = 'audit-summary';
+  const table = document.createElement('table');
+  table.className = 'audit';
+  table.innerHTML = '<thead><tr><th>#</th><th>job</th><th>unfairness</th>' +
+    '<th>parity gap</th><th>NDCG</th><th>status</th></tr></thead><tbody></tbody>';
+  const foot = document.createElement('p');
+  foot.textContent = 'auditing…';
+  body.appendChild(table); body.appendChild(foot);
+  div.appendChild(head); div.appendChild(body);
+  document.getElementById('panels').appendChild(div);
+
+  // One row per SSE job event: the table grows while the rest of the
+  // marketplace is still being audited.
+  const es = new EventSource('/api/audit/stream?' + params);
+  close.onclick = () => { es.close(); div.remove(); };
+  const fmt = v => (typeof v === 'number' ? v.toFixed(4) : v);
+  es.addEventListener('job', e => {
+    const j = JSON.parse(e.data);
+    const tr = document.createElement('tr');
+    const status = j.infeasible ? ('infeasible: ' + (j.detail || '')) : (j.improved ? 'improved' : 'mitigated');
+    const cells = [
+      j.index + 1, j.job,
+      j.infeasible ? fmt(j.unfairness_before) : fmt(j.unfairness_before) + ' → ' + fmt(j.unfairness_after),
+      fmt(j.before.parity_gap) + ' → ' + (j.infeasible ? '—' : fmt(j.after.parity_gap)),
+      j.infeasible ? '—' : fmt(j.ndcg), status,
+    ];
+    for (const c of cells) {
+      const td = document.createElement('td');
+      td.textContent = c;
+      if (j.infeasible) td.className = 'infeasible';
+      tr.appendChild(td);
+    }
+    table.tBodies[0].appendChild(tr);
+  });
+  es.addEventListener('rollup', e => {
+    const r = JSON.parse(e.data);
+    title.textContent = 'audit ' + r.marketplace + ' — ' + r.strategy;
+    foot.textContent = r.job_count + ' jobs · mean unfairness ' + fmt(r.mean_unfairness_before) +
+      ' → ' + fmt(r.mean_unfairness_after) + ' · mean NDCG@' + r.k + ' ' + fmt(r.mean_ndcg) +
+      ' · worst: ' + (r.worst || []).join(', ') +
+      (r.snapshot_id ? ' · snapshot ' + r.snapshot_id + ' v' + r.snapshot_seq : '');
+    es.close();
+  });
+  es.addEventListener('error', e => {
+    if (e.data) { setError(JSON.parse(e.data).error); }
+    foot.textContent = 'stream closed';
+    es.close();
+  });
 }
 async function generate() {
   setError();

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/anonymize"
+	"repro/internal/auditstore"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/histogram"
@@ -48,13 +49,29 @@ import (
 
 // Server wires a core.Session to HTTP handlers.
 type Server struct {
-	sess *core.Session
-	mux  *http.ServeMux
+	sess  *core.Session
+	mux   *http.ServeMux
+	store *auditstore.Store
+}
+
+// Option configures optional server subsystems.
+type Option func(*Server)
+
+// WithAuditStore enables the audit lifecycle endpoints: POST
+// /api/audit persists every report as a versioned snapshot (and
+// re-audits incrementally against the previous one), and GET
+// /api/audit/history serves the stored lineages and their
+// longitudinal diffs.
+func WithAuditStore(st *auditstore.Store) Option {
+	return func(s *Server) { s.store = st }
 }
 
 // New returns a server over the given session.
-func New(sess *core.Session) *Server {
+func New(sess *core.Session, opts ...Option) *Server {
 	s := &Server{sess: sess, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/datasets/generate", s.handleGenerate)
@@ -62,6 +79,8 @@ func New(sess *core.Session) *Server {
 	s.mux.HandleFunc("POST /api/quantify", s.handleQuantify)
 	s.mux.HandleFunc("POST /api/mitigate", s.handleMitigate)
 	s.mux.HandleFunc("POST /api/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /api/audit/stream", s.handleAuditStream)
+	s.mux.HandleFunc("GET /api/audit/history", s.handleAuditHistory)
 	s.mux.HandleFunc("GET /api/panels", s.handlePanels)
 	s.mux.HandleFunc("GET /api/panels/{id}", s.handlePanel)
 	s.mux.HandleFunc("DELETE /api/panels/{id}", s.handlePanelDelete)

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/auditstore"
+	"repro/internal/report"
+)
+
+// GET /api/audit/stream runs a batch audit and streams it as
+// server-sent events instead of one monolithic response: one `job`
+// event per audited job — emitted in canonical input order the moment
+// the emit frontier reaches it, so the first findings render while
+// the rest of the marketplace is still being audited — then a single
+// `rollup` event with the marketplace-level aggregates, or an `error`
+// event if the run fails mid-stream. The event sequence is
+// bit-identical for every worker count (enforced by golden tests),
+// exactly like the blocking endpoint's response.
+//
+// The endpoint accepts the POST /api/audit parameters as query
+// parameters (EventSource can only GET): preset, n, seed OR dataset
+// plus repeated job=name=function; strategy, k, top_n, workers,
+// targets=label=share,..., alpha, min_ratio; aggregator, distance,
+// bins, attrs, min_group_size, max_depth, solver_workers.
+func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
+	req, err := auditRequestFromQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ra, status, err := s.resolveAudit(req)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	prev := s.loadBaseline(ra)
+	if prev != nil {
+		ra.opts.Baseline = prev.Baseline(ra.datasetID)
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: response writer cannot stream"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	ra.opts.Emit = func(i int, jr audit.JobReport) {
+		emit("job", toStreamJobJSON(i, jr))
+	}
+	// A closed EventSource must not keep the marketplace audit
+	// burning: once the client hangs up, no further jobs are
+	// dispatched and nothing is persisted.
+	ra.opts.Cancel = r.Context().Done()
+
+	rep, err := audit.RunRankings(ra.data, ra.rankings, ra.cfg, ra.opts)
+	if err != nil {
+		if errors.Is(err, audit.ErrCanceled) {
+			return // client is gone; nobody is listening for an event
+		}
+		// Headers are long gone; the stream's error channel is an SSE
+		// event of its own.
+		emit("error", apiError{Error: err.Error()})
+		return
+	}
+	rep.Marketplace = ra.name
+
+	rollup := toStreamRollupJSON(rep)
+	if s.store != nil {
+		if snap, serr := auditstore.New(ra.datasetID, ra.cfg, ra.opts, ra.rankings, rep); serr == nil {
+			if _, serr := s.store.Save(snap); serr == nil {
+				rollup.SnapshotID = snap.ID
+				rollup.SnapshotSeq = snap.Seq
+			}
+		}
+	}
+	emit("rollup", rollup)
+}
+
+// auditStreamJobJSON is one `job` SSE event: the job's audit row plus
+// its canonical index, so clients can render a stable table without
+// trusting arrival order.
+type auditStreamJobJSON struct {
+	Index int `json:"index"`
+	auditJobJSON
+}
+
+func toStreamJobJSON(i int, jr audit.JobReport) auditStreamJobJSON {
+	return auditStreamJobJSON{
+		Index: i,
+		auditJobJSON: auditJobJSON{
+			Job:              jr.Job,
+			Function:         jr.Function,
+			Groups:           jr.Groups,
+			Attributes:       jr.Attributes,
+			Before:           toMetricsJSON(jr.Before, jr.Groups),
+			After:            toMetricsJSON(jr.After, jr.Groups),
+			UnfairnessBefore: jr.QuantifiedBefore,
+			UnfairnessAfter:  jr.QuantifiedAfter,
+			NDCG:             jr.Utility.NDCG,
+			MeanDisplacement: jr.Utility.MeanDisplacement,
+			Improved:         jr.Improved(),
+			Infeasible:       jr.Infeasible,
+			Detail:           jr.Detail,
+		},
+	}
+}
+
+// auditStreamRollupJSON is the final `rollup` SSE event: the
+// marketplace-level aggregates of the audit whose jobs were already
+// streamed (JobCount, not the rows themselves), plus the rendered
+// text report and snapshot lineage when persistence is on.
+type auditStreamRollupJSON struct {
+	Marketplace          string        `json:"marketplace"`
+	Strategy             string        `json:"strategy"`
+	K                    int           `json:"k"`
+	JobCount             int           `json:"job_count"`
+	Worst                []string      `json:"worst"`
+	Hotspots             []hotspotJSON `json:"hotspots"`
+	Infeasible           int           `json:"infeasible"`
+	MeanUnfairnessBefore float64       `json:"mean_unfairness_before"`
+	MeanUnfairnessAfter  float64       `json:"mean_unfairness_after"`
+	MeanParityGapBefore  float64       `json:"mean_parity_gap_before"`
+	MeanParityGapAfter   float64       `json:"mean_parity_gap_after"`
+	MeanNDCG             float64       `json:"mean_ndcg"`
+	MeanDisplacement     float64       `json:"mean_displacement"`
+	ElapsedMS            float64       `json:"elapsed_ms"`
+	Text                 string        `json:"text"`
+	SnapshotID           string        `json:"snapshot_id,omitempty"`
+	SnapshotSeq          int           `json:"snapshot_seq,omitempty"`
+	Reused               int           `json:"reused,omitempty"`
+}
+
+func toStreamRollupJSON(rep *audit.Report) auditStreamRollupJSON {
+	out := auditStreamRollupJSON{
+		Marketplace:          rep.Marketplace,
+		Strategy:             rep.Strategy,
+		K:                    rep.K,
+		JobCount:             len(rep.Jobs),
+		Worst:                rep.Worst,
+		Hotspots:             make([]hotspotJSON, len(rep.Hotspots)),
+		Infeasible:           rep.Infeasible,
+		MeanUnfairnessBefore: rep.MeanUnfairnessBefore,
+		MeanUnfairnessAfter:  rep.MeanUnfairnessAfter,
+		MeanParityGapBefore:  rep.MeanParityGapBefore,
+		MeanParityGapAfter:   rep.MeanParityGapAfter,
+		MeanNDCG:             rep.MeanNDCG,
+		MeanDisplacement:     rep.MeanDisplacement,
+		ElapsedMS:            float64(rep.Elapsed.Microseconds()) / 1000,
+		Reused:               rep.Reused,
+	}
+	for i, h := range rep.Hotspots {
+		out.Hotspots[i] = hotspotJSON{Attribute: h.Attribute, Jobs: h.Jobs}
+	}
+	if text, err := report.AuditTable(rep); err == nil {
+		out.Text = text
+	}
+	return out
+}
+
+// auditRequestFromQuery maps the stream endpoint's query parameters
+// onto the shared auditRequest.
+func auditRequestFromQuery(q url.Values) (auditRequest, error) {
+	var req auditRequest
+	var err error
+	intParam := func(name string) int {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		n, perr := strconv.Atoi(v)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("server: parameter %s=%q is not an integer", name, v)
+		}
+		return n
+	}
+	floatParam := func(name string) float64 {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("server: parameter %s=%q is not a number", name, v)
+		}
+		return f
+	}
+
+	req.Preset = q.Get("preset")
+	req.N = intParam("n")
+	if v := q.Get("seed"); v != "" {
+		seed, perr := strconv.ParseUint(v, 10, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("server: parameter seed=%q is not an unsigned integer", v)
+		}
+		req.Seed = seed
+	}
+	req.Dataset = q.Get("dataset")
+	for _, j := range q["job"] {
+		name, fn, ok := strings.Cut(j, "=")
+		if !ok && err == nil {
+			err = fmt.Errorf("server: parameter job=%q is not name=function", j)
+		}
+		req.Jobs = append(req.Jobs, auditJobSpec{Name: name, Function: fn})
+	}
+	req.Strategy = q.Get("strategy")
+	req.K = intParam("k")
+	req.TopN = intParam("top_n")
+	req.Workers = intParam("workers")
+	req.Alpha = floatParam("alpha")
+	req.MinExposureRatio = floatParam("min_ratio")
+	if v := q.Get("targets"); v != "" {
+		req.Targets = make(map[string]float64)
+		for _, t := range strings.Split(v, ",") {
+			label, share, ok := strings.Cut(t, "=")
+			if !ok {
+				if err == nil {
+					err = fmt.Errorf("server: parameter targets entry %q is not label=share", t)
+				}
+				continue
+			}
+			f, perr := strconv.ParseFloat(share, 64)
+			if perr != nil && err == nil {
+				err = fmt.Errorf("server: target share %q is not a number", share)
+			}
+			req.Targets[label] = f
+		}
+	}
+	req.Aggregator = q.Get("aggregator")
+	req.Distance = q.Get("distance")
+	req.Bins = intParam("bins")
+	if v := q.Get("attrs"); v != "" {
+		for _, a := range strings.Split(v, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				req.Attributes = append(req.Attributes, a)
+			}
+		}
+	}
+	req.MinGroupSize = intParam("min_group_size")
+	req.MaxDepth = intParam("max_depth")
+	req.SolverWorkers = intParam("solver_workers")
+	return req, err
+}

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// goldenStreamQuery is the canonical streaming-audit request the
+// suite pins: the same small crowdsourcing audit as the blocking
+// golden, served as one SSE event per job plus a rollup.
+func goldenStreamQuery(workers int) url.Values {
+	return url.Values{
+		"preset":   {"crowdsourcing"},
+		"n":        {"300"},
+		"seed":     {"1"},
+		"strategy": {"detcons"},
+		"k":        {"10"},
+		"workers":  {fmt.Sprintf("%d", workers)},
+	}
+}
+
+// canonicalSSE parses an SSE stream, scrubs the nondeterministic
+// rollup fields (elapsed, cache-warmth work counters in the text
+// report), and re-renders every event with stable JSON indentation.
+func canonicalSSE(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, block := range strings.Split(strings.TrimSuffix(string(body), "\n\n"), "\n\n") {
+		event, data, ok := strings.Cut(block, "\n")
+		if !ok {
+			t.Fatalf("malformed SSE block %q", block)
+		}
+		if !strings.HasPrefix(event, "event: ") || !strings.HasPrefix(data, "data: ") {
+			t.Fatalf("malformed SSE block %q", block)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(data, "data: ")), &v); err != nil {
+			t.Fatalf("SSE data is not JSON: %v\n%s", err, data)
+		}
+		scrubTiming(v)
+		canon, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&out, "%s\n%s\n\n", event, canon)
+	}
+	return out.Bytes()
+}
+
+func getStream(t *testing.T, ts *httptest.Server, q url.Values) []byte {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/api/audit/stream?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// The streamed audit is pinned as a golden file: one `job` event per
+// job in canonical order, then one `rollup` event. The golden is
+// recorded at workers=8, so the parallel stream must serve the exact
+// bytes the sequential engine would.
+func TestGoldenAuditStream(t *testing.T) {
+	ts := testServer(t)
+	body := getStream(t, ts, goldenStreamQuery(8))
+	checkGolden(t, "audit_stream.golden.txt", canonicalSSE(t, body))
+}
+
+// Every worker count streams the identical event sequence — order,
+// payloads, rollup — because emission follows the canonical frontier,
+// not completion order.
+func TestGoldenAuditStreamWorkerInvariance(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		sess := core.NewSession()
+		ts := httptest.NewServer(New(sess).Handler())
+		body := canonicalSSE(t, getStream(t, ts, goldenStreamQuery(workers)))
+		ts.Close()
+		if want == nil {
+			want = body
+			continue
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d stream differs:\n%s\nwant:\n%s", workers, body, want)
+		}
+	}
+}
+
+// The stream carries the whole report: its job events must agree with
+// the blocking endpoint's rows, and the rollup with its aggregates.
+func TestAuditStreamMatchesBlocking(t *testing.T) {
+	ts := testServer(t)
+
+	events := strings.Split(strings.TrimSpace(string(getStream(t, ts, goldenStreamQuery(4)))), "\n\n")
+	var jobs []map[string]any
+	var rollup map[string]any
+	for _, block := range events {
+		event, data, _ := strings.Cut(block, "\n")
+		payload := strings.TrimPrefix(data, "data: ")
+		switch strings.TrimPrefix(event, "event: ") {
+		case "job":
+			var j map[string]any
+			if err := json.Unmarshal([]byte(payload), &j); err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		case "rollup":
+			if rollup != nil {
+				t.Fatal("more than one rollup event")
+			}
+			if err := json.Unmarshal([]byte(payload), &rollup); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected event %q", event)
+		}
+	}
+	if rollup == nil {
+		t.Fatal("stream ended without a rollup event")
+	}
+
+	buf, err := json.Marshal(goldenAuditRequest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/api/audit", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var blocking struct {
+		Jobs                []map[string]any `json:"jobs"`
+		K                   float64          `json:"k"`
+		MeanUnfairnessAfter float64          `json:"mean_unfairness_after"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&blocking); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(blocking.Jobs) {
+		t.Fatalf("streamed %d jobs, blocking endpoint has %d", len(jobs), len(blocking.Jobs))
+	}
+	for i, j := range jobs {
+		if j["index"].(float64) != float64(i) {
+			t.Errorf("event %d carries index %v", i, j["index"])
+		}
+		if j["job"] != blocking.Jobs[i]["job"] {
+			t.Errorf("event %d is job %v, blocking row is %v", i, j["job"], blocking.Jobs[i]["job"])
+		}
+		if j["unfairness_after"] != blocking.Jobs[i]["unfairness_after"] {
+			t.Errorf("job %v: streamed unfairness %v != blocking %v",
+				j["job"], j["unfairness_after"], blocking.Jobs[i]["unfairness_after"])
+		}
+	}
+	if rollup["job_count"].(float64) != float64(len(jobs)) {
+		t.Errorf("rollup job_count %v, want %d", rollup["job_count"], len(jobs))
+	}
+	if rollup["mean_unfairness_after"] != blocking.MeanUnfairnessAfter {
+		t.Errorf("rollup mean %v != blocking %v", rollup["mean_unfairness_after"], blocking.MeanUnfairnessAfter)
+	}
+}
+
+// A bad stream request fails before any event is written: a plain
+// JSON error with a proper status code, not a broken stream.
+func TestAuditStreamBadRequest(t *testing.T) {
+	ts := testServer(t)
+	for _, q := range []url.Values{
+		{"preset": {"nope"}},
+		{"preset": {"crowdsourcing"}, "n": {"ten"}},
+		{"preset": {"crowdsourcing"}, "strategy": {"nope"}},
+		{"dataset": {"table1"}}, // no jobs
+		{"job": {"a=rating"}},   // no dataset or preset
+		{"preset": {"crowdsourcing"}, "targets": {"oops"}},
+	} {
+		res, err := http.Get(ts.URL + "/api/audit/stream?" + q.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode == http.StatusOK {
+			t.Errorf("query %v unexpectedly streamed: %s", q, body)
+			continue
+		}
+		var apiErr apiError
+		if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Error == "" {
+			t.Errorf("query %v: error body %q is not an apiError", q, body)
+		}
+	}
+}
+
+// Dataset-plus-jobs audits stream too, sharing the session cache.
+func TestAuditStreamDatasetJobs(t *testing.T) {
+	sess := core.NewSession()
+	if err := sess.AddDataset("table1", dataset.Table1()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sess).Handler())
+	defer ts.Close()
+	q := url.Values{
+		"dataset":  {"table1"},
+		"job":      {"lang=language_test", "blend=0.3*language_test + 0.7*rating"},
+		"strategy": {"fair"},
+	}
+	events := strings.Split(strings.TrimSpace(string(getStream(t, ts, q))), "\n\n")
+	var jobNames []string
+	for _, block := range events {
+		event, data, _ := strings.Cut(block, "\n")
+		if strings.TrimPrefix(event, "event: ") != "job" {
+			continue
+		}
+		var j struct {
+			Job string `json:"job"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(data, "data: ")), &j); err != nil {
+			t.Fatal(err)
+		}
+		jobNames = append(jobNames, j.Job)
+	}
+	if want := []string{"lang", "blend"}; !equalStrings(jobNames, want) {
+		t.Errorf("streamed jobs %v, want %v", jobNames, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

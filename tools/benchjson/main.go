@@ -11,14 +11,30 @@
 // With no arguments the tool reads one run from stdin into a section
 // named "results". Each argument names a section and a file of raw
 // benchmark output, letting one JSON file carry before/after pairs.
+//
+// Gate mode compares a candidate JSON record against a committed
+// baseline and exits non-zero on regression — the CI perf gate:
+//
+//	go run ./tools/benchjson -gate -baseline BENCH_PR4.json -candidate bench-pr.json \
+//	    -match 'BenchmarkQuantify|BenchmarkMitigate|BenchmarkAudit' \
+//	    -max-time-regression 25 -max-alloc-regression 30
+//
+// Only benchmarks present in BOTH files (and matching -match, when
+// set) are gated, so adding a benchmark — or a machine-dependent
+// sub-benchmark name like workers=GOMAXPROCS — never breaks the gate;
+// baseline-only names are printed as notes, and a gate that ends up
+// comparing zero benchmarks fails rather than passing vacuously.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,11 +56,28 @@ type report struct {
 }
 
 func main() {
+	gate := flag.Bool("gate", false, "compare -candidate against -baseline and exit 1 on regression")
+	baselinePath := flag.String("baseline", "", "gate mode: committed baseline JSON (e.g. BENCH_PR4.json)")
+	candidatePath := flag.String("candidate", "", "gate mode: freshly recorded JSON to check")
+	section := flag.String("section", "results", "gate mode: section to compare in both files")
+	match := flag.String("match", "", "gate mode: regexp of benchmark names to gate (empty = all shared names)")
+	maxTime := flag.Float64("max-time-regression", 25, "gate mode: max allowed ns/op increase, percent")
+	maxAlloc := flag.Float64("max-alloc-regression", 30, "gate mode: max allowed allocs/op increase, percent")
+	flag.Parse()
+
+	if *gate {
+		if err := runGate(*baselinePath, *candidatePath, *section, *match, *maxTime, *maxAlloc, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep := report{Sections: make(map[string]map[string]metrics)}
-	if len(os.Args) < 2 {
+	if flag.NArg() == 0 {
 		parse(os.Stdin, "results", &rep)
 	} else {
-		for _, arg := range os.Args[1:] {
+		for _, arg := range flag.Args() {
 			label, path, ok := strings.Cut(arg, "=")
 			if !ok {
 				fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=path\n", arg)
@@ -126,3 +159,148 @@ func parse(r io.Reader, label string, rep *report) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// loadSection reads one section of a benchjson record from disk.
+func loadSection(path, section string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	s, ok := rep.Sections[section]
+	if !ok {
+		names := make([]string, 0, len(rep.Sections))
+		for n := range rep.Sections {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("%s has no section %q (sections: %s)", path, section, strings.Join(names, ", "))
+	}
+	return s, nil
+}
+
+// gomaxprocsSuffix is the "-N" go test appends to benchmark names
+// when GOMAXPROCS != 1. A baseline recorded on a 1-CPU box has bare
+// names while a multi-core CI runner emits "-4"-suffixed ones; gate
+// mode strips the suffix from both sides so the comparison keys on
+// the benchmark, not the recording machine's core count.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// stripProcs normalizes a record's benchmark names for gating. On
+// the (contrived) chance stripping collides two names, the first
+// shortest-name entry wins deterministically.
+func stripProcs(section map[string]metrics) map[string]metrics {
+	out := make(map[string]metrics, len(section))
+	names := make([]string, 0, len(section))
+	for name := range section {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		key := gomaxprocsSuffix.ReplaceAllString(name, "")
+		if _, ok := out[key]; !ok {
+			out[key] = section[name]
+		}
+	}
+	return out
+}
+
+// runGate loads the two records and fails on regression.
+func runGate(baselinePath, candidatePath, section, match string, maxTime, maxAlloc float64, out io.Writer) error {
+	if baselinePath == "" || candidatePath == "" {
+		return fmt.Errorf("gate mode needs -baseline and -candidate")
+	}
+	base, err := loadSection(baselinePath, section)
+	if err != nil {
+		return err
+	}
+	cand, err := loadSection(candidatePath, section)
+	if err != nil {
+		return err
+	}
+	base, cand = stripProcs(base), stripProcs(cand)
+	var re *regexp.Regexp
+	if match != "" {
+		re, err = regexp.Compile(match)
+		if err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+	failures := gateCompare(base, cand, re, maxTime, maxAlloc, out)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the thresholds (time +%.0f%%, allocs +%.0f%%)", failures, maxTime, maxAlloc)
+	}
+	return nil
+}
+
+// gateCompare prints a comparison table of every gated benchmark and
+// returns how many failed. Gated names are the intersection of the
+// two records (filtered by re): sub-benchmark names can embed
+// machine-dependent values (e.g. workers=GOMAXPROCS), so a
+// baseline-only name is a visible note rather than a failure.
+func gateCompare(base, cand map[string]metrics, re *regexp.Regexp, maxTime, maxAlloc float64, out io.Writer) int {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if re == nil || re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	pct := func(baseV, candV float64) float64 {
+		if baseV == 0 {
+			if candV == 0 {
+				return 0
+			}
+			return 1e9 // zero-to-nonzero: treat as unbounded regression
+		}
+		return (candV - baseV) / baseV * 100
+	}
+
+	failures, gated := 0, 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Fprintf(out, "note %-60s not in candidate (machine-dependent name?), not gated\n", name)
+			continue
+		}
+		gated++
+		timeDelta := pct(b.NsPerOp, c.NsPerOp)
+		status, detail := "ok  ", fmt.Sprintf("time %+7.1f%%", timeDelta)
+		fail := timeDelta > maxTime
+		if b.AllocsOp != nil && c.AllocsOp != nil {
+			allocDelta := pct(*b.AllocsOp, *c.AllocsOp)
+			detail += fmt.Sprintf("  allocs %+7.1f%%", allocDelta)
+			if allocDelta > maxAlloc {
+				fail = true
+			}
+		}
+		if fail {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(out, "%s %-60s %s\n", status, name, detail)
+	}
+
+	extra := 0
+	for name := range cand {
+		if _, ok := base[name]; !ok && (re == nil || re.MatchString(name)) {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Fprintf(out, "note: %d new benchmark(s) not in the baseline (not gated)\n", extra)
+	}
+	if gated == 0 {
+		// An empty intersection means the gate checked nothing — fail
+		// loudly instead of green-lighting by accident.
+		fmt.Fprintln(out, "FAIL gate compared zero benchmarks (bad -match or disjoint records)")
+		return 1
+	}
+	return failures
+}

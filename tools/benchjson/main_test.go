@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func m(ns float64, allocs float64) metrics {
+	return metrics{Iterations: 1, NsPerOp: ns, AllocsOp: ptr(allocs)}
+}
+
+// The acceptance scenario: an injected 2× slowdown on a gated
+// benchmark fails the gate; the same record within thresholds passes.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	base := map[string]metrics{
+		"BenchmarkQuantify/cold": m(100e6, 70000),
+		"BenchmarkAudit/seq":     m(200e6, 500000),
+		"BenchmarkE11EMD/x":      m(1000, 5),
+	}
+	re := regexp.MustCompile(`BenchmarkQuantify|BenchmarkMitigate|BenchmarkAudit`)
+
+	var out bytes.Buffer
+	ok := map[string]metrics{
+		"BenchmarkQuantify/cold": m(110e6, 72000), // +10% time, +2.9% allocs
+		"BenchmarkAudit/seq":     m(190e6, 510000),
+		"BenchmarkE11EMD/x":      m(5000, 5), // 5× slower but not gated by -match
+	}
+	if got := gateCompare(base, ok, re, 25, 30, &out); got != 0 {
+		t.Errorf("within-threshold run failed the gate (%d failures):\n%s", got, out.String())
+	}
+
+	out.Reset()
+	slow := map[string]metrics{
+		"BenchmarkQuantify/cold": m(200e6, 70000), // injected 2× slowdown
+		"BenchmarkAudit/seq":     m(200e6, 500000),
+	}
+	if got := gateCompare(base, slow, re, 25, 30, &out); got != 1 {
+		t.Errorf("2× slowdown produced %d failures, want 1:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkQuantify/cold") {
+		t.Errorf("gate output does not name the regressed benchmark:\n%s", out.String())
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	base := map[string]metrics{"BenchmarkMitigate/x": m(100, 1000)}
+	cand := map[string]metrics{"BenchmarkMitigate/x": m(100, 1400)} // +40% allocs
+	var out bytes.Buffer
+	if got := gateCompare(base, cand, nil, 25, 30, &out); got != 1 {
+		t.Errorf("+40%% allocs produced %d failures, want 1:\n%s", got, out.String())
+	}
+}
+
+// Machine-dependent sub-benchmark names (workers=GOMAXPROCS) differ
+// between the baseline recorder and CI: baseline-only names must not
+// fail the gate, but a gate that matches nothing at all must.
+func TestGateIntersectionSemantics(t *testing.T) {
+	base := map[string]metrics{
+		"BenchmarkAudit/parallel/workers=1": m(100, 10),
+		"BenchmarkAudit/sequential":         m(100, 10),
+	}
+	cand := map[string]metrics{
+		"BenchmarkAudit/parallel/workers=4": m(100, 10),
+		"BenchmarkAudit/sequential":         m(90, 10),
+	}
+	var out bytes.Buffer
+	if got := gateCompare(base, cand, nil, 25, 30, &out); got != 0 {
+		t.Errorf("differing machine-dependent names failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "not gated") {
+		t.Errorf("baseline-only name not surfaced as a note:\n%s", out.String())
+	}
+
+	out.Reset()
+	re := regexp.MustCompile(`BenchmarkNothingMatchesThis`)
+	if got := gateCompare(base, cand, re, 25, 30, &out); got == 0 {
+		t.Error("gate passed while comparing zero benchmarks")
+	}
+}
+
+// Zero-to-nonzero allocation growth is an unbounded regression, not a
+// divide-by-zero pass.
+func TestGateZeroBaseline(t *testing.T) {
+	base := map[string]metrics{"BenchmarkX": m(100, 0)}
+	cand := map[string]metrics{"BenchmarkX": m(100, 50)}
+	var out bytes.Buffer
+	if got := gateCompare(base, cand, nil, 25, 30, &out); got != 1 {
+		t.Errorf("0 -> 50 allocs produced %d failures, want 1:\n%s", got, out.String())
+	}
+}
+
+// A baseline recorded at GOMAXPROCS=1 (bare names) must gate against
+// a multi-core candidate ("-4" suffixes) — the exact CI-runner
+// topology mismatch — including catching a regression across it.
+func TestGateStripsGomaxprocsSuffix(t *testing.T) {
+	write := func(t *testing.T, dir, name string, sec map[string]metrics) string {
+		t.Helper()
+		buf, err := json.Marshal(report{Sections: map[string]map[string]metrics{"results": sec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	dir := t.TempDir()
+	basePath := write(t, dir, "base.json", map[string]metrics{
+		"BenchmarkQuantify/sequential": m(100e6, 70000),
+		"BenchmarkAudit/sequential":    m(200e6, 500000),
+	})
+	okPath := write(t, dir, "ok.json", map[string]metrics{
+		"BenchmarkQuantify/sequential-4": m(105e6, 70000),
+		"BenchmarkAudit/sequential-4":    m(195e6, 500000),
+	})
+	slowPath := write(t, dir, "slow.json", map[string]metrics{
+		"BenchmarkQuantify/sequential-4": m(200e6, 70000), // 2× slowdown
+		"BenchmarkAudit/sequential-4":    m(195e6, 500000),
+	})
+	var out bytes.Buffer
+	if err := runGate(basePath, okPath, "results", "", 25, 30, &out); err != nil {
+		t.Errorf("suffix mismatch alone failed the gate: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := runGate(basePath, slowPath, "results", "", 25, 30, &out); err == nil {
+		t.Errorf("2× slowdown hidden by the suffix mismatch:\n%s", out.String())
+	}
+}
+
+// Names whose trailing token is not a procs suffix are untouched.
+func TestStripProcs(t *testing.T) {
+	in := map[string]metrics{
+		"BenchmarkE11EMD/closed/bins=10": m(1, 1), // "=10" is data, not procs
+		"BenchmarkQuantify/sequential-8": m(2, 2),
+	}
+	got := stripProcs(in)
+	if _, ok := got["BenchmarkE11EMD/closed/bins=10"]; !ok {
+		t.Errorf("data-bearing name mangled: %v", got)
+	}
+	if _, ok := got["BenchmarkQuantify/sequential"]; !ok {
+		t.Errorf("procs suffix not stripped: %v", got)
+	}
+}
+
+// End-to-end through runGate: real files, real sections, exit error.
+func TestRunGateFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		rep := report{Sections: map[string]map[string]metrics{
+			"results": {"BenchmarkQuantify/cold": m(ns, 1000)},
+		}}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", 100e6)
+	okPath := write("ok.json", 105e6)
+	slowPath := write("slow.json", 200e6)
+
+	var out bytes.Buffer
+	if err := runGate(basePath, okPath, "results", "", 25, 30, &out); err != nil {
+		t.Errorf("within-threshold gate errored: %v\n%s", err, out.String())
+	}
+	if err := runGate(basePath, slowPath, "results", "", 25, 30, &out); err == nil {
+		t.Error("2× slowdown gate did not error")
+	}
+	if err := runGate(basePath, slowPath, "nope", "", 25, 30, &out); err == nil {
+		t.Error("missing section accepted")
+	}
+	if err := runGate("", okPath, "results", "", 25, 30, &out); err == nil {
+		t.Error("missing -baseline accepted")
+	}
+	if err := runGate(basePath, okPath, "results", "(", 25, 30, &out); err == nil {
+		t.Error("bad -match regexp accepted")
+	}
+	if err := runGate(filepath.Join(dir, "missing.json"), okPath, "results", "", 25, 30, &out); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
+// The parser handles the real `go test -bench -benchmem` line format,
+// including custom metrics.
+func TestParse(t *testing.T) {
+	raw := `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQuantify/cold-4   	      12	  99000000 ns/op	 8000000 B/op	   70000 allocs/op
+BenchmarkCustom            	     100	      1234 ns/op	       5.5 widgets/op
+not a benchmark line
+`
+	rep := report{Sections: make(map[string]map[string]metrics)}
+	parse(strings.NewReader(raw), "results", &rep)
+	s := rep.Sections["results"]
+	q, ok := s["BenchmarkQuantify/cold-4"]
+	if !ok {
+		t.Fatalf("parsed names: %v", s)
+	}
+	if q.NsPerOp != 99000000 || q.AllocsOp == nil || *q.AllocsOp != 70000 {
+		t.Errorf("parsed metrics %+v", q)
+	}
+	c := s["BenchmarkCustom"]
+	if c.Extra["widgets/op"] != 5.5 {
+		t.Errorf("custom metric not parsed: %+v", c)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu line not captured: %q", rep.CPU)
+	}
+}
