@@ -476,6 +476,12 @@ func OptimalLattice(d *Dataset, hs []*Hierarchy, k, maxSuppress int) (*LatticeRe
 // the population can satisfy.
 var ErrInfeasible = mitigate.ErrInfeasible
 
+// ErrDegeneratePartition marks an aggregation over a partitioning
+// with fewer than two groups: such a partitioning has no pairwise
+// distances, so it has no defined unfairness and can never compete
+// with genuine multi-group candidates (errors.Is-comparable).
+var ErrDegeneratePartition = core.ErrDegeneratePartition
+
 // Mitigate runs the explore-and-repair loop: Quantify discovers the
 // most unfair partitioning of d under scores, the configured strategy
 // re-ranks the population to repair it, and the quantification engine

@@ -1,34 +1,32 @@
 package audit
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fingerprint"
 	"repro/internal/mitigate"
 )
 
 // ScoreFingerprint hashes a score vector into a short stable
 // identifier. Two rankings share a fingerprint exactly when they have
-// the same length and bit-identical scores in the same row order —
-// the precondition under which a stored JobReport can be reused
-// verbatim by an incremental re-audit (see Options.Baseline).
+// the same length and canonically equal scores in the same row order
+// (bit-identical up to the sign of zero and NaN payloads, see
+// internal/fingerprint) — the precondition under which a stored
+// JobReport can be reused verbatim by an incremental re-audit (see
+// Options.Baseline).
+//
+// Canonicalization fixed a reuse bug: -0.0 vs 0.0 and NaNs with
+// different payload bits used to fingerprint differently, so an
+// incremental re-audit would spuriously re-run jobs whose scores were
+// semantically unchanged. Fingerprints of vectors containing only
+// normal floats are unaffected; snapshots stored before the fix whose
+// rankings contain -0.0 or NaN re-audit once (a skipped reuse, never
+// a wrong report) and then match again.
 func ScoreFingerprint(scores []float64) string {
-	h := sha256.New()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(scores)))
-	h.Write(buf[:])
-	for _, s := range scores {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
-		h.Write(buf[:])
-	}
-	sum := h.Sum(nil)
-	return hex.EncodeToString(sum[:8])
+	return fingerprint.Scores(scores)
 }
 
 // ParamsKey canonicalizes everything besides the score vectors that

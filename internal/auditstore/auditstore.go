@@ -63,7 +63,13 @@ type Snapshot struct {
 	// report was computed under.
 	Params string `json:"params"`
 	// Fingerprints maps each job name to the fingerprint of the score
-	// vector it was audited with (audit.ScoreFingerprint).
+	// vector it was audited with (audit.ScoreFingerprint). The
+	// fingerprint is canonical over float equivalence (-0.0 == 0.0,
+	// all NaNs alike); this is not a schema change — snapshots written
+	// before canonicalization stay readable, and a stored fingerprint
+	// that predates it can at worst miss a reuse for rankings
+	// containing -0.0 or NaN (one spurious re-audit, never a wrong
+	// report), after which the stored value matches again.
 	Fingerprints map[string]string `json:"fingerprints"`
 	// Report is the audit itself.
 	Report *audit.Report `json:"report"`

@@ -85,3 +85,32 @@ func TestGroupDistanceWarmAllocs(t *testing.T) {
 		t.Errorf("warm groupDistance allocates %.1f times per call, want ≤ 2", avg)
 	}
 }
+
+// TestAggWithinWarmAllocs bounds the allocations of a warm aggWithin
+// call: the distance memos are hits and the scratch distance slice
+// comes from the pool, so the steady state allocates nothing.
+func TestAggWithinWarmAllocs(t *testing.T) {
+	d, scores := table1Scores(t)
+	e, err := newEngine(d, scores, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	children, err := e.splitChildren(partition.Root(d), "language")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) < 2 {
+		t.Fatalf("language split has %d children", len(children))
+	}
+	if _, err := e.aggWithin(children); err != nil {
+		t.Fatal(err) // warm the memos and the pool
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.aggWithin(children); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("warm aggWithin allocates %.1f times per call, want ≤ 1", avg)
+	}
+}

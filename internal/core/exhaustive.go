@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/fairness"
 	"repro/internal/partition"
 )
 
@@ -21,12 +20,8 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	defer e.release()
 	root := partition.Root(d)
-
-	agg := e.measure.Agg
-	if agg == nil {
-		agg = fairness.Average{}
-	}
 
 	// Collect the candidate partitionings, then score them over the
 	// worker pool: the same pair of groups appears in many enumerated
@@ -34,46 +29,50 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	// (single-flight), so the scoring order cannot change any value.
 	// The best is selected in enumeration order afterwards, keeping the
 	// result bit-identical for every worker count.
+	//
+	// Degenerate single-leaf candidates are excluded outright: they
+	// have no pairwise distances, and before ErrDegeneratePartition
+	// existed the empty aggregate scored 0 — "perfectly fair" — so the
+	// trivial no-split partitioning always won LeastUnfair. They only
+	// stand when nothing is splittable at all, where the trivial
+	// result is genuinely the one partitioning that exists.
 	var all [][]partition.Group
+	enumerated := 0
 	err = partition.ForEachPartitioning(d, root, e.cfg.Attributes, e.cfg.MinGroupSize, e.cfg.EnumerationLimit, func(leaves []partition.Group) error {
-		all = append(all, leaves)
+		enumerated++
+		if len(leaves) >= 2 {
+			all = append(all, leaves)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: exhaustive search: %w", err)
 	}
-	e.partitionings = len(all)
+	e.partitionings = enumerated
+	if len(all) == 0 {
+		res, err := e.finalize(nil, []partition.Group{root})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
 	vals := make([]float64, len(all))
 	err = e.runParallel(len(all), func(i int) error {
-		leaves := all[i]
-		dists := make([]float64, 0, len(leaves)*(len(leaves)-1)/2)
-		for a := 0; a < len(leaves); a++ {
-			for b := a + 1; b < len(leaves); b++ {
-				v, err := e.groupDistance(leaves[a], leaves[b])
-				if err != nil {
-					return err
-				}
-				dists = append(dists, v)
-			}
-		}
-		vals[i] = agg.Aggregate(dists)
-		return nil
+		v, err := e.aggWithin(all[i])
+		vals[i] = v
+		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: exhaustive search: %w", err)
 	}
-	var best []partition.Group
-	bestVal := 0.0
-	found := false
-	for i, leaves := range all {
-		if !found || e.better(vals[i], bestVal) {
+	best := all[0]
+	bestVal := vals[0]
+	for i, leaves := range all[1:] {
+		if e.better(vals[i+1], bestVal) {
 			best = leaves
-			bestVal = vals[i]
-			found = true
+			bestVal = vals[i+1]
 		}
-	}
-	if !found {
-		return nil, fmt.Errorf("core: exhaustive search visited no partitionings")
 	}
 	res, err := e.finalize(nil, best)
 	if err != nil {

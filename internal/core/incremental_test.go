@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// incrDataset builds a population with three protected attributes of
+// three values each (27 distinct cells) and deterministic scores —
+// enough tree structure that a single-group edit leaves most subtrees
+// untouched.
+func incrDataset(t *testing.T, rows int) (*dataset.Dataset, []float64) {
+	t.Helper()
+	schema, err := dataset.NewSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "b", Kind: dataset.Categorical, Role: dataset.Protected},
+		dataset.Attribute{Name: "c", Kind: dataset.Categorical, Role: dataset.Protected},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewBuilder(schema)
+	g := stats.NewRNG(42)
+	scores := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		b.Append(fmt.Sprintf("id%d", i), []string{
+			fmt.Sprintf("a%d", i%3),
+			fmt.Sprintf("b%d", (i/3)%3),
+			fmt.Sprintf("c%d", (i/9)%3),
+		})
+		scores[i] = 0.1 + 0.8*g.Float64()
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, scores
+}
+
+// freshSolves is the number of distances a run actually computed from
+// histograms: total requests minus same-scope memo hits minus answers
+// reused from the predecessor scope.
+func freshSolves(r *Result) int {
+	return r.Stats.DistanceEvals - r.Stats.CachedDistances - r.Stats.ReusedDistances
+}
+
+// editGroup returns scores with every row of the attribute's first
+// value shifted by delta (clamped to [0,1)), the "one group edited"
+// perturbation the incremental path is built for.
+func editGroup(t *testing.T, d *dataset.Dataset, scores []float64, attr string, delta float64) []float64 {
+	t.Helper()
+	cv, err := d.Cat(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]float64(nil), scores...)
+	for r, code := range cv.Codes {
+		if code == 0 {
+			v := out[r] + delta
+			if v >= 1 {
+				v = 0.999
+			}
+			if v < 0 {
+				v = 0
+			}
+			out[r] = v
+		}
+	}
+	return out
+}
+
+// A re-quantify after editing one group's scores must (a) return
+// bit-identical results to a from-scratch run on the edited vector
+// and (b) re-solve only the affected subtrees: distances whose groups
+// kept their histograms are answered from the predecessor scope.
+func TestIncrementalRequantify(t *testing.T) {
+	d, s1 := incrDataset(t, 900)
+	cache := NewCache()
+	cfg := Config{Cache: cache, Workers: 1, TryAllRoots: true}
+
+	resA, err := Quantify(d, s1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Stats.ReusedDistances != 0 {
+		t.Fatalf("cold run reused %d distances", resA.Stats.ReusedDistances)
+	}
+
+	s2 := editGroup(t, d, s1, "a", 0.31)
+	resB, err := Quantify(d, s2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Quantify(d, s2, Config{Workers: 1, TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStats(resB), stripStats(fresh)) {
+		t.Errorf("incremental result differs from fresh run (unfairness %v vs %v)",
+			resB.Unfairness, fresh.Unfairness)
+	}
+	if resB.Stats.ReusedDistances == 0 {
+		t.Errorf("edited re-quantify reused no distances")
+	}
+	if fb, fa := freshSolves(resB), freshSolves(resA); fb >= fa {
+		t.Errorf("edited re-quantify solved %d distances fresh, cold run solved %d — expected fewer", fb, fa)
+	}
+}
+
+// An edit that moves no row across a histogram bin changes nothing
+// the engine can observe: the re-quantify must answer every distance
+// from the caches and solve zero fresh.
+func TestIncrementalWithinBinEdit(t *testing.T) {
+	d, s1 := incrDataset(t, 900)
+	cache := NewCache()
+	cfg := Config{Cache: cache, Workers: 1, TryAllRoots: true}
+	if _, err := Quantify(d, s1, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scores sit in 0.2-wide bins and incrDataset keeps them off the
+	// edges; a 1e-9 nudge never crosses one.
+	s2 := append([]float64(nil), s1...)
+	for r := range s2 {
+		if r%7 == 0 {
+			s2[r] += 1e-9
+		}
+	}
+	res, err := Quantify(d, s2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := freshSolves(res); n != 0 {
+		t.Errorf("within-bin edit solved %d distances fresh, want 0", n)
+	}
+	if res.Stats.ReusedDistances == 0 {
+		t.Errorf("within-bin edit reused no distances")
+	}
+	fresh, err := Quantify(d, s2, Config{Workers: 1, TryAllRoots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStats(res), stripStats(fresh)) {
+		t.Errorf("within-bin incremental result differs from fresh run")
+	}
+}
+
+// Flipping 0.0 to -0.0 (or retagging NaN payloads) is not an edit at
+// all under canonical fingerprinting: the run lands in the same cache
+// scope and goes fully warm.
+func TestIncrementalNegativeZeroFlip(t *testing.T) {
+	d, s1 := incrDataset(t, 900)
+	s1[13] = 0.0
+	cache := NewCache()
+	cfg := Config{Cache: cache, Workers: 1, TryAllRoots: true}
+	if _, err := Quantify(d, s1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	scopes := cache.Scopes()
+
+	s2 := append([]float64(nil), s1...)
+	s2[13] = math.Copysign(0, -1)
+	res, err := Quantify(d, s2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Scopes() != scopes {
+		t.Errorf("-0.0 flip created a new scope (%d -> %d)", scopes, cache.Scopes())
+	}
+	if res.Stats.CachedDistances != res.Stats.DistanceEvals {
+		t.Errorf("-0.0 flip: %d/%d distances cached, want fully warm",
+			res.Stats.CachedDistances, res.Stats.DistanceEvals)
+	}
+	if res.Stats.ReusedDistances != 0 {
+		t.Errorf("-0.0 flip took the cross-scope path (%d reused)", res.Stats.ReusedDistances)
+	}
+}
+
+// disableReuse really disables the cross-scope path (the control knob
+// the property tests rely on).
+func TestIncrementalDisableReuse(t *testing.T) {
+	d, s1 := incrDataset(t, 900)
+	cache := NewCache()
+	if _, err := Quantify(d, s1, Config{Cache: cache, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := editGroup(t, d, s1, "a", 0.31)
+	res, err := Quantify(d, s2, Config{Cache: cache, Workers: 1, disableReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReusedDistances != 0 {
+		t.Errorf("disableReuse still reused %d distances", res.Stats.ReusedDistances)
+	}
+}

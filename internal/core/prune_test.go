@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fairness"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// stripStats clears the work counters and timing so results produced
+// by differently-optimized paths — pruned vs exact, incremental vs
+// fresh — can be compared for bit-identity of the quantification
+// itself.
+func stripStats(r *Result) *Result {
+	c := *r
+	c.Stats = Stats{}
+	return &c
+}
+
+// Pruning and reuse must be invisible: Quantify with the bound-based
+// pair pruning and incremental reuse enabled returns bit-identical
+// results to the plain exact path, across the builtin datasets, all
+// four aggregators, both objectives and worker counts 1, 2 and 8.
+func TestPruningInvisible(t *testing.T) {
+	for name, tc := range equivalenceDatasets(t) {
+		for _, aggName := range []string{"avg", "max", "min", "variance"} {
+			agg, err := fairness.AggregatorByName(aggName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, obj := range []Objective{MostUnfair, LeastUnfair} {
+				for _, workers := range []int{1, 2, 8} {
+					cfg := Config{
+						Measure:     fairness.Measure{Agg: agg},
+						Objective:   obj,
+						Workers:     workers,
+						TryAllRoots: true,
+					}
+					plain := cfg
+					plain.disablePrune = true
+					plain.disableReuse = true
+					got, err := Quantify(tc.d, tc.scores, cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/%v/w=%d: %v", name, aggName, obj, workers, err)
+					}
+					want, err := Quantify(tc.d, tc.scores, plain)
+					if err != nil {
+						t.Fatalf("%s/%s/%v/w=%d plain: %v", name, aggName, obj, workers, err)
+					}
+					if !reflect.DeepEqual(stripStats(got), stripStats(want)) {
+						t.Errorf("%s/%s/%v/w=%d: pruned result differs from exact (unfairness %v vs %v)",
+							name, aggName, obj, workers, got.Unfairness, want.Unfairness)
+					}
+				}
+			}
+		}
+	}
+}
+
+// separatedDataset builds one protected attribute with six values
+// whose score clusters are well separated, so the max/min bounds in
+// aggWithinPruned actually fire.
+func separatedDataset(t *testing.T) (*dataset.Dataset, []float64) {
+	t.Helper()
+	const perGroup, groups = 10, 6
+	g := stats.NewRNG(7)
+	records := make([][]string, 0, perGroup*groups)
+	scores := make([]float64, 0, perGroup*groups)
+	for i := 0; i < perGroup*groups; i++ {
+		grp := i % groups
+		records = append(records, []string{fmt.Sprintf("g%d", grp)})
+		scores = append(scores, float64(grp)/float64(groups)+g.Float64()*0.05)
+	}
+	return syntheticDataset(t, records), scores
+}
+
+// The bounds must actually prune on separated clusters — for both the
+// max and the min aggregate — while leaving the result identical to
+// the exact path.
+func TestPruningFires(t *testing.T) {
+	d, scores := separatedDataset(t)
+	for _, agg := range []fairness.Aggregator{fairness.MaxAgg{}, fairness.MinAgg{}} {
+		cfg := Config{Measure: fairness.Measure{Agg: agg}, Workers: 1}
+		res, err := Quantify(d, scores, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PrunedPairs == 0 {
+			t.Errorf("%s: expected pruned pairs on separated clusters, got 0", agg.Name())
+		}
+		plain := cfg
+		plain.disablePrune = true
+		want, err := Quantify(d, scores, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Stats.PrunedPairs != 0 {
+			t.Errorf("%s: disablePrune still pruned %d pairs", agg.Name(), want.Stats.PrunedPairs)
+		}
+		if !reflect.DeepEqual(stripStats(res), stripStats(want)) {
+			t.Errorf("%s: pruned result differs from exact", agg.Name())
+		}
+	}
+}
+
+// Exhaustive search goes through the same pruned aggregation; its
+// optimum must not move either.
+func TestPruningInvisibleExhaustive(t *testing.T) {
+	d, scores := table1Scores(t)
+	for _, aggName := range []string{"max", "min"} {
+		agg, err := fairness.AggregatorByName(aggName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range []Objective{MostUnfair, LeastUnfair} {
+			cfg := Config{Measure: fairness.Measure{Agg: agg}, Objective: obj}
+			plain := cfg
+			plain.disablePrune = true
+			plain.disableReuse = true
+			got, err := Exhaustive(d, scores, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Exhaustive(d, scores, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripStats(got), stripStats(want)) {
+				t.Errorf("%s/%v: pruned exhaustive differs from exact", aggName, obj)
+			}
+		}
+	}
+}
+
+// Aggregating a partitioning with fewer than two groups is an error,
+// not a perfect score.
+func TestAggDegeneratePartition(t *testing.T) {
+	d, scores := table1Scores(t)
+	e, err := newEngine(d, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := partition.Root(d)
+	if _, err := e.aggWithin([]partition.Group{root}); !errors.Is(err, ErrDegeneratePartition) {
+		t.Errorf("aggWithin(single group) = %v, want ErrDegeneratePartition", err)
+	}
+	if _, err := e.aggWithin(nil); !errors.Is(err, ErrDegeneratePartition) {
+		t.Errorf("aggWithin(no groups) = %v, want ErrDegeneratePartition", err)
+	}
+	if _, err := e.aggAcross([]partition.Group{root}, nil); !errors.Is(err, ErrDegeneratePartition) {
+		t.Errorf("aggAcross(empty side) = %v, want ErrDegeneratePartition", err)
+	}
+}

@@ -35,8 +35,9 @@ func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	defer e.release()
 	rootGroup := partition.Root(d)
-	splittable, err := partition.SplittableAttrs(d, rootGroup, e.cfg.Attributes, e.cfg.MinGroupSize)
+	splittable, err := e.splittableAttrs(rootGroup, e.cfg.Attributes)
 	if err != nil {
 		return nil, err
 	}
@@ -114,8 +115,15 @@ func (e *engine) buildTree(rootGroup partition.Group, rootAttr string, numRows i
 			return nil, err
 		}
 	}
-	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("core: solver produced invalid tree: %w", err)
+	// Validation is memoized per dataset: a leaf set with the same
+	// canonical keys holds the same rows, so one pass settles it for
+	// every later run (warm re-quantifies skip the O(rows) scan).
+	vkey := leafSetKey(tree.LeafGroups())
+	if !e.dscope.wasValidated(vkey) {
+		if err := tree.Validate(); err != nil {
+			return nil, fmt.Errorf("core: solver produced invalid tree: %w", err)
+		}
+		e.dscope.markValidated(vkey)
 	}
 	return tree, nil
 }
@@ -127,7 +135,7 @@ func (e *engine) quantify(node *partition.Node, siblings []partition.Group, avai
 	if e.cfg.MaxDepth > 0 && depth > e.cfg.MaxDepth {
 		return nil // leaf by depth bound
 	}
-	splittable, err := partition.SplittableAttrs(e.d, node.Group, avail, e.cfg.MinGroupSize)
+	splittable, err := e.splittableAttrs(node.Group, avail)
 	if err != nil {
 		return err
 	}

@@ -249,16 +249,22 @@ func TestLeastUnfairObjective(t *testing.T) {
 	}
 }
 
-// Exhaustive least-unfair finds the trivial single-partition solution
-// (no pairs, unfairness 0).
-func TestExhaustiveLeastUnfairTrivial(t *testing.T) {
+// Exhaustive least-unfair must not be won by the degenerate
+// single-leaf partitioning: it has no pairs, and the empty aggregate
+// used to score 0 — "perfectly fair" — beating every genuine
+// multi-group candidate (the ErrDegeneratePartition bug). With only
+// the gender attribute the sole real candidate is the gender split.
+func TestExhaustiveLeastUnfairSkipsDegenerate(t *testing.T) {
 	d, scores := table1Scores(t)
 	res, err := Exhaustive(d, scores, Config{Objective: LeastUnfair, Attributes: []string{dataset.AttrGender}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Groups) != 1 || res.Unfairness != 0 {
-		t.Errorf("least-unfair exhaustive: %d groups, %.6f", len(res.Groups), res.Unfairness)
+	if len(res.Groups) < 2 {
+		t.Fatalf("least-unfair exhaustive returned the degenerate %d-group partitioning", len(res.Groups))
+	}
+	if res.Unfairness <= 0 {
+		t.Errorf("least-unfair exhaustive over a real split: unfairness = %.6f, want > 0", res.Unfairness)
 	}
 }
 

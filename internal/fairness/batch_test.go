@@ -1,0 +1,172 @@
+package fairness
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/stats"
+)
+
+// randHists builds n compatible normalized histograms with bins bins
+// from the shared deterministic RNG.
+func randHists(t *testing.T, g *stats.RNG, n, bins int) []histogram.Hist {
+	t.Helper()
+	hists := make([]histogram.Hist, n)
+	for i := range hists {
+		counts := make([]float64, bins)
+		for b := range counts {
+			counts[b] = math.Floor(g.Float64() * 50)
+		}
+		counts[g.IntN(bins)]++ // never all-zero
+		h, err := (histogram.Hist{Lo: 0, Hi: 1, Counts: counts}).Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hists[i] = h
+	}
+	return hists
+}
+
+// The batched EMD path in Pairwise and Breakdown must be bit-identical
+// to the per-pair EMD1D.Between loop it replaces — same ops in the
+// same order, so == on every distance, not just within tolerance.
+func TestBatchedPairwiseBitIdentical(t *testing.T) {
+	g := stats.NewRNG(99)
+	m, err := DefaultMeasure().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + g.IntN(8)
+		bins := 2 + g.IntN(12)
+		hists := randHists(t, g, n, bins)
+
+		got, err := m.Pairwise(hists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, 0, len(got))
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d, err := EMD1D{}.Between(hists[i], hists[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, d)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d pair %d: batched %.17g != per-pair %.17g", trial, k, got[k], want[k])
+			}
+		}
+
+		pairs, unf, err := m.Breakdown(hists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("trial %d: Breakdown has %d pairs, want %d", trial, len(pairs), len(want))
+		}
+		for k := range pairs {
+			if pairs[k].Distance != want[k] {
+				t.Fatalf("trial %d pair %d: Breakdown %.17g != per-pair %.17g",
+					trial, k, pairs[k].Distance, want[k])
+			}
+		}
+		if agg := m.Agg.Aggregate(want); unf != agg {
+			t.Fatalf("trial %d: Breakdown unfairness %.17g != aggregate %.17g", trial, unf, agg)
+		}
+	}
+}
+
+// BreakdownPatched with some histograms replaced and flagged dirty
+// must reproduce the full Breakdown on the new histogram set exactly:
+// clean pairs come from prevDists, dirty pairs are re-solved by the
+// same batched kernel.
+func TestBreakdownPatchedEquivalence(t *testing.T) {
+	g := stats.NewRNG(1234)
+	m, err := DefaultMeasure().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + g.IntN(7)
+		bins := 2 + g.IntN(10)
+		old := randHists(t, g, n, bins)
+		_, oldDists, _, err := m.BreakdownPatched(old, nil, nil)
+		if err == nil {
+			t.Fatal("BreakdownPatched accepted mismatched prevDists")
+		}
+		oldPairs, _, err := m.Breakdown(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldDists = make([]float64, len(oldPairs))
+		for k, p := range oldPairs {
+			oldDists[k] = p.Distance
+		}
+
+		// Mutate a random subset of leaves.
+		cur := append([]histogram.Hist(nil), old...)
+		dirty := make([]bool, n)
+		mutated := 0
+		for i := range cur {
+			if g.Float64() < 0.4 {
+				cur[i] = randHists(t, g, 1, bins)[0]
+				dirty[i] = true
+				mutated++
+			}
+		}
+		if mutated == 0 {
+			i := g.IntN(n)
+			cur[i] = randHists(t, g, 1, bins)[0]
+			dirty[i] = true
+		}
+
+		gotPairs, gotDists, gotUnf, err := m.BreakdownPatched(cur, oldDists, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPairs, wantUnf, err := m.Breakdown(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotPairs, wantPairs) {
+			t.Fatalf("trial %d: patched pairs differ from full Breakdown", trial)
+		}
+		if gotUnf != wantUnf {
+			t.Fatalf("trial %d: patched unfairness %.17g != full %.17g", trial, gotUnf, wantUnf)
+		}
+		for k, p := range wantPairs {
+			if gotDists[k] != p.Distance {
+				t.Fatalf("trial %d pair %d: patched dist %.17g != full %.17g",
+					trial, k, gotDists[k], p.Distance)
+			}
+		}
+	}
+}
+
+// The batched path must refuse what Hist1D refuses: incompatible
+// shapes and negative mass.
+func TestBatchedPairwiseErrors(t *testing.T) {
+	m, err := DefaultMeasure().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := unitHist(t, 1, 2, 3)
+	b := unitHist(t, 3, 2, 1)
+	short := unitHist(t, 1, 1)
+	if _, err := m.Pairwise([]histogram.Hist{a, b, short}); err == nil {
+		t.Error("incompatible histogram accepted by batched Pairwise")
+	}
+	neg := histogram.Hist{Lo: 0, Hi: 1, Counts: []float64{0.5, 0.7, -0.2}}
+	if _, err := m.Pairwise([]histogram.Hist{a, b, neg}); err == nil {
+		t.Error("negative mass accepted by batched Pairwise")
+	}
+}

@@ -293,8 +293,89 @@ func (m Measure) PairwiseDistance(a, b histogram.Hist) (float64, error) {
 	return mm.Dist.Between(a, b)
 }
 
+// LinearEMDBinWidth reports the bin width of the measure's histogram
+// grid when its distance is the exact closed-form 1-D EMD (EMD1D) —
+// the case in which |Δmean|·w lower-bounds every pairwise distance
+// (emd.Hist1DLowerBound) and the distance is a true metric, so
+// aggregate searches can prune exact solves with mean and triangle
+// bounds. Other distances (thresholded ÊMD, KS, TV) report false and
+// are never pruned.
+func (m Measure) LinearEMDBinWidth() (float64, bool) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, false
+	}
+	if _, ok := mm.Dist.(EMD1D); !ok {
+		return 0, false
+	}
+	return (mm.Hi - mm.Lo) / float64(mm.Bins), true
+}
+
+// emd1DBatch evaluates the closed-form 1-D EMD over many pairs of one
+// histogram set with one validation-and-total pass per histogram
+// instead of per pair — the batched path under Pairwise and Breakdown
+// that removes the per-pair Compatible checks and mass scans from the
+// O(leaves²) final breakdown. distance(i, j) reproduces
+// EMD1D.Between's arithmetic operation for operation, so every value
+// is bit-identical to the unbatched loop.
+type emd1DBatch struct {
+	counts [][]float64
+	totals []float64
+	w      float64
+}
+
+// newEMD1DBatch validates the histogram set (pairwise compatibility
+// against the first, finite non-negative masses) and computes each
+// histogram's total mass, one pass per histogram.
+func newEMD1DBatch(hists []histogram.Hist) (*emd1DBatch, error) {
+	b := &emd1DBatch{
+		counts: make([][]float64, len(hists)),
+		totals: make([]float64, len(hists)),
+		w:      hists[0].BinWidth(),
+	}
+	if len(hists[0].Counts) == 0 {
+		return nil, fmt.Errorf("emd: empty histograms")
+	}
+	if b.w <= 0 || math.IsNaN(b.w) || math.IsInf(b.w, 0) {
+		return nil, fmt.Errorf("emd: invalid bin width %g", b.w)
+	}
+	for i, h := range hists {
+		if err := histogram.Compatible(hists[0], h); err != nil {
+			return nil, err
+		}
+		tot := 0.0
+		for bin, v := range h.Counts {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("emd: negative or NaN mass at bin %d (%g)", bin, v)
+			}
+			tot += v
+		}
+		b.counts[i], b.totals[i] = h.Counts, tot
+	}
+	return b, nil
+}
+
+// distance returns the closed-form 1-D EMD between histograms i and
+// j, bit-identical to emd.Hist1D on the same counts.
+func (b *emd1DBatch) distance(i, j int) (float64, error) {
+	totP, totQ := b.totals[i], b.totals[j]
+	if math.Abs(totP-totQ) > 1e-9*math.Max(1, math.Max(totP, totQ)) {
+		return 0, fmt.Errorf("emd: total mass mismatch %g vs %g; normalize first", totP, totQ)
+	}
+	p, q := b.counts[i], b.counts[j]
+	var cum, dist float64
+	for k := range p {
+		cum += p[k] - q[k]
+		dist += math.Abs(cum)
+	}
+	return dist * b.w, nil
+}
+
 // Pairwise returns the distances between all unordered pairs of
-// histograms, in (i,j) i<j order.
+// histograms, in (i,j) i<j order. When the distance is the
+// closed-form 1-D EMD the pairs are evaluated through one batched
+// validation pass per histogram (see emd1DBatch) with bit-identical
+// values.
 func (m Measure) Pairwise(hists []histogram.Hist) ([]float64, error) {
 	mm, err := m.normalized()
 	if err != nil {
@@ -303,6 +384,22 @@ func (m Measure) Pairwise(hists []histogram.Hist) ([]float64, error) {
 	var out []float64
 	if n := len(hists) * (len(hists) - 1) / 2; n > 0 {
 		out = make([]float64, 0, n) // preallocated; nil stays nil for no pairs
+	}
+	if _, ok := mm.Dist.(EMD1D); ok && len(hists) > 1 {
+		b, err := newEMD1DBatch(hists)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: %w", err)
+		}
+		for i := 0; i < len(hists); i++ {
+			for j := i + 1; j < len(hists); j++ {
+				d, err := b.distance(i, j)
+				if err != nil {
+					return nil, fmt.Errorf("fairness: distance between partitions %d and %d: %w", i, j, err)
+				}
+				out = append(out, d)
+			}
+		}
+		return out, nil
 	}
 	for i := 0; i < len(hists); i++ {
 		for j := i + 1; j < len(hists); j++ {
@@ -349,7 +446,10 @@ type PairBreakdown struct {
 }
 
 // Breakdown returns all pairwise distances with indices, plus the
-// aggregate.
+// aggregate. When the distance is the closed-form 1-D EMD the pairs
+// are evaluated through one batched validation pass per histogram
+// (see emd1DBatch) with bit-identical values, so the O(leaves²) final
+// breakdown costs one prefix-sum loop per pair and nothing more.
 func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, error) {
 	mm, err := m.normalized()
 	if err != nil {
@@ -360,6 +460,23 @@ func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, er
 	if n := len(hists) * (len(hists) - 1) / 2; n > 0 {
 		pairs = make([]PairBreakdown, 0, n) // preallocated; nil stays nil
 		dists = make([]float64, 0, n)
+	}
+	if _, ok := mm.Dist.(EMD1D); ok && len(hists) > 1 {
+		b, err := newEMD1DBatch(hists)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < len(hists); i++ {
+			for j := i + 1; j < len(hists); j++ {
+				d, err := b.distance(i, j)
+				if err != nil {
+					return nil, 0, err
+				}
+				pairs = append(pairs, PairBreakdown{I: i, J: j, Distance: d})
+				dists = append(dists, d)
+			}
+		}
+		return pairs, mm.Agg.Aggregate(dists), nil
 	}
 	for i := 0; i < len(hists); i++ {
 		for j := i + 1; j < len(hists); j++ {
@@ -373,6 +490,59 @@ func (m Measure) Breakdown(hists []histogram.Hist) ([]PairBreakdown, float64, er
 	}
 	return pairs, mm.Agg.Aggregate(dists), nil
 }
+
+// BreakdownPatched recomputes only the pairs with a changed endpoint
+// of a previously computed breakdown: prevDists holds the previous
+// pair distances in (i,j) i<j order, and dirty marks the histograms
+// whose contents changed since. Clean pairs keep their previous
+// distance verbatim; dirty pairs are re-solved through the batched
+// closed-form path, so the returned pairs, distance vector and
+// aggregate are bit-identical to Breakdown over the same histograms.
+// Only the closed-form 1-D EMD distance supports patching.
+func (m Measure) BreakdownPatched(hists []histogram.Hist, prevDists []float64, dirty []bool) ([]PairBreakdown, []float64, float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if _, ok := mm.Dist.(EMD1D); !ok {
+		return nil, nil, 0, fmt.Errorf("fairness: patched breakdown requires the closed-form EMD distance")
+	}
+	n := len(hists)
+	if len(prevDists) != n*(n-1)/2 || len(dirty) != n {
+		return nil, nil, 0, fmt.Errorf("fairness: patched breakdown shape mismatch: %d hists, %d distances, %d dirty flags",
+			n, len(prevDists), len(dirty))
+	}
+	if n < 2 {
+		return nil, nil, mm.Agg.Aggregate(nil), nil
+	}
+	b, err := newEMD1DBatch(hists)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pairs := make([]PairBreakdown, 0, len(prevDists))
+	dists := make([]float64, 0, len(prevDists))
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := prevDists[k]
+			if dirty[i] || dirty[j] {
+				if d, err = b.distance(i, j); err != nil {
+					return nil, nil, 0, err
+				}
+			}
+			pairs = append(pairs, PairBreakdown{I: i, J: j, Distance: d})
+			dists = append(dists, d)
+			k++
+		}
+	}
+	return pairs, dists, mm.Agg.Aggregate(dists), nil
+}
+
+// Indices exposes the per-row bin indices (-1 marks NaN scores). The
+// quantification engine's incremental differ compares two indexers'
+// vectors row by row to find the rows a score edit moved across bins.
+// Callers must treat the slice as read-only.
+func (b *BinIndexer) Indices() []int32 { return b.idx }
 
 // BinIndexer precomputes the histogram bin index of every score under
 // one measure's (Bins, Lo, Hi), so building a group's histogram
@@ -410,6 +580,27 @@ func (m Measure) NewBinIndexer(scores []float64) (*BinIndexer, error) {
 		idx[i] = int32(h.BinOf(v))
 	}
 	return &BinIndexer{bins: mm.Bins, lo: mm.Lo, hi: mm.Hi, idx: idx}, nil
+}
+
+// NewBinMapper returns a function mapping one score to its bin index
+// under the measure's (Bins, Lo, Hi) — exactly BinIndexer's placement,
+// -1 marking NaN — without the O(rows) index build. The incremental
+// differ uses it to bin only the rows a score edit actually changed.
+func (m Measure) NewBinMapper() (func(float64) int32, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return nil, err
+	}
+	h, err := histogram.New(mm.Bins, mm.Lo, mm.Hi)
+	if err != nil {
+		return nil, err
+	}
+	return func(v float64) int32 {
+		if math.IsNaN(v) {
+			return -1
+		}
+		return int32(h.BinOf(v))
+	}, nil
 }
 
 // Bins returns the histogram resolution the indexer was built for.

@@ -1,0 +1,95 @@
+// Package fingerprint canonicalizes and hashes score vectors. It is
+// the shared identity layer under both the audit lifecycle's
+// incremental job reuse (audit.ScoreFingerprint) and the
+// quantification engine's cache scoping: two score vectors that are
+// semantically identical — equal up to the sign of zero and the
+// payload bits of NaN — must hash identically, or incremental
+// re-audits and warm re-quantifies spuriously re-run unchanged work.
+//
+// IEEE-754 gives semantically identical values distinct bit patterns
+// in exactly two places: -0.0 vs +0.0 (which compare equal and land
+// in the same histogram bin) and NaN (every payload is rejected
+// identically by the scoring pipeline). CanonBits folds both onto one
+// canonical pattern before any hashing.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// canonNaN is the canonical quiet-NaN pattern every NaN is folded
+// onto (the pattern math.NaN() returns on amd64/arm64).
+const canonNaN = 0x7FF8000000000001
+
+// CanonBits returns the canonical bit pattern of f: +0.0 for either
+// zero, one fixed quiet-NaN pattern for every NaN, and the value's
+// own bits otherwise. Two floats canonicalize equally exactly when
+// they are semantically interchangeable as scores.
+func CanonBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b<<1 == 0 { // +0.0 or -0.0
+		return 0
+	}
+	if b&(1<<63-1) > 0x7FF0000000000000 { // NaN, any sign/payload
+		return canonNaN
+	}
+	return b
+}
+
+// Scores hashes a score vector into a short stable hex identifier:
+// SHA-256 over the length followed by the canonical bits of every
+// score, truncated to 16 hex characters. Vectors of normal floats
+// hash exactly as they did before canonicalization existed; only
+// vectors containing -0.0 or NaN change identity (see the package
+// comment).
+func Scores(scores []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(scores)))
+	h.Write(buf[:])
+	for _, s := range scores {
+		binary.LittleEndian.PutUint64(buf[:], CanonBits(s))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Hash64 folds the canonical bits of a score vector with FNV-1a over
+// whole 64-bit words — one multiply and one xor per score instead of
+// eight of each, which matters when a long-lived cache hashes
+// million-row vectors on every request. It is a cache key, not an
+// identity: collisions are possible and callers must confirm with an
+// exact comparison (see EqualCanon).
+func Hash64(scores []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range scores {
+		h ^= CanonBits(s)
+		h *= prime64
+	}
+	return h
+}
+
+// EqualCanon reports whether two score vectors are canonically equal:
+// same length and pairwise-equal canonical bits. This is the exact
+// comparison guarding Hash64 collisions, and the equivalence under
+// which every histogram, distance and partitioning the engine
+// computes is identical.
+func EqualCanon(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if CanonBits(a[i]) != CanonBits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

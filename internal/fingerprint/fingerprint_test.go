@@ -1,0 +1,82 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+func TestCanonBits(t *testing.T) {
+	if CanonBits(0.0) != 0 || CanonBits(math.Copysign(0, -1)) != 0 {
+		t.Error("zeros do not canonicalize to +0")
+	}
+	nan1 := math.NaN()
+	nan2 := math.Float64frombits(0x7FF0000000000042) // different payload
+	nan3 := math.Float64frombits(0xFFF8000000000001) // negative sign
+	if CanonBits(nan1) != CanonBits(nan2) || CanonBits(nan1) != CanonBits(nan3) {
+		t.Error("NaN payloads do not canonicalize to one pattern")
+	}
+	for _, v := range []float64{1, -1, 0.5, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64, math.MaxFloat64} {
+		if CanonBits(v) != math.Float64bits(v) {
+			t.Errorf("CanonBits(%g) altered a non-zero non-NaN value", v)
+		}
+	}
+}
+
+// The -0.0 / NaN-payload fingerprint bug: semantically identical
+// vectors must fingerprint identically, and vectors of normal floats
+// must keep the exact pre-canonicalization fingerprint (stored audit
+// snapshots stay valid).
+func TestScores(t *testing.T) {
+	a := []float64{0.1, 0.0, math.NaN()}
+	b := []float64{0.1, math.Copysign(0, -1), math.Float64frombits(0x7FF0000000000099)}
+	if Scores(a) != Scores(b) {
+		t.Errorf("canonically equal vectors fingerprint differently: %s vs %s", Scores(a), Scores(b))
+	}
+	if Scores([]float64{0.1, 0.2}) == Scores([]float64{0.2, 0.1}) {
+		t.Error("row order ignored")
+	}
+	if Scores([]float64{}) == Scores([]float64{0}) {
+		t.Error("length ignored")
+	}
+
+	// Pre-fix format: SHA-256 over length + raw bits, first 8 bytes in
+	// hex. Normal floats must reproduce it exactly.
+	normals := []float64{0.9, 0.25, 0.625, 1}
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(normals)))
+	h.Write(buf[:])
+	for _, s := range normals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+		h.Write(buf[:])
+	}
+	want := hex.EncodeToString(h.Sum(nil)[:8])
+	if got := Scores(normals); got != want {
+		t.Errorf("normal-float fingerprint changed: %s, want legacy %s", got, want)
+	}
+}
+
+func TestHash64AndEqualCanon(t *testing.T) {
+	a := []float64{0.5, 0.0, math.NaN(), -3}
+	b := []float64{0.5, math.Copysign(0, -1), math.Float64frombits(0xFFF8000000000007), -3}
+	if Hash64(a) != Hash64(b) {
+		t.Error("canonically equal vectors hash differently")
+	}
+	if !EqualCanon(a, b) {
+		t.Error("EqualCanon rejects canonically equal vectors")
+	}
+	if EqualCanon(a, a[:3]) {
+		t.Error("EqualCanon ignores length")
+	}
+	c := append([]float64(nil), a...)
+	c[0] = math.Nextafter(c[0], 1)
+	if EqualCanon(a, c) {
+		t.Error("EqualCanon accepts a genuinely different value")
+	}
+	if Hash64(nil) != Hash64([]float64{}) {
+		t.Error("empty-vector hash unstable")
+	}
+}

@@ -86,6 +86,14 @@ func (g Group) Key() Key {
 	return escapedKey(g.Conds)
 }
 
+// SplitProduced reports whether the group came out of Split (directly
+// or via Relabel), which guarantees its rows are exactly the dataset
+// rows satisfying its conditions — the invariant condition-based
+// optimizations (e.g. the engine's dirty-row cell index) rely on.
+// Hand-assembled groups may pair arbitrary rows with arbitrary
+// conditions and report false.
+func (g Group) SplitProduced() bool { return g.key != "" }
+
 // Relabel returns g with its condition list replaced by conds, which
 // must hold the same conditions, possibly reordered: the canonical key
 // is carried over unchanged. The quantification engine uses this to
@@ -398,20 +406,25 @@ func (t *Tree) Validate() error {
 	if t.Root == nil {
 		return fmt.Errorf("partition: tree has no root")
 	}
-	seen := make(map[int]bool, t.NumRows)
+	seen := make([]bool, t.NumRows)
+	covered := 0
 	for _, leaf := range t.Leaves() {
 		if leaf.Group.Size() == 0 {
 			return fmt.Errorf("partition: empty leaf %q", leaf.Group.Label())
 		}
 		for _, r := range leaf.Group.Rows {
+			if r < 0 || r >= len(seen) {
+				return fmt.Errorf("partition: row %d out of range [0,%d)", r, len(seen))
+			}
 			if seen[r] {
 				return fmt.Errorf("partition: row %d in multiple leaves", r)
 			}
 			seen[r] = true
+			covered++
 		}
 	}
-	if len(seen) != t.NumRows {
-		return fmt.Errorf("partition: leaves cover %d rows, population has %d", len(seen), t.NumRows)
+	if covered != t.NumRows {
+		return fmt.Errorf("partition: leaves cover %d rows, population has %d", covered, t.NumRows)
 	}
 	var check func(n *Node) error
 	check = func(n *Node) error {
