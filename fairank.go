@@ -555,6 +555,31 @@ func ServeHandlerWithAudit(sess *Session, auditDir string) (http.Handler, error)
 	return server.New(sess, server.WithAuditStore(st)).Handler(), nil
 }
 
+// ServeLimits configures the explorer server's admission control and
+// per-route deadlines (see the server package's Limits).
+type ServeLimits = server.Limits
+
+// ExplorerServer is the explorer's HTTP wiring with lifecycle
+// control: Handler serves, Drain refuses new work and cancels
+// in-flight solver runs (persisting partial audit snapshots when a
+// store is configured), Healthz reports saturation counters.
+type ExplorerServer = server.Server
+
+// NewExplorerServer builds the production-shaped explorer server:
+// admission control per the limits, plus — when auditDir is non-empty
+// — the persistent audit lifecycle.
+func NewExplorerServer(sess *Session, limits ServeLimits, auditDir string) (*ExplorerServer, error) {
+	opts := []server.Option{server.WithLimits(limits)}
+	if auditDir != "" {
+		st, err := auditstore.Open(auditDir)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, server.WithAuditStore(st))
+	}
+	return server.New(sess, opts...), nil
+}
+
 // RunExperiment executes one of the paper-reproduction experiments
 // (E1..E11); see ExperimentIDs.
 func RunExperiment(id string, opts ExperimentOptions) ([]ExperimentTable, error) {

@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -38,7 +39,7 @@ func TestWarmAuditJobAllocs(t *testing.T) {
 	}
 	r := Ranking{Name: job.Name, Function: job.Function.String(), Scores: scores}
 	avg := testing.AllocsPerRun(20, func() {
-		if _, err := auditOne(m.Workers, r, cfg, opts, 10); err != nil {
+		if _, err := auditOne(context.Background(), m.Workers, r, cfg, opts, 10); err != nil {
 			t.Fatal(err)
 		}
 	})

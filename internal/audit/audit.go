@@ -23,6 +23,7 @@
 package audit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/marketplace"
 	"repro/internal/mitigate"
 )
@@ -85,10 +87,19 @@ type Options struct {
 	// how a streaming handler stops paying for a client that hung up
 	// mid-audit.
 	Cancel <-chan struct{}
+	// Faults is the test-only fault-injection harness. When non-nil,
+	// every job hits the "audit.job" site before it runs, so tests can
+	// deterministically delay, fail, or cancel-at the Nth job. Nil in
+	// production (one nil check per job); excluded from ParamsKey —
+	// faults never change what a completed report says.
+	Faults *faultinject.Injector
 }
 
 // ErrCanceled is returned by Run/RunRankings when Options.Cancel
-// closes before the audit completes.
+// closes — or the RunContext/RunRankingsContext context ends — before
+// the audit completes. The context variants return it alongside a
+// partial Report of the jobs that did complete, so callers can
+// persist a resumable snapshot of the work already paid for.
 var ErrCanceled = errors.New("audit: canceled")
 
 // Ranking is one named ranking to audit — a marketplace job's scores,
@@ -194,16 +205,24 @@ type Report struct {
 // engine exactly as in core.Quantify; opts adds the mitigation and
 // batching knobs.
 func Run(m *marketplace.Marketplace, cfg core.Config, opts Options) (*Report, error) {
+	return RunContext(context.Background(), m, cfg, opts)
+}
+
+// RunContext is Run bounded by a context: when ctx is canceled or its
+// deadline passes, no further jobs are dispatched, in-flight jobs
+// abort at worker-pool granularity (see core.QuantifyContext), and
+// the call returns a partial Report of the completed jobs together
+// with an error wrapping ErrCanceled.
+func RunContext(ctx context.Context, m *marketplace.Marketplace, cfg core.Config, opts Options) (*Report, error) {
 	rankings, err := Rankings(m)
 	if err != nil {
 		return nil, err
 	}
-	r, err := RunRankings(m.Workers, rankings, cfg, opts)
-	if err != nil {
-		return nil, err
+	r, err := RunRankingsContext(ctx, m.Workers, rankings, cfg, opts)
+	if r != nil {
+		r.Marketplace = m.Name
 	}
-	r.Marketplace = m.Name
-	return r, nil
+	return r, err
 }
 
 // Rankings scores every job of a marketplace into the named-ranking
@@ -230,6 +249,18 @@ func Rankings(m *marketplace.Marketplace) ([]Ranking, error) {
 // not marketplace.Job values (externally observed rankings, A/B
 // variants of one function, ...).
 func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts Options) (*Report, error) {
+	return RunRankingsContext(context.Background(), d, rankings, cfg, opts)
+}
+
+// RunRankingsContext is RunRankings bounded by a context. Like the
+// chan-based Options.Cancel, cancellation stops job dispatch; unlike
+// it, the context also reaches into in-flight jobs (their quantify
+// passes abort between memoized computations) and the call returns
+// the completed jobs as a partial Report alongside the ErrCanceled
+// error — input order preserved, rollups computed over the completed
+// subset — so the caller can snapshot it and resume later via
+// Options.Baseline.
+func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts Options) (*Report, error) {
 	start := time.Now()
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("audit: empty population")
@@ -314,11 +345,20 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 			emitted++
 		}
 	}
+	// completed[i] is set once job i has a full, error-free report —
+	// run or spliced from the baseline. Each slot is written by one
+	// goroutine and read only after the pool drains, and the partial
+	// report on cancellation is built from exactly these slots.
+	completed := make([]bool, len(rankings))
 	runOne := func(i int) {
-		jobs[i], errs[i] = auditOne(d, rankings[i], cfg, opts, k)
+		jobs[i], errs[i] = auditOne(ctx, d, rankings[i], cfg, opts, k)
+		completed[i] = errs[i] == nil
 		markDone(i)
 	}
 	canceled := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
 		if opts.Cancel == nil {
 			return false
 		}
@@ -329,12 +369,34 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 			return false
 		}
 	}
+	// cancelReturn builds the partial result: the completed jobs in
+	// input order, rolled up over that subset, plus an error wrapping
+	// ErrCanceled (and the context's cause, when the context did it).
+	cancelReturn := func() (*Report, error) {
+		partial := &Report{Strategy: strategy.Name(), K: k}
+		for i := range jobs {
+			if !completed[i] {
+				continue
+			}
+			partial.Jobs = append(partial.Jobs, jobs[i])
+			if skip(i) {
+				partial.Reused++
+			}
+		}
+		rollup(partial, opts.TopN)
+		partial.Elapsed = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return partial, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		return partial, ErrCanceled
+	}
 	if workers <= 1 {
 		for i := range rankings {
 			if canceled() {
-				return nil, ErrCanceled
+				return cancelReturn()
 			}
 			if skip(i) {
+				completed[i] = true
 				markDone(i)
 				continue
 			}
@@ -358,18 +420,19 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 				break
 			}
 			if skip(i) {
+				completed[i] = true
 				markDone(i)
 				continue
 			}
 			// Dispatch, but stop waiting for a free worker if the
-			// caller cancels while every worker is busy.
-			if opts.Cancel == nil {
-				idx <- i
-				continue
-			}
+			// caller cancels while every worker is busy. Nil channels
+			// (no Cancel chan, Background context) never fire, so the
+			// select degrades to a plain send.
 			select {
 			case idx <- i:
 			case <-opts.Cancel:
+				wasCanceled = true
+			case <-ctx.Done():
 				wasCanceled = true
 			}
 			if wasCanceled {
@@ -381,8 +444,14 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 			<-done
 		}
 		if wasCanceled {
-			return nil, ErrCanceled
+			return cancelReturn()
 		}
+	}
+	// A cancellation that lands after the last dispatch still aborts
+	// in-flight jobs; their context errors are a cancellation, not a
+	// job failure.
+	if canceled() {
+		return cancelReturn()
 	}
 	// First error in input order, independent of completion order.
 	for _, err := range errs {
@@ -406,8 +475,13 @@ func RunRankings(d *dataset.Dataset, rankings []Ranking, cfg core.Config, opts O
 // sets are a finding, not a failure: the job keeps its before-side
 // fairness and is tallied, so one impossible target cannot sink a
 // thousand-job audit.
-func auditOne(d *dataset.Dataset, r Ranking, cfg core.Config, opts Options, k int) (JobReport, error) {
-	o, err := mitigate.Evaluate(d, r.Scores, cfg, mitigate.Options{
+func auditOne(ctx context.Context, d *dataset.Dataset, r Ranking, cfg core.Config, opts Options, k int) (JobReport, error) {
+	// Fault-injection site: tests delay/fail/cancel here to pin a
+	// fault to the Nth job deterministically. No-op when unarmed.
+	if err := opts.Faults.HitContext(ctx, "audit.job"); err != nil {
+		return JobReport{}, fmt.Errorf("audit: job %q: %w", r.Name, err)
+	}
+	o, err := mitigate.EvaluateContext(ctx, d, r.Scores, cfg, mitigate.Options{
 		Strategy:         opts.Strategy,
 		K:                k,
 		Targets:          opts.Targets,

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Version is the snapshot schema version this package writes. Readers
@@ -62,6 +63,13 @@ type Snapshot struct {
 	// Params is the canonical parameter key (audit.ParamsKey) the
 	// report was computed under.
 	Params string `json:"params"`
+	// Partial marks a snapshot taken from a canceled audit: Report
+	// covers only the jobs that completed before cancellation. Partial
+	// snapshots exist to be resumed — their Baseline splices the
+	// completed jobs into the next run — and are skipped as diff
+	// endpoints (a truncated report is not a finding about the
+	// marketplace).
+	Partial bool `json:"partial,omitempty"`
 	// Fingerprints maps each job name to the fingerprint of the score
 	// vector it was audited with (audit.ScoreFingerprint). The
 	// fingerprint is canonical over float equivalence (-0.0 == 0.0,
@@ -197,9 +205,15 @@ func ReadFile(path string) (*Snapshot, error) {
 // use: Save serializes the read-sequence/write-file step so parallel
 // audits of one configuration cannot claim the same version.
 type Store struct {
-	mu  sync.Mutex
-	dir string
+	mu     sync.Mutex
+	dir    string
+	faults *faultinject.Injector
 }
+
+// SetFaults arms a fault-injection harness on the store's write path
+// (site "auditstore.save"); nil disarms. Test-only — production
+// stores never set it, and a nil injector costs one nil check.
+func (st *Store) SetFaults(in *faultinject.Injector) { st.faults = in }
 
 // Open returns a store rooted at dir, creating it if needed.
 func Open(dir string) (*Store, error) {
@@ -237,6 +251,9 @@ func (st *Store) Save(s *Snapshot) (string, error) {
 	var b strings.Builder
 	if err := Write(&b, s); err != nil {
 		return "", err
+	}
+	if err := st.faults.Hit("auditstore.save"); err != nil {
+		return "", fmt.Errorf("auditstore: writing snapshot: %w", err)
 	}
 	if err := atomicWrite(path, []byte(b.String())); err != nil {
 		return "", err
@@ -345,26 +362,33 @@ func (st *Store) Latest(id string) (*Snapshot, error) {
 	return st.loadNamed(files[len(files)-1], id)
 }
 
-// Diff compares a lineage's two newest snapshots — the longitudinal
-// "what moved since last audit?" question — reading exactly those
-// two files. Errors when the lineage has fewer than two versions.
+// Diff compares a lineage's two newest *complete* snapshots — the
+// longitudinal "what moved since last audit?" question. Partial
+// snapshots (canceled audits persisted to be resumed) are skipped as
+// endpoints: a truncated report is not a finding about the
+// marketplace, and diffing against one would announce every
+// unfinished job as "removed". Errors when the lineage has fewer than
+// two complete versions.
 func (st *Store) Diff(id string) (*audit.Diff, error) {
 	files, err := st.lineageFiles(id)
 	if err != nil {
 		return nil, err
 	}
-	if len(files) < 2 {
-		return nil, fmt.Errorf("auditstore: config %q has %d snapshot(s); diff needs two", id, len(files))
+	var endpoints []*Snapshot
+	for i := len(files) - 1; i >= 0 && len(endpoints) < 2; i-- {
+		s, err := st.loadNamed(files[i], id)
+		if err != nil {
+			return nil, err
+		}
+		if s.Partial {
+			continue
+		}
+		endpoints = append(endpoints, s)
 	}
-	old, err := st.loadNamed(files[len(files)-2], id)
-	if err != nil {
-		return nil, err
+	if len(endpoints) < 2 {
+		return nil, fmt.Errorf("auditstore: config %q has %d complete snapshot(s); diff needs two", id, len(endpoints))
 	}
-	new, err := st.loadNamed(files[len(files)-1], id)
-	if err != nil {
-		return nil, err
-	}
-	return audit.Compare(old.Report, new.Report)
+	return audit.Compare(endpoints[1].Report, endpoints[0].Report)
 }
 
 // parseName splits a store file name <id>-<seq>.json.

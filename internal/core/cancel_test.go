@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fairness"
+)
+
+// countdownCtx is a context that cancels itself after its Done channel
+// has been asked for n times — i.e. after the engine's nth cooperative
+// cancellation check. It turns "cancel somewhere mid-run" into a
+// deterministic program point, letting the property below sweep every
+// prefix of the solver's check sequence.
+type countdownCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+	done      chan struct{}
+	closed    bool
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), remaining: n, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remaining--
+	if c.remaining <= 0 && !c.closed {
+		close(c.done)
+		c.closed = true
+	}
+	return c.done
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Property: a canceled run leaves a shared cache consistent. Whatever
+// point the cancellation lands on, an uncanceled retry on the same
+// cache returns results bit-identical to a cold run on a fresh cache —
+// a canceled run may only ever warm the cache, never poison it.
+func TestCancelMidRunLeavesCacheConsistent(t *testing.T) {
+	d, scores := incrDataset(t, 270)
+	agg, err := fairness.AggregatorByName("avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg := Config{Measure: fairness.Measure{Agg: agg}}
+
+	// The reference: a cold run on a fresh cache.
+	coldCfg := baseCfg
+	coldCfg.Cache = NewCache()
+	cold, err := Quantify(d, scores, coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		// Sweep cancellation points from "immediately" deep into the
+		// run; each one interrupts a fresh shared cache mid-population.
+		for _, checks := range []int{1, 2, 3, 5, 8, 13, 21, 50, 200} {
+			cache := NewCache()
+			cfg := baseCfg
+			cfg.Cache = cache
+			cfg.Workers = workers
+
+			ctx := newCountdownCtx(checks)
+			r, err := QuantifyContext(ctx, d, scores, cfg)
+			if err == nil {
+				// The run beat the countdown — the remaining checks
+				// would land after completion. Still a valid retry case.
+				if !reflect.DeepEqual(stripStats(r), stripStats(cold)) {
+					t.Fatalf("workers=%d checks=%d: uncanceled run diverged", workers, checks)
+				}
+			} else if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d checks=%d: unexpected error %v", workers, checks, err)
+			}
+
+			// The retry on the canceled run's cache must match the cold
+			// run bit for bit.
+			retry, err := QuantifyContext(context.Background(), d, scores, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d checks=%d: retry failed: %v", workers, checks, err)
+			}
+			if !reflect.DeepEqual(stripStats(retry), stripStats(cold)) {
+				t.Fatalf("workers=%d checks=%d: retry after cancel diverged from cold run", workers, checks)
+			}
+		}
+	}
+}

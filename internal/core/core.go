@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -231,6 +232,13 @@ type engine struct {
 	scores  []float64
 	cfg     Config
 	measure fairness.Measure
+	// ctx carries the caller's deadline/cancellation. It is consulted
+	// only OUTSIDE memoized computations (see ctxErr), so an aborted
+	// run can never store a context error — or a half-computed value —
+	// in a shared cache: every cache entry is either fully computed or
+	// never started, and a retry after cancellation is bit-identical
+	// to a cold run.
+	ctx context.Context
 	// scope holds the memoized histograms, split evaluations and
 	// pairwise distances for this (dataset, scores, measure)
 	// combination — private to the run, or shared via Config.Cache.
@@ -341,6 +349,26 @@ func newEngine(d *dataset.Dataset, scores []float64, cfg Config) (*engine, error
 		e.sem = make(chan struct{}, cfg.Workers-1)
 	}
 	return e, nil
+}
+
+// ctxErr reports the run's cancellation state: nil while the caller's
+// context is live, the wrapped context error once it is done. It is
+// the solver's cooperative cancellation point, called at worker-pool
+// granularity — before each subtree recursion, candidate-split
+// evaluation, restart and finalize — and deliberately NEVER from
+// inside a memoized (sync.Once) computation: a check inside the memo
+// would store the context error as the entry's permanent result,
+// poisoning the shared cache for every later run.
+func (e *engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("core: %w", e.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // release unpins the run's cache scopes so the cache can recycle

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,11 +16,20 @@ import (
 // demonstrate the exponential cost the paper's §3.2 motivates the
 // heuristic with. The enumeration respects cfg.EnumerationLimit.
 func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	return ExhaustiveContext(context.Background(), d, scores, cfg)
+}
+
+// ExhaustiveContext is Exhaustive bounded by a context: cancellation
+// is observed between enumerated partitionings and between scoring
+// jobs — never inside a memoized computation — so an aborted run
+// leaves any shared Config.Cache consistent.
+func ExhaustiveContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
 	start := time.Now()
 	e, err := newEngine(d, scores, cfg)
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	defer e.release()
 	root := partition.Root(d)
 
@@ -39,6 +49,9 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	var all [][]partition.Group
 	enumerated := 0
 	err = partition.ForEachPartitioning(d, root, e.cfg.Attributes, e.cfg.MinGroupSize, e.cfg.EnumerationLimit, func(leaves []partition.Group) error {
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		enumerated++
 		if len(leaves) >= 2 {
 			all = append(all, leaves)
@@ -59,6 +72,9 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 	}
 	vals := make([]float64, len(all))
 	err = e.runParallel(len(all), func(i int) error {
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		v, err := e.aggWithin(all[i])
 		vals[i] = v
 		return err

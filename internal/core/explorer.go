@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -235,15 +236,22 @@ type Resolved struct {
 // Quantify resolves a PanelRequest, runs the solver, and appends the
 // resulting panel to the session.
 func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
+	return s.QuantifyContext(context.Background(), req)
+}
+
+// QuantifyContext is Quantify bounded by a context. A canceled run
+// adds no panel and leaves the session cache consistent (see
+// QuantifyContext / ExhaustiveContext on the package level).
+func (s *Session) QuantifyContext(ctx context.Context, req PanelRequest) (*Panel, error) {
 	rp, err := s.Resolve(req)
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
 	if req.Exhaustive {
-		res, err = Exhaustive(rp.Data, rp.Scores, rp.Config)
+		res, err = ExhaustiveContext(ctx, rp.Data, rp.Scores, rp.Config)
 	} else {
-		res, err = Quantify(rp.Data, rp.Scores, rp.Config)
+		res, err = QuantifyContext(ctx, rp.Data, rp.Scores, rp.Config)
 	}
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,12 +31,27 @@ import (
 // parallel phase, so the result is bit-identical for every worker
 // count.
 func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	return QuantifyContext(context.Background(), d, scores, cfg)
+}
+
+// QuantifyContext is Quantify bounded by a context: when ctx is
+// canceled or its deadline passes, the search stops dispatching work
+// at worker-pool granularity (between subtree recursions, candidate
+// splits, restarts and finalization) and returns ctx's error. A
+// canceled run leaves any shared Config.Cache consistent — entries are
+// either fully computed or never started — so retrying the same
+// request produces a result bit-identical to a cold run.
+func QuantifyContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
 	start := time.Now()
 	e, err := newEngine(d, scores, cfg)
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	defer e.release()
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	rootGroup := partition.Root(d)
 	splittable, err := e.splittableAttrs(rootGroup, e.cfg.Attributes)
 	if err != nil {
@@ -69,6 +85,9 @@ func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error)
 
 	results := make([]*Result, len(rootAttrs))
 	err = e.runParallel(len(rootAttrs), func(i int) error {
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		tree, err := e.buildTree(rootGroup, rootAttrs[i], d.Len())
 		if err != nil {
 			return err
@@ -132,6 +151,9 @@ func (e *engine) buildTree(rootGroup partition.Group, rootAttr string, numRows i
 // siblings the sibling groups, avail the unused attributes; depth is
 // the depth children would occupy.
 func (e *engine) quantify(node *partition.Node, siblings []partition.Group, avail []string, depth int) error {
+	if err := e.ctxErr(); err != nil {
+		return err
+	}
 	if e.cfg.MaxDepth > 0 && depth > e.cfg.MaxDepth {
 		return nil // leaf by depth bound
 	}
@@ -188,6 +210,12 @@ func (e *engine) mostUnfairAttr(g partition.Group, candidates []string) (string,
 	children := make([][]partition.Group, len(candidates))
 	vals := make([]float64, len(candidates))
 	err := e.runParallel(len(candidates), func(i int) error {
+		// Checked here, outside evalSplit's memoized computation, so a
+		// canceled run aborts between candidates without poisoning the
+		// split-score cache.
+		if err := e.ctxErr(); err != nil {
+			return err
+		}
 		var err error
 		children[i], vals[i], err = e.evalSplit(g, candidates[i])
 		return err

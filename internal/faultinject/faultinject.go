@@ -1,0 +1,216 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// harness for exercising FaiRank's degradation paths in tests: injected
+// latency, injected errors (a failing snapshot store, a flaky disk),
+// poisoned panics, and context cancellation triggered at a precise
+// point in a request's execution.
+//
+// Production code exposes named sites — short strings like
+// "auditstore.save" or "server.quantify" — and calls Injector.Hit (or
+// HitContext) at each one. A nil *Injector is the production
+// configuration: every method is a cheap no-op, so sites cost one nil
+// check when no faults are armed. Tests arm rules against sites:
+//
+//	inj := faultinject.New(1)
+//	inj.FailNext("auditstore.save", 1, errDiskFull) // first save fails
+//	inj.Delay("server.audit", 50*time.Millisecond)  // every audit is slow
+//	inj.PanicOn("server.quantify", 2, "poisoned")   // second quantify panics
+//
+// Determinism: rules trigger on exact hit counts, and the only
+// randomness — FailRatio's coin flips — comes from a seeded
+// SplitMix64 stream, so a given (seed, rule set, call sequence) always
+// injects the same faults. That is what lets the server's fault tests
+// run under -race -count=3 -shuffle=on and demand identical outcomes
+// every time.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Injector holds the armed fault rules of one test scenario. The zero
+// value and the nil pointer are both valid, fault-free injectors; all
+// methods are safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64
+	rules map[string][]*rule
+	hits  map[string]int
+}
+
+// action is what a triggered rule does to the hitting call.
+type action int
+
+const (
+	actErr action = iota
+	actDelay
+	actPanic
+	actCancel
+)
+
+// rule is one armed fault: it triggers on hits from..to (1-based,
+// inclusive) at its site, or — for ratio rules — on a seeded coin flip
+// per hit.
+type rule struct {
+	act      action
+	from, to int
+	ratio    float64
+	err      error
+	delay    time.Duration
+	msg      string
+	cancel   context.CancelFunc
+}
+
+// New returns an injector whose probabilistic rules draw from a
+// SplitMix64 stream seeded with seed.
+func New(seed uint64) *Injector {
+	return &Injector{rng: seed, rules: make(map[string][]*rule), hits: make(map[string]int)}
+}
+
+// splitmix64 advances the seeded stream one step.
+func (in *Injector) splitmix64() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// arm appends a rule to a site, initializing lazily so the zero-value
+// Injector works. A count rule armed without a window applies to every
+// hit.
+func (in *Injector) arm(site string, r *rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r.ratio == 0 && r.from == 0 && r.to == 0 {
+		r.from, r.to = 1, int(^uint(0)>>1)
+	}
+	if in.rules == nil {
+		in.rules = make(map[string][]*rule)
+		in.hits = make(map[string]int)
+	}
+	in.rules[site] = append(in.rules[site], r)
+}
+
+// FailNext makes the next n hits at site return err (later hits pass).
+func (in *Injector) FailNext(site string, n int, err error) {
+	in.arm(site, &rule{act: actErr, from: 1, to: n, err: err})
+}
+
+// FailHits makes hits from..to (1-based, inclusive) at site return err.
+func (in *Injector) FailHits(site string, from, to int, err error) {
+	in.arm(site, &rule{act: actErr, from: from, to: to, err: err})
+}
+
+// FailRatio makes each hit at site fail with probability p, decided by
+// the injector's seeded stream (deterministic per seed and call
+// sequence).
+func (in *Injector) FailRatio(site string, p float64, err error) {
+	in.arm(site, &rule{act: actErr, ratio: p, err: err})
+}
+
+// Delay makes every hit at site sleep for d before returning
+// (HitContext returns early with the context's error if it is
+// canceled mid-sleep).
+func (in *Injector) Delay(site string, d time.Duration) {
+	in.arm(site, &rule{act: actDelay, delay: d})
+}
+
+// DelayHits makes hits from..to (1-based, inclusive) at site sleep for d.
+func (in *Injector) DelayHits(site string, from, to int, d time.Duration) {
+	in.arm(site, &rule{act: actDelay, from: from, to: to, delay: d})
+}
+
+// PanicOn makes the nth hit at site panic with msg — the poisoned
+// request that must not take the process down.
+func (in *Injector) PanicOn(site string, n int, msg string) {
+	in.arm(site, &rule{act: actPanic, from: n, to: n, msg: msg})
+}
+
+// CancelOn arms ctx's cancel function to fire on the nth hit at site —
+// the deterministic "client hung up exactly here" trigger. The
+// returned context is canceled before the hit reports back, so the
+// hitting call observes the cancellation immediately.
+func (in *Injector) CancelOn(site string, n int, ctx context.Context) context.Context {
+	derived, cancel := context.WithCancel(ctx)
+	in.arm(site, &rule{act: actCancel, from: n, to: n, cancel: cancel})
+	return derived
+}
+
+// Hits reports how many times site has been hit.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Hit reports one execution of site and applies the armed rules in
+// arming order: delays sleep, cancel rules fire their context, error
+// rules return their error, panic rules panic. Nil injectors and
+// rule-free sites are no-ops.
+func (in *Injector) Hit(site string) error {
+	return in.HitContext(context.Background(), site)
+}
+
+// HitContext is Hit with a context bounding injected delays: a sleep
+// cut short by ctx returns ctx's error instead of completing.
+func (in *Injector) HitContext(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.rules == nil || len(in.rules[site]) == 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	in.hits[site]++
+	n := in.hits[site]
+	var delay time.Duration
+	var failErr error
+	panicMsg := ""
+	doPanic := false
+	for _, r := range in.rules[site] {
+		triggered := false
+		switch {
+		case r.ratio > 0:
+			triggered = float64(in.splitmix64()>>11)/(1<<53) < r.ratio
+		default:
+			triggered = n >= r.from && n <= r.to
+		}
+		if !triggered {
+			continue
+		}
+		switch r.act {
+		case actDelay:
+			delay += r.delay
+		case actErr:
+			if failErr == nil {
+				failErr = r.err
+			}
+		case actPanic:
+			doPanic, panicMsg = true, r.msg
+		case actCancel:
+			r.cancel()
+		}
+	}
+	in.mu.Unlock()
+
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return fmt.Errorf("faultinject: %s: %w", site, ctx.Err())
+		}
+	}
+	if doPanic {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, panicMsg))
+	}
+	return failErr
+}

@@ -1,0 +1,236 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("anything"); err != nil {
+		t.Fatalf("nil injector Hit: %v", err)
+	}
+	if got := in.Hits("anything"); got != 0 {
+		t.Fatalf("nil injector Hits = %d", got)
+	}
+}
+
+func TestZeroValueInjector(t *testing.T) {
+	var in Injector
+	if err := in.Hit("site"); err != nil {
+		t.Fatalf("zero-value Hit: %v", err)
+	}
+	in.FailNext("site", 1, errBoom)
+	if err := in.Hit("site"); !errors.Is(err, errBoom) {
+		t.Fatalf("zero-value armed Hit = %v, want errBoom", err)
+	}
+}
+
+func TestFailNextWindow(t *testing.T) {
+	in := New(1)
+	in.FailNext("save", 2, errBoom)
+	for i := 1; i <= 4; i++ {
+		err := in.Hit("save")
+		if i <= 2 && !errors.Is(err, errBoom) {
+			t.Errorf("hit %d: err = %v, want errBoom", i, err)
+		}
+		if i > 2 && err != nil {
+			t.Errorf("hit %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := in.Hits("save"); got != 4 {
+		t.Errorf("Hits = %d, want 4", got)
+	}
+}
+
+func TestFailHitsWindow(t *testing.T) {
+	in := New(1)
+	in.FailHits("io", 2, 3, errBoom)
+	want := []bool{false, true, true, false}
+	for i, fail := range want {
+		err := in.Hit("io")
+		if fail != (err != nil) {
+			t.Errorf("hit %d: err = %v, want fail=%t", i+1, err, fail)
+		}
+	}
+}
+
+// A rule-free site never counts hits nor errors: sites stay free for
+// production code paths with no armed faults.
+func TestUnarmedSite(t *testing.T) {
+	in := New(1)
+	in.FailNext("a", 1, errBoom)
+	if err := in.Hit("b"); err != nil {
+		t.Fatalf("unarmed site: %v", err)
+	}
+	if got := in.Hits("b"); got != 0 {
+		t.Fatalf("unarmed Hits = %d", got)
+	}
+}
+
+// FailRatio draws from the seeded stream: same seed, same sequence of
+// injected failures — the property the -count=3 stress runs rely on.
+func TestFailRatioDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		in.FailRatio("flaky", 0.5, errBoom)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit("flaky") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("ratio 0.5 injected %d/%d failures", fails, len(a))
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical failure sequences")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	in := New(1)
+	in.Delay("slow", 30*time.Millisecond)
+	start := time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatalf("Delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("Hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestDelayHitsWindow(t *testing.T) {
+	in := New(1)
+	in.DelayHits("slow", 2, 2, 30*time.Millisecond)
+	start := time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("hit 1 delayed %v, want fast", d)
+	}
+	start = time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("hit 2 delayed %v, want >= 30ms", d)
+	}
+}
+
+func TestDelayCutShortByContext(t *testing.T) {
+	in := New(1)
+	in.Delay("slow", time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.HitContext(ctx, "slow") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("HitContext did not return after cancel")
+	}
+}
+
+func TestPanicOn(t *testing.T) {
+	in := New(1)
+	in.PanicOn("handler", 2, "poisoned request")
+	if err := in.Hit("handler"); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("hit 2 did not panic")
+		}
+		if !strings.Contains(r.(string), "poisoned request") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	in.Hit("handler")
+}
+
+func TestCancelOn(t *testing.T) {
+	in := New(1)
+	ctx := in.CancelOn("job", 2, context.Background())
+	in.Hit("job")
+	if ctx.Err() != nil {
+		t.Fatalf("canceled after hit 1: %v", ctx.Err())
+	}
+	in.Hit("job")
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v after hit 2, want Canceled", ctx.Err())
+	}
+}
+
+// Rules on one site compose: a delay plus an error both apply.
+func TestComposedRules(t *testing.T) {
+	in := New(1)
+	in.Delay("both", 20*time.Millisecond)
+	in.FailNext("both", 1, errBoom)
+	start := time.Now()
+	err := in.Hit("both")
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("composed hit returned after %v", d)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	in := New(1)
+	in.FailHits("hot", 1, 50, errBoom)
+	var wg sync.WaitGroup
+	fails := make([]bool, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fails[i] = in.Hit("hot") != nil
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	for _, f := range fails {
+		if f {
+			n++
+		}
+	}
+	if n != 50 {
+		t.Fatalf("%d failures, want exactly 50", n)
+	}
+	if got := in.Hits("hot"); got != 100 {
+		t.Fatalf("Hits = %d, want 100", got)
+	}
+}

@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -102,6 +103,14 @@ type Outcome struct {
 // Targets) is populated, the mitigated side is zero. Every other
 // error returns a nil Outcome.
 func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Options) (*Outcome, error) {
+	return EvaluateContext(context.Background(), d, scores, cfg, opts)
+}
+
+// EvaluateContext is Evaluate bounded by a context: both
+// quantification passes observe cancellation at worker-pool
+// granularity (see core.QuantifyContext), so a dead caller stops the
+// loop mid-quantify without poisoning any shared cfg.Cache.
+func EvaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg core.Config, opts Options) (*Outcome, error) {
 	if opts.K < 0 {
 		return nil, fmt.Errorf("mitigate: negative k %d", opts.K)
 	}
@@ -131,7 +140,7 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 		return nil, err
 	}
 
-	before, err := core.Quantify(d, original, cfg)
+	before, err := core.QuantifyContext(ctx, d, original, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +219,7 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 		return nil, err
 	}
 
-	after, err := core.Quantify(d, mitigated, cfg)
+	after, err := core.QuantifyContext(ctx, d, mitigated, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
 	"net/http"
@@ -102,6 +103,17 @@ type auditResponse struct {
 	SnapshotSeq int    `json:"snapshot_seq,omitempty"`
 	Reused      int    `json:"reused,omitempty"`
 	DiffText    string `json:"diff_text,omitempty"`
+	// Warning reports a degraded-but-successful audit: the report is
+	// complete and correct, but a best-effort side step (persisting
+	// the snapshot) failed. Operators alert on it; clients keep the
+	// 200.
+	Warning string `json:"warning,omitempty"`
+	// Partial marks a 503 body carrying the completed prefix of a
+	// canceled audit (server drain or route deadline). When the
+	// server has a store, the partial report was persisted as a
+	// resumable snapshot: the next identical audit reuses its
+	// completed jobs and finishes the rest.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type hotspotJSON struct {
@@ -212,6 +224,7 @@ func (s *Server) resolveAudit(req auditRequest) (*resolvedAudit, int, error) {
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("server: audit needs a Preset or a Dataset with Jobs")
 	}
+	ra.opts.Faults = s.faults
 	return ra, http.StatusOK, nil
 }
 
@@ -240,51 +253,104 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
+	// Identical concurrent audits coalesce onto one run (and one
+	// snapshot); followers replay the leader's bytes.
+	status, body, shared := s.flights.do(r.Context(), flightKey("audit", req), func() (int, []byte) {
+		return s.runAudit(r, req)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if body == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server: request abandoned while waiting for an identical in-flight audit"))
+		return
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
+	}
+	respond(w, status, body)
+}
+
+// runAudit executes one blocking batch audit and renders its (status,
+// JSON body) — the flight-group unit shared by coalesced requests.
+func (s *Server) runAudit(r *http.Request, req auditRequest) (int, []byte) {
+	if err := s.faults.HitContext(r.Context(), "server.audit"); err != nil {
+		return errBody(http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+	}
 	ra, status, err := s.resolveAudit(req)
 	if err != nil {
-		writeErr(w, status, err)
-		return
+		return errBody(status, err)
 	}
 	prev := s.loadBaseline(ra)
 	if prev != nil {
 		ra.opts.Baseline = prev.Baseline(ra.datasetID)
 	}
 
-	rep, err := audit.RunRankings(ra.data, ra.rankings, ra.cfg, ra.opts)
+	rep, err := audit.RunRankingsContext(r.Context(), ra.data, ra.rankings, ra.cfg, ra.opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		if errors.Is(err, audit.ErrCanceled) {
+			// Graceful degradation: the completed prefix is persisted
+			// as a resumable snapshot (drain or deadline — a dead
+			// client still benefits on its retry), and the 503 body
+			// says so. The worker pool is already free.
+			out := auditResponse{Partial: true, Warning: "audit canceled: " + err.Error()}
+			if rep != nil {
+				rep.Marketplace = ra.name
+			}
+			if s.store != nil && rep != nil && len(rep.Jobs) > 0 {
+				if snap, serr := auditstore.New(ra.datasetID, ra.cfg, ra.opts, ra.rankings, rep); serr == nil {
+					snap.Partial = true
+					if _, serr := s.store.Save(snap); serr == nil {
+						out.SnapshotID = snap.ID
+						out.SnapshotSeq = snap.Seq
+						out.Warning += fmt.Sprintf("; %d completed job(s) persisted for resume", len(rep.Jobs))
+					}
+				}
+			}
+			st, b, ok := mustJSON(out)
+			if !ok {
+				return st, b
+			}
+			return http.StatusServiceUnavailable, b
+		}
+		return errBody(http.StatusBadRequest, err)
 	}
 	rep.Marketplace = ra.name
 
 	text, err := report.AuditTable(rep)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return errBody(http.StatusInternalServerError, err)
 	}
 	out := toAuditResponse(rep, text)
 	if s.store != nil {
 		snap, serr := auditstore.New(ra.datasetID, ra.cfg, ra.opts, ra.rankings, rep)
 		if serr != nil {
-			writeErr(w, http.StatusInternalServerError, serr)
-			return
+			return errBody(http.StatusInternalServerError, serr)
 		}
 		if _, serr := s.store.Save(snap); serr != nil {
-			writeErr(w, http.StatusInternalServerError, serr)
-			return
-		}
-		out.SnapshotID = snap.ID
-		out.SnapshotSeq = snap.Seq
-		out.Reused = rep.Reused
-		if prev != nil {
-			if d, derr := audit.Compare(prev.Report, rep); derr == nil {
-				if dt, derr := report.AuditDiffTable(d); derr == nil {
-					out.DiffText = dt
+			// Store failure degrades the audit to non-persistent: the
+			// client paid for a correct report and gets it, with a
+			// warning instead of a 500. The lineage resumes at the
+			// next successful save.
+			out.Warning = fmt.Sprintf("snapshot not persisted: %v", serr)
+		} else {
+			out.SnapshotID = snap.ID
+			out.SnapshotSeq = snap.Seq
+			out.Reused = rep.Reused
+			if prev != nil && !prev.Partial {
+				if d, derr := audit.Compare(prev.Report, rep); derr == nil {
+					if dt, derr := report.AuditDiffTable(d); derr == nil {
+						out.DiffText = dt
+					}
 				}
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	st, b, ok := mustJSON(out)
+	if !ok {
+		return st, b
+	}
+	return http.StatusOK, b
 }
 
 func toAuditResponse(rep *audit.Report, text string) auditResponse {

@@ -1,0 +1,334 @@
+// Robustness layer: admission control, deadline propagation, panic
+// recovery, request coalescing and drain — what lets fairankd stay up
+// under load instead of being a bare mux.
+//
+// Every route is wrapped by guard(), which in order (1) recovers
+// panics into a 500 plus a counter, (2) refuses new work while the
+// server drains (503), (3) acquires a bounded in-flight slot for the
+// route's class — cheap reads vs. expensive solver work — shedding
+// load with 429 + Retry-After when the queue wait expires, and
+// (4) derives the request context: the route's deadline, cut short by
+// client disconnect or server drain. Handlers thread that context
+// through Session.Resolve → quantify → mitigate → audit, where the
+// engine observes it at worker-pool granularity (core.QuantifyContext)
+// — so a dead client stops burning CPU mid-quantify, and an aborted
+// run can never poison the shared memoization cache.
+//
+// Identical concurrent quantify/audit requests are coalesced: one
+// leader computes (and, for audits, persists) while followers wait
+// for its bytes — the request-level complement of the engine's
+// single-flight memoization cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Limits configures admission control and per-route deadlines. The
+// zero value means "no limits beyond sanity defaults" — existing
+// embedders and tests keep their behavior; fairankd sets real values
+// from flags.
+type Limits struct {
+	// MaxReads bounds concurrently served cheap requests (index, UI,
+	// dataset/panel listings, history). 0 = 256.
+	MaxReads int
+	// MaxHeavy bounds concurrently served solver-backed requests
+	// (quantify, mitigate, audit, stream, generate, anonymize) — the
+	// route class that burns CPU and memory. 0 = 4.
+	MaxHeavy int
+	// QueueWait is how long a request waits for an in-flight slot
+	// before being shed with 429. 0 = 100ms.
+	QueueWait time.Duration
+	// RetryAfter is the value of the Retry-After header on shed
+	// responses. 0 = 1s.
+	RetryAfter time.Duration
+	// QuantifyTimeout bounds one quantify/mitigate/generate/anonymize
+	// request; 0 = no deadline.
+	QuantifyTimeout time.Duration
+	// AuditTimeout bounds one blocking batch audit; 0 = no deadline.
+	// SSE streams are exempt — they are the designed way to run long
+	// audits — and rely on heartbeats plus client-disconnect
+	// cancellation instead.
+	AuditTimeout time.Duration
+	// StreamHeartbeat is the interval between SSE comment heartbeats
+	// keeping idle proxies from killing long audit streams. 0 = 15s;
+	// negative disables.
+	StreamHeartbeat time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (l Limits) withDefaults() Limits {
+	if l.MaxReads == 0 {
+		l.MaxReads = 256
+	}
+	if l.MaxHeavy == 0 {
+		l.MaxHeavy = 4
+	}
+	if l.QueueWait == 0 {
+		l.QueueWait = 100 * time.Millisecond
+	}
+	if l.RetryAfter == 0 {
+		l.RetryAfter = time.Second
+	}
+	if l.StreamHeartbeat == 0 {
+		l.StreamHeartbeat = 15 * time.Second
+	}
+	return l
+}
+
+// WithLimits configures admission control and route deadlines.
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l.withDefaults() }
+}
+
+// WithFaults arms a fault-injection harness on the server's handler
+// sites ("server.quantify", "server.mitigate", "server.audit",
+// "server.stream") and on every audit's per-job site. Test-only.
+func WithFaults(in *faultinject.Injector) Option {
+	return func(s *Server) { s.faults = in }
+}
+
+// Health is the server's liveness/saturation snapshot, served by
+// GET /api/health and read by tests and the load generator.
+type Health struct {
+	// Draining is true once Drain was called: new work is refused
+	// with 503 while in-flight requests finish or snapshot.
+	Draining bool `json:"draining"`
+	// InflightReads / InflightHeavy are the currently admitted
+	// requests per class.
+	InflightReads int `json:"inflight_reads"`
+	InflightHeavy int `json:"inflight_heavy"`
+	// Shed counts requests refused with 429 because their class was
+	// saturated past QueueWait.
+	Shed uint64 `json:"shed"`
+	// Panics counts handler panics converted into 500s.
+	Panics uint64 `json:"panics"`
+	// Coalesced counts requests served from another identical
+	// in-flight request's result.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// routeClass picks which in-flight semaphore admits a request.
+type routeClass int
+
+const (
+	classRead routeClass = iota
+	classHeavy
+)
+
+// semaphore is a bounded in-flight counter with queue-with-deadline
+// semantics.
+type semaphore struct {
+	slots chan struct{}
+}
+
+func newSemaphore(n int) *semaphore { return &semaphore{slots: make(chan struct{}, n)} }
+
+// acquire waits up to wait (cut short by ctx) for a slot.
+func (s *semaphore) acquire(ctx context.Context, wait time.Duration) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *semaphore) release() { <-s.slots }
+
+func (s *semaphore) inflight() int { return len(s.slots) }
+
+// Drain moves the server into shutdown mode: new requests are refused
+// with 503, and the contexts of in-flight requests are canceled so
+// long audits stop at worker-pool granularity and persist partial
+// snapshots (when a store is configured) instead of holding the
+// drain open. Safe to call more than once.
+func (s *Server) Drain() { s.drainCancel() }
+
+// draining reports whether Drain was called.
+func (s *Server) draining() bool { return s.drainCtx.Err() != nil }
+
+// Healthz returns the current health counters.
+func (s *Server) Healthz() Health {
+	return Health{
+		Draining:      s.draining(),
+		InflightReads: s.readSem.inflight(),
+		InflightHeavy: s.heavySem.inflight(),
+		Shed:          s.shed.Load(),
+		Panics:        s.panics.Load(),
+		Coalesced:     s.coalesced.Load(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Healthz())
+}
+
+// guard wraps a handler with the robustness layer: panic recovery,
+// drain refusal, class admission and the derived request context
+// (route deadline ∧ client disconnect ∧ server drain).
+func (s *Server) guard(class routeClass, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				// Headers may already be out (mid-stream panic); the
+				// write is then a no-op and the client sees a
+				// truncated response instead of a dead server.
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: internal error: %v", rec))
+			}
+		}()
+		if s.draining() {
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server: draining"))
+			return
+		}
+		sem := s.readSem
+		if class == classHeavy {
+			sem = s.heavySem
+		}
+		if !sem.acquire(r.Context(), s.limits.QueueWait) {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("server: saturated (%d in flight); retry later", sem.inflight()))
+			return
+		}
+		defer sem.release()
+		ctx, cancel := context.WithCancel(r.Context())
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(r.Context(), timeout)
+		}
+		defer cancel()
+		// Drain reaches into in-flight requests: when it fires, this
+		// request's context ends and the solver aborts at its next
+		// cancellation point.
+		stop := context.AfterFunc(s.drainCtx, cancel)
+		defer stop()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// ctxStatus maps a context-shaped failure to its HTTP answer: 503
+// with Retry-After, so well-behaved clients back off and retry
+// against a server that is merely busy or draining (the engine
+// guarantees the retry is bit-identical to a cold run). Returns 0 for
+// errors that are not cancellation/deadline.
+func (s *Server) ctxStatus(r *http.Request, err error) int {
+	if err == nil {
+		return 0
+	}
+	if ctxErr := context.Cause(r.Context()); ctxErr != nil || s.draining() {
+		return http.StatusServiceUnavailable
+	}
+	return 0
+}
+
+// flightGroup coalesces identical in-flight requests: the first
+// caller (leader) computes the response; followers block until it is
+// done and replay its exact bytes. Entries exist only while the
+// leader runs — sequential identical requests each compute, so
+// nothing is ever served stale.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// do runs fn under key, or waits for the identical in-flight call.
+// The bool reports whether the result was shared from a leader.
+// Followers abandoned by their own context (or whose leader died
+// without publishing) get a 503.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (int, []byte)) (int, []byte, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.status, c.body, true
+		case <-ctx.Done():
+			return http.StatusServiceUnavailable, nil, true
+		}
+	}
+	c := &flightCall{done: make(chan struct{}), status: http.StatusServiceUnavailable}
+	g.calls[key] = c
+	g.mu.Unlock()
+	defer func() {
+		// Runs even when fn panics: followers unblock with the 503
+		// default instead of hanging, and the entry never leaks.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.status, c.body = fn()
+	return c.status, c.body, false
+}
+
+// flightKey canonicalizes a decoded request struct into a coalescing
+// key. Struct field order is fixed, so identical requests — however
+// their JSON was formatted — produce identical keys.
+func flightKey(route string, req any) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return ""
+	}
+	return route + "\x00" + string(b)
+}
+
+// retryAfterSeconds formats a Retry-After header value, rounding up
+// to whole seconds (the header's unit) with a 1s floor.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// respond writes a coalesced (status, body) answer.
+func respond(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// mustJSON marshals a response the handler itself produced; a marshal
+// failure is a programming error surfaced as a 500 envelope.
+func mustJSON(v any) (int, []byte, bool) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		eb, _ := json.Marshal(apiError{Error: err.Error()})
+		return http.StatusInternalServerError, eb, false
+	}
+	return 0, b, true
+}
+
+// errBody builds the JSON error envelope as bytes for flight results.
+func errBody(status int, err error) (int, []byte) {
+	b, _ := json.Marshal(apiError{Error: err.Error()})
+	return status, b
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auditstore"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+)
+
+// robustServer builds a server with the fault-injection harness armed
+// and (optionally) an audit store, exposing the *Server for Drain /
+// Healthz and the injector for arming rules.
+func robustServer(t *testing.T, limits Limits, withStore bool) (*Server, *httptest.Server, *faultinject.Injector, *auditstore.Store) {
+	t.Helper()
+	sess := core.NewSession()
+	if err := sess.AddDataset("table1", dataset.Table1()); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	opts := []Option{WithLimits(limits), WithFaults(inj)}
+	var st *auditstore.Store
+	if withStore {
+		var err error
+		st, err = auditstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetFaults(inj)
+		opts = append(opts, WithAuditStore(st))
+	}
+	s := New(sess, opts...)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, inj, st
+}
+
+// testAuditRequest is the canonical small audit the robustness suite
+// runs: 4 jobs over a 120-worker crowdsourcing preset, sequentially
+// (Workers 1), so "the Nth job" is a deterministic program point.
+func testAuditRequest() auditRequest {
+	return auditRequest{Preset: "crowdsourcing", N: 120, Seed: 1, Strategy: "detcons", K: 10, Workers: 1}
+}
+
+func testQuantifyRequest() core.PanelRequest {
+	return core.PanelRequest{
+		Dataset:    "table1",
+		Function:   "0.3*language_test + 0.7*rating",
+		Attributes: []string{"gender", "language"},
+	}
+}
+
+// rawPost is postJSON without the testing.T plumbing, safe to call
+// from helper goroutines (where t.Fatal is off limits).
+func rawPost(url string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	return res.StatusCode, b, err
+}
+
+// scrubWorkLine drops the solver-stats line ("work : N distance
+// evals, ...") from a rendered result: it reports cache hits and
+// wall-clock time, not the quantification itself.
+func scrubWorkLine(text string) string {
+	lines := strings.Split(text, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "work ") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// scrubAuditResponse zeroes the fields that legitimately differ
+// between two identical audits: wall-clock time and snapshot lineage
+// bookkeeping. What remains must be bit-identical.
+func scrubAuditResponse(a *auditResponse) {
+	a.ElapsedMS = 0
+	a.SnapshotID, a.SnapshotSeq, a.Reused = "", 0, 0
+	a.DiffText, a.Warning = "", ""
+}
+
+// Degradation path 1 (overload): a saturated heavy class sheds load
+// with 429 + Retry-After instead of queueing, and the shed request
+// leaves the shared cache intact — the retry matches a run on a fresh
+// server.
+func TestOverloadSheds429WithRetryAfter(t *testing.T) {
+	s, ts, inj, _ := robustServer(t, Limits{MaxHeavy: 1, QueueWait: 5 * time.Millisecond, RetryAfter: 3 * time.Second}, false)
+	inj.Delay("server.quantify", 400*time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rawPost(ts.URL+"/api/quantify", testQuantifyRequest())
+	}()
+	// The slot is provably held once the leader reached the handler
+	// site (admission happens before it).
+	waitFor(t, func() bool { return inj.Hits("server.quantify") >= 1 })
+
+	// A *different* quantify (identical ones would coalesce, not
+	// shed) finds the class saturated.
+	other := testQuantifyRequest()
+	other.Attributes = []string{"gender"}
+	res := postJSON(t, ts.URL+"/api/quantify", other, nil)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", res.StatusCode)
+	}
+	if got := res.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if s.Healthz().Shed == 0 {
+		t.Fatal("shed counter did not move")
+	}
+	<-done
+
+	// The shed request retries clean: same result as a cold server.
+	var retry, cold panelSummary
+	postJSON(t, ts.URL+"/api/quantify", other, &retry)
+	_, ts2, _, _ := robustServer(t, Limits{}, false)
+	postJSON(t, ts2.URL+"/api/quantify", other, &cold)
+	retry.ElapsedMS, cold.ElapsedMS = 0, 0
+	retry.ID, cold.ID = 0, 0 // the shed server already holds the leader's panel
+	// The rendered text's "work" line reports cache/timing stats, which
+	// legitimately differ between a warm retry and a cold server.
+	retry.Text, cold.Text = scrubWorkLine(retry.Text), scrubWorkLine(cold.Text)
+	if !reflect.DeepEqual(retry, cold) {
+		t.Fatalf("retry after shed diverged from cold run:\n%+v\nvs\n%+v", retry, cold)
+	}
+}
+
+// Degradation path 2 (store failure): a snapshot write error degrades
+// the audit to non-persistent — 200, complete report, a warning — and
+// the lineage resumes at the next successful save.
+func TestStoreFailureDegradesToNonPersistent(t *testing.T) {
+	_, ts, inj, _ := robustServer(t, Limits{}, true)
+	inj.FailNext("auditstore.save", 1, errors.New("disk full"))
+
+	var first auditResponse
+	res := postJSON(t, ts.URL+"/api/audit", testAuditRequest(), &first)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("degraded audit: status %d, want 200", res.StatusCode)
+	}
+	if !strings.Contains(first.Warning, "snapshot not persisted") || !strings.Contains(first.Warning, "disk full") {
+		t.Fatalf("warning = %q, want snapshot-not-persisted with cause", first.Warning)
+	}
+	if first.SnapshotID != "" || first.SnapshotSeq != 0 {
+		t.Fatalf("degraded audit claims snapshot %s-%d", first.SnapshotID, first.SnapshotSeq)
+	}
+	if len(first.Jobs) != 4 {
+		t.Fatalf("degraded audit returned %d jobs, want the complete report (4)", len(first.Jobs))
+	}
+
+	var second auditResponse
+	postJSON(t, ts.URL+"/api/audit", testAuditRequest(), &second)
+	if second.Warning != "" {
+		t.Fatalf("second audit warned: %q", second.Warning)
+	}
+	if second.SnapshotID == "" || second.SnapshotSeq != 1 {
+		t.Fatalf("second audit snapshot %q seq %d, want persisted seq 1", second.SnapshotID, second.SnapshotSeq)
+	}
+	scrubAuditResponse(&first)
+	scrubAuditResponse(&second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("degraded and persisted audits returned different reports")
+	}
+}
+
+// Degradation path 3 (client cancel): a client that hangs up mid-audit
+// frees the worker pool, persists the completed prefix as a resumable
+// partial snapshot, and the retry — which resumes from it — is
+// bit-identical to a cold run.
+func TestClientCancelFreesPoolAndResumes(t *testing.T) {
+	s, ts, inj, st := robustServer(t, Limits{}, true)
+
+	// The client hangs up exactly as job 2 of 4 starts; the injected
+	// per-job delay guarantees the cancellation lands while job 2 is
+	// still inside its context-aware sleep, so exactly 1 job completed.
+	ctx := inj.CancelOn("audit.job", 2, context.Background())
+	inj.DelayHits("audit.job", 2, 4, 300*time.Millisecond)
+	body, _ := json.Marshal(testAuditRequest())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/api/audit", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := http.DefaultClient.Do(req); err == nil {
+		// The server may have written the 503 before the hangup was
+		// observed; either way the audit was canceled.
+		res.Body.Close()
+	}
+
+	// The pool frees: the handler finishes (persisting the snapshot on
+	// its way out) and in-flight drains to zero.
+	waitFor(t, func() bool { return s.Healthz().InflightHeavy == 0 })
+	snaps, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || !snaps[0].Partial {
+		t.Fatalf("store holds %d snapshot(s), want 1 partial", len(snaps))
+	}
+	if n := len(snaps[0].Report.Jobs); n != 1 {
+		t.Fatalf("partial snapshot holds %d job(s), want the 1 completed before cancel", n)
+	}
+
+	// The retry resumes from the partial snapshot and matches a cold
+	// run on a fresh server bit for bit.
+	var retry, cold auditResponse
+	res := postJSON(t, ts.URL+"/api/audit", testAuditRequest(), &retry)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("retry: status %d, want 200", res.StatusCode)
+	}
+	if retry.Reused != 1 {
+		t.Fatalf("retry reused %d job(s), want 1 from the partial snapshot", retry.Reused)
+	}
+	if retry.SnapshotID != snaps[0].ID || retry.SnapshotSeq != 2 {
+		t.Fatalf("retry snapshot %s-%d, want same lineage %s seq 2", retry.SnapshotID, retry.SnapshotSeq, snaps[0].ID)
+	}
+	if retry.DiffText != "" {
+		t.Fatal("retry diffed against a partial snapshot")
+	}
+	_, ts2, _, _ := robustServer(t, Limits{}, false)
+	postJSON(t, ts2.URL+"/api/audit", testAuditRequest(), &cold)
+	scrubAuditResponse(&retry)
+	scrubAuditResponse(&cold)
+	if !reflect.DeepEqual(retry, cold) {
+		t.Fatal("resumed retry diverged from cold run")
+	}
+}
+
+// A handler panic becomes a 500 plus a counter, not a dead process,
+// and the next request is served normally.
+func TestPanicRecoveryKeepsServerAlive(t *testing.T) {
+	s, ts, inj, _ := robustServer(t, Limits{}, false)
+	inj.PanicOn("server.quantify", 1, "poisoned request")
+
+	var apiErr apiError
+	res := postJSON(t, ts.URL+"/api/quantify", testQuantifyRequest(), &apiErr)
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: status %d, want 500", res.StatusCode)
+	}
+	if !strings.Contains(apiErr.Error, "poisoned request") {
+		t.Fatalf("error body %q does not name the panic", apiErr.Error)
+	}
+	if got := s.Healthz().Panics; got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	res = postJSON(t, ts.URL+"/api/quantify", testQuantifyRequest(), nil)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic: status %d, want 200", res.StatusCode)
+	}
+}
+
+// Identical concurrent quantify requests coalesce onto one solver
+// run: one leader computes, followers replay its exact bytes.
+func TestIdenticalQuantifyRequestsCoalesce(t *testing.T) {
+	s, ts, inj, _ := robustServer(t, Limits{MaxHeavy: 8}, false)
+	inj.Delay("server.quantify", 500*time.Millisecond)
+
+	// The leader provably holds the flight entry (its injected delay
+	// runs inside it) before any follower posts.
+	var leaderBody []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, leaderBody, _ = rawPost(ts.URL+"/api/quantify", testQuantifyRequest())
+	}()
+	waitFor(t, func() bool { return inj.Hits("server.quantify") >= 1 })
+
+	const followers = 3
+	bodies := make([][]byte, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i], _ = rawPost(ts.URL+"/api/quantify", testQuantifyRequest())
+		}(i)
+	}
+	wg.Wait()
+	<-done
+	for i := 0; i < followers; i++ {
+		if !bytes.Equal(leaderBody, bodies[i]) {
+			t.Fatalf("follower %d got different bytes than the leader", i)
+		}
+	}
+	if got := inj.Hits("server.quantify"); got != 1 {
+		t.Fatalf("solver ran %d time(s), want 1 (coalesced)", got)
+	}
+	if got := s.Healthz().Coalesced; got != followers {
+		t.Fatalf("coalesced counter = %d, want %d", got, followers)
+	}
+}
+
+// Drain refuses new work with 503 and converts an in-flight audit
+// into a 503 + resumable partial snapshot for the still-connected
+// client.
+func TestDrainShedsNewWorkAndSnapshotsInflight(t *testing.T) {
+	s, ts, inj, st := robustServer(t, Limits{}, true)
+	inj.Delay("audit.job", 100*time.Millisecond)
+
+	var inflightStatus int
+	var inflightBody []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		inflightStatus, inflightBody, _ = rawPost(ts.URL+"/api/audit", testAuditRequest())
+	}()
+	waitFor(t, func() bool { return inj.Hits("audit.job") >= 2 })
+	s.Drain()
+
+	res := postJSON(t, ts.URL+"/api/audit", testAuditRequest(), nil)
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", res.StatusCode)
+	}
+	<-done
+	if inflightStatus != http.StatusServiceUnavailable {
+		t.Fatalf("drained in-flight audit: status %d, want 503", inflightStatus)
+	}
+	var inflight auditResponse
+	if err := json.Unmarshal(inflightBody, &inflight); err != nil {
+		t.Fatalf("drained audit body %q: %v", inflightBody, err)
+	}
+	if !inflight.Partial {
+		t.Fatal("drained audit response not marked partial")
+	}
+	if inflight.SnapshotID == "" {
+		t.Fatalf("drained audit persisted no snapshot (warning: %q)", inflight.Warning)
+	}
+	snap, err := st.Latest(inflight.SnapshotID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Partial || len(snap.Report.Jobs) == 0 || len(snap.Report.Jobs) >= 4 {
+		t.Fatalf("drain snapshot: partial=%t jobs=%d, want partial with a strict prefix", snap.Partial, len(snap.Report.Jobs))
+	}
+}
+
+// The SSE stream emits comment heartbeats between job events so idle
+// proxies keep the connection, and still ends with the rollup.
+func TestStreamHeartbeat(t *testing.T) {
+	_, ts, inj, _ := robustServer(t, Limits{StreamHeartbeat: 10 * time.Millisecond}, false)
+	inj.Delay("audit.job", 50*time.Millisecond)
+
+	res, err := http.Get(ts.URL + "/api/audit/stream?preset=crowdsourcing&n=120&seed=1&strategy=detcons&k=10&workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), ": hb\n\n") {
+		t.Fatal("stream carried no heartbeat comments")
+	}
+	if !strings.Contains(string(body), "event: rollup") {
+		t.Fatal("stream did not finish with a rollup")
+	}
+}
+
+// Canceled requests do not leak goroutines: after a burst of
+// mid-audit hangups, the process returns to its baseline.
+func TestCanceledRequestsDontLeakGoroutines(t *testing.T) {
+	_, ts, inj, _ := robustServer(t, Limits{MaxHeavy: 8}, false)
+	inj.Delay("audit.job", 50*time.Millisecond)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		// Each round's client hangs up as its second job starts (hit
+		// counts accumulate across rounds, so the trigger is absolute).
+		ctx := inj.CancelOn("audit.job", inj.Hits("audit.job")+2, context.Background())
+		body, _ := json.Marshal(testAuditRequest())
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/api/audit", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := http.DefaultClient.Do(req); err == nil {
+			res.Body.Close()
+		}
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+3 })
+}
+
+// waitFor polls cond up to ~5s; the deterministic injector makes the
+// awaited states certain, the poll only absorbs scheduling latency.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

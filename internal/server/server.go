@@ -29,17 +29,20 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/anonymize"
 	"repro/internal/auditstore"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/histogram"
 	"repro/internal/marketplace"
 	"repro/internal/mitigate"
@@ -49,9 +52,21 @@ import (
 
 // Server wires a core.Session to HTTP handlers.
 type Server struct {
-	sess  *core.Session
-	mux   *http.ServeMux
-	store *auditstore.Store
+	sess   *core.Session
+	mux    *http.ServeMux
+	store  *auditstore.Store
+	limits Limits
+	faults *faultinject.Injector
+
+	// Admission control + lifecycle state (see robust.go).
+	readSem     *semaphore
+	heavySem    *semaphore
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	flights     flightGroup
+	shed        atomic.Uint64
+	panics      atomic.Uint64
+	coalesced   atomic.Uint64
 }
 
 // Option configures optional server subsystems.
@@ -68,22 +83,30 @@ func WithAuditStore(st *auditstore.Store) Option {
 
 // New returns a server over the given session.
 func New(sess *core.Session, opts ...Option) *Server {
-	s := &Server{sess: sess, mux: http.NewServeMux()}
+	s := &Server{sess: sess, mux: http.NewServeMux(), limits: Limits{}.withDefaults()}
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("GET /", s.handleIndex)
-	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /api/datasets/generate", s.handleGenerate)
-	s.mux.HandleFunc("POST /api/datasets/anonymize", s.handleAnonymize)
-	s.mux.HandleFunc("POST /api/quantify", s.handleQuantify)
-	s.mux.HandleFunc("POST /api/mitigate", s.handleMitigate)
-	s.mux.HandleFunc("POST /api/audit", s.handleAudit)
-	s.mux.HandleFunc("GET /api/audit/stream", s.handleAuditStream)
-	s.mux.HandleFunc("GET /api/audit/history", s.handleAuditHistory)
-	s.mux.HandleFunc("GET /api/panels", s.handlePanels)
-	s.mux.HandleFunc("GET /api/panels/{id}", s.handlePanel)
-	s.mux.HandleFunc("DELETE /api/panels/{id}", s.handlePanelDelete)
+	s.readSem = newSemaphore(s.limits.MaxReads)
+	s.heavySem = newSemaphore(s.limits.MaxHeavy)
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	l := s.limits
+	s.mux.HandleFunc("GET /", s.guard(classRead, 0, s.handleIndex))
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/datasets", s.guard(classRead, 0, s.handleDatasets))
+	s.mux.HandleFunc("POST /api/datasets/generate", s.guard(classHeavy, l.QuantifyTimeout, s.handleGenerate))
+	s.mux.HandleFunc("POST /api/datasets/anonymize", s.guard(classHeavy, l.QuantifyTimeout, s.handleAnonymize))
+	s.mux.HandleFunc("POST /api/quantify", s.guard(classHeavy, l.QuantifyTimeout, s.handleQuantify))
+	s.mux.HandleFunc("POST /api/mitigate", s.guard(classHeavy, l.QuantifyTimeout, s.handleMitigate))
+	s.mux.HandleFunc("POST /api/audit", s.guard(classHeavy, l.AuditTimeout, s.handleAudit))
+	// Streams carry no route deadline — they are the designed way to
+	// run long audits — and instead heartbeat (see stream.go) and die
+	// with their client.
+	s.mux.HandleFunc("GET /api/audit/stream", s.guard(classHeavy, 0, s.handleAuditStream))
+	s.mux.HandleFunc("GET /api/audit/history", s.guard(classRead, 0, s.handleAuditHistory))
+	s.mux.HandleFunc("GET /api/panels", s.guard(classRead, 0, s.handlePanels))
+	s.mux.HandleFunc("GET /api/panels/{id}", s.guard(classRead, 0, s.handlePanel))
+	s.mux.HandleFunc("DELETE /api/panels/{id}", s.guard(classRead, 0, s.handlePanelDelete))
 	return s
 }
 
@@ -352,12 +375,38 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
-	p, err := s.sess.Quantify(req)
-	if err != nil {
-		writeErr(w, requestErrStatus(err), err)
+	// Identical concurrent requests coalesce onto one solver run: the
+	// leader quantifies (registering one panel), followers replay its
+	// bytes — request-level single-flight on top of the memoized
+	// engine cache.
+	status, body, shared := s.flights.do(r.Context(), flightKey("quantify", req), func() (int, []byte) {
+		if err := s.faults.HitContext(r.Context(), "server.quantify"); err != nil {
+			return errBody(http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+		}
+		p, err := s.sess.QuantifyContext(r.Context(), req)
+		if err != nil {
+			if st := s.ctxStatus(r, err); st != 0 {
+				return errBody(st, err)
+			}
+			return errBody(requestErrStatus(err), err)
+		}
+		st, b, ok := mustJSON(toSummary(p, true))
+		if !ok {
+			return st, b
+		}
+		return http.StatusOK, b
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if body == nil {
+		writeErr(w, status, fmt.Errorf("server: request abandoned while waiting for an identical in-flight request"))
 		return
 	}
-	writeJSON(w, http.StatusOK, toSummary(p, true))
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
+	}
+	respond(w, status, body)
 }
 
 // requestErrStatus maps a panel-resolution error to its HTTP status:
@@ -458,12 +507,16 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: mitigation does not support the exhaustive solver"))
 		return
 	}
+	if err := s.faults.HitContext(r.Context(), "server.mitigate"); err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+		return
+	}
 	rp, err := s.sess.Resolve(req.PanelRequest)
 	if err != nil {
 		writeErr(w, requestErrStatus(err), err)
 		return
 	}
-	o, err := mitigate.Evaluate(rp.Data, rp.Scores, rp.Config, mitigate.Options{
+	o, err := mitigate.EvaluateContext(r.Context(), rp.Data, rp.Scores, rp.Config, mitigate.Options{
 		Strategy:         req.Strategy,
 		K:                req.K,
 		Targets:          req.Targets,
@@ -474,6 +527,10 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, mitigate.ErrInfeasible) {
 			status = http.StatusUnprocessableEntity
+		}
+		if st := s.ctxStatus(r, err); st != 0 {
+			status = st
+			w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
 		}
 		writeErr(w, status, err)
 		return

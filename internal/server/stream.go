@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/auditstore"
@@ -49,31 +51,82 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: response writer cannot stream"))
 		return
 	}
+	if err := s.faults.HitContext(r.Context(), "server.stream"); err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+		return
+	}
+	// Long audits legitimately outlive the http.Server WriteTimeout;
+	// SSE is the one route exempted from it. Writers that cannot
+	// adjust deadlines (e.g. test recorders) are left as they are.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// One mutex serializes event writes and heartbeats: Emit fires
+	// from audit workers, the heartbeat from its own ticker goroutine.
+	var wmu sync.Mutex
 	emit := func(event string, v any) {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return
 		}
+		wmu.Lock()
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 		flusher.Flush()
+		wmu.Unlock()
 	}
+	// Periodic comment heartbeats keep idle proxies and LBs from
+	// killing the connection while a big marketplace quantifies
+	// between job events. Comments are invisible to EventSource.
+	if hb := s.limits.StreamHeartbeat; hb > 0 {
+		stop := make(chan struct{})
+		hbDone := make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					wmu.Lock()
+					fmt.Fprint(w, ": hb\n\n")
+					flusher.Flush()
+					wmu.Unlock()
+				case <-stop:
+					return
+				}
+			}
+		}()
+		// The handler must not return while the heartbeat goroutine
+		// can still touch w.
+		defer func() { close(stop); <-hbDone }()
+	}
+
 	ra.opts.Emit = func(i int, jr audit.JobReport) {
 		emit("job", toStreamJobJSON(i, jr))
 	}
-	// A closed EventSource must not keep the marketplace audit
-	// burning: once the client hangs up, no further jobs are
-	// dispatched and nothing is persisted.
-	ra.opts.Cancel = r.Context().Done()
 
-	rep, err := audit.RunRankings(ra.data, ra.rankings, ra.cfg, ra.opts)
+	// A closed EventSource must not keep the marketplace audit
+	// burning: the request context (cut short by client disconnect or
+	// server drain — see guard) reaches into in-flight jobs at
+	// worker-pool granularity and frees the pool.
+	rep, err := audit.RunRankingsContext(r.Context(), ra.data, ra.rankings, ra.cfg, ra.opts)
 	if err != nil {
 		if errors.Is(err, audit.ErrCanceled) {
-			return // client is gone; nobody is listening for an event
+			// The client is gone (or the server is draining); nobody
+			// is listening. Persist the completed prefix as a
+			// resumable snapshot so the work already paid for feeds
+			// the next run's baseline.
+			if s.store != nil && rep != nil && len(rep.Jobs) > 0 {
+				rep.Marketplace = ra.name
+				if snap, serr := auditstore.New(ra.datasetID, ra.cfg, ra.opts, ra.rankings, rep); serr == nil {
+					snap.Partial = true
+					s.store.Save(snap)
+				}
+			}
+			return
 		}
 		// Headers are long gone; the stream's error channel is an SSE
 		// event of its own.
@@ -88,6 +141,8 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 			if _, serr := s.store.Save(snap); serr == nil {
 				rollup.SnapshotID = snap.ID
 				rollup.SnapshotSeq = snap.Seq
+			} else {
+				rollup.Warning = fmt.Sprintf("snapshot not persisted: %v", serr)
 			}
 		}
 	}
@@ -146,6 +201,7 @@ type auditStreamRollupJSON struct {
 	SnapshotID           string        `json:"snapshot_id,omitempty"`
 	SnapshotSeq          int           `json:"snapshot_seq,omitempty"`
 	Reused               int           `json:"reused,omitempty"`
+	Warning              string        `json:"warning,omitempty"`
 }
 
 func toStreamRollupJSON(rep *audit.Report) auditStreamRollupJSON {

@@ -5,16 +5,18 @@
 # coverage regresses below its floor.
 #
 # Floors are set a few points under the measured coverage at the time
-# the gate was added (audit 93.9%, mitigate 91.7%, auditstore 87.3%),
-# so honest churn passes but a test-free feature drop does not.
-# Override per package:
+# the gate was added (audit 93.9%, mitigate 91.7%, auditstore 87.3%,
+# faultinject 100%), so honest churn passes but a test-free feature
+# drop does not. Override per package:
 #
-#   FLOOR_AUDIT=80 FLOOR_MITIGATE=80 FLOOR_AUDITSTORE=80 sh scripts/coverage.sh
+#   FLOOR_AUDIT=80 FLOOR_MITIGATE=80 FLOOR_AUDITSTORE=80 \
+#   FLOOR_FAULTINJECT=80 sh scripts/coverage.sh
 set -eu
 
 FLOOR_AUDIT=${FLOOR_AUDIT:-88}
 FLOOR_MITIGATE=${FLOOR_MITIGATE:-85}
 FLOOR_AUDITSTORE=${FLOOR_AUDITSTORE:-85}
+FLOOR_FAULTINJECT=${FLOOR_FAULTINJECT:-80}
 
 fail=0
 
@@ -39,5 +41,6 @@ check() {
 check ./internal/audit "$FLOOR_AUDIT"
 check ./internal/mitigate "$FLOOR_MITIGATE"
 check ./internal/auditstore "$FLOOR_AUDITSTORE"
+check ./internal/faultinject "$FLOOR_FAULTINJECT"
 
 exit "$fail"

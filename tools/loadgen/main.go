@@ -1,0 +1,265 @@
+// Command loadgen replays a deterministic mixed request trace —
+// quantify, batch audit and SSE audit stream — against an in-process
+// fairankd server and reports per-route p50/p99 latency, throughput
+// and shed counts into BENCH_LOAD.json, the serving-side counterpart
+// of the BENCH_PR*.json microbench trajectory.
+//
+// The trace is seed-driven: a given (-seed, -requests) pair always
+// issues the same operation sequence with the same parameters, so two
+// runs differ only in measured latency. Admission limits are real
+// (the server sheds with 429 under the configured -max-heavy), which
+// makes shed counts part of the result rather than noise:
+//
+//	go run ./tools/loadgen -requests 200 -clients 8 -out BENCH_LOAD.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// op is one trace entry: a route plus the JSON body or query string
+// the seeded generator chose for it.
+type op struct {
+	route string // "quantify", "audit", "stream"
+	body  any    // POST body (quantify, audit)
+	query string // query string (stream)
+}
+
+// routeStats aggregates one route's measured outcomes.
+type routeStats struct {
+	Count     int     `json:"count"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	latencies []time.Duration
+}
+
+// result is the BENCH_LOAD.json schema.
+type result struct {
+	Requests      int                    `json:"requests"`
+	Clients       int                    `json:"clients"`
+	Seed          uint64                 `json:"seed"`
+	MaxHeavy      int                    `json:"max_heavy"`
+	ElapsedMs     float64                `json:"elapsed_ms"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	Routes        map[string]*routeStats `json:"routes"`
+	Health        server.Health          `json:"health"`
+}
+
+// splitmix64 is the trace's seeded stream (same generator the
+// fault-injection harness uses), so the operation sequence is a pure
+// function of the seed.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// buildTrace generates the deterministic operation sequence: ~60%
+// quantify (rotating scoring functions and attribute subsets so the
+// cache sees a realistic hit/miss mix), ~25% blocking audits and ~15%
+// audit streams over small preset marketplaces.
+func buildTrace(requests int, seed uint64) []op {
+	rng := &splitmix64{s: seed}
+	functions := []string{
+		"0.3*language_test + 0.7*rating",
+		"0.5*language_test + 0.5*rating",
+		"rating",
+		"language_test",
+	}
+	attrSets := [][]string{nil, {"gender"}, {"gender", "language"}, {"ethnicity"}}
+	presets := []string{"crowdsourcing", "taskrabbit"}
+	ops := make([]op, requests)
+	for i := range ops {
+		switch roll := rng.intn(100); {
+		case roll < 60:
+			ops[i] = op{route: "quantify", body: core.PanelRequest{
+				Dataset:    "table1",
+				Function:   functions[rng.intn(len(functions))],
+				Attributes: attrSets[rng.intn(len(attrSets))],
+			}}
+		case roll < 85:
+			ops[i] = op{route: "audit", body: map[string]any{
+				"Preset":   presets[rng.intn(len(presets))],
+				"N":        100 + 20*rng.intn(4),
+				"Seed":     1 + uint64(rng.intn(3)),
+				"Strategy": "detcons",
+				"K":        10,
+			}}
+		default:
+			ops[i] = op{route: "stream", query: fmt.Sprintf(
+				"preset=%s&n=%d&seed=%d&strategy=detcons&k=10",
+				presets[rng.intn(len(presets))], 100+20*rng.intn(4), 1+rng.intn(3))}
+		}
+	}
+	return ops
+}
+
+// run replays the trace over clients concurrent workers and aggregates
+// the outcome.
+func run(requests, clients, maxHeavy int, seed uint64) (*result, error) {
+	sess := core.NewSession()
+	if err := sess.AddDataset("table1", dataset.Table1()); err != nil {
+		return nil, err
+	}
+	srv := server.New(sess, server.WithLimits(server.Limits{MaxHeavy: maxHeavy}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ops := buildTrace(requests, seed)
+	stats := map[string]*routeStats{
+		"quantify": {}, "audit": {}, "stream": {},
+	}
+	var mu sync.Mutex
+	record := func(route string, d time.Duration, status int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		st := stats[route]
+		st.Count++
+		st.latencies = append(st.latencies, d)
+		switch {
+		case err != nil || status >= 500:
+			st.Errors++
+		case status == http.StatusTooManyRequests:
+			st.Shed++
+		}
+	}
+
+	work := make(chan op)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range work {
+				t0 := time.Now()
+				status, err := issue(ts.URL, o)
+				record(o.route, time.Since(t0), status, err)
+			}
+		}()
+	}
+	for _, o := range ops {
+		work <- o
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, st := range stats {
+		summarize(st)
+	}
+	return &result{
+		Requests:      requests,
+		Clients:       clients,
+		Seed:          seed,
+		MaxHeavy:      maxHeavy,
+		ElapsedMs:     float64(elapsed.Microseconds()) / 1000,
+		ThroughputRPS: float64(requests) / elapsed.Seconds(),
+		Routes:        stats,
+		Health:        srv.Healthz(),
+	}, nil
+}
+
+// issue performs one trace operation and returns its HTTP status.
+func issue(base string, o op) (int, error) {
+	switch o.route {
+	case "stream":
+		res, err := http.Get(base + "/api/audit/stream?" + o.query)
+		if err != nil {
+			return 0, err
+		}
+		defer res.Body.Close()
+		_, err = io.Copy(io.Discard, res.Body) // latency includes the full stream
+		return res.StatusCode, err
+	default:
+		buf, err := json.Marshal(o.body)
+		if err != nil {
+			return 0, err
+		}
+		res, err := http.Post(base+"/api/"+o.route, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return 0, err
+		}
+		defer res.Body.Close()
+		_, err = io.Copy(io.Discard, res.Body)
+		return res.StatusCode, err
+	}
+}
+
+// summarize folds a route's raw latencies into p50/p99/mean.
+func summarize(st *routeStats) {
+	if len(st.latencies) == 0 {
+		return
+	}
+	sort.Slice(st.latencies, func(a, b int) bool { return st.latencies[a] < st.latencies[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(st.latencies)-1))
+		return float64(st.latencies[i].Microseconds()) / 1000
+	}
+	st.P50Ms = pct(0.50)
+	st.P99Ms = pct(0.99)
+	var sum time.Duration
+	for _, d := range st.latencies {
+		sum += d
+	}
+	st.MeanMs = float64(sum.Microseconds()) / 1000 / float64(len(st.latencies))
+	st.latencies = nil
+}
+
+func main() {
+	requests := flag.Int("requests", 200, "trace length")
+	clients := flag.Int("clients", 8, "concurrent client workers")
+	maxHeavy := flag.Int("max-heavy", 4, "server's heavy-class admission bound")
+	seed := flag.Uint64("seed", 1, "trace seed (same seed = same operation sequence)")
+	out := flag.String("out", "BENCH_LOAD.json", "output file (- for stdout)")
+	flag.Parse()
+
+	res, err := run(*requests, *clients, *maxHeavy, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	for route, st := range res.Routes {
+		fmt.Printf("%-9s count=%-4d shed=%-3d errors=%-3d p50=%.1fms p99=%.1fms\n",
+			route, st.Count, st.Shed, st.Errors, st.P50Ms, st.P99Ms)
+	}
+	fmt.Printf("total     %d requests in %.0fms (%.1f req/s) -> %s\n",
+		res.Requests, res.ElapsedMs, res.ThroughputRPS, *out)
+}
