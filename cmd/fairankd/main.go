@@ -17,6 +17,12 @@
 // SIGINT/SIGTERM drains gracefully — in-flight audits either finish
 // within the drain timeout or persist a resumable partial snapshot
 // (with -audit-dir). See README "Operating fairankd".
+//
+// Observability: GET /metrics serves Prometheus text, GET /api/traces
+// the recent request traces, and -debug-addr exposes net/http/pprof
+// on a separate listener (never the public one). Logs are structured
+// (log/slog, text on stderr); -log-level debug adds one line per
+// completed request with its request ID.
 package main
 
 import (
@@ -24,8 +30,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers on http.DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,7 +60,16 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "http.Server WriteTimeout (SSE streams exempt themselves)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish or snapshot")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "fairankd: bad -log-level:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	sess, m, err := buildSession(*preset, *n, *seed)
 	if err != nil {
@@ -62,9 +78,9 @@ func main() {
 	}
 	sess.SetCacheLimit(*maxScopes)
 	if m != nil {
-		log.Printf("registered dataset %q (%d workers)", m.Name, m.Workers.Len())
+		logger.Info("registered dataset", "name", m.Name, "workers", m.Workers.Len())
 		for _, j := range m.Jobs {
-			log.Printf("  job %s: %s", j.Name, j.Function)
+			logger.Info("job", "name", j.Name, "function", j.Function)
 		}
 	}
 	srv, err := fairank.NewExplorerServer(sess, fairank.ServeLimits{
@@ -75,13 +91,24 @@ func main() {
 		QuantifyTimeout: *quantifyTimeout,
 		AuditTimeout:    *auditTimeout,
 		StreamHeartbeat: *heartbeat,
-	}, *auditDir)
+	}, *auditDir, fairank.WithServerLogger(logger))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fairankd:", err)
 		os.Exit(1)
 	}
 	if *auditDir != "" {
-		log.Printf("audit snapshots persisted under %s", *auditDir)
+		logger.Info("audit snapshots enabled", "dir", *auditDir)
+	}
+
+	if *debugAddr != "" {
+		// pprof registers on the default mux; serving that mux on a
+		// separate listener keeps profiling off the public API surface.
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -110,11 +137,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("FaiRank explorer listening on %s", *addr)
+	logger.Info("FaiRank explorer listening", "addr", *addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "fairankd:", err)
 		os.Exit(1)
 	}
 	<-drained
-	log.Printf("fairankd: drained and stopped")
+	logger.Info("drained and stopped")
 }

@@ -60,6 +60,7 @@ package fairank
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/anonymize"
@@ -559,16 +560,25 @@ func ServeHandlerWithAudit(sess *Session, auditDir string) (http.Handler, error)
 // per-route deadlines (see the server package's Limits).
 type ServeLimits = server.Limits
 
+// ServeOption configures optional explorer-server subsystems.
+type ServeOption = server.Option
+
+// WithServerLogger routes the server's structured request logs (one
+// line per completed request, panics at error level) to l.
+func WithServerLogger(l *slog.Logger) ServeOption { return server.WithLogger(l) }
+
 // ExplorerServer is the explorer's HTTP wiring with lifecycle
 // control: Handler serves, Drain refuses new work and cancels
 // in-flight solver runs (persisting partial audit snapshots when a
-// store is configured), Healthz reports saturation counters.
+// store is configured), Healthz reports saturation counters, Metrics
+// exposes the registry behind GET /metrics.
 type ExplorerServer = server.Server
 
 // NewExplorerServer builds the production-shaped explorer server:
 // admission control per the limits, plus — when auditDir is non-empty
-// — the persistent audit lifecycle.
-func NewExplorerServer(sess *Session, limits ServeLimits, auditDir string) (*ExplorerServer, error) {
+// — the persistent audit lifecycle. Extra options (WithServerLogger,
+// ...) are applied after those two.
+func NewExplorerServer(sess *Session, limits ServeLimits, auditDir string, extra ...ServeOption) (*ExplorerServer, error) {
 	opts := []server.Option{server.WithLimits(limits)}
 	if auditDir != "" {
 		st, err := auditstore.Open(auditDir)
@@ -577,6 +587,7 @@ func NewExplorerServer(sess *Session, limits ServeLimits, auditDir string) (*Exp
 		}
 		opts = append(opts, server.WithAuditStore(st))
 	}
+	opts = append(opts, extra...)
 	return server.New(sess, opts...), nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/marketplace"
 	"repro/internal/mitigate"
+	"repro/internal/obsv"
 )
 
 // Options configures a batch audit on top of the solver Config.
@@ -93,6 +94,12 @@ type Options struct {
 	// production (one nil check per job); excluded from ParamsKey —
 	// faults never change what a completed report says.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, publishes audit progress into the registry:
+	// run/job/reuse/infeasible counters and a per-job latency
+	// histogram. Like Faults it is excluded from ParamsKey —
+	// observability never changes what a completed report says — and
+	// nil costs only nil-safe no-op metric calls.
+	Obs *obsv.Registry
 }
 
 // ErrCanceled is returned by Run/RunRankings when Options.Cancel
@@ -295,6 +302,14 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 		return nil, fmt.Errorf("audit: negative K %d (0 selects the min(10, n) default)", opts.K)
 	}
 	k := mitigate.DefaultK(opts.K, d.Len())
+	// The run span parents every per-job span; the counters march as
+	// jobs finish so an operator watching /metrics sees progress, not
+	// just completions. Both are no-ops when unwired.
+	ctx, span := obsv.StartSpan(ctx, "audit.run")
+	defer span.End()
+	span.Set("jobs", len(rankings))
+	obs := newAuditMetrics(opts.Obs)
+	obs.runs.Inc()
 	if cfg.Cache == nil {
 		// One cache for the whole batch: the per-job before/after
 		// passes and any re-audit through the same Config share the
@@ -351,8 +366,16 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 	// report on cancellation is built from exactly these slots.
 	completed := make([]bool, len(rankings))
 	runOne := func(i int) {
+		t0 := time.Now()
 		jobs[i], errs[i] = auditOne(ctx, d, rankings[i], cfg, opts, k)
+		obs.jobSeconds.ObserveSeconds(int64(time.Since(t0)))
 		completed[i] = errs[i] == nil
+		if errs[i] == nil {
+			obs.jobs.Inc()
+			if jobs[i].Infeasible {
+				obs.infeasible.Inc()
+			}
+		}
 		markDone(i)
 	}
 	canceled := func() bool {
@@ -373,6 +396,8 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 	// input order, rolled up over that subset, plus an error wrapping
 	// ErrCanceled (and the context's cause, when the context did it).
 	cancelReturn := func() (*Report, error) {
+		obs.canceled.Inc()
+		span.Set("canceled", true)
 		partial := &Report{Strategy: strategy.Name(), K: k}
 		for i := range jobs {
 			if !completed[i] {
@@ -397,6 +422,8 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 			}
 			if skip(i) {
 				completed[i] = true
+				obs.jobs.Inc()
+				obs.reused.Inc()
 				markDone(i)
 				continue
 			}
@@ -421,6 +448,8 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 			}
 			if skip(i) {
 				completed[i] = true
+				obs.jobs.Inc()
+				obs.reused.Inc()
 				markDone(i)
 				continue
 			}
@@ -468,6 +497,7 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 	}
 	rollup(r, opts.TopN)
 	r.Elapsed = time.Since(start)
+	span.Set("reused", r.Reused)
 	return r, nil
 }
 
@@ -476,9 +506,15 @@ func RunRankingsContext(ctx context.Context, d *dataset.Dataset, rankings []Rank
 // fairness and is tallied, so one impossible target cannot sink a
 // thousand-job audit.
 func auditOne(ctx context.Context, d *dataset.Dataset, r Ranking, cfg core.Config, opts Options, k int) (JobReport, error) {
+	// Per-job span: the finest granularity a request trace reaches.
+	// The mitigate/quantify spans of this job nest under it.
+	ctx, sp := obsv.StartSpan(ctx, "audit.job")
+	defer sp.End()
+	sp.Set("job", r.Name)
 	// Fault-injection site: tests delay/fail/cancel here to pin a
 	// fault to the Nth job deterministically. No-op when unarmed.
 	if err := opts.Faults.HitContext(ctx, "audit.job"); err != nil {
+		sp.Set("error", err.Error())
 		return JobReport{}, fmt.Errorf("audit: job %q: %w", r.Name, err)
 	}
 	o, err := mitigate.EvaluateContext(ctx, d, r.Scores, cfg, mitigate.Options{
@@ -502,8 +538,10 @@ func auditOne(ctx context.Context, d *dataset.Dataset, r Ranking, cfg core.Confi
 		}, nil
 	}
 	if !errors.Is(err, mitigate.ErrInfeasible) || o == nil {
+		sp.Set("error", err.Error())
 		return JobReport{}, fmt.Errorf("audit: job %q: %w", r.Name, err)
 	}
+	sp.Set("infeasible", true)
 
 	// Infeasible: Evaluate's partial Outcome already carries the
 	// before side, so the job is reported without redoing the

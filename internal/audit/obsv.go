@@ -1,0 +1,31 @@
+package audit
+
+import "repro/internal/obsv"
+
+// auditMetrics are the registry handles one run publishes into. All
+// handles are nil when no registry is wired (Options.Obs == nil), and
+// every metric method is nil-safe, so the run body carries no
+// conditionals.
+type auditMetrics struct {
+	runs       *obsv.Counter
+	jobs       *obsv.Counter
+	reused     *obsv.Counter
+	infeasible *obsv.Counter
+	canceled   *obsv.Counter
+	jobSeconds *obsv.Histogram
+}
+
+func newAuditMetrics(reg *obsv.Registry) auditMetrics {
+	if reg == nil {
+		return auditMetrics{}
+	}
+	reg.Help("fairank_audit_jobs_total", "audit jobs completed (reused jobs included)")
+	return auditMetrics{
+		runs:       reg.Counter("fairank_audit_runs_total"),
+		jobs:       reg.Counter("fairank_audit_jobs_total"),
+		reused:     reg.Counter("fairank_audit_jobs_reused_total"),
+		infeasible: reg.Counter("fairank_audit_jobs_infeasible_total"),
+		canceled:   reg.Counter("fairank_audit_runs_canceled_total"),
+		jobSeconds: reg.Histogram("fairank_audit_job_seconds", nil),
+	}
+}

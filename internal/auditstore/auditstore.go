@@ -37,6 +37,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 )
 
 // Version is the snapshot schema version this package writes. Readers
@@ -208,12 +209,41 @@ type Store struct {
 	mu     sync.Mutex
 	dir    string
 	faults *faultinject.Injector
+	obs    observer
 }
 
 // SetFaults arms a fault-injection harness on the store's write path
 // (site "auditstore.save"); nil disarms. Test-only — production
 // stores never set it, and a nil injector costs one nil check.
 func (st *Store) SetFaults(in *faultinject.Injector) { st.faults = in }
+
+// observer holds the registry handles the store publishes into. Zero
+// (unwired) handles are nil, and metric methods are nil-safe, so the
+// hot paths carry no conditionals.
+type observer struct {
+	saves       *obsv.Counter
+	saveErrors  *obsv.Counter
+	loads       *obsv.Counter
+	saveSeconds *obsv.Histogram
+	loadSeconds *obsv.Histogram
+}
+
+// SetObserver publishes the store's save/load volumes and timings
+// into reg (nil disables). Call it before the store serves concurrent
+// traffic — the explorer server wires its own registry at startup.
+func (st *Store) SetObserver(reg *obsv.Registry) {
+	if reg == nil {
+		st.obs = observer{}
+		return
+	}
+	st.obs = observer{
+		saves:       reg.Counter("fairank_auditstore_saves_total"),
+		saveErrors:  reg.Counter("fairank_auditstore_save_errors_total"),
+		loads:       reg.Counter("fairank_auditstore_loads_total"),
+		saveSeconds: reg.Histogram("fairank_auditstore_save_seconds", nil),
+		loadSeconds: reg.Histogram("fairank_auditstore_load_seconds", nil),
+	}
+}
 
 // Open returns a store rooted at dir, creating it if needed.
 func Open(dir string) (*Store, error) {
@@ -233,6 +263,18 @@ func (st *Store) Dir() string { return st.dir }
 // past the lineage's latest version, and the file is written
 // atomically. Returns the path written.
 func (st *Store) Save(s *Snapshot) (string, error) {
+	t0 := time.Now()
+	path, err := st.save(s)
+	st.obs.saveSeconds.ObserveSeconds(int64(time.Since(t0)))
+	if err != nil {
+		st.obs.saveErrors.Inc()
+	} else {
+		st.obs.saves.Inc()
+	}
+	return path, err
+}
+
+func (st *Store) save(s *Snapshot) (string, error) {
 	if s == nil || s.Report == nil {
 		return "", fmt.Errorf("auditstore: nil snapshot")
 	}
@@ -352,6 +394,7 @@ func (st *Store) Versions(id string) ([]*Snapshot, error) {
 // Latest returns the newest snapshot of a lineage — reading exactly
 // one file — or an error when the lineage is empty.
 func (st *Store) Latest(id string) (*Snapshot, error) {
+	t0 := time.Now()
 	files, err := st.lineageFiles(id)
 	if err != nil {
 		return nil, err
@@ -359,7 +402,12 @@ func (st *Store) Latest(id string) (*Snapshot, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("auditstore: no snapshots for config %q", id)
 	}
-	return st.loadNamed(files[len(files)-1], id)
+	s, err := st.loadNamed(files[len(files)-1], id)
+	if err == nil {
+		st.obs.loads.Inc()
+		st.obs.loadSeconds.ObserveSeconds(int64(time.Since(t0)))
+	}
+	return s, err
 }
 
 // Diff compares a lineage's two newest *complete* snapshots — the

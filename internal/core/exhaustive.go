@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 )
 
@@ -24,6 +25,13 @@ func Exhaustive(d *dataset.Dataset, scores []float64, cfg Config) (*Result, erro
 // jobs — never inside a memoized computation — so an aborted run
 // leaves any shared Config.Cache consistent.
 func ExhaustiveContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	ctx, sp := obsv.StartSpan(ctx, "core.exhaustive")
+	res, err := exhaustiveContext(ctx, d, scores, cfg)
+	finishSolverSpan(sp, res, err)
+	return res, err
+}
+
+func exhaustiveContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
 	start := time.Now()
 	e, err := newEngine(d, scores, cfg)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/fairness"
+	"repro/internal/obsv"
 	"repro/internal/scoring"
 )
 
@@ -243,8 +244,13 @@ func (s *Session) Quantify(req PanelRequest) (*Panel, error) {
 // adds no panel and leaves the session cache consistent (see
 // QuantifyContext / ExhaustiveContext on the package level).
 func (s *Session) QuantifyContext(ctx context.Context, req PanelRequest) (*Panel, error) {
+	ctx, sp := obsv.StartSpan(ctx, "session.quantify")
+	defer sp.End()
+	sp.Set("dataset", req.Dataset)
+	sp.Set("function", req.Function)
 	rp, err := s.Resolve(req)
 	if err != nil {
+		sp.Set("error", err.Error())
 		return nil, err
 	}
 	var res *Result

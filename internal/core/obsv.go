@@ -1,0 +1,28 @@
+package core
+
+import "repro/internal/obsv"
+
+// finishSolverSpan annotates a solver span with the run's counters
+// and closes it. Attributes mirror Stats so a trace answers "why was
+// this run fast/slow" without a separate metrics scrape. No-op (one
+// nil check) when no trace is active.
+func finishSolverSpan(sp *obsv.Span, res *Result, err error) {
+	if sp == nil {
+		return
+	}
+	if res != nil {
+		sp.Set("distance_evals", res.Stats.DistanceEvals)
+		sp.Set("cached_distances", res.Stats.CachedDistances)
+		sp.Set("reused_distances", res.Stats.ReusedDistances)
+		sp.Set("pruned_pairs", res.Stats.PrunedPairs)
+		sp.Set("splits_evaluated", res.Stats.SplitsEvaluated)
+		if res.Stats.Partitionings > 0 {
+			sp.Set("partitionings", res.Stats.Partitionings)
+		}
+		sp.Set("unfairness", res.Unfairness)
+	}
+	if err != nil {
+		sp.Set("error", err.Error())
+	}
+	sp.End()
+}

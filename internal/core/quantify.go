@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 )
 
@@ -42,6 +43,17 @@ func Quantify(d *dataset.Dataset, scores []float64, cfg Config) (*Result, error)
 // either fully computed or never started — so retrying the same
 // request produces a result bit-identical to a cold run.
 func QuantifyContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
+	// The span wraps the whole run and annotates it with the solver
+	// counters afterwards; instrumentation never reaches inside the
+	// memoized computations (same rule as cancellation). With no
+	// active trace the cost is one context lookup.
+	ctx, sp := obsv.StartSpan(ctx, "core.quantify")
+	res, err := quantifyContext(ctx, d, scores, cfg)
+	finishSolverSpan(sp, res, err)
+	return res, err
+}
+
+func quantifyContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg Config) (*Result, error) {
 	start := time.Now()
 	e, err := newEngine(d, scores, cfg)
 	if err != nil {

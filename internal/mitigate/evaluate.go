@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fairness"
+	"repro/internal/obsv"
 	"repro/internal/scoring"
 )
 
@@ -111,6 +112,22 @@ func Evaluate(d *dataset.Dataset, scores []float64, cfg core.Config, opts Option
 // granularity (see core.QuantifyContext), so a dead caller stops the
 // loop mid-quantify without poisoning any shared cfg.Cache.
 func EvaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg core.Config, opts Options) (*Outcome, error) {
+	ctx, sp := obsv.StartSpan(ctx, "mitigate.evaluate")
+	o, err := evaluateContext(ctx, d, scores, cfg, opts)
+	if sp != nil {
+		if o != nil {
+			sp.Set("strategy", o.Strategy)
+			sp.Set("k", o.K)
+		}
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}
+	return o, err
+}
+
+func evaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, cfg core.Config, opts Options) (*Outcome, error) {
 	if opts.K < 0 {
 		return nil, fmt.Errorf("mitigate: negative k %d", opts.K)
 	}

@@ -1,0 +1,126 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format 0.0.4: one # TYPE (and optional # HELP) line per base metric
+// name, series sorted by (base name, label suffix) so two snapshots of
+// the same state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	type entry struct {
+		full string
+		s    *series
+	}
+	entries := make([]entry, 0, len(r.series))
+	for full, s := range r.series {
+		entries = append(entries, entry{full, s})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	// Capture values under the lock; formatting happens after.
+	type row struct {
+		base   string
+		labels string
+		kind   metricKind
+		val    float64
+		uval   uint64
+		hv     HistogramValue
+	}
+	rows := make([]row, 0, len(entries))
+	for _, e := range entries {
+		rw := row{base: e.s.base, labels: e.s.labels, kind: e.s.kind}
+		switch e.s.kind {
+		case kindCounter:
+			rw.uval = e.s.ctr.Value()
+		case kindGauge:
+			rw.val = e.s.gauge.Value()
+		case kindGaugeFunc:
+			rw.val = e.s.fn()
+		case kindHistogram:
+			rw.hv = e.s.hist.snapshot()
+		}
+		rows = append(rows, rw)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].base != rows[j].base {
+			return rows[i].base < rows[j].base
+		}
+		return rows[i].labels < rows[j].labels
+	})
+
+	var sb strings.Builder
+	prevBase := ""
+	for _, rw := range rows {
+		if rw.base != prevBase {
+			if h, ok := help[rw.base]; ok {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", rw.base, h)
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", rw.base, typeName(rw.kind))
+			prevBase = rw.base
+		}
+		switch rw.kind {
+		case kindCounter:
+			sb.WriteString(rw.base)
+			sb.WriteString(rw.labels)
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(rw.uval, 10))
+			sb.WriteByte('\n')
+		case kindGauge, kindGaugeFunc:
+			sb.WriteString(rw.base)
+			sb.WriteString(rw.labels)
+			sb.WriteByte(' ')
+			sb.WriteString(formatFloat(rw.val))
+			sb.WriteByte('\n')
+		case kindHistogram:
+			for _, b := range rw.hv.Buckets {
+				sb.WriteString(rw.base)
+				sb.WriteString("_bucket")
+				sb.WriteString(mergeLabel(rw.labels, "le", formatFloat(b.LE)))
+				sb.WriteByte(' ')
+				sb.WriteString(strconv.FormatUint(b.Count, 10))
+				sb.WriteByte('\n')
+			}
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", rw.base, rw.labels, formatFloat(rw.hv.Sum))
+			fmt.Fprintf(&sb, "%s_count%s %s\n", rw.base, rw.labels, strconv.FormatUint(rw.hv.Count, 10))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// mergeLabel splices an extra key="value" pair into an already
+// rendered label suffix. The le label sorts after existing keys only
+// by appending, which Prometheus accepts (label order is not
+// significant on ingest; our own determinism only needs consistency).
+func mergeLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

@@ -1,0 +1,450 @@
+// Package obsv is fairank's stdlib-only observability layer: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket
+// histograms) with a deterministic Prometheus text / JSON export, and
+// span-based request tracing that rides the per-request contexts the
+// serving layer already threads end to end.
+//
+// Design rules, inherited from the cancellation work in the serving
+// layer: instrumentation lives OUTSIDE memoized computations, metric
+// mutation paths are allocation-free (atomics only, guarded by
+// AllocsPerRun tests), and every exported type is safe for concurrent
+// use. Counter/Gauge/Histogram methods are additionally nil-safe so a
+// layer that was never wired to a registry can keep its
+// instrumentation sites without nil checks.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric series. Labels are
+// sorted by key when the series is registered, so the same set in any
+// order names the same series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; a nil *Counter ignores writes.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+// The zero value is ready to use; a nil *Gauge ignores writes.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by d (CAS loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond cache hits through multi-second cold audits.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts. The
+// observe path is allocation-free; a nil *Histogram ignores writes.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤15) and the branch
+	// pattern is predictable, which beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old)
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSeconds records a duration given in nanoseconds as seconds.
+func (h *Histogram) ObserveSeconds(nanos int64) {
+	h.Observe(float64(nanos) / 1e9)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramValue is the exported snapshot of a histogram.
+type HistogramValue struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// BucketValue is one cumulative histogram bucket: observations ≤ LE.
+// LE is +Inf for the final bucket; it marshals as the string "+Inf"
+// because JSON has no float infinity.
+type BucketValue struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders LE as a string so the +Inf bucket stays valid JSON.
+func (b BucketValue) MarshalJSON() ([]byte, error) {
+	return fmt.Appendf(nil, `{"le":%q,"count":%d}`, formatFloat(b.LE), b.Count), nil
+}
+
+// UnmarshalJSON parses the string-LE form written by MarshalJSON.
+func (b *BucketValue) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return err
+		}
+		b.LE = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+func (h *Histogram) snapshot() HistogramValue {
+	hv := HistogramValue{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Buckets: make([]BucketValue, 0, len(h.bounds)+1),
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		hv.Buckets = append(hv.Buckets, BucketValue{LE: le, Count: cum})
+	}
+	return hv
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered time series: a base name, its rendered
+// label suffix and the backing metric.
+type series struct {
+	base   string
+	labels string // `{k="v",...}` or ""
+	kind   metricKind
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// Registry holds metric series keyed by name+labels. Get-or-create
+// methods take a write lock only on first registration; steady-state
+// lookups are read-locked map hits. Callers on hot paths should hold
+// the returned handle rather than re-resolving per event.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series), help: make(map[string]string)}
+}
+
+// Help sets the help text emitted for a base metric name in the
+// Prometheus exposition.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func (r *Registry) lookup(full string, kind metricKind) *series {
+	r.mu.RLock()
+	s := r.series[full]
+	r.mu.RUnlock()
+	if s != nil && s.kind != kind {
+		panic("obsv: metric " + full + " re-registered with a different type")
+	}
+	return s
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use. Panics if the series exists with a different type.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := name + renderLabels(labels)
+	if s := r.lookup(full, kindCounter); s != nil {
+		return s.ctr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[full]; s != nil {
+		if s.kind != kindCounter {
+			panic("obsv: metric " + full + " re-registered with a different type")
+		}
+		return s.ctr
+	}
+	s := &series{base: name, labels: renderLabels(labels), kind: kindCounter, ctr: &Counter{}}
+	r.series[full] = s
+	return s.ctr
+}
+
+// Gauge returns the gauge series for name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := name + renderLabels(labels)
+	if s := r.lookup(full, kindGauge); s != nil {
+		return s.gauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[full]; s != nil {
+		if s.kind != kindGauge {
+			panic("obsv: metric " + full + " re-registered with a different type")
+		}
+		return s.gauge
+	}
+	s := &series{base: name, labels: renderLabels(labels), kind: kindGauge, gauge: &Gauge{}}
+	r.series[full] = s
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// snapshot time — for values that already live elsewhere (in-flight
+// request counts, cache occupancy) and should not be double-tracked.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	full := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[full]; s != nil {
+		if s.kind != kindGaugeFunc {
+			panic("obsv: metric " + full + " re-registered with a different type")
+		}
+		s.fn = fn
+		return
+	}
+	r.series[full] = &series{base: name, labels: renderLabels(labels), kind: kindGaugeFunc, fn: fn}
+}
+
+// Histogram returns the histogram series for name+labels, creating it
+// with the given bucket upper bounds on first use (DefBuckets if
+// bounds is nil). Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := name + renderLabels(labels)
+	if s := r.lookup(full, kindHistogram); s != nil {
+		return s.hist
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[full]; s != nil {
+		if s.kind != kindHistogram {
+			panic("obsv: metric " + full + " re-registered with a different type")
+		}
+		return s.hist
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	s := &series{base: name, labels: renderLabels(labels), kind: kindHistogram, hist: newHistogram(bounds)}
+	r.series[full] = s
+	return s.hist
+}
+
+// Snapshot is the JSON form of the registry: deterministic because Go
+// sorts map keys when marshaling. Keys are the full series names
+// (base name plus rendered label suffix).
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures every series' current value. GaugeFunc callbacks
+// run inside the read lock; they must not touch the registry.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for full, s := range r.series {
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[full] = s.ctr.Value()
+		case kindGauge:
+			snap.Gauges[full] = s.gauge.Value()
+		case kindGaugeFunc:
+			snap.Gauges[full] = s.fn()
+		case kindHistogram:
+			snap.Histograms[full] = s.hist.snapshot()
+		}
+	}
+	return snap
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

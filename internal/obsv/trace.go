@@ -1,0 +1,244 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanKey is the context key carrying the active *Span.
+type spanKey struct{}
+
+// Attr is one span attribute. Values are kept as produced (string,
+// int64, float64, bool) and marshal directly into the trace JSON.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed node in a trace tree. Child spans created from
+// concurrent goroutines (parallel audit jobs sharing a parent
+// context) append under the parent's mutex; once the root span has
+// ended the whole tree is immutable and reads are lock-free.
+//
+// A nil *Span is a valid no-op receiver, so instrumentation sites
+// cost one context lookup when no trace is active.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    []Attr
+	children []*Span
+	parent   *Span
+	trace    *trace
+	ended    bool
+}
+
+// trace is one request's span tree plus identity; recorded into the
+// tracer ring when the root span ends.
+type trace struct {
+	id     string
+	root   *Span
+	tracer *Tracer
+}
+
+// SpanFromContext returns the active span, or nil when the request is
+// untraced. Useful for annotating the current span from code that did
+// not open it (e.g. marking a request as coalesced).
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the span active in ctx and returns a
+// derived context carrying it. When ctx has no active span (no trace
+// requested, library used standalone) it returns (ctx, nil) and every
+// later Span method is a no-op — production cost is the ctx.Value
+// lookup only.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now(), parent: parent, trace: parent.trace}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// Set records an attribute on the span.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending the root span
+// records the whole trace into the tracer's ring; End is idempotent
+// so a deferred End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.parent == nil && s.trace != nil {
+		s.trace.tracer.record(s.trace)
+	}
+}
+
+// SpanJSON is the wire form of a span subtree. Start is the offset
+// from the trace root's start so traces are readable without clock
+// context; durations are in milliseconds.
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	StartMs  float64    `json:"start_ms"`
+	DurMs    float64    `json:"dur_ms"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of one recorded trace.
+type TraceJSON struct {
+	ID    string   `json:"id"`
+	Start string   `json:"start"` // RFC3339Nano, root span start
+	DurMs float64  `json:"dur_ms"`
+	Root  SpanJSON `json:"root"`
+}
+
+func (s *Span) render(origin time.Time) SpanJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sj := SpanJSON{
+		Name:    s.name,
+		StartMs: float64(s.start.Sub(origin).Microseconds()) / 1000,
+		DurMs:   float64(s.dur.Microseconds()) / 1000,
+		Attrs:   s.attrs,
+	}
+	for _, c := range s.children {
+		sj.Children = append(sj.Children, c.render(origin))
+	}
+	return sj
+}
+
+func (t *trace) render() TraceJSON {
+	return TraceJSON{
+		ID:    t.id,
+		Start: t.root.start.UTC().Format(time.RFC3339Nano),
+		DurMs: float64(t.root.dur.Microseconds()) / 1000,
+		Root:  t.root.render(t.root.start),
+	}
+}
+
+// Tracer hands out traces and keeps a bounded ring of the most recent
+// completed ones. The ring holds data only — no goroutines — so it
+// adds nothing to goroutine-leak accounting.
+type Tracer struct {
+	seq      atomic.Uint64
+	recorded *Counter // optional: counts completed traces
+
+	mu   sync.Mutex
+	ring []*trace
+	next int
+}
+
+// NewTracer returns a tracer retaining the last capacity completed
+// traces (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*trace, capacity)}
+}
+
+// CountRecorded makes the tracer bump c each time a trace completes.
+func (t *Tracer) CountRecorded(c *Counter) { t.recorded = c }
+
+// Start opens a new trace rooted at name and returns a context
+// carrying its root span. The caller must End the returned span; that
+// is what files the trace into the ring. A nil tracer returns
+// (ctx, nil).
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &trace{id: fmt.Sprintf("t%06d", t.seq.Add(1)), tracer: t}
+	root := &Span{name: name, start: time.Now(), trace: tr}
+	tr.root = root
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+func (t *Tracer) record(tr *trace) {
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+	t.recorded.Inc()
+}
+
+// Recent returns up to the ring capacity of completed traces, most
+// recent first.
+func (t *Tracer) Recent() []TraceJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []TraceJSON
+	n := len(t.ring)
+	for i := 0; i < n; i++ {
+		tr := t.ring[(t.next-1-i+2*n)%n]
+		if tr == nil {
+			break
+		}
+		out = append(out, tr.render())
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Find returns the completed trace with the given id, if still in the
+// ring.
+func (t *Tracer) Find(id string) (TraceJSON, bool) {
+	if t == nil {
+		return TraceJSON{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range t.ring {
+		if tr != nil && tr.id == id {
+			return tr.render(), true
+		}
+	}
+	return TraceJSON{}, false
+}
+
+// ID returns the trace id the span belongs to ("" for nil spans).
+func (s *Span) ID() string {
+	if s == nil || s.trace == nil {
+		return ""
+	}
+	return s.trace.id
+}
+
+// Render serializes the span's trace. Only valid after End on the
+// root span (the tree is immutable then); used by the serving layer
+// to inline a trace into a ?trace=1 response.
+func (s *Span) Render() TraceJSON {
+	if s == nil || s.trace == nil {
+		return TraceJSON{}
+	}
+	return s.trace.render()
+}

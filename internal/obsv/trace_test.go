@@ -1,0 +1,152 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestStartSpanWithoutTracerIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "core.quantify")
+	if sp != nil {
+		t.Fatal("expected nil span without an active trace")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should pass through unchanged")
+	}
+	// All span methods are nil-safe.
+	sp.Set("k", 1)
+	sp.End()
+	if sp.ID() != "" {
+		t.Fatal("nil span should have empty id")
+	}
+	if sp.Render().ID != "" {
+		t.Fatal("nil span should render empty trace")
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "root")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("nil tracer should be a no-op")
+	}
+	if tr.Recent() != nil {
+		t.Fatal("nil tracer Recent should be nil")
+	}
+	if _, ok := tr.Find("t000001"); ok {
+		t.Fatal("nil tracer Find should miss")
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTracer(4)
+	reg := NewRegistry()
+	recorded := reg.Counter("traces_total")
+	tr.CountRecorded(recorded)
+
+	ctx, root := tr.Start(context.Background(), "http.quantify")
+	root.Set("request_id", "r1")
+	ctx2, child := StartSpan(ctx, "session.quantify")
+	_, grand := StartSpan(ctx2, "core.quantify")
+	grand.Set("distance_evals", int64(42))
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	if recorded.Value() != 1 {
+		t.Fatalf("recorded counter = %d, want 1", recorded.Value())
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("Recent returned %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.ID != root.ID() {
+		t.Fatalf("trace id %q != root id %q", got.ID, root.ID())
+	}
+	if got.Root.Name != "http.quantify" || len(got.Root.Children) != 1 {
+		t.Fatalf("unexpected root: %+v", got.Root)
+	}
+	inner := got.Root.Children[0]
+	if inner.Name != "session.quantify" || len(inner.Children) != 1 {
+		t.Fatalf("unexpected child: %+v", inner)
+	}
+	leaf := inner.Children[0]
+	if leaf.Name != "core.quantify" {
+		t.Fatalf("unexpected leaf: %+v", leaf)
+	}
+	if len(leaf.Attrs) != 1 || leaf.Attrs[0].Key != "distance_evals" {
+		t.Fatalf("leaf attrs = %+v", leaf.Attrs)
+	}
+	if _, err := json.Marshal(got); err != nil {
+		t.Fatalf("trace does not marshal: %v", err)
+	}
+	if found, ok := tr.Find(got.ID); !ok || found.ID != got.ID {
+		t.Fatal("Find by id failed")
+	}
+	if _, ok := tr.Find("nope"); ok {
+		t.Fatal("Find should miss unknown ids")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := NewTracer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, root := tr.Start(context.Background(), "r")
+		ids = append(ids, root.ID())
+		root.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	// Most recent first, oldest evicted.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	if _, ok := tr.Find(ids[0]); ok {
+		t.Fatal("evicted trace still findable")
+	}
+}
+
+func TestConcurrentChildSpans(t *testing.T) {
+	// Parallel audit jobs share the parent context; child creation and
+	// attribute writes must be race-clean.
+	tr := NewTracer(2)
+	ctx, root := tr.Start(context.Background(), "audit.run")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "audit.job")
+			sp.Set("job", "j")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Root.Children) != 16 {
+		t.Fatalf("expected 16 child spans, got %+v", recent)
+	}
+}
+
+func TestStartSpanWithoutTraceDoesNotAllocate(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := StartSpan(ctx, "core.quantify")
+		sp.Set("k", 1)
+		sp.End()
+		_ = ctx2
+	}); n != 0 {
+		t.Fatalf("no-trace StartSpan allocates %v/op", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/marketplace"
 	"repro/internal/mitigate"
+	"repro/internal/obsv"
 	"repro/internal/report"
 	"repro/internal/scoring"
 )
@@ -225,6 +226,7 @@ func (s *Server) resolveAudit(req auditRequest) (*resolvedAudit, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("server: audit needs a Preset or a Dataset with Jobs")
 	}
 	ra.opts.Faults = s.faults
+	ra.opts.Obs = s.reg
 	return ra, http.StatusOK, nil
 }
 
@@ -250,7 +252,7 @@ func (s *Server) loadBaseline(ra *resolvedAudit) *auditstore.Snapshot {
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	var req auditRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	// Identical concurrent audits coalesce onto one run (and one
@@ -259,10 +261,11 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return s.runAudit(r, req)
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.m.coalesced.Inc()
+		obsv.SpanFromContext(r.Context()).Set("coalesced", true)
 	}
 	if body == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server: request abandoned while waiting for an identical in-flight audit"))
+		writeErr(w, r, http.StatusServiceUnavailable, fmt.Errorf("server: request abandoned while waiting for an identical in-flight audit"))
 		return
 	}
 	if status == http.StatusServiceUnavailable {

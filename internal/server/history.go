@@ -58,18 +58,18 @@ type historyResponse struct {
 // the endpoint answers 404 so clients can hide the feature.
 func (s *Server) handleAuditHistory(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no audit store configured (start fairankd with -audit-dir)"))
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("server: no audit store configured (start fairankd with -audit-dir)"))
 		return
 	}
 	out := historyResponse{Snapshots: []snapshotMetaJSON{}}
 	if id := r.URL.Query().Get("config"); id != "" {
 		versions, err := s.store.Versions(id)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		if len(versions) == 0 {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("server: no snapshots for config %q", id))
+			writeErr(w, r, http.StatusNotFound, fmt.Errorf("server: no snapshots for config %q", id))
 			return
 		}
 		out.Config = id
@@ -79,12 +79,12 @@ func (s *Server) handleAuditHistory(w http.ResponseWriter, r *http.Request) {
 		if len(versions) >= 2 {
 			d, err := s.store.Diff(id)
 			if err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
+				writeErr(w, r, http.StatusInternalServerError, err)
 				return
 			}
 			text, err := report.AuditDiffTable(d)
 			if err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
+				writeErr(w, r, http.StatusInternalServerError, err)
 				return
 			}
 			out.Diff = d
@@ -95,7 +95,7 @@ func (s *Server) handleAuditHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	all, err := s.store.List()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	for _, snap := range all {

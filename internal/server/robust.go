@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 )
 
 // Limits configures admission control and per-route deadlines. The
@@ -165,48 +166,111 @@ func (s *Server) Drain() { s.drainCancel() }
 // draining reports whether Drain was called.
 func (s *Server) draining() bool { return s.drainCtx.Err() != nil }
 
-// Healthz returns the current health counters.
+// Healthz returns the current health counters. The counters live in
+// the metrics registry — this is the same data /metrics exports, in
+// the JSON shape the health route has always had.
 func (s *Server) Healthz() Health {
 	return Health{
 		Draining:      s.draining(),
 		InflightReads: s.readSem.inflight(),
 		InflightHeavy: s.heavySem.inflight(),
-		Shed:          s.shed.Load(),
-		Panics:        s.panics.Load(),
-		Coalesced:     s.coalesced.Load(),
+		Shed:          s.m.shedRead.Value() + s.m.shedHeavy.Value(),
+		Panics:        s.m.panics.Value(),
+		Coalesced:     s.m.coalesced.Value(),
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Healthz())
+// healthResponse is GET /api/health: the historical Health fields plus
+// a full registry snapshot, so one poll answers both "is it up" and
+// "what is it doing".
+type healthResponse struct {
+	Health
+	Metrics obsv.Snapshot `json:"metrics"`
 }
 
-// guard wraps a handler with the robustness layer: panic recovery,
-// drain refusal, class admission and the derived request context
-// (route deadline ∧ client disconnect ∧ server drain).
-func (s *Server) guard(class routeClass, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Health: s.Healthz(), Metrics: s.reg.Snapshot()})
+}
+
+// guard wraps a handler with the robustness and observability layers:
+// request ID + per-route metrics + (heavy routes) tracing, panic
+// recovery, drain refusal, class admission and the derived request
+// context (route deadline ∧ client disconnect ∧ server drain).
+func (s *Server) guard(route string, class routeClass, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	latency := s.m.routeLatency(route)
 	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rid := fmt.Sprintf("r%08d", s.rid.Add(1))
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(withRequestID(r.Context(), rid))
+
+		// Heavy routes get a span tree: the trace rides the request
+		// context through session → solver → audit jobs, and lands in
+		// the ring when the root span ends below.
+		var span *obsv.Span
+		if class == classHeavy {
+			var ctx context.Context
+			ctx, span = s.tracer.Start(r.Context(), "http."+route)
+			span.Set("route", route)
+			span.Set("request_id", rid)
+			w.Header().Set("X-Trace-Id", span.ID())
+			r = r.WithContext(ctx)
+		}
+
+		// ?trace=1 asks for the span tree inline: buffer the response
+		// and wrap it in a {trace, response} envelope once the root
+		// span has ended. SSE streams can't be buffered — their trace
+		// stays reachable via X-Trace-Id + /api/traces.
+		sw := &statusWriter{ResponseWriter: w}
+		var out http.ResponseWriter = sw
+		var tb *traceBuffer
+		if span != nil && route != "audit_stream" && r.URL.Query().Get("trace") == "1" {
+			tb = &traceBuffer{h: w.Header()}
+			out = tb
+		}
+
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.panics.Add(1)
 				// Headers may already be out (mid-stream panic); the
 				// write is then a no-op and the client sees a
-				// truncated response instead of a dead server.
-				writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: internal error: %v", rec))
+				// truncated response instead of a dead server. The
+				// span still files: a panicked request leaves a trace.
+				s.m.panics.Inc()
+				span.Set("panic", fmt.Sprint(rec))
+				s.log.Error("panic", "route", route, "request_id", rid, "panic", fmt.Sprint(rec))
+				writeErr(out, r, http.StatusInternalServerError, fmt.Errorf("server: internal error: %v", rec))
 			}
+			status := sw.Status()
+			if tb != nil && tb.status != 0 {
+				status = tb.status
+			}
+			span.Set("status", status)
+			span.End()
+			if tb != nil {
+				tb.flush(sw, span)
+			}
+			latency.ObserveSeconds(int64(time.Since(t0)))
+			s.m.requests(route, status).Inc()
+			s.log.Debug("request", "route", route, "request_id", rid,
+				"status", status, "dur", time.Since(t0))
 		}()
+
 		if s.draining() {
-			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server: draining"))
+			writeErr(out, r, http.StatusServiceUnavailable, fmt.Errorf("server: draining"))
 			return
 		}
-		sem := s.readSem
+		sem, wait, shed := s.readSem, s.m.waitRead, s.m.shedRead
 		if class == classHeavy {
-			sem = s.heavySem
+			sem, wait, shed = s.heavySem, s.m.waitHeavy, s.m.shedHeavy
 		}
-		if !sem.acquire(r.Context(), s.limits.QueueWait) {
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
-			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("server: saturated (%d in flight); retry later", sem.inflight()))
+		w0 := time.Now()
+		admitted := sem.acquire(r.Context(), s.limits.QueueWait)
+		wait.ObserveSeconds(int64(time.Since(w0)))
+		if !admitted {
+			shed.Inc()
+			span.Set("shed", true)
+			out.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
+			writeErr(out, r, http.StatusTooManyRequests, fmt.Errorf("server: saturated (%d in flight); retry later", sem.inflight()))
 			return
 		}
 		defer sem.release()
@@ -220,7 +284,7 @@ func (s *Server) guard(class routeClass, timeout time.Duration, h http.HandlerFu
 		// cancellation point.
 		stop := context.AfterFunc(s.drainCtx, cancel)
 		defer stop()
-		h(w, r.WithContext(ctx))
+		h(out, r.WithContext(ctx))
 	}
 }
 

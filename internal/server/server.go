@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/marketplace"
 	"repro/internal/mitigate"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 	"repro/internal/report"
 )
@@ -64,9 +66,15 @@ type Server struct {
 	drainCtx    context.Context
 	drainCancel context.CancelFunc
 	flights     flightGroup
-	shed        atomic.Uint64
-	panics      atomic.Uint64
-	coalesced   atomic.Uint64
+
+	// Observability (see metrics.go): every counter the old atomics
+	// held now lives in the registry, so /metrics, /api/health, logs
+	// and the load generator read one source of truth.
+	reg    *obsv.Registry
+	tracer *obsv.Tracer
+	m      *serverMetrics
+	log    *slog.Logger
+	rid    atomic.Uint64
 }
 
 // Option configures optional server subsystems.
@@ -83,39 +91,75 @@ func WithAuditStore(st *auditstore.Store) Option {
 
 // New returns a server over the given session.
 func New(sess *core.Session, opts ...Option) *Server {
-	s := &Server{sess: sess, mux: http.NewServeMux(), limits: Limits{}.withDefaults()}
+	s := &Server{
+		sess:   sess,
+		mux:    http.NewServeMux(),
+		limits: Limits{}.withDefaults(),
+		reg:    obsv.NewRegistry(),
+		tracer: obsv.NewTracer(traceRingSize),
+		log:    slog.New(slog.DiscardHandler),
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.readSem = newSemaphore(s.limits.MaxReads)
 	s.heavySem = newSemaphore(s.limits.MaxHeavy)
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.m = newServerMetrics(s.reg)
+	s.tracer.CountRecorded(s.m.traces)
+	if s.store != nil {
+		s.store.SetObserver(s.reg)
+	}
+	// Liveness numbers export as gauge functions — sampled at scrape
+	// time, never maintained on the request path.
+	s.reg.GaugeFunc("fairankd_draining", func() float64 {
+		if s.draining() {
+			return 1
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("fairankd_inflight", func() float64 { return float64(s.readSem.inflight()) },
+		obsv.Label{Key: "class", Value: "read"})
+	s.reg.GaugeFunc("fairankd_inflight", func() float64 { return float64(s.heavySem.inflight()) },
+		obsv.Label{Key: "class", Value: "heavy"})
+	s.reg.GaugeFunc("fairank_core_cache_scopes", func() float64 {
+		return float64(s.sess.SharedCache().Scopes())
+	})
 	l := s.limits
-	s.mux.HandleFunc("GET /", s.guard(classRead, 0, s.handleIndex))
+	s.mux.HandleFunc("GET /", s.guard("index", classRead, 0, s.handleIndex))
+	// Health, metrics and traces stay unguarded: a probe or scrape
+	// must never be shed, counted as traffic, or refused during drain.
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
-	s.mux.HandleFunc("GET /api/datasets", s.guard(classRead, 0, s.handleDatasets))
-	s.mux.HandleFunc("POST /api/datasets/generate", s.guard(classHeavy, l.QuantifyTimeout, s.handleGenerate))
-	s.mux.HandleFunc("POST /api/datasets/anonymize", s.guard(classHeavy, l.QuantifyTimeout, s.handleAnonymize))
-	s.mux.HandleFunc("POST /api/quantify", s.guard(classHeavy, l.QuantifyTimeout, s.handleQuantify))
-	s.mux.HandleFunc("POST /api/mitigate", s.guard(classHeavy, l.QuantifyTimeout, s.handleMitigate))
-	s.mux.HandleFunc("POST /api/audit", s.guard(classHeavy, l.AuditTimeout, s.handleAudit))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/datasets", s.guard("datasets", classRead, 0, s.handleDatasets))
+	s.mux.HandleFunc("POST /api/datasets/generate", s.guard("generate", classHeavy, l.QuantifyTimeout, s.handleGenerate))
+	s.mux.HandleFunc("POST /api/datasets/anonymize", s.guard("anonymize", classHeavy, l.QuantifyTimeout, s.handleAnonymize))
+	s.mux.HandleFunc("POST /api/quantify", s.guard("quantify", classHeavy, l.QuantifyTimeout, s.handleQuantify))
+	s.mux.HandleFunc("POST /api/mitigate", s.guard("mitigate", classHeavy, l.QuantifyTimeout, s.handleMitigate))
+	s.mux.HandleFunc("POST /api/audit", s.guard("audit", classHeavy, l.AuditTimeout, s.handleAudit))
 	// Streams carry no route deadline — they are the designed way to
 	// run long audits — and instead heartbeat (see stream.go) and die
 	// with their client.
-	s.mux.HandleFunc("GET /api/audit/stream", s.guard(classHeavy, 0, s.handleAuditStream))
-	s.mux.HandleFunc("GET /api/audit/history", s.guard(classRead, 0, s.handleAuditHistory))
-	s.mux.HandleFunc("GET /api/panels", s.guard(classRead, 0, s.handlePanels))
-	s.mux.HandleFunc("GET /api/panels/{id}", s.guard(classRead, 0, s.handlePanel))
-	s.mux.HandleFunc("DELETE /api/panels/{id}", s.guard(classRead, 0, s.handlePanelDelete))
+	s.mux.HandleFunc("GET /api/audit/stream", s.guard("audit_stream", classHeavy, 0, s.handleAuditStream))
+	s.mux.HandleFunc("GET /api/audit/history", s.guard("audit_history", classRead, 0, s.handleAuditHistory))
+	s.mux.HandleFunc("GET /api/panels", s.guard("panels", classRead, 0, s.handlePanels))
+	s.mux.HandleFunc("GET /api/panels/{id}", s.guard("panel", classRead, 0, s.handlePanel))
+	s.mux.HandleFunc("DELETE /api/panels/{id}", s.guard("panel_delete", classRead, 0, s.handlePanelDelete))
 	return s
 }
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope. RequestID carries the same ID
+// as the X-Request-Id header (and the request's trace), so an error a
+// client pastes into a report is correlatable with server logs.
+// Coalesced followers replay the leader's bytes, which have no
+// request ID of their own (see errBody).
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -128,8 +172,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), RequestID: requestID(r.Context())})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -159,7 +203,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.sess.DatasetNames() {
 		d, err := s.sess.Dataset(name)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		info := datasetInfo{Name: name, Rows: d.Len()}
@@ -183,7 +227,7 @@ type generateRequest struct {
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	if req.N <= 0 {
@@ -194,7 +238,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := marketplace.PresetByName(req.Preset, req.N, req.Seed)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	name := req.Name
@@ -202,7 +246,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		name = m.Name
 	}
 	if err := s.sess.AddDataset(name, m.Workers); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	jobs := make([]string, 0, len(m.Jobs))
@@ -223,21 +267,21 @@ type anonymizeRequest struct {
 func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	var req anonymizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	d, err := s.sess.Dataset(req.Dataset)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	if req.K < 2 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: k must be >= 2, got %d", req.K))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: k must be >= 2, got %d", req.K))
 		return
 	}
 	quasi := d.Schema().Protected()
 	if len(quasi) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: dataset %q has no protected attributes", req.Dataset))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: dataset %q has no protected attributes", req.Dataset))
 		return
 	}
 	var anon *dataset.Dataset
@@ -251,7 +295,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		for _, q := range quasi {
 			a, aerr := d.Schema().Attr(q)
 			if aerr != nil {
-				writeErr(w, http.StatusInternalServerError, aerr)
+				writeErr(w, r, http.StatusInternalServerError, aerr)
 				return
 			}
 			if a.Kind != dataset.Categorical {
@@ -259,18 +303,18 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 			}
 			vals, verr := d.DistinctValues(q, nil)
 			if verr != nil {
-				writeErr(w, http.StatusInternalServerError, verr)
+				writeErr(w, r, http.StatusInternalServerError, verr)
 				return
 			}
 			h, herr := anonymize.SuppressionHierarchy(q, vals)
 			if herr != nil {
-				writeErr(w, http.StatusInternalServerError, herr)
+				writeErr(w, r, http.StatusInternalServerError, herr)
 				return
 			}
 			hs = append(hs, h)
 		}
 		if len(hs) == 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: no categorical protected attributes to generalize"))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: no categorical protected attributes to generalize"))
 			return
 		}
 		var res *anonymize.DataflyResult
@@ -279,11 +323,11 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 			anon = res.Data
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown algorithm %q", req.Algorithm))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: unknown algorithm %q", req.Algorithm))
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	name := req.Name
@@ -291,7 +335,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		name = fmt.Sprintf("%s-k%d", req.Dataset, req.K)
 	}
 	if err := s.sess.AddDataset(name, anon); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "rows": anon.Len()})
@@ -372,7 +416,7 @@ func toSummary(p *core.Panel, includeDetail bool) panelSummary {
 func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	var req core.PanelRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	// Identical concurrent requests coalesce onto one solver run: the
@@ -390,6 +434,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 			}
 			return errBody(requestErrStatus(err), err)
 		}
+		s.publishStats(p.Result.Stats)
 		st, b, ok := mustJSON(toSummary(p, true))
 		if !ok {
 			return st, b
@@ -397,10 +442,11 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		return http.StatusOK, b
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.m.coalesced.Inc()
+		obsv.SpanFromContext(r.Context()).Set("coalesced", true)
 	}
 	if body == nil {
-		writeErr(w, status, fmt.Errorf("server: request abandoned while waiting for an identical in-flight request"))
+		writeErr(w, r, status, fmt.Errorf("server: request abandoned while waiting for an identical in-flight request"))
 		return
 	}
 	if status == http.StatusServiceUnavailable {
@@ -497,23 +543,23 @@ type utilityJSON struct {
 func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 	var req mitigateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
 		return
 	}
 	if req.Exhaustive {
 		// The harness discovers the partitioning with the greedy
 		// engine; silently repairing a different partitioning than the
 		// exact one asked for would be worse than refusing.
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: mitigation does not support the exhaustive solver"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: mitigation does not support the exhaustive solver"))
 		return
 	}
 	if err := s.faults.HitContext(r.Context(), "server.mitigate"); err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+		writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
 		return
 	}
 	rp, err := s.sess.Resolve(req.PanelRequest)
 	if err != nil {
-		writeErr(w, requestErrStatus(err), err)
+		writeErr(w, r, requestErrStatus(err), err)
 		return
 	}
 	o, err := mitigate.EvaluateContext(r.Context(), rp.Data, rp.Scores, rp.Config, mitigate.Options{
@@ -532,12 +578,14 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 			status = st
 			w.Header().Set("Retry-After", retryAfterSeconds(s.limits.RetryAfter))
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
+	s.publishStats(o.BeforeResult.Stats)
+	s.publishStats(o.AfterResult.Stats)
 	text, err := report.MitigationTable(o)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	// Publish the mitigated ranking's re-quantification as a regular
@@ -579,12 +627,12 @@ func (s *Server) panelID(r *http.Request) (int, error) {
 func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
 	id, err := s.panelID(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	p, err := s.sess.Panel(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toSummary(p, true))
@@ -593,11 +641,11 @@ func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePanelDelete(w http.ResponseWriter, r *http.Request) {
 	id, err := s.panelID(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.sess.RemovePanel(id); err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": id})

@@ -34,12 +34,12 @@ import (
 func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 	req, err := auditRequestFromQuery(r.URL.Query())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ra, status, err := s.resolveAudit(req)
 	if err != nil {
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	prev := s.loadBaseline(ra)
@@ -48,11 +48,11 @@ func (s *Server) handleAuditStream(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: response writer cannot stream"))
+		writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("server: response writer cannot stream"))
 		return
 	}
 	if err := s.faults.HitContext(r.Context(), "server.stream"); err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
+		writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("server: %w", err))
 		return
 	}
 	// Long audits legitimately outlive the http.Server WriteTimeout;

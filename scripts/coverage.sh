@@ -17,6 +17,7 @@ FLOOR_AUDIT=${FLOOR_AUDIT:-88}
 FLOOR_MITIGATE=${FLOOR_MITIGATE:-85}
 FLOOR_AUDITSTORE=${FLOOR_AUDITSTORE:-85}
 FLOOR_FAULTINJECT=${FLOOR_FAULTINJECT:-80}
+FLOOR_OBSV=${FLOOR_OBSV:-85}
 
 fail=0
 
@@ -42,5 +43,6 @@ check ./internal/audit "$FLOOR_AUDIT"
 check ./internal/mitigate "$FLOOR_MITIGATE"
 check ./internal/auditstore "$FLOOR_AUDITSTORE"
 check ./internal/faultinject "$FLOOR_FAULTINJECT"
+check ./internal/obsv "$FLOOR_OBSV"
 
 exit "$fail"

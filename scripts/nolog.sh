@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Logging hygiene gate: library and serving code under internal/ must
+# not print to stdout/stderr directly. Observability goes through the
+# structured logger (log/slog, injected via server.WithLogger) or the
+# metrics registry (internal/obsv) — fmt.Print* and the bare stdlib
+# log package bypass both, lose the per-request ID, and garble SSE
+# streams. Test files are exempt (t.Log exists, but table-driven
+# debugging is allowed its printfs).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# fmt.Print/Printf/Println and log.Print/Printf/Println/Fatal*/Panic*.
+# "slog." and "s.log" don't match: the pattern requires a word
+# boundary before fmt/log.
+pattern='\b(fmt\.Print(ln|f)?|log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?))\('
+
+bad=$(grep -rEn "$pattern" internal/ --include='*.go' \
+	| grep -v '_test\.go:' || true)
+
+if [ -n "$bad" ]; then
+	echo "forbidden print/log calls in internal/ (use log/slog or the obsv registry):" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+echo "OK: no fmt.Print*/log.Print* in internal/ non-test files"

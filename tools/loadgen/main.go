@@ -11,6 +11,14 @@
 // makes shed counts part of the result rather than noise:
 //
 //	go run ./tools/loadgen -requests 200 -clients 8 -out BENCH_LOAD.json
+//
+// The run scrapes GET /api/health before and after the trace and
+// embeds the server-side counter deltas as "server_metrics" in the
+// output — then cross-checks them against the client-side tallies
+// (every response the clients saw must appear in
+// fairankd_requests_total, shed for shed, status for status) and
+// fails loudly on any mismatch: the load test doubles as an
+// end-to-end proof that the metrics pipeline counts what happened.
 package main
 
 import (
@@ -23,11 +31,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obsv"
 	"repro/internal/server"
 )
 
@@ -39,7 +49,10 @@ type op struct {
 	query string // query string (stream)
 }
 
-// routeStats aggregates one route's measured outcomes.
+// routeStats aggregates one route's measured outcomes. byStatus
+// tallies responses per HTTP status; transport counts requests that
+// died without a response (no server-side counterpart, so the
+// cross-check excludes them).
 type routeStats struct {
 	Count     int     `json:"count"`
 	Shed      int     `json:"shed"`
@@ -48,6 +61,8 @@ type routeStats struct {
 	P99Ms     float64 `json:"p99_ms"`
 	MeanMs    float64 `json:"mean_ms"`
 	latencies []time.Duration
+	byStatus  map[int]int
+	transport int
 }
 
 // result is the BENCH_LOAD.json schema.
@@ -60,6 +75,110 @@ type result struct {
 	ThroughputRPS float64                `json:"throughput_rps"`
 	Routes        map[string]*routeStats `json:"routes"`
 	Health        server.Health          `json:"health"`
+	// ServerMetrics holds the scraped counter deltas (after - before
+	// the trace), keyed by full series name.
+	ServerMetrics map[string]uint64 `json:"server_metrics"`
+}
+
+// healthScrape mirrors the GET /api/health response: the health
+// fields plus the full registry snapshot.
+type healthScrape struct {
+	server.Health
+	Metrics obsv.Snapshot `json:"metrics"`
+}
+
+// scrape pulls one health+metrics snapshot off the running server.
+func scrape(base string) (*healthScrape, error) {
+	res, err := http.Get(base + "/api/health")
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: health scrape returned %d", res.StatusCode)
+	}
+	var hs healthScrape
+	if err := json.NewDecoder(res.Body).Decode(&hs); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding health scrape: %w", err)
+	}
+	return &hs, nil
+}
+
+// counterDeltas subtracts the pre-trace counter snapshot from the
+// post-trace one, dropping zero deltas.
+func counterDeltas(before, after obsv.Snapshot) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range after.Counters {
+		if d := v - before.Counters[name]; d > 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// serverRoute maps a trace route to the server's route label.
+var serverRoute = map[string]string{
+	"quantify": "quantify",
+	"audit":    "audit",
+	"stream":   "audit_stream",
+}
+
+// crossCheck compares what the clients observed with what the server
+// counted. Every (route, status) pair must match exactly: the clients
+// and fairankd_requests_total are two independent tallies of the same
+// requests, so any drift is a metrics bug. Returns the list of
+// mismatches (empty = consistent).
+func crossCheck(stats map[string]*routeStats, delta map[string]uint64) []string {
+	var problems []string
+
+	// Shed totals: client-side 429s vs fairankd_shed_total.
+	client429 := 0
+	for _, st := range stats {
+		client429 += st.byStatus[http.StatusTooManyRequests]
+	}
+	var serverShed uint64
+	for name, d := range delta {
+		if strings.HasPrefix(name, "fairankd_shed_total") {
+			serverShed += d
+		}
+	}
+	if uint64(client429) != serverShed {
+		problems = append(problems, fmt.Sprintf(
+			"shed mismatch: clients saw %d 429s, server counted %d in fairankd_shed_total", client429, serverShed))
+	}
+
+	// Per-(route, status) counts vs fairankd_requests_total.
+	for clientRoute, st := range stats {
+		route := serverRoute[clientRoute]
+		serverByStatus := make(map[int]uint64)
+		for name, d := range delta {
+			if !strings.HasPrefix(name, "fairankd_requests_total{") ||
+				!strings.Contains(name, fmt.Sprintf("route=%q", route)) {
+				continue
+			}
+			rest := name[strings.Index(name, `code="`)+len(`code="`):]
+			var code int
+			if _, err := fmt.Sscanf(rest[:strings.IndexByte(rest, '"')], "%d", &code); err != nil {
+				problems = append(problems, fmt.Sprintf("unparseable series %q", name))
+				continue
+			}
+			serverByStatus[code] += d
+		}
+		for code, n := range st.byStatus {
+			if uint64(n) != serverByStatus[code] {
+				problems = append(problems, fmt.Sprintf(
+					"route %s status %d: clients saw %d, server counted %d", route, code, n, serverByStatus[code]))
+			}
+		}
+		for code, n := range serverByStatus {
+			if _, seen := st.byStatus[code]; !seen && n > 0 {
+				problems = append(problems, fmt.Sprintf(
+					"route %s status %d: server counted %d, clients saw none", route, code, n))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
 }
 
 // splitmix64 is the trace's seeded stream (same generator the
@@ -128,9 +247,16 @@ func run(requests, clients, maxHeavy int, seed uint64) (*result, error) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	before, err := scrape(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+
 	ops := buildTrace(requests, seed)
 	stats := map[string]*routeStats{
-		"quantify": {}, "audit": {}, "stream": {},
+		"quantify": {byStatus: map[int]int{}},
+		"audit":    {byStatus: map[int]int{}},
+		"stream":   {byStatus: map[int]int{}},
 	}
 	var mu sync.Mutex
 	record := func(route string, d time.Duration, status int, err error) {
@@ -139,6 +265,11 @@ func run(requests, clients, maxHeavy int, seed uint64) (*result, error) {
 		st := stats[route]
 		st.Count++
 		st.latencies = append(st.latencies, d)
+		if status != 0 {
+			st.byStatus[status]++
+		} else {
+			st.transport++
+		}
 		switch {
 		case err != nil || status >= 500:
 			st.Errors++
@@ -168,6 +299,18 @@ func run(requests, clients, maxHeavy int, seed uint64) (*result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	after, err := scrape(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	delta := counterDeltas(before.Metrics, after.Metrics)
+	if problems := crossCheck(stats, delta); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "loadgen: metrics cross-check FAILED:", p)
+		}
+		return nil, fmt.Errorf("loadgen: client tallies and scraped server metrics disagree (%d mismatches)", len(problems))
+	}
+
 	for _, st := range stats {
 		summarize(st)
 	}
@@ -180,6 +323,7 @@ func run(requests, clients, maxHeavy int, seed uint64) (*result, error) {
 		ThroughputRPS: float64(requests) / elapsed.Seconds(),
 		Routes:        stats,
 		Health:        srv.Healthz(),
+		ServerMetrics: delta,
 	}, nil
 }
 
