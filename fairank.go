@@ -492,8 +492,8 @@ func Mitigate(d *Dataset, scores []float64, cfg Config, opts MitigateOptions) (*
 	return mitigate.Evaluate(d, scores, cfg, opts)
 }
 
-// MitigatorByName resolves "fair", "detgreedy", "detcons" or
-// "exposure" to its re-ranking strategy.
+// MitigatorByName resolves "fair", "fair-legacy", "detgreedy",
+// "detcons" or "exposure" to its re-ranking strategy.
 func MitigatorByName(name string) (Mitigator, error) { return mitigate.ByName(name) }
 
 // MitigationStrategies lists the registered strategy names.

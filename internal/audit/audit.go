@@ -42,7 +42,8 @@ import (
 // Options configures a batch audit on top of the solver Config.
 type Options struct {
 	// Strategy names the mitigation strategy applied to every job:
-	// "fair" (default), "detgreedy", "detcons" or "exposure".
+	// "fair" (default), "fair-legacy", "detgreedy", "detcons" or
+	// "exposure".
 	Strategy string
 	// K is the top-k prefix the representation constraints and the
 	// parity/utility metrics apply to (0 = min(10, n)).
@@ -54,7 +55,9 @@ type Options struct {
 	// which bounds the solver inside one job; the report is
 	// bit-identical for every combination.
 	Workers int
-	// Alpha is the FA*IR significance level (default 0.1).
+	// Alpha is the FA*IR family-wise significance level (default
+	// 0.1), split across groups and exactly adjusted per group
+	// (Bonferroni-divided under "fair-legacy").
 	Alpha float64
 	// MinExposureRatio is the "exposure" strategy's floor (default
 	// 0.95).

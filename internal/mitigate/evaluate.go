@@ -15,8 +15,8 @@ import (
 
 // Options configures one mitigation run of the Evaluate harness.
 type Options struct {
-	// Strategy names the Mitigator: "fair" (default), "detgreedy",
-	// "detcons" or "exposure".
+	// Strategy names the Mitigator: "fair" (default), "fair-legacy",
+	// "detgreedy", "detcons" or "exposure".
 	Strategy string
 	// K is the top-k prefix the constraints (and the before/after
 	// parity gap) apply to. 0 selects min(10, n); negative is an
@@ -26,7 +26,9 @@ type Options struct {
 	// target proportions. Empty derives population shares. When set,
 	// every discovered group must be named.
 	Targets map[string]float64
-	// Alpha is the FA*IR significance level (default 0.1).
+	// Alpha is the FA*IR family-wise significance level (default
+	// 0.1), split across groups and exactly adjusted per group
+	// (Bonferroni-divided under "fair-legacy").
 	Alpha float64
 	// MinExposureRatio is the "exposure" strategy's floor (default
 	// 0.95).

@@ -10,10 +10,17 @@
 //
 //   - "fair": FA*IR top-k re-ranking (Zehlike et al., CIKM 2017) —
 //     every group must hold at least the binomial
-//     minimum-representation count at each top-k prefix, at an
-//     adjusted significance level (Bonferroni-corrected across the k
-//     prefix tests and the tested groups, the conservative multi-group
-//     form of the paper's model adjustment);
+//     minimum-representation count at each top-k prefix. The
+//     significance adjustment is the paper's exact model adjustment:
+//     Alpha is split across the tested groups, and within each group a
+//     corrected per-test level αc is binary-searched until the exact
+//     joint probability that a fair process fails any of the k prefix
+//     tests (a DP over the table's block structure, see mtable.go)
+//     matches the group's share of Alpha. Tables are memoized per
+//     (k, p, α) so batch audits never recompute them;
+//   - "fair-legacy": the same re-ranking under the previous Bonferroni
+//     stand-in (Alpha/(k·|groups|) per test) — deliberately
+//     over-conservative tables, kept for comparison;
 //   - "detgreedy" / "detcons": deterministic constrained interleaving
 //     in the style of Geyik et al. (KDD 2019) — per-group floor/ceiling
 //     targets derived from population shares (or supplied by the
@@ -52,7 +59,11 @@ type Input struct {
 	// prefix. Empty derives population shares; when set it must have
 	// one non-negative entry per group summing to at most 1.
 	Targets []float64
-	// Alpha is the FA*IR significance level (default 0.1).
+	// Alpha is the FA*IR family-wise significance level (default
+	// 0.1): the probability budget for a fair process failing any of
+	// the k prefix tests, split across the tested groups and exactly
+	// adjusted per group ("fair"), or Bonferroni-divided across all
+	// k·|groups| tests ("fair-legacy").
 	Alpha float64
 	// MinExposureRatio is the exposure floor of the "exposure"
 	// strategy, in (0, 1] (default 0.95).
@@ -95,14 +106,19 @@ func (e *InfeasibleError) Error() string {
 func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
 // Strategies lists the registered strategy names, sorted.
-func Strategies() []string { return []string{"detcons", "detgreedy", "exposure", "fair"} }
+func Strategies() []string {
+	return []string{"detcons", "detgreedy", "exposure", "fair", "fair-legacy"}
+}
 
 // ByName resolves a strategy name to its Mitigator with default
-// parameters: "fair", "detgreedy", "detcons" or "exposure".
+// parameters: "fair", "fair-legacy", "detgreedy", "detcons" or
+// "exposure".
 func ByName(name string) (Mitigator, error) {
 	switch name {
 	case "fair", "":
 		return FAIR{}, nil
+	case "fair-legacy":
+		return FAIR{Legacy: true}, nil
 	case "detgreedy":
 		return Interleave{}, nil
 	case "detcons":
@@ -110,7 +126,7 @@ func ByName(name string) (Mitigator, error) {
 	case "exposure":
 		return ExposureCap{}, nil
 	default:
-		return nil, fmt.Errorf("mitigate: unknown strategy %q (valid: detcons, detgreedy, exposure, fair)", name)
+		return nil, fmt.Errorf("mitigate: unknown strategy %q (valid: detcons, detgreedy, exposure, fair, fair-legacy)", name)
 	}
 }
 

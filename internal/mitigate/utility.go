@@ -21,7 +21,10 @@ import (
 type Utility struct {
 	// NDCG is the normalized discounted cumulative gain of the
 	// mitigated ranking's top-k prefix under the original scores
-	// (1 = the mitigation kept the score-optimal prefix order).
+	// (1 = the mitigation kept the score-optimal prefix order). Gains
+	// are the scores shifted by the population minimum when that is
+	// negative, keeping the ratio direction meaningful for score
+	// vectors that dip below zero.
 	NDCG float64
 	// MeanDisplacement is the mean original score the top-k prefix
 	// gave up: mean score of the k best candidates minus mean score of
@@ -60,15 +63,28 @@ func UtilityLoss(scores []float64, ranking []int, k int) (Utility, error) {
 	ideal := append([]float64(nil), scores...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
 
+	// DCG gains must be non-negative: a negative idcg flips the
+	// ratio's direction, and a zero idcg over non-trivial negative
+	// scores would report a perfect 1.0 for arbitrarily bad rankings.
+	// Scores here are arbitrary reals (raw marketplace scores), so
+	// shift every gain by the population minimum when it is negative.
+	// The shift cancels in the displacement difference below.
+	shift := 0.0
+	if min := ideal[n-1]; min < 0 {
+		shift = -min
+	}
 	var dcg, idcg, gotSum, idealSum float64
 	for p := 0; p < k; p++ {
 		disc := 1 / math.Log2(float64(p)+2)
-		dcg += scores[ranking[p]] * disc
-		idcg += ideal[p] * disc
+		dcg += (scores[ranking[p]] + shift) * disc
+		idcg += (ideal[p] + shift) * disc
 		gotSum += scores[ranking[p]]
 		idealSum += ideal[p]
 	}
 	u := Utility{NDCG: 1}
+	// After the shift, idcg == 0 only when every candidate ties at the
+	// minimum score — any prefix is score-optimal there and NDCG 1 is
+	// the honest value.
 	if idcg > 0 {
 		u.NDCG = dcg / idcg
 	}

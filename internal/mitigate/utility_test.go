@@ -89,6 +89,65 @@ func TestUtilityLossDegenerateAllZeroScores(t *testing.T) {
 	}
 }
 
+// Regression: with every score <= 0 the raw idcg is non-positive, and
+// the pre-fix code silently reported NDCG 1.0 for arbitrarily bad
+// rankings (a negative idcg even flips the ratio's direction). Gains
+// are now shifted by the population minimum, so ranking quality stays
+// measurable below zero.
+func TestUtilityLossAllNegativeScores(t *testing.T) {
+	scores := []float64{-0.1, -0.5, -2, -3}
+	worstFirst, err := UtilityLoss(scores, []int{3, 2, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worstFirst.NDCG >= 1 || worstFirst.NDCG < 0 {
+		t.Errorf("worst-first negative-score NDCG = %f, want in [0,1)", worstFirst.NDCG)
+	}
+	// Ideal top-2 mean is -0.3, the ranked prefix's is -2.5.
+	if math.Abs(worstFirst.MeanDisplacement-2.2) > 1e-12 {
+		t.Errorf("displacement = %f, want 2.2", worstFirst.MeanDisplacement)
+	}
+	bestFirst, err := UtilityLoss(scores, []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestFirst.NDCG != 1 || bestFirst.MeanDisplacement != 0 {
+		t.Errorf("score-order ranking over negative scores: %+v, want perfect", bestFirst)
+	}
+	// The in-between ranking must order strictly between the two.
+	if worstFirst.NDCG >= bestFirst.NDCG {
+		t.Errorf("NDCG does not separate rankings: worst %f, best %f", worstFirst.NDCG, bestFirst.NDCG)
+	}
+}
+
+func TestUtilityLossMixedSignScores(t *testing.T) {
+	scores := []float64{1, 0, -1}
+	u, err := UtilityLoss(scores, []int{2, 1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted gains are {2, 1, 0}: the worst candidate at rank 1 earns
+	// nothing of the ideal 2.
+	if u.NDCG != 0 {
+		t.Errorf("NDCG = %f, want 0", u.NDCG)
+	}
+	if math.Abs(u.MeanDisplacement-2) > 1e-12 {
+		t.Errorf("displacement = %f, want 2", u.MeanDisplacement)
+	}
+}
+
+func TestUtilityLossAllEqualNegativeScores(t *testing.T) {
+	// Every candidate ties below zero: any prefix is score-optimal, so
+	// the honest cost is zero.
+	u, err := UtilityLoss([]float64{-2, -2, -2}, []int{2, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NDCG != 1 || u.MeanDisplacement != 0 {
+		t.Errorf("all-equal negative scores should cost nothing, got %+v", u)
+	}
+}
+
 func TestUtilityLossValidation(t *testing.T) {
 	scores := []float64{0.5, 0.4}
 	cases := []struct {

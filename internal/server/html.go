@@ -52,7 +52,7 @@ const indexHTML = `<!doctype html>
   <label>Histogram bins <input id="bins" type="number" value="5" min="1"></label>
   <button onclick="quantify()">Quantify fairness</button>
   <label>Mitigation strategy <select id="strategy">
-    <option>fair</option><option>detgreedy</option><option>detcons</option><option>exposure</option>
+    <option>fair</option><option>fair-legacy</option><option>detgreedy</option><option>detcons</option><option>exposure</option>
   </select></label>
   <label>Top-k cutoff <input id="topk" type="number" value="10" min="1"></label>
   <button onclick="mitigate()">Mitigate &amp; re-quantify</button>

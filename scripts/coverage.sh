@@ -7,7 +7,9 @@
 # Floors are set a few points under the measured coverage at the time
 # the gate was added (audit 93.9%, mitigate 91.7%, auditstore 87.3%,
 # faultinject 100%), so honest churn passes but a test-free feature
-# drop does not. Override per package:
+# drop does not. The mitigate floor also guards the FA*IR exact
+# model-adjustment tables (mtable.go): the joint-failure DP and the
+# alpha binary search must stay >= 85% covered. Override per package:
 #
 #   FLOOR_AUDIT=80 FLOOR_MITIGATE=80 FLOOR_AUDITSTORE=80 \
 #   FLOOR_FAULTINJECT=80 sh scripts/coverage.sh
