@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emd"
 	"repro/internal/marketplace"
+	"repro/internal/mitigate"
 	"repro/internal/stats"
 )
 
@@ -290,6 +291,35 @@ func BenchmarkMitigate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkExposureLP isolates the stochastic exposure pipeline — the
+// LP solve over the position-discount exposure polytope, the
+// Birkhoff–von-Neumann decomposition into permutations, and the
+// seeded draw — without the two quantification passes the full
+// Evaluate loop adds. n=48 runs at exact item×position granularity
+// (≤ the solver's 64-row cap); n=5000 exercises the coarsened
+// tier×block model that keeps large populations tractable.
+func BenchmarkExposureLP(b *testing.B) {
+	for _, n := range []int{48, 5000} {
+		_, scores := benchPopulation(b, n, 2, 3)
+		groups := make([][]int, 3)
+		for i := 0; i < n; i++ {
+			groups[i%3] = append(groups[i%3], i)
+		}
+		in := mitigate.Input{Scores: scores, Groups: groups, K: 10, Seed: 1}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := mitigate.ExposureLP{}.Distribute(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(d.Rankings) == 0 {
+					b.Fatal("empty distribution")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAudit measures the marketplace-wide batch audit — the

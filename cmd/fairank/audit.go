@@ -32,7 +32,8 @@ func runAudit(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "jobs audited concurrently (0 = all CPUs, 1 = sequential; report is identical)")
 	targets := fs.String("targets", "", "comma-separated group=proportion targets enforced on every job (use with -attrs and -max-depth 1)")
 	alpha := fs.Float64("alpha", 0.1, "FA*IR family-wise significance level, exactly adjusted per group (Bonferroni under fair-legacy)")
-	minRatio := fs.Float64("min-ratio", 0.95, "exposure strategy: worst-group exposure ratio floor")
+	minRatio := fs.Float64("min-ratio", 0.95, "exposure strategies: worst-group exposure ratio floor")
+	mitigateSeed := fs.Uint64("mitigate-seed", 1, "exposure-lp: sampling seed used for every job (distinct from -seed, which generates the population)")
 	attrs := fs.String("attrs", "", "comma-separated protected attributes to partition on")
 	maxDepth := fs.Int("max-depth", 0, "maximum tree depth (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "quantify-only mode: worker goroutines (0 = serial)")
@@ -88,6 +89,7 @@ func runAudit(args []string, out io.Writer) error {
 			Targets:          targetMap,
 			Alpha:            *alpha,
 			MinExposureRatio: *minRatio,
+			Seed:             *mitigateSeed,
 		}
 		rankings, err := fairank.MarketplaceRankings(m)
 		if err != nil {

@@ -21,7 +21,8 @@ func runMitigate(args []string, out io.Writer) error {
 	strategy := fs.String("strategy", "fair", "re-ranking strategy: "+strings.Join(fairank.MitigationStrategies(), " | "))
 	k := fs.Int("k", 0, "top-k prefix the constraints apply to (default min(10, n))")
 	alpha := fs.Float64("alpha", 0.1, "FA*IR family-wise significance level, exactly adjusted per group (Bonferroni under fair-legacy)")
-	minRatio := fs.Float64("min-ratio", 0.95, "exposure strategy: worst-group exposure ratio floor")
+	minRatio := fs.Float64("min-ratio", 0.95, "exposure strategies: worst-group exposure ratio floor")
+	seed := fs.Uint64("seed", 1, "exposure-lp: sampling seed (same seed, same ranking on every run)")
 	targets := fs.String("targets", "", "comma-separated group=proportion targets, e.g. 'gender=Female=0.5,gender=Male=0.5'")
 	normalize := fs.Bool("normalize", false, "min-max normalize the function's attributes first")
 	filter := fs.String("filter", "", "comma-separated attr=value conjuncts")
@@ -74,6 +75,7 @@ func runMitigate(args []string, out io.Writer) error {
 		Targets:          targetMap,
 		Alpha:            *alpha,
 		MinExposureRatio: *minRatio,
+		Seed:             *seed,
 	})
 	if err != nil {
 		return err

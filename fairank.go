@@ -168,6 +168,11 @@ type (
 	MitigationOutcome = mitigate.Outcome
 	// MitigationMetrics is one side of the before/after comparison.
 	MitigationMetrics = mitigate.Metrics
+	// MitigationDistribution is the full distribution over rankings a
+	// stochastic strategy (exposure-lp) produces: support permutations,
+	// convex weights, the seeded sample, and the expected-exposure
+	// guarantees of the mixture.
+	MitigationDistribution = mitigate.Distribution
 	// InfeasibleError reports representation constraints no ranking
 	// can satisfy (errors.Is(err, ErrInfeasible)).
 	InfeasibleError = mitigate.InfeasibleError
@@ -492,12 +497,17 @@ func Mitigate(d *Dataset, scores []float64, cfg Config, opts MitigateOptions) (*
 	return mitigate.Evaluate(d, scores, cfg, opts)
 }
 
-// MitigatorByName resolves "fair", "fair-legacy", "detgreedy",
-// "detcons" or "exposure" to its re-ranking strategy.
+// MitigatorByName resolves any name in MitigationStrategies() to its
+// re-ranking strategy.
 func MitigatorByName(name string) (Mitigator, error) { return mitigate.ByName(name) }
 
 // MitigationStrategies lists the registered strategy names.
 func MitigationStrategies() []string { return mitigate.Strategies() }
+
+// DescribeStrategy returns the one-line description of a registered
+// mitigation strategy ("" for unknown names) — the single source every
+// strategy-enumerating surface renders from.
+func DescribeStrategy(name string) string { return mitigate.Describe(name) }
 
 // RenderMitigation renders a mitigation outcome's before/after report
 // for the terminal.

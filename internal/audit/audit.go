@@ -42,8 +42,7 @@ import (
 // Options configures a batch audit on top of the solver Config.
 type Options struct {
 	// Strategy names the mitigation strategy applied to every job:
-	// "fair" (default), "fair-legacy", "detgreedy", "detcons" or
-	// "exposure".
+	// any name in mitigate.Strategies(); "" selects "fair".
 	Strategy string
 	// K is the top-k prefix the representation constraints and the
 	// parity/utility metrics apply to (0 = min(10, n)).
@@ -59,9 +58,14 @@ type Options struct {
 	// 0.1), split across groups and exactly adjusted per group
 	// (Bonferroni-divided under "fair-legacy").
 	Alpha float64
-	// MinExposureRatio is the "exposure" strategy's floor (default
-	// 0.95).
+	// MinExposureRatio is the exposure floor of the "exposure" and
+	// "exposure-lp" strategies (default 0.95).
 	MinExposureRatio float64
+	// Seed drives the "exposure-lp" sampling draw for every job
+	// (default 1); deterministic strategies ignore it. One audit uses
+	// one seed — per-job variation comes from each job's own LP
+	// distribution, not from reseeding.
+	Seed uint64
 	// Targets maps group labels to target proportions, applied to
 	// every job (empty derives population shares per job). Because the
 	// same table is enforced marketplace-wide, it only makes sense
@@ -154,6 +158,17 @@ type JobReport struct {
 	// that failed. The job still reports its before-side fairness.
 	Infeasible bool
 	Detail     string
+	// Stochastic-strategy rollups, set only when the strategy produced
+	// a distribution over rankings (exposure-lp): the per-group
+	// expected exposure of the mixture (group order matches Groups),
+	// the worst pairwise ratio of those expectations — the quantity the
+	// LP floor certifies, distinct from After.ExposureRatio which
+	// describes the single sampled realization — and how many
+	// permutations the distribution supports. Omitted from JSON for
+	// deterministic strategies so their stored reports are unchanged.
+	ExpectedExposure    []float64 `json:",omitempty"`
+	ExpectedRatio       float64   `json:",omitempty"`
+	DistributionSupport int       `json:",omitempty"`
 	// Reused marks jobs spliced in from an Options.Baseline without
 	// re-running the loop. Excluded from the serialized form so an
 	// incremental re-audit reproduces a stored report byte for byte.
@@ -199,6 +214,12 @@ type Report struct {
 	MeanUnfairnessBefore, MeanUnfairnessAfter float64
 	MeanParityGapBefore, MeanParityGapAfter   float64
 	MeanNDCG, MeanDisplacement                float64
+	// MeanExpectedRatio is the mean worst expected-exposure ratio over
+	// the feasible jobs, set only when the strategy is stochastic —
+	// the marketplace-level form of the LP's in-expectation guarantee.
+	// Omitted from JSON otherwise so deterministic snapshots are
+	// unchanged.
+	MeanExpectedRatio float64 `json:",omitempty"`
 	// Reused counts jobs spliced in from an Options.Baseline without
 	// re-running the loop; Elapsed is the wall-clock time of the
 	// whole audit. Both are run artifacts, not findings, and are
@@ -526,9 +547,10 @@ func auditOne(ctx context.Context, d *dataset.Dataset, r Ranking, cfg core.Confi
 		Targets:          opts.Targets,
 		Alpha:            opts.Alpha,
 		MinExposureRatio: opts.MinExposureRatio,
+		Seed:             opts.Seed,
 	})
 	if err == nil {
-		return JobReport{
+		j := JobReport{
 			Job:              r.Name,
 			Function:         r.Function,
 			Groups:           o.GroupLabels,
@@ -538,7 +560,13 @@ func auditOne(ctx context.Context, d *dataset.Dataset, r Ranking, cfg core.Confi
 			QuantifiedBefore: o.BeforeResult.Unfairness,
 			QuantifiedAfter:  o.AfterResult.Unfairness,
 			Utility:          o.Utility,
-		}, nil
+		}
+		if d := o.Distribution; d != nil {
+			j.ExpectedExposure = d.ExpectedExposure
+			j.ExpectedRatio = d.ExpectedRatio
+			j.DistributionSupport = len(d.Rankings)
+		}
+		return j, nil
 	}
 	if !errors.Is(err, mitigate.ErrInfeasible) || o == nil {
 		sp.Set("error", err.Error())
@@ -623,7 +651,7 @@ func rollup(r *Report, topN int) {
 		return r.Hotspots[a].Attribute < r.Hotspots[b].Attribute
 	})
 
-	var ub, ua, pb, pa, nd, md []float64
+	var ub, ua, pb, pa, nd, md, er []float64
 	for _, j := range r.Jobs {
 		if j.Infeasible {
 			r.Infeasible++
@@ -635,6 +663,9 @@ func rollup(r *Report, topN int) {
 		pa = append(pa, j.After.ParityGap)
 		nd = append(nd, j.Utility.NDCG)
 		md = append(md, j.Utility.MeanDisplacement)
+		if j.DistributionSupport > 0 {
+			er = append(er, j.ExpectedRatio)
+		}
 	}
 	r.MeanUnfairnessBefore = meanSorted(ub)
 	r.MeanUnfairnessAfter = meanSorted(ua)
@@ -642,6 +673,7 @@ func rollup(r *Report, topN int) {
 	r.MeanParityGapAfter = meanSorted(pa)
 	r.MeanNDCG = meanSorted(nd)
 	r.MeanDisplacement = meanSorted(md)
+	r.MeanExpectedRatio = meanSorted(er)
 }
 
 // meanSorted averages vals after sorting them, so the float summation

@@ -303,3 +303,85 @@ func TestRunRankingsGenericInput(t *testing.T) {
 		t.Errorf("default strategy %q, want fair", r.Strategy)
 	}
 }
+
+// A stochastic strategy fills the expected-value columns of every
+// feasible job and the marketplace rollup; a deterministic strategy
+// leaves them zero so old snapshots stay byte-identical.
+func TestRunStochasticRollup(t *testing.T) {
+	m := testMarketplace(t, 300)
+	cfg := core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+	r, err := Run(m, cfg, Options{Strategy: "exposure-lp", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, feasible := 0.0, 0
+	for _, j := range r.Jobs {
+		if j.Infeasible {
+			continue
+		}
+		feasible++
+		if j.DistributionSupport <= 0 {
+			t.Errorf("job %q: no distribution support", j.Job)
+		}
+		if len(j.ExpectedExposure) != len(j.Groups) {
+			t.Errorf("job %q: %d expected exposures for %d groups",
+				j.Job, len(j.ExpectedExposure), len(j.Groups))
+		}
+		if j.ExpectedRatio < 0.95-1e-6 {
+			t.Errorf("job %q: expected ratio %g below the default 0.95 floor",
+				j.Job, j.ExpectedRatio)
+		}
+		sum += j.ExpectedRatio
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible jobs to check")
+	}
+	if got, want := r.MeanExpectedRatio, sum/float64(feasible); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("MeanExpectedRatio %g, want mean %g", got, want)
+	}
+
+	det, err := Run(m, cfg, Options{Strategy: "detcons"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.MeanExpectedRatio != 0 {
+		t.Errorf("deterministic rollup carries MeanExpectedRatio %g", det.MeanExpectedRatio)
+	}
+	for _, j := range det.Jobs {
+		if j.DistributionSupport != 0 || j.ExpectedRatio != 0 || j.ExpectedExposure != nil {
+			t.Errorf("job %q: deterministic audit filled stochastic fields: %+v", j.Job, j)
+		}
+	}
+}
+
+// Only stochastic strategies key their snapshots on the sampling
+// seed: deterministic params ignore it (old lineages stay valid), and
+// seed 0 spells the same audit as the canonical seed 1.
+func TestParamsKeySeed(t *testing.T) {
+	cfg := core.Config{}
+	key := func(opts Options) string {
+		t.Helper()
+		k, err := ParamsKey(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	s1 := key(Options{Strategy: "exposure-lp", Seed: 1})
+	s2 := key(Options{Strategy: "exposure-lp", Seed: 2})
+	s0 := key(Options{Strategy: "exposure-lp"})
+	if s1 == s2 {
+		t.Error("stochastic params ignore the seed")
+	}
+	if s0 != s1 {
+		t.Errorf("seed 0 should canonicalize to 1:\n%s\n%s", s0, s1)
+	}
+	d1 := key(Options{Strategy: "detcons", Seed: 1})
+	d2 := key(Options{Strategy: "detcons", Seed: 2})
+	if d1 != d2 {
+		t.Error("deterministic params key on the unused seed")
+	}
+	if strings.Contains(d1, "seed=") {
+		t.Errorf("deterministic key mentions a seed: %s", d1)
+	}
+}

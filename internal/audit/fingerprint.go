@@ -61,6 +61,17 @@ func ParamsKey(cfg core.Config, opts Options) (string, error) {
 		cfg.TryAllRoots, cfg.EnumerationLimit)
 	fmt.Fprintf(&b, "|strategy=%s|k=%d|top-n=%d|alpha=%g|min-ratio=%g",
 		strategy.Name(), opts.K, opts.TopN, opts.Alpha, opts.MinExposureRatio)
+	if _, ok := strategy.(mitigate.Stochastic); ok {
+		// Only stochastic strategies read the seed, so only they key on
+		// it — snapshots of deterministic audits stay reusable across
+		// the field's introduction. Seed 0 resolves to 1 downstream;
+		// canonicalize so both spell the same audit.
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		fmt.Fprintf(&b, "|seed=%d", seed)
+	}
 	if len(opts.Targets) > 0 {
 		keys := make([]string, 0, len(opts.Targets))
 		for k := range opts.Targets {

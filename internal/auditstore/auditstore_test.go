@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/marketplace"
+	"repro/internal/obsv"
 )
 
 // fixture runs one small batch audit and returns everything a
@@ -403,5 +405,51 @@ func TestListRejectsMismatchedFile(t *testing.T) {
 	}
 	if _, err := st.List(); err == nil {
 		t.Error("mismatched file name accepted")
+	}
+}
+
+// SetObserver wires the store's save/load volumes into a registry;
+// SetFaults arms the test-only injection hook. Both are nil-safe
+// toggles the serving layer relies on at startup.
+func TestStoreObserverAndFaults(t *testing.T) {
+	rankings, cfg, opts, rep := fixture(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obsv.NewRegistry()
+	st.SetObserver(reg)
+	snap, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Latest(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	counts := reg.Snapshot().Counters
+	if counts["fairank_auditstore_saves_total"] != 1 {
+		t.Errorf("saves counter = %d, want 1", counts["fairank_auditstore_saves_total"])
+	}
+	if counts["fairank_auditstore_loads_total"] == 0 {
+		t.Error("loads counter never moved")
+	}
+
+	// Disabling the observer and arming/disarming faults must not
+	// disturb the store.
+	st.SetObserver(nil)
+	st.SetFaults(faultinject.New(1))
+	st.SetFaults(nil)
+	snap2, err := New("d", cfg, opts, rankings, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(snap2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["fairank_auditstore_saves_total"]; got != 1 {
+		t.Errorf("disabled observer still counted: saves = %d", got)
 	}
 }

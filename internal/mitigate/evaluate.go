@@ -16,7 +16,7 @@ import (
 // Options configures one mitigation run of the Evaluate harness.
 type Options struct {
 	// Strategy names the Mitigator: "fair" (default), "fair-legacy",
-	// "detgreedy", "detcons" or "exposure".
+	// "detgreedy", "detcons", "exposure" or "exposure-lp".
 	Strategy string
 	// K is the top-k prefix the constraints (and the before/after
 	// parity gap) apply to. 0 selects min(10, n); negative is an
@@ -30,9 +30,14 @@ type Options struct {
 	// 0.1), split across groups and exactly adjusted per group
 	// (Bonferroni-divided under "fair-legacy").
 	Alpha float64
-	// MinExposureRatio is the "exposure" strategy's floor (default
-	// 0.95).
+	// MinExposureRatio is the exposure floor of the "exposure" and
+	// "exposure-lp" strategies (default 0.95).
 	MinExposureRatio float64
+	// Seed drives the "exposure-lp" sampling draw (default 1);
+	// deterministic strategies ignore it. A fixed seed makes the
+	// sampled ranking — and therefore the whole Outcome —
+	// bit-identical across runs and worker counts.
+	Seed uint64
 }
 
 // Metrics is one side of the before/after comparison, computed on a
@@ -77,6 +82,12 @@ type Outcome struct {
 	// the mitigated ranking under the original scores, and the mean
 	// original score the top-K prefix gave up.
 	Utility Utility
+	// Distribution is the full distribution over rankings a stochastic
+	// strategy produced — Ranking/Scores/After describe its sampled
+	// realization, Distribution the expected-value guarantees of the
+	// mixture (expected exposure per group, worst expected ratio).
+	// Nil for deterministic strategies.
+	Distribution *Distribution
 	// BeforeResult is the quantification that discovered the
 	// partitioning under repair; AfterResult re-runs the same search
 	// on the mitigated ranking — the re-quantify half of the loop,
@@ -139,11 +150,12 @@ func evaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, 
 	if err != nil {
 		return nil, err
 	}
-	usesTargets := m.Name() != "exposure"
+	usesTargets := m.Name() != "exposure" && m.Name() != "exposure-lp"
 	if !usesTargets && len(opts.Targets) > 0 {
-		// ExposureCap never reads representation targets; accepting
-		// them would present unenforced proportions as enforced.
-		return nil, fmt.Errorf("mitigate: the exposure strategy takes no representation targets (it caps the exposure ratio; tune MinExposureRatio instead)")
+		// The exposure strategies never read representation targets;
+		// accepting them would present unenforced proportions as
+		// enforced.
+		return nil, fmt.Errorf("mitigate: the %s strategy takes no representation targets (it bounds the exposure ratio; tune MinExposureRatio instead)", m.Name())
 	}
 	if cfg.Objective != core.MostUnfair {
 		// Repairing the partitioning the engine found LEAST unfair is
@@ -181,6 +193,7 @@ func evaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, 
 		Targets:          targets,
 		Alpha:            opts.Alpha,
 		MinExposureRatio: opts.MinExposureRatio,
+		Seed:             opts.Seed,
 	}
 	// Resolve derived targets once so the Outcome reports exactly what
 	// the strategy enforced (Input.targets re-derives the same
@@ -202,7 +215,18 @@ func evaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, 
 		return nil, err
 	}
 
-	ranking, err := m.Rerank(in)
+	// Stochastic strategies produce a whole distribution; one solve
+	// yields both the sampled realization the loop evaluates and the
+	// expected-value guarantees the Outcome reports.
+	var ranking []int
+	var dist *Distribution
+	if st, ok := m.(Stochastic); ok {
+		if dist, err = st.Distribute(in); err == nil {
+			ranking = dist.Rankings[dist.Sampled]
+		}
+	} else {
+		ranking, err = m.Rerank(in)
+	}
 	if err != nil {
 		if !errors.Is(err, ErrInfeasible) {
 			// Configuration errors (bad Alpha, bad floor, ...) are not
@@ -253,6 +277,7 @@ func evaluateContext(ctx context.Context, d *dataset.Dataset, scores []float64, 
 		Before:       beforeM,
 		After:        afterM,
 		Utility:      util,
+		Distribution: dist,
 		BeforeResult: before,
 		AfterResult:  after,
 	}, nil

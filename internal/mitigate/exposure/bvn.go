@@ -1,0 +1,241 @@
+package exposure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Component is one term of the Birkhoff–von-Neumann decomposition: an
+// integral vertex of the transportation polytope (a permutation
+// matrix in the exact regime) with its convex coefficient.
+type Component struct {
+	// Weight is the convex coefficient; the weights of a decomposition
+	// are positive and sum to 1.
+	Weight float64
+	// Counts is the integral matrix, row-major like Solution.X:
+	// Counts[t*B+b] rows of tier t sit in block b.
+	Counts []int
+}
+
+// Decompose expresses the LP optimum as a convex combination of
+// integral vertices, Σ_k Weight_k·Counts_k = X: the generalized
+// Birkhoff–von-Neumann decomposition. Each round routes an integral
+// transportation matrix through the support of the remaining mass
+// (a max-flow with the tier/block margins), peels off the largest
+// multiple that keeps the remainder non-negative, and thereby zeroes
+// at least one support entry — so at most |support| rounds run, and
+// in the exact doubly-stochastic case the classical ≤ (n−1)²+1
+// permutation bound applies. The rounds are fully deterministic.
+func (s *Solution) Decompose() ([]Component, error) {
+	T, B := len(s.Tiers), len(s.Blocks)
+	rowSum := make([]int, T)
+	for t, tier := range s.Tiers {
+		rowSum[t] = len(tier.Rows)
+	}
+	colSum := make([]int, B)
+	for b, blk := range s.Blocks {
+		colSum[b] = blk.Size
+	}
+	remaining := append([]float64(nil), s.X...)
+	left := 1.0
+	var comps []Component
+	maxRounds := T*B + 8
+	for round := 0; left > 1e-9 && round < maxRounds; round++ {
+		// Support threshold scales with the remaining mass so rounding
+		// dust left by earlier subtractions cannot force a vanishing
+		// coefficient; if the thresholded support turns out too sparse
+		// to route the margins, retry with everything.
+		z := integralFlow(remaining, rowSum, colSum, left*1e-9, T, B)
+		if z == nil {
+			z = integralFlow(remaining, rowSum, colSum, 0, T, B)
+		}
+		if z == nil {
+			// Near the end of the peel, dust dropped from the support can
+			// leave the remainder slightly sub-stochastic, so no integral
+			// vertex routes the full margins. The unaccounted mass is
+			// bounded by the dust itself; fold it into renormalization.
+			if left <= 1e-5 && len(comps) > 0 {
+				break
+			}
+			return nil, fmt.Errorf("exposure: decomposition round %d: no integral vertex on the remaining support (mass %g unaccounted)", round, left)
+		}
+		lambda := left
+		argmin := -1
+		for i, zi := range z {
+			if zi == 0 {
+				continue
+			}
+			if r := remaining[i] / float64(zi); r < lambda {
+				lambda = r
+				argmin = i
+			}
+		}
+		if lambda <= 1e-12 {
+			// Dust entry: drop it from the support instead of recording
+			// a negligible component, and try again.
+			if argmin >= 0 {
+				remaining[argmin] = 0
+			}
+			continue
+		}
+		comps = append(comps, Component{Weight: lambda, Counts: z})
+		for i, zi := range z {
+			if zi == 0 {
+				continue
+			}
+			remaining[i] -= lambda * float64(zi)
+			if remaining[i] < 0 {
+				remaining[i] = 0
+			}
+		}
+		left -= lambda
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("exposure: decomposition produced no components")
+	}
+	// Renormalize: the loop stops once the unaccounted mass is within
+	// tolerance; fold that dust back so the weights sum to exactly 1.
+	total := 0.0
+	for _, c := range comps {
+		total += c.Weight
+	}
+	for i := range comps {
+		comps[i].Weight /= total
+	}
+	return comps, nil
+}
+
+// Ranking realizes one decomposition component as a best-first row
+// order: blocks fill in position order, each block takes the next
+// (best remaining) Counts[t,b] rows from every tier, and the rows
+// inside a block sort by score descending then row ascending — the
+// repository-wide deterministic tie-break. In the exact regime the
+// component is a permutation matrix and the realization is exactly
+// that permutation.
+func (s *Solution) Ranking(comp Component) []int {
+	T, B := len(s.Tiers), len(s.Blocks)
+	cursor := make([]int, T)
+	out := make([]int, 0, s.N)
+	block := make([]int, 0, 64)
+	for b := 0; b < B; b++ {
+		block = block[:0]
+		for t := 0; t < T; t++ {
+			take := comp.Counts[t*B+b]
+			if take == 0 {
+				continue
+			}
+			rows := s.Tiers[t].Rows
+			block = append(block, rows[cursor[t]:cursor[t]+take]...)
+			cursor[t] += take
+		}
+		sort.SliceStable(block, func(a, c int) bool {
+			ra, rc := block[a], block[c]
+			if s.Scores[ra] != s.Scores[rc] {
+				return s.Scores[ra] > s.Scores[rc]
+			}
+			return ra < rc
+		})
+		out = append(out, block...)
+	}
+	return out
+}
+
+// GroupExposureOf computes the per-group mean exposure of a concrete
+// ranking under the exact (per-position) discount — the realized
+// counterpart of the model expectation in Solution.GroupExposure.
+func (s *Solution) GroupExposureOf(ranking []int) []float64 {
+	groupOf := make([]int, s.N)
+	for t, tier := range s.Tiers {
+		for _, r := range tier.Rows {
+			groupOf[r] = s.Tiers[t].Group
+		}
+	}
+	expo := make([]float64, len(s.GroupSizes))
+	for pos, row := range ranking {
+		expo[groupOf[row]] += PositionBias(pos + 1)
+	}
+	for g := range expo {
+		expo[g] /= float64(s.GroupSizes[g])
+	}
+	return expo
+}
+
+// integralFlow finds an integral transportation matrix with the given
+// margins whose support is contained in {remaining > tol}, or nil if
+// none exists. It is a plain Edmonds–Karp max-flow over the bipartite
+// tier/block graph with deterministic BFS order; the fractional
+// remaining mass itself certifies feasibility on the full support, so
+// integral feasibility follows from flow integrality.
+func integralFlow(remaining []float64, rowSum, colSum []int, tol float64, T, B int) []int {
+	// Node layout: 0 = source, 1..T tiers, T+1..T+B blocks, T+B+1 sink.
+	V := T + B + 2
+	src, sink := 0, V-1
+	total := 0
+	cap := make([][]int, V)
+	for i := range cap {
+		cap[i] = make([]int, V)
+	}
+	for t := 0; t < T; t++ {
+		cap[src][1+t] = rowSum[t]
+		total += rowSum[t]
+	}
+	for b := 0; b < B; b++ {
+		cap[1+T+b][sink] = colSum[b]
+	}
+	for t := 0; t < T; t++ {
+		for b := 0; b < B; b++ {
+			if remaining[t*B+b] > tol {
+				cap[1+t][1+T+b] = total // effectively unbounded
+			}
+		}
+	}
+	flow := 0
+	parent := make([]int, V)
+	queue := make([]int, 0, V)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue = append(queue[:0], src)
+		for len(queue) > 0 && parent[sink] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < V; v++ {
+				if parent[v] < 0 && cap[u][v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[sink] < 0 {
+			break
+		}
+		bottleneck := math.MaxInt
+		for v := sink; v != src; v = parent[v] {
+			if c := cap[parent[v]][v]; c < bottleneck {
+				bottleneck = c
+			}
+		}
+		for v := sink; v != src; v = parent[v] {
+			cap[parent[v]][v] -= bottleneck
+			cap[v][parent[v]] += bottleneck
+		}
+		flow += bottleneck
+	}
+	if flow != total {
+		return nil
+	}
+	z := make([]int, T*B)
+	for t := 0; t < T; t++ {
+		for b := 0; b < B; b++ {
+			if remaining[t*B+b] > tol {
+				// Flow on tier→block edge = capacity consumed, which the
+				// residual records on the reverse edge.
+				z[t*B+b] = cap[1+T+b][1+t]
+			}
+		}
+	}
+	return z
+}

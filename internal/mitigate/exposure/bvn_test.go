@@ -1,0 +1,215 @@
+package exposure
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDecomposeReconstructs is the BvN acceptance property on every
+// fixture: coefficients are positive and sum to 1, every component is
+// an integral transportation matrix with the polytope's margins, and
+// the convex combination reconstructs the LP optimum.
+func TestDecomposeReconstructs(t *testing.T) {
+	for name, f := range fixtures() {
+		sol, err := Solve(f.scores, f.groups, 0.95, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		comps, err := sol.Decompose()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		T, B := len(sol.Tiers), len(sol.Blocks)
+		total := 0.0
+		recon := make([]float64, T*B)
+		for _, comp := range comps {
+			if comp.Weight <= 0 {
+				t.Fatalf("%s: non-positive weight %g", name, comp.Weight)
+			}
+			total += comp.Weight
+			for ti := 0; ti < T; ti++ {
+				sum := 0
+				for b := 0; b < B; b++ {
+					z := comp.Counts[ti*B+b]
+					if z < 0 {
+						t.Fatalf("%s: negative count", name)
+					}
+					sum += z
+					recon[ti*B+b] += comp.Weight * float64(z)
+				}
+				if sum != len(sol.Tiers[ti].Rows) {
+					t.Fatalf("%s: component tier %d routes %d of %d rows", name, ti, sum, len(sol.Tiers[ti].Rows))
+				}
+			}
+			for b := 0; b < B; b++ {
+				sum := 0
+				for ti := 0; ti < T; ti++ {
+					sum += comp.Counts[ti*B+b]
+				}
+				if sum != sol.Blocks[b].Size {
+					t.Fatalf("%s: component block %d holds %d of %d slots", name, b, sum, sol.Blocks[b].Size)
+				}
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%s: weights sum to %.12f", name, total)
+		}
+		for i := range recon {
+			if math.Abs(recon[i]-sol.X[i]) > 1e-5 {
+				t.Fatalf("%s: reconstruction off by %g at entry %d", name, math.Abs(recon[i]-sol.X[i]), i)
+			}
+		}
+		if sol.Exact {
+			// The classical bound: at most (n-1)^2 + 1 permutations.
+			n := sol.N
+			if len(comps) > (n-1)*(n-1)+1 {
+				t.Fatalf("%s: %d components exceed the Birkhoff bound for n=%d", name, len(comps), n)
+			}
+		}
+	}
+}
+
+// TestDecomposeDeterministic reruns Solve+Decompose and expects
+// bit-identical components.
+func TestDecomposeDeterministic(t *testing.T) {
+	f := fixtures()["coarse-9"]
+	var first []Component
+	for trial := 0; trial < 3; trial++ {
+		sol, err := Solve(f.scores, f.groups, 0.95, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps, err := sol.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = comps
+			continue
+		}
+		if len(comps) != len(first) {
+			t.Fatalf("component count changed: %d vs %d", len(comps), len(first))
+		}
+		for k := range comps {
+			if comps[k].Weight != first[k].Weight {
+				t.Fatalf("component %d weight changed between runs", k)
+			}
+			for i := range comps[k].Counts {
+				if comps[k].Counts[i] != first[k].Counts[i] {
+					t.Fatalf("component %d counts changed between runs", k)
+				}
+			}
+		}
+	}
+}
+
+// TestRankingRealizesComponents: every realized ranking is a
+// permutation; in the exact regime its realized exposure matches the
+// component's model exposure exactly (singleton blocks have no
+// within-block spread), and block occupancy follows the counts.
+func TestRankingRealizesComponents(t *testing.T) {
+	for name, f := range fixtures() {
+		sol, err := Solve(f.scores, f.groups, 0.95, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		comps, err := sol.Decompose()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		groupOf := make([]int, sol.N)
+		for g, rows := range f.groups {
+			for _, r := range rows {
+				groupOf[r] = g
+			}
+		}
+		for k, comp := range comps {
+			ranking := sol.Ranking(comp)
+			seen := make([]bool, sol.N)
+			for _, r := range ranking {
+				if r < 0 || r >= sol.N || seen[r] {
+					t.Fatalf("%s comp %d: not a permutation", name, k)
+				}
+				seen[r] = true
+			}
+			if len(ranking) != sol.N {
+				t.Fatalf("%s comp %d: ranking has %d of %d rows", name, k, len(ranking), sol.N)
+			}
+			// Block occupancy: positions [Start, Start+Size) hold exactly
+			// the groups the component's counts route there.
+			B := len(sol.Blocks)
+			for b, blk := range sol.Blocks {
+				want := make(map[int]int)
+				for ti, tier := range sol.Tiers {
+					if c := comp.Counts[ti*B+b]; c > 0 {
+						want[tier.Group] += c
+					}
+				}
+				got := make(map[int]int)
+				for _, r := range ranking[blk.Start : blk.Start+blk.Size] {
+					got[groupOf[r]]++
+				}
+				for g, w := range want {
+					if got[g] != w {
+						t.Fatalf("%s comp %d block %d: group %d holds %d slots, want %d", name, k, b, g, got[g], w)
+					}
+				}
+			}
+		}
+		if sol.Exact {
+			expo := sol.GroupExposureOf(sol.Ranking(comps[0]))
+			model := make([]float64, len(f.groups))
+			B := len(sol.Blocks)
+			for ti, tier := range sol.Tiers {
+				for b, blk := range sol.Blocks {
+					model[tier.Group] += float64(comps[0].Counts[ti*B+b]) * blk.Bias
+				}
+			}
+			for g := range model {
+				model[g] /= float64(sol.GroupSizes[g])
+				if math.Abs(expo[g]-model[g]) > 1e-9 {
+					t.Fatalf("%s: realized exposure %g differs from model %g for group %d", name, expo[g], model[g], g)
+				}
+			}
+		}
+	}
+}
+
+// TestExpectedExposureIsMixture: the LP's per-group expected exposure
+// equals the weight-averaged model exposure of the decomposition's
+// realizations — the guarantee the Distribution reports.
+func TestExpectedExposureIsMixture(t *testing.T) {
+	f := fixtures()["exact-3"]
+	sol, err := Solve(f.scores, f.groups, 0.95, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := sol.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := make([]float64, len(f.groups))
+	for _, comp := range comps {
+		expo := sol.GroupExposureOf(sol.Ranking(comp))
+		for g := range mix {
+			mix[g] += comp.Weight * expo[g]
+		}
+	}
+	for g := range mix {
+		if math.Abs(mix[g]-sol.GroupExposure[g]) > 1e-6 {
+			t.Fatalf("group %d: mixture exposure %g vs LP expectation %g", g, mix[g], sol.GroupExposure[g])
+		}
+	}
+}
+
+func TestIntegralFlowInfeasibleSupport(t *testing.T) {
+	// Margins demand mass in row 1, but its only support entry is below
+	// the threshold: no integral vertex exists on that support.
+	remaining := []float64{1, 0, 0, 1e-12}
+	if z := integralFlow(remaining, []int{1, 1}, []int{1, 1}, 1e-9, 2, 2); z != nil {
+		t.Fatalf("flow %v found on infeasible support", z)
+	}
+	if z := integralFlow(remaining, []int{1, 1}, []int{1, 1}, 0, 2, 2); z == nil {
+		t.Fatal("tol=0 support is feasible; no flow found")
+	}
+}

@@ -1,0 +1,68 @@
+// Package exposure is the numeric core of FaiRank's stochastic
+// fairness-of-exposure mitigation (Singh & Joachims, NeurIPS 2018): a
+// small pure-Go linear-programming solver over the position-discount
+// exposure polytope, a Birkhoff–von-Neumann decomposition of the
+// optimal doubly-stochastic matrix into a convex combination of
+// permutation matrices, and a deterministic realization step that
+// turns any component of that combination into a concrete ranking.
+//
+// The pipeline has three stages, each independently testable:
+//
+//  1. Solve builds and solves the LP
+//
+//     maximize   Σ_{i,j} u_i · P_ij · v_j
+//     subject to Σ_j P_ij = 1            (every item ranks somewhere)
+//     Σ_i P_ij = 1                       (every position is filled)
+//     E_a ≥ R · E_b   for all pairs a≠b  (expected-exposure floor)
+//     P ≥ 0
+//
+//     where u_i is item i's utility (FaiRank passes pseudo-scores),
+//     v_j = 1/log2(1+j) is the position discount, and
+//     E_g = (1/|g|) Σ_{i∈g,j} P_ij·v_j is group g's expected
+//     exposure. The pairwise floor is encoded through two bound
+//     variables (L ≤ E_g ≤ U for all g, plus L ≥ R·U), which is
+//     equivalent and keeps the constraint count linear in the group
+//     count rather than quadratic — the quantification engine can
+//     hand over dozens of groups. The polytope always contains the
+//     uniform matrix
+//     P = 1/n (every group's expected exposure is equal there), so
+//     the LP is feasible for every ratio floor R ≤ 1 — unlike the
+//     deterministic strategies, exposure constraints in expectation
+//     are never infeasible.
+//
+//  2. Decompose expresses the optimum as a convex combination
+//     X = Σ_k λ_k · Z_k of integral vertices Z_k — permutation
+//     matrices in the exact regime — with λ_k > 0 and Σλ_k = 1. The
+//     classical Birkhoff–von-Neumann bound applies: at most
+//     (n−1)²+1 permutations are needed. Each round finds an integral
+//     matrix supported on the remaining mass (a max-flow over the
+//     support graph), peels off the largest feasible multiple, and
+//     zeroes at least one support entry, so the loop terminates in at
+//     most |support| rounds.
+//
+//  3. Solution.Ranking realizes one component as a best-first row
+//     order: within every tier the best-scored rows go to the
+//     best-discounted blocks, and within a block rows sort by score
+//     then row index — the same deterministic tie-break every other
+//     FaiRank strategy uses.
+//
+// Scale: the exact item×position LP has n² variables, which is fine
+// for the interactive sizes the paper demos (tens of rows) but not
+// for thousand-worker marketplaces. Above Config.MaxExact the solver
+// coarsens the polytope instead of giving up: positions join
+// geometrically growing blocks (the discount curve flattens fast, so
+// late blocks are wide), each group's score-sorted members join
+// geometrically growing tiers, and the LP runs over the tier×block
+// transportation polytope whose integral margins keep the
+// decomposition exact — vertices are integral assignment-count
+// matrices rather than permutations, and expected exposure is
+// computed against each block's mean discount. The blocked model's
+// constraints still hold to LP tolerance; realized per-position
+// exposure tracks it to within the within-block discount spread.
+//
+// Everything in this package is deterministic: the simplex pivots by
+// fixed index-ordered rules, the flow augments in fixed order, and no
+// stage reads a clock, a map iteration order, or a worker count.
+// Sampling from the decomposition happens one layer up (see
+// internal/mitigate's Distribution) through a seeded RNG.
+package exposure

@@ -1,0 +1,266 @@
+package exposure
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// pivotTol is the smallest magnitude treated as structurally
+	// nonzero when driving artificials out of the basis.
+	pivotTol = 1e-10
+	// ratioTol is the smallest pivot element the ratio test accepts:
+	// pivoting divides the row by this value, so accepting anything
+	// near rounding noise amplifies error catastrophically over
+	// thousands of pivots (rows are equilibrated to max |entry| = 1,
+	// which makes one absolute threshold meaningful).
+	ratioTol = 1e-8
+	// optTol is the optimality / feasibility tolerance: a reduced cost
+	// above -optTol counts as non-negative, a residual below optTol as
+	// zero.
+	optTol = 1e-9
+)
+
+// simplexSolve maximizes c·x subject to A·x = b, x ≥ 0 with a dense
+// two-phase primal tableau simplex. A is row-major (len(b) rows of
+// len(c) entries); b may have negative entries (rows are normalized
+// internally). It returns the optimal x and objective value.
+//
+// The pivot rules are deterministic: Dantzig's most-negative reduced
+// cost with lowest-index tie-breaks while progress is smooth, falling
+// back to Bland's least-index rule (which cannot cycle) once the
+// iteration count suggests degeneracy — transportation polytopes are
+// heavily degenerate, so the fallback matters. No randomness, map
+// iteration, or concurrency is involved: identical inputs pivot
+// identically on every run.
+func simplexSolve(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m, n := len(b), len(c)
+	if m == 0 || n == 0 {
+		return nil, 0, fmt.Errorf("exposure: simplex: empty program (%d rows, %d cols)", m, n)
+	}
+	// Tableau layout: n structural columns, m artificial columns, then
+	// the right-hand side. Each row is equilibrated to max |entry| = 1:
+	// the program mixes unit transportation coefficients with
+	// position-discount-over-group-size coefficients orders of
+	// magnitude smaller, and without scaling the ratio test cannot
+	// tell a structurally small pivot from rounding noise. Row scaling
+	// changes neither the feasible set nor x.
+	width := n + m + 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		if len(a[i]) != n {
+			return nil, 0, fmt.Errorf("exposure: simplex: row %d has %d entries for %d columns", i, len(a[i]), n)
+		}
+		row := make([]float64, width)
+		scale := math.Abs(b[i])
+		for _, v := range a[i] {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if scale == 0 {
+			scale = 1 // all-zero row: keep it, phase 1 will drop it
+		}
+		sign := 1 / scale
+		if b[i] < 0 {
+			sign = -sign
+		}
+		for j, v := range a[i] {
+			row[j] = sign * v
+		}
+		row[n+i] = 1
+		row[width-1] = sign * b[i]
+		t[i] = row
+		basis[i] = n + i
+	}
+
+	// Phase 1: maximize -Σ artificials. With every artificial basic at
+	// cost -1, the reduced-cost row is z_j - c_j = -Σ_i t[i][j] for
+	// structural columns and 0 for artificial ones.
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s -= t[i][j]
+		}
+		obj[j] = s
+	}
+	for i := 0; i < m; i++ {
+		obj[width-1] -= t[i][width-1]
+	}
+	if err := simplexIterate(t, obj, basis, n); err != nil {
+		return nil, 0, fmt.Errorf("exposure: simplex phase 1: %w", err)
+	}
+	infeas := 0.0
+	for i := 0; i < m; i++ {
+		if basis[i] >= n {
+			infeas += t[i][width-1]
+		}
+	}
+	if infeas > 1e-7 {
+		return nil, 0, fmt.Errorf("exposure: simplex: program infeasible (phase-1 residual %g)", infeas)
+	}
+
+	// Drive zero-level artificials out of the basis; rows where no
+	// structural pivot exists are redundant constraints and drop.
+	keep := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			keep = append(keep, i)
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > pivotTol {
+				simplexPivot(t, obj, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if pivoted {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) < m {
+		nt := make([][]float64, 0, len(keep))
+		nb := make([]int, 0, len(keep))
+		for _, i := range keep {
+			nt = append(nt, t[i])
+			nb = append(nb, basis[i])
+		}
+		t, basis = nt, nb
+		m = len(t)
+	}
+
+	// Phase 2: rebuild the reduced-cost row for the real objective
+	// (the basis is now purely structural) and optimize.
+	for j := 0; j < width; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = -c[j]
+	}
+	for i := 0; i < m; i++ {
+		cb := c[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			obj[j] += cb * t[i][j]
+		}
+	}
+	// Zero out the basic columns' reduced costs exactly.
+	for i := 0; i < m; i++ {
+		obj[basis[i]] = 0
+	}
+	if err := simplexIterate(t, obj, basis, n); err != nil {
+		return nil, 0, fmt.Errorf("exposure: simplex phase 2: %w", err)
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			v := t[i][width-1]
+			if v < 0 {
+				v = 0 // clamp rounding dust
+			}
+			x[basis[i]] = v
+		}
+	}
+	val := 0.0
+	for j, cj := range c {
+		val += cj * x[j]
+	}
+	return x, val, nil
+}
+
+// simplexIterate runs primal simplex pivots until the reduced-cost row
+// is non-negative. Only structural columns (index < n) may enter.
+func simplexIterate(t [][]float64, obj []float64, basis []int, n int) error {
+	m := len(t)
+	width := len(obj)
+	maxIter := 200*(m+n) + 2000
+	blandAfter := 20*(m+n) + 200
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return fmt.Errorf("iteration limit %d exceeded", maxIter)
+		}
+		// Entering column: Dantzig (most negative reduced cost, lowest
+		// index on ties), Bland (first negative) once degeneracy is
+		// suspected.
+		enter := -1
+		if iter > blandAfter {
+			for j := 0; j < n; j++ {
+				if obj[j] < -optTol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -optTol
+			for j := 0; j < n; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving row: minimum ratio; ties break toward the smallest
+		// basis label, which is what makes the Bland fallback exact.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			piv := t[i][enter]
+			if piv <= ratioTol {
+				continue
+			}
+			ratio := t[i][width-1] / piv
+			if leave < 0 || ratio < bestRatio-1e-12 ||
+				(ratio <= bestRatio+1e-12 && basis[i] < basis[leave]) {
+				leave = i
+				bestRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return fmt.Errorf("unbounded direction entering column %d", enter)
+		}
+		simplexPivot(t, obj, basis, leave, enter)
+	}
+}
+
+// simplexPivot performs one tableau pivot at (row, col).
+func simplexPivot(t [][]float64, obj []float64, basis []int, row, col int) {
+	width := len(obj)
+	piv := t[row][col]
+	inv := 1 / piv
+	pr := t[row]
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		for j := 0; j < width; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+	if f := obj[col]; f != 0 {
+		for j := 0; j < width; j++ {
+			obj[j] -= f * pr[j]
+		}
+		obj[col] = 0
+	}
+	basis[row] = col
+}

@@ -1,0 +1,376 @@
+package exposure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config tunes the solver. The zero value selects the defaults.
+type Config struct {
+	// MaxExact is the largest population solved at full item×position
+	// granularity (n² LP variables). Above it the polytope coarsens to
+	// tier×block granularity (see the package comment). 0 selects 64.
+	MaxExact int
+	// TiersPerGroup caps how many score tiers a group is split into in
+	// the coarse regime. 0 selects 12.
+	TiersPerGroup int
+}
+
+func (c Config) maxExact() int {
+	if c.MaxExact == 0 {
+		return 64
+	}
+	return c.MaxExact
+}
+
+func (c Config) tiersPerGroup() int {
+	if c.TiersPerGroup == 0 {
+		return 12
+	}
+	return c.TiersPerGroup
+}
+
+// Tier is a run of same-group rows the LP treats as one unit row of
+// the transportation polytope. Rows are ordered best-first (score
+// descending, row index ascending). In the exact regime every tier
+// holds exactly one row.
+type Tier struct {
+	// Group indexes the input partitioning.
+	Group int
+	// Rows are the member rows, best first.
+	Rows []int
+	// Utility is the mean input score of Rows — the tier's objective
+	// coefficient per unit of position discount.
+	Utility float64
+}
+
+// Block is a run of consecutive ranking positions the LP treats as one
+// unit column. In the exact regime every block is a single position.
+type Block struct {
+	// Start is the first position of the block, 0-based.
+	Start int
+	// Size is how many consecutive positions the block spans.
+	Size int
+	// Bias is the mean position discount 1/log2(1+rank) over the
+	// block's positions.
+	Bias float64
+}
+
+// Solution is the solved exposure LP: the optimal mass matrix over the
+// (tier × block) transportation polytope together with the model
+// quantities FaiRank reports. In the exact regime the matrix is
+// doubly stochastic and its Birkhoff–von-Neumann decomposition yields
+// permutation matrices.
+type Solution struct {
+	// N is the population size; MinRatio echoes the enforced
+	// expected-exposure ratio floor.
+	N        int
+	MinRatio float64
+	// Exact reports whether the LP ran at item×position granularity.
+	Exact bool
+	// Tiers and Blocks describe the polytope axes.
+	Tiers  []Tier
+	Blocks []Block
+	// X is the optimal mass matrix, row-major [tier*len(Blocks)+block].
+	// Row sums equal tier sizes, column sums equal block sizes.
+	X []float64
+	// Scores echoes the input utilities (used to order rows inside a
+	// realized block).
+	Scores []float64
+	// GroupSizes[g] is the population of input group g.
+	GroupSizes []int
+	// GroupExposure[g] is group g's expected exposure under X — mean
+	// accumulated block discount per member. The LP guarantees
+	// min/max ≥ MinRatio to solver tolerance.
+	GroupExposure []float64
+	// Utility is the expected utility Σ u·X·v the optimum attains.
+	Utility float64
+}
+
+// Solve builds and solves the fairness-of-exposure LP for one
+// population: scores order the rows (higher is better), groups is a
+// disjoint cover of 0..n-1, and minRatio ∈ (0,1] is the floor every
+// pairwise ratio of expected group exposures must meet. The polytope
+// always contains the uniform matrix, so every minRatio ≤ 1 is
+// feasible; errors are configuration errors, never infeasibility.
+func Solve(scores []float64, groups [][]int, minRatio float64, cfg Config) (*Solution, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("exposure: no scores")
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("exposure: no groups")
+	}
+	if minRatio <= 0 || minRatio > 1 {
+		return nil, fmt.Errorf("exposure: ratio floor %g outside (0,1]", minRatio)
+	}
+	seen := make([]bool, n)
+	covered := 0
+	for g, rows := range groups {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("exposure: group %d is empty", g)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("exposure: group %d row %d outside population of %d", g, r, n)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("exposure: row %d appears in two groups", r)
+			}
+			seen[r] = true
+			covered++
+		}
+	}
+	if covered != n {
+		return nil, fmt.Errorf("exposure: groups cover %d of %d rows; a full partitioning is required", covered, n)
+	}
+
+	sol := &Solution{
+		N:          n,
+		MinRatio:   minRatio,
+		Exact:      n <= cfg.maxExact(),
+		Scores:     append([]float64(nil), scores...),
+		GroupSizes: make([]int, len(groups)),
+	}
+	for g, rows := range groups {
+		sol.GroupSizes[g] = len(rows)
+	}
+	// The per-group tier allowance shrinks when the partitioning has
+	// many groups (the quantification engine can hand over dozens), so
+	// the LP stays at a few hundred rows regardless of group count.
+	perGroup := cfg.tiersPerGroup()
+	if budget := 128 / len(groups); budget < perGroup {
+		perGroup = budget
+	}
+	if perGroup < 2 {
+		perGroup = 2
+	}
+	sol.Tiers = buildTiers(scores, groups, sol.Exact, perGroup)
+	sol.Blocks = buildBlocks(n, sol.Exact)
+
+	T, B := len(sol.Tiers), len(sol.Blocks)
+	nGroups := len(groups)
+	// The floor on every pairwise ratio min E / max E ≥ R is encoded
+	// through two bound variables rather than g·(g−1) pairwise rows
+	// (the quantification engine can hand over dozens of groups, and a
+	// quadratic constraint count would dwarf the polytope itself):
+	//
+	//	E_g − L − s_g = 0   (s_g ≥ 0: L ≤ every group exposure)
+	//	E_g − U + w_g = 0   (w_g ≥ 0: U ≥ every group exposure)
+	//	L − R·U − t   = 0   (t ≥ 0: the floor itself)
+	//
+	// Feasible (L,U) exist iff min E ≥ R·max E, so the two encodings
+	// accept exactly the same mass matrices. Variable layout: T·B mass
+	// entries, then L, U, s_0..s_{G−1}, w_0..w_{G−1}, t.
+	vL := T * B
+	vU := vL + 1
+	vS := func(g int) int { return vU + 1 + g }
+	vW := func(g int) int { return vU + 1 + nGroups + g }
+	vT := vU + 1 + 2*nGroups
+	nVars := vT + 1
+	nRows := T + B + 2*nGroups + 1
+	c := make([]float64, nVars)
+	A := make([][]float64, nRows)
+	rhs := make([]float64, nRows)
+	for i := range A {
+		A[i] = make([]float64, nVars)
+	}
+	at := func(t, b int) int { return t*B + b }
+	for t, tier := range sol.Tiers {
+		for b, blk := range sol.Blocks {
+			c[at(t, b)] = tier.Utility * blk.Bias
+		}
+	}
+	// Row sums: Σ_b x_tb = |tier t|.
+	for t, tier := range sol.Tiers {
+		for b := 0; b < B; b++ {
+			A[t][at(t, b)] = 1
+		}
+		rhs[t] = float64(len(tier.Rows))
+	}
+	// Column sums: Σ_t x_tb = |block b|.
+	for b, blk := range sol.Blocks {
+		row := T + b
+		for t := 0; t < T; t++ {
+			A[row][at(t, b)] = 1
+		}
+		rhs[row] = float64(blk.Size)
+	}
+	// Exposure bounds: E_g = Σ_{t∈g,b} x_tb·v̄_b/|g|.
+	for g := 0; g < nGroups; g++ {
+		lo := T + B + 2*g
+		hi := lo + 1
+		for t, tier := range sol.Tiers {
+			if tier.Group != g {
+				continue
+			}
+			coeff := 1 / float64(sol.GroupSizes[g])
+			for b, blk := range sol.Blocks {
+				A[lo][at(t, b)] = coeff * blk.Bias
+				A[hi][at(t, b)] = coeff * blk.Bias
+			}
+		}
+		A[lo][vL] = -1
+		A[lo][vS(g)] = -1
+		A[hi][vU] = -1
+		A[hi][vW(g)] = 1
+	}
+	// The floor: L − R·U − t = 0.
+	floor := T + B + 2*nGroups
+	A[floor][vL] = 1
+	A[floor][vU] = -minRatio
+	A[floor][vT] = -1
+
+	x, _, err := simplexSolve(c, A, rhs)
+	if err != nil {
+		return nil, err
+	}
+	sol.X = x[:T*B]
+	// Backstop: a silently corrupted tableau (drift over thousands of
+	// pivots) would poison the decomposition downstream; fail loudly
+	// instead.
+	for t, tier := range sol.Tiers {
+		sum := 0.0
+		for b := 0; b < B; b++ {
+			sum += sol.X[at(t, b)]
+		}
+		if math.Abs(sum-float64(len(tier.Rows))) > 1e-6 {
+			return nil, fmt.Errorf("exposure: solver lost tier %d margin (%g for %d rows)", t, sum, len(tier.Rows))
+		}
+	}
+	for b, blk := range sol.Blocks {
+		sum := 0.0
+		for t := 0; t < T; t++ {
+			sum += sol.X[at(t, b)]
+		}
+		if math.Abs(sum-float64(blk.Size)) > 1e-6 {
+			return nil, fmt.Errorf("exposure: solver lost block %d margin (%g for size %d)", b, sum, blk.Size)
+		}
+	}
+	sol.GroupExposure = make([]float64, nGroups)
+	for t, tier := range sol.Tiers {
+		for b, blk := range sol.Blocks {
+			mass := sol.X[at(t, b)]
+			sol.GroupExposure[tier.Group] += mass * blk.Bias
+			sol.Utility += mass * tier.Utility * blk.Bias
+		}
+	}
+	for g := range sol.GroupExposure {
+		sol.GroupExposure[g] /= float64(sol.GroupSizes[g])
+	}
+	return sol, nil
+}
+
+// ExposureRatio is the worst pairwise ratio of expected group
+// exposures under the optimum — the statistic the LP floor constrains.
+func (s *Solution) ExposureRatio() float64 {
+	worst := 1.0
+	for i := 0; i < len(s.GroupExposure); i++ {
+		for j := i + 1; j < len(s.GroupExposure); j++ {
+			a, b := s.GroupExposure[i], s.GroupExposure[j]
+			hi := math.Max(a, b)
+			if hi == 0 {
+				continue
+			}
+			if r := math.Min(a, b) / hi; r < worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// PositionBias is the exposure discount of the 1-based rank, the
+// 1/log2(1+rank) of Singh & Joachims that the whole repository uses.
+func PositionBias(rank int) float64 { return 1 / math.Log2(1+float64(rank)) }
+
+// buildTiers splits each group's best-first row order into LP rows:
+// singleton tiers in the exact regime, geometrically growing tiers
+// (finest at the top of the ranking, where the discount curve is
+// steepest) capped at perGroup otherwise.
+func buildTiers(scores []float64, groups [][]int, exact bool, perGroup int) []Tier {
+	var tiers []Tier
+	for g, rows := range groups {
+		sorted := append([]int(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			ra, rb := sorted[a], sorted[b]
+			if scores[ra] != scores[rb] {
+				return scores[ra] > scores[rb]
+			}
+			return ra < rb
+		})
+		var sizes []int
+		if exact {
+			sizes = make([]int, len(sorted))
+			for i := range sizes {
+				sizes[i] = 1
+			}
+		} else {
+			sizes = geometricSizes(len(sorted), perGroup)
+		}
+		off := 0
+		for _, sz := range sizes {
+			part := sorted[off : off+sz]
+			u := 0.0
+			for _, r := range part {
+				u += scores[r]
+			}
+			tiers = append(tiers, Tier{Group: g, Rows: part, Utility: u / float64(sz)})
+			off += sz
+		}
+	}
+	return tiers
+}
+
+// buildBlocks splits the n ranking positions into LP columns:
+// singleton positions in the exact regime, geometrically growing
+// blocks otherwise.
+func buildBlocks(n int, exact bool) []Block {
+	var sizes []int
+	if exact {
+		sizes = make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1
+		}
+	} else {
+		sizes = geometricSizes(n, 0)
+	}
+	blocks := make([]Block, len(sizes))
+	pos := 0
+	for i, sz := range sizes {
+		bias := 0.0
+		for j := 0; j < sz; j++ {
+			bias += PositionBias(pos + j + 1)
+		}
+		blocks[i] = Block{Start: pos, Size: sz, Bias: bias / float64(sz)}
+		pos += sz
+	}
+	return blocks
+}
+
+// geometricSizes covers n slots with runs that double every second
+// step (1,1,2,2,4,4,…), so early slots — where the discount curve is
+// steep — stay fine-grained. A positive maxRuns caps the count, with
+// the last run absorbing the remainder.
+func geometricSizes(n, maxRuns int) []int {
+	var sizes []int
+	size, parity := 1, 0
+	for left := n; left > 0; {
+		if maxRuns > 0 && len(sizes) == maxRuns-1 {
+			sizes = append(sizes, left)
+			break
+		}
+		sz := size
+		if sz > left {
+			sz = left
+		}
+		sizes = append(sizes, sz)
+		left -= sz
+		if parity == 1 {
+			size *= 2
+		}
+		parity = 1 - parity
+	}
+	return sizes
+}

@@ -1,0 +1,222 @@
+package exposure
+
+import (
+	"math"
+	"testing"
+)
+
+// fixtures returns deterministic (scores, groups) populations spanning
+// both solver regimes and several group shapes.
+func fixtures() map[string]struct {
+	scores []float64
+	groups [][]int
+} {
+	out := make(map[string]struct {
+		scores []float64
+		groups [][]int
+	})
+	add := func(name string, n, g int) {
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64((i*i+13)%97) / 97
+		}
+		groups := make([][]int, g)
+		for r := 0; r < n; r++ {
+			groups[(r*r+r/3)%g] = append(groups[(r*r+r/3)%g], r)
+		}
+		ok := true
+		for i := range groups {
+			if len(groups[i]) == 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			return
+		}
+		out[name] = struct {
+			scores []float64
+			groups [][]int
+		}{scores, groups}
+	}
+	add("tiny-2", 8, 2)
+	add("exact-3", 40, 3)
+	add("exact-cap", 64, 2)
+	add("coarse-2", 150, 2)
+	add("coarse-9", 150, 9)
+	add("coarse-big", 400, 5)
+	return out
+}
+
+// TestSolveMeetsFloor is the LP acceptance property: on every fixture
+// and floor, the optimum's worst pairwise expected-exposure ratio meets
+// the floor within 1e-9, margins hold, and mass is non-negative.
+func TestSolveMeetsFloor(t *testing.T) {
+	for name, f := range fixtures() {
+		for _, minRatio := range []float64{0.5, 0.9, 0.95, 1} {
+			sol, err := Solve(f.scores, f.groups, minRatio, Config{})
+			if err != nil {
+				t.Fatalf("%s R=%g: %v", name, minRatio, err)
+			}
+			if r := sol.ExposureRatio(); r < minRatio-1e-9 {
+				t.Errorf("%s R=%g: optimum ratio %.12f below floor", name, minRatio, r)
+			}
+			T, B := len(sol.Tiers), len(sol.Blocks)
+			for ti, tier := range sol.Tiers {
+				sum := 0.0
+				for b := 0; b < B; b++ {
+					if sol.X[ti*B+b] < -1e-9 {
+						t.Fatalf("%s R=%g: negative mass at (%d,%d)", name, minRatio, ti, b)
+					}
+					sum += sol.X[ti*B+b]
+				}
+				if math.Abs(sum-float64(len(tier.Rows))) > 1e-6 {
+					t.Fatalf("%s R=%g: tier %d margin %g for %d rows", name, minRatio, ti, sum, len(tier.Rows))
+				}
+			}
+			for b, blk := range sol.Blocks {
+				sum := 0.0
+				for ti := 0; ti < T; ti++ {
+					sum += sol.X[ti*B+b]
+				}
+				if math.Abs(sum-float64(blk.Size)) > 1e-6 {
+					t.Fatalf("%s R=%g: block %d margin %g for size %d", name, minRatio, b, sum, blk.Size)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveRegimes checks the exact/coarse switch and the axes it
+// produces: singleton tiers and blocks up to MaxExact, full coverage in
+// both regimes.
+func TestSolveRegimes(t *testing.T) {
+	f := fixtures()["exact-cap"]
+	sol, err := Solve(f.scores, f.groups, 0.95, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Exact || len(sol.Tiers) != 64 || len(sol.Blocks) != 64 {
+		t.Fatalf("n=64 should be exact with singleton axes; got exact=%v tiers=%d blocks=%d", sol.Exact, len(sol.Tiers), len(sol.Blocks))
+	}
+	coarse, err := Solve(f.scores, f.groups, 0.95, Config{MaxExact: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Exact {
+		t.Fatal("MaxExact=32 should coarsen n=64")
+	}
+	covered := 0
+	for _, tier := range coarse.Tiers {
+		covered += len(tier.Rows)
+		for i := 1; i < len(tier.Rows); i++ {
+			a, b := tier.Rows[i-1], tier.Rows[i]
+			if f.scores[a] < f.scores[b] || (f.scores[a] == f.scores[b] && a > b) {
+				t.Fatal("tier rows not in best-first order")
+			}
+		}
+	}
+	if covered != 64 {
+		t.Fatalf("tiers cover %d of 64 rows", covered)
+	}
+	pos := 0
+	for _, blk := range coarse.Blocks {
+		if blk.Start != pos {
+			t.Fatalf("block starts at %d, want %d", blk.Start, pos)
+		}
+		pos += blk.Size
+	}
+	if pos != 64 {
+		t.Fatalf("blocks cover %d of 64 positions", pos)
+	}
+}
+
+// TestSolveUtilityOrdersFloors confirms the economics: loosening the
+// floor can only increase the optimal expected utility.
+func TestSolveUtilityOrdersFloors(t *testing.T) {
+	f := fixtures()["exact-3"]
+	prev := math.Inf(-1)
+	for _, minRatio := range []float64{1, 0.9, 0.5} {
+		sol, err := Solve(f.scores, f.groups, minRatio, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Utility < prev-1e-9 {
+			t.Fatalf("utility %g at floor %g below %g at a tighter floor", sol.Utility, minRatio, prev)
+		}
+		prev = sol.Utility
+	}
+}
+
+func TestSolveConfigErrors(t *testing.T) {
+	scores := []float64{3, 2, 1, 0}
+	groups := [][]int{{0, 1}, {2, 3}}
+	cases := map[string]func() ([]float64, [][]int, float64){
+		"no scores":    func() ([]float64, [][]int, float64) { return nil, groups, 0.9 },
+		"no groups":    func() ([]float64, [][]int, float64) { return scores, nil, 0.9 },
+		"zero ratio":   func() ([]float64, [][]int, float64) { return scores, groups, 0 },
+		"ratio above":  func() ([]float64, [][]int, float64) { return scores, groups, 1.5 },
+		"empty group":  func() ([]float64, [][]int, float64) { return scores, [][]int{{0, 1, 2, 3}, {}}, 0.9 },
+		"row range":    func() ([]float64, [][]int, float64) { return scores, [][]int{{0, 1}, {2, 9}}, 0.9 },
+		"row overlap":  func() ([]float64, [][]int, float64) { return scores, [][]int{{0, 1, 2}, {2, 3}}, 0.9 },
+		"partial rows": func() ([]float64, [][]int, float64) { return scores, [][]int{{0, 1}, {2}}, 0.9 },
+	}
+	for name, mk := range cases {
+		s, g, r := mk()
+		if _, err := Solve(s, g, r, Config{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPositionBias(t *testing.T) {
+	if b := PositionBias(1); math.Abs(b-1) > 1e-12 {
+		t.Fatalf("rank 1 bias %g, want 1", b)
+	}
+	if b := PositionBias(3); math.Abs(b-1/math.Log2(4)) > 1e-12 {
+		t.Fatalf("rank 3 bias %g", b)
+	}
+	for r := 1; r < 100; r++ {
+		if PositionBias(r) <= PositionBias(r+1) {
+			t.Fatal("position bias must strictly decrease")
+		}
+	}
+}
+
+func TestGeometricSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 400, 1000} {
+		for _, maxRuns := range []int{0, 1, 2, 5, 12} {
+			sizes := geometricSizes(n, maxRuns)
+			sum := 0
+			for _, s := range sizes {
+				if s <= 0 {
+					t.Fatalf("n=%d maxRuns=%d: non-positive run %d", n, maxRuns, s)
+				}
+				sum += s
+			}
+			if sum != n {
+				t.Fatalf("n=%d maxRuns=%d: runs sum to %d", n, maxRuns, sum)
+			}
+			if maxRuns > 0 && len(sizes) > maxRuns {
+				t.Fatalf("n=%d maxRuns=%d: %d runs", n, maxRuns, len(sizes))
+			}
+		}
+	}
+	want := []int{1, 1, 2, 2, 4, 4, 8, 8}
+	got := geometricSizes(30, 0)
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("geometricSizes(30) = %v, want prefix %v", got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.maxExact() != 64 || c.tiersPerGroup() != 12 {
+		t.Fatalf("zero Config resolves to (%d, %d), want (64, 12)", c.maxExact(), c.tiersPerGroup())
+	}
+	c = Config{MaxExact: 10, TiersPerGroup: 3}
+	if c.maxExact() != 10 || c.tiersPerGroup() != 3 {
+		t.Fatal("explicit Config ignored")
+	}
+}

@@ -30,17 +30,27 @@
 //     (Singh & Joachims' exposure, the same statistic
 //     fairness.ExposureRatio reports) would drop below a floor, the
 //     next slot goes to the most under-exposed group instead of the
-//     best-scoring candidate.
+//     best-scoring candidate;
+//   - "exposure-lp": the stochastic form of the same notion (Singh &
+//     Joachims, NeurIPS 2018) — an LP over doubly-stochastic exposure
+//     matrices (internal/mitigate/exposure) whose optimum is
+//     decomposed via Birkhoff–von-Neumann into a distribution over
+//     rankings; the returned ranking is sampled from that
+//     distribution with a seeded RNG, and the exposure floor holds
+//     exactly in expectation.
 //
 // All strategies are deterministic: ties break by higher score, then
-// lower row index, so a mitigated ranking is reproducible across runs
-// and worker counts.
+// lower row index, and the one stochastic strategy draws from a
+// seeded generator — so a mitigated ranking is reproducible across
+// runs and worker counts. See docs/MITIGATION.md for when to use
+// which strategy.
 package mitigate
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Input is the population a Mitigator re-ranks.
@@ -65,12 +75,41 @@ type Input struct {
 	// adjusted per group ("fair"), or Bonferroni-divided across all
 	// k·|groups| tests ("fair-legacy").
 	Alpha float64
-	// MinExposureRatio is the exposure floor of the "exposure"
-	// strategy, in (0, 1] (default 0.95).
+	// MinExposureRatio is the exposure floor of the "exposure" and
+	// "exposure-lp" strategies, in (0, 1] (default 0.95). "exposure"
+	// enforces it best-effort on its single output ranking;
+	// "exposure-lp" enforces it exactly on the expected exposure of
+	// its sampled distribution.
 	MinExposureRatio float64
+	// Seed drives all randomness of stochastic strategies
+	// ("exposure-lp"): the same seed yields the same sampled ranking
+	// on every run and worker count. 0 selects 1. Deterministic
+	// strategies ignore it.
+	Seed uint64
 }
 
 // Mitigator re-ranks a population to improve group fairness.
+//
+// The contract every implementation honors:
+//
+//   - Determinism. Rerank is a pure function of its Input: the same
+//     Input produces a bit-identical ranking on every run, host, and
+//     worker count. Ties break by higher score then lower row index,
+//     and stochastic strategies draw exclusively from Input.Seed —
+//     never from time, goroutine scheduling, or map order.
+//   - Output shape. The result is always a permutation of
+//     0..len(in.Scores)-1, best first.
+//   - Infeasibility. A constraint set that no permutation of the
+//     population can satisfy returns an *InfeasibleError (test with
+//     errors.Is(err, ErrInfeasible)) — a finding about the
+//     population, which the batch audit tallies per job.
+//     Configuration mistakes (bad K, malformed groups, out-of-range
+//     floors) return plain errors instead.
+//   - Context. Mitigators take no context: re-ranking is a bounded
+//     pure computation. Cancellation is observed by the surrounding
+//     Evaluate loop at its quantification passes (see
+//     EvaluateContext), which keeps a canceled run from ever
+//     poisoning a shared solver cache.
 type Mitigator interface {
 	// Name identifies the strategy in configs and reports.
 	Name() string
@@ -105,14 +144,38 @@ func (e *InfeasibleError) Error() string {
 // Unwrap makes errors.Is(err, ErrInfeasible) succeed.
 func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
-// Strategies lists the registered strategy names, sorted.
+// Strategies lists the registered strategy names, sorted. Every
+// surface that enumerates strategies — CLI help, the UI selector,
+// report legends — derives from this list, so registering a strategy
+// here (plus ByName and Describe) propagates it everywhere.
 func Strategies() []string {
-	return []string{"detcons", "detgreedy", "exposure", "fair", "fair-legacy"}
+	return []string{"detcons", "detgreedy", "exposure", "exposure-lp", "fair", "fair-legacy"}
+}
+
+// Describe returns the one-line description of a registered strategy,
+// or "" for unknown names. Like Strategies, this is the single source
+// the documentation surfaces render from.
+func Describe(name string) string {
+	switch name {
+	case "fair":
+		return "FA*IR top-k re-ranking with exact model-adjusted binomial tables (Zehlike et al.)"
+	case "fair-legacy":
+		return "FA*IR under the conservative Bonferroni significance stand-in (kept for comparison)"
+	case "detgreedy":
+		return "greedy constrained interleaving toward per-group targets (Geyik et al.)"
+	case "detcons":
+		return "conservative constrained interleaving: floors enforced at every prefix (Geyik et al.)"
+	case "exposure":
+		return "greedy rescoring capping the worst pairwise exposure ratio, best-effort"
+	case "exposure-lp":
+		return "stochastic exposure LP + Birkhoff–von-Neumann sampling; floor holds exactly in expectation (Singh & Joachims)"
+	default:
+		return ""
+	}
 }
 
 // ByName resolves a strategy name to its Mitigator with default
-// parameters: "fair", "fair-legacy", "detgreedy", "detcons" or
-// "exposure".
+// parameters; Strategies lists the valid names.
 func ByName(name string) (Mitigator, error) {
 	switch name {
 	case "fair", "":
@@ -125,8 +188,10 @@ func ByName(name string) (Mitigator, error) {
 		return Interleave{Constrained: true}, nil
 	case "exposure":
 		return ExposureCap{}, nil
+	case "exposure-lp":
+		return ExposureLP{}, nil
 	default:
-		return nil, fmt.Errorf("mitigate: unknown strategy %q (valid: detcons, detgreedy, exposure, fair, fair-legacy)", name)
+		return nil, fmt.Errorf("mitigate: unknown strategy %q (valid: %s)", name, strings.Join(Strategies(), ", "))
 	}
 }
 

@@ -131,6 +131,10 @@ func AuditTable(r *audit.Report) (string, error) {
 	fmt.Fprintf(&b, "mean top-%d gap    : %.4f -> %.4f\n", r.K, r.MeanParityGapBefore, r.MeanParityGapAfter)
 	fmt.Fprintf(&b, "utility cost      : NDCG@%d %.4f, mean score displacement %.4f\n",
 		r.K, r.MeanNDCG, r.MeanDisplacement)
+	if r.MeanExpectedRatio > 0 {
+		fmt.Fprintf(&b, "expected exposure : mean worst ratio %.4f in expectation (stochastic strategy; per-sample ratios vary)\n",
+			r.MeanExpectedRatio)
+	}
 	return b.String(), nil
 }
 

@@ -28,6 +28,9 @@ func MitigationTable(o *mitigate.Outcome) (string, error) {
 		}
 	}
 	fmt.Fprint(&b, ")\n")
+	if desc := mitigate.Describe(o.Strategy); desc != "" {
+		fmt.Fprintf(&b, "strategy   : %s\n", desc)
+	}
 	fmt.Fprintf(&b, "repairing  : %d-group partitioning found most unfair (%.4f %s)\n\n",
 		len(o.GroupLabels), o.BeforeResult.Unfairness, o.BeforeResult.Measure.Name())
 
@@ -84,5 +87,21 @@ func MitigationTable(o *mitigate.Outcome) (string, error) {
 	))
 	fmt.Fprintf(&b, "\nre-quantify: the mitigated ranking's most unfair partitioning has %d groups (%.4f)\n",
 		len(o.AfterResult.Groups), o.AfterResult.Unfairness)
+
+	// Stochastic strategies carry a whole distribution: report the
+	// mixture's expected-exposure guarantee next to the realization the
+	// tables above describe, so a single unlucky sample is never read
+	// as the strategy's promise.
+	if d := o.Distribution; d != nil {
+		fmt.Fprintf(&b, "\ndistribution: %d ranking(s), seed %d, sampled #%d (weight %.4f)\n",
+			len(d.Rankings), d.Seed, d.Sampled+1, d.Weights[d.Sampled])
+		fmt.Fprintf(&b, "expected exposure ratio: %.4f (the LP floor holds in expectation; the sampled ranking above may sit below it)\n",
+			d.ExpectedRatio)
+		rows := make([][]string, len(o.GroupLabels))
+		for i, label := range o.GroupLabels {
+			rows[i] = []string{label, fmt.Sprintf("%.4f", d.ExpectedExposure[i])}
+		}
+		b.WriteString(TextTable([]string{"partition", "expected exposure"}, rows))
+	}
 	return b.String(), nil
 }

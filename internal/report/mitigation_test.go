@@ -67,6 +67,74 @@ func TestMitigationTableEmpty(t *testing.T) {
 	}
 }
 
+// Every name mitigate.Strategies() registers must survive the full
+// Evaluate → MitigationTable path and announce itself (with its
+// description) in the header — the table is derived from the registry,
+// never from a hand-maintained list.
+func TestMitigationTableEveryStrategy(t *testing.T) {
+	m, err := marketplace.PresetByName("crowdsourcing", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+	for _, name := range mitigate.Strategies() {
+		o, err := mitigate.Evaluate(m.Workers, scores, cfg, mitigate.Options{Strategy: name, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text, err := MitigationTable(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(text, "mitigation : "+name+" (") {
+			t.Errorf("%s: table header missing the strategy name:\n%s", name, text)
+		}
+		desc := mitigate.Describe(name)
+		if desc == "" {
+			t.Errorf("%s: no registered description", name)
+		} else if !strings.Contains(text, desc) {
+			t.Errorf("%s: table missing the strategy description %q", name, desc)
+		}
+	}
+}
+
+// Stochastic outcomes render their distribution block: support size,
+// seed, sampled component, and the in-expectation exposure guarantee
+// next to the realized numbers.
+func TestMitigationTableDistribution(t *testing.T) {
+	m, err := marketplace.PresetByName("crowdsourcing", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score("translation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Attributes: []string{"gender"}, MaxDepth: 1}
+	o, err := mitigate.Evaluate(m.Workers, scores, cfg, mitigate.Options{Strategy: "exposure-lp", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := MitigationTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"distribution:",
+		"seed 5",
+		"expected exposure ratio:",
+		"expected exposure",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("distribution section missing %q:\n%s", want, text)
+		}
+	}
+}
+
 // The exposure strategy enforces no representation targets; the table
 // must render its target column as "—" instead of presenting derived
 // proportions as enforced.

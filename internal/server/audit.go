@@ -43,6 +43,9 @@ type auditRequest struct {
 	Targets          map[string]float64
 	Alpha            float64
 	MinExposureRatio float64
+	// MitigateSeed drives exposure-lp's per-job sampling (0 = 1);
+	// distinct from Seed, which generates the preset population.
+	MitigateSeed uint64
 	// Aggregator, Distance, Bins, Attributes, MinGroupSize, MaxDepth
 	// and SolverWorkers configure the quantification engine, as in a
 	// panel request.
@@ -170,6 +173,7 @@ func (s *Server) resolveAudit(req auditRequest) (*resolvedAudit, int, error) {
 			Targets:          req.Targets,
 			Alpha:            req.Alpha,
 			MinExposureRatio: req.MinExposureRatio,
+			Seed:             req.MitigateSeed,
 		},
 	}
 

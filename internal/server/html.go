@@ -1,11 +1,40 @@
 package server
 
-// indexHTML is the embedded single-page UI: a Configuration box on the
-// left (dataset / scoring function / fairness criterion / filter) and
-// result panels on the right, mirroring the layout of the paper's
-// Figure 3. Panels render the server-side ASCII trees in monospace so
-// the UI and the CLI show identical content.
-const indexHTML = `<!doctype html>
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"repro/internal/mitigate"
+)
+
+// indexHTML is the embedded single-page UI with the strategy selector
+// rendered from the mitigate registry — see indexHTMLTemplate.
+var indexHTML = strings.Replace(indexHTMLTemplate, "<!--STRATEGY-OPTIONS-->", strategyOptions(), 1)
+
+// strategyOptions renders one <option> per registered mitigation
+// strategy, so a strategy added to mitigate.Strategies() appears in
+// the UI without touching this package. "fair" stays the pre-selected
+// default, matching the CLI and the API.
+func strategyOptions() string {
+	var b strings.Builder
+	for _, name := range mitigate.Strategies() {
+		selected := ""
+		if name == "fair" {
+			selected = " selected"
+		}
+		fmt.Fprintf(&b, `<option title="%s"%s>%s</option>`,
+			html.EscapeString(mitigate.Describe(name)), selected, html.EscapeString(name))
+	}
+	return b.String()
+}
+
+// indexHTMLTemplate is the embedded single-page UI: a Configuration
+// box on the left (dataset / scoring function / fairness criterion /
+// filter) and result panels on the right, mirroring the layout of the
+// paper's Figure 3. Panels render the server-side ASCII trees in
+// monospace so the UI and the CLI show identical content.
+const indexHTMLTemplate = `<!doctype html>
 <html lang="en">
 <head>
 <meta charset="utf-8">
@@ -51,9 +80,8 @@ const indexHTML = `<!doctype html>
   </select></label>
   <label>Histogram bins <input id="bins" type="number" value="5" min="1"></label>
   <button onclick="quantify()">Quantify fairness</button>
-  <label>Mitigation strategy <select id="strategy">
-    <option>fair</option><option>fair-legacy</option><option>detgreedy</option><option>detcons</option><option>exposure</option>
-  </select></label>
+  <label>Mitigation strategy <select id="strategy"><!--STRATEGY-OPTIONS--></select></label>
+  <label>Sampling seed (exposure-lp) <input id="seed" type="number" value="1" min="1"></label>
   <label>Top-k cutoff <input id="topk" type="number" value="10" min="1"></label>
   <button onclick="mitigate()">Mitigate &amp; re-quantify</button>
   <button onclick="auditAll()">Audit whole marketplace…</button>
@@ -130,6 +158,7 @@ async function mitigate() {
       Bins: parseInt(document.getElementById('bins').value, 10) || 5,
       Strategy: document.getElementById('strategy').value,
       K: parseInt(document.getElementById('topk').value, 10) || 0,
+      Seed: parseInt(document.getElementById('seed').value, 10) || 0,
     })});
     addPanel({id: out.panel.id, dataset: out.panel.dataset,
       function: out.panel.function, text: out.text + '\n' + (out.panel.text || '')});

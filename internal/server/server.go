@@ -481,6 +481,9 @@ type mitigateRequest struct {
 	Alpha float64
 	// MinExposureRatio is the exposure strategy's floor (default 0.95).
 	MinExposureRatio float64
+	// Seed drives exposure-lp's ranking draw (0 = 1). Deterministic
+	// strategies ignore it.
+	Seed uint64
 	// Targets maps group labels to target proportions (empty derives
 	// population shares).
 	Targets map[string]float64
@@ -534,6 +537,35 @@ type mitigateResponse struct {
 	Utility  utilityJSON  `json:"utility"`
 	Text     string       `json:"text"`
 	Panel    panelSummary `json:"panel"`
+	// Distribution is set only by stochastic strategies (exposure-lp):
+	// the mixture the sampled ranking was drawn from, so clients can
+	// report the in-expectation guarantee next to the realization.
+	Distribution *distributionJSON `json:"distribution,omitempty"`
+}
+
+// distributionJSON is the JSON form of a stochastic strategy's ranking
+// distribution.
+type distributionJSON struct {
+	Support          int       `json:"support"`
+	Seed             uint64    `json:"seed"`
+	Sampled          int       `json:"sampled"`
+	Weights          []float64 `json:"weights"`
+	ExpectedExposure []float64 `json:"expected_exposure"`
+	ExpectedRatio    float64   `json:"expected_ratio"`
+}
+
+func toDistributionJSON(d *mitigate.Distribution) *distributionJSON {
+	if d == nil {
+		return nil
+	}
+	return &distributionJSON{
+		Support:          len(d.Rankings),
+		Seed:             d.Seed,
+		Sampled:          d.Sampled,
+		Weights:          d.Weights,
+		ExpectedExposure: d.ExpectedExposure,
+		ExpectedRatio:    d.ExpectedRatio,
+	}
 }
 
 // utilityJSON is the JSON form of a mitigation's ranking-quality cost.
@@ -570,6 +602,7 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 		Targets:          req.Targets,
 		Alpha:            req.Alpha,
 		MinExposureRatio: req.MinExposureRatio,
+		Seed:             req.Seed,
 	})
 	if err != nil {
 		status := http.StatusBadRequest
@@ -598,14 +631,15 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 	mrp.Scores = o.Scores
 	p := s.sess.AddPanel(req.Dataset, &mrp, o.AfterResult)
 	writeJSON(w, http.StatusOK, mitigateResponse{
-		Strategy: o.Strategy,
-		K:        o.K,
-		Targets:  o.Targets,
-		Before:   toMetricsJSON(o.Before, o.GroupLabels),
-		After:    toMetricsJSON(o.After, o.GroupLabels),
-		Utility:  utilityJSON{NDCG: o.Utility.NDCG, MeanDisplacement: o.Utility.MeanDisplacement},
-		Text:     text,
-		Panel:    toSummary(p, true),
+		Strategy:     o.Strategy,
+		K:            o.K,
+		Targets:      o.Targets,
+		Before:       toMetricsJSON(o.Before, o.GroupLabels),
+		After:        toMetricsJSON(o.After, o.GroupLabels),
+		Utility:      utilityJSON{NDCG: o.Utility.NDCG, MeanDisplacement: o.Utility.MeanDisplacement},
+		Text:         text,
+		Panel:        toSummary(p, true),
+		Distribution: toDistributionJSON(o.Distribution),
 	})
 }
 

@@ -282,6 +282,13 @@ func auditRequestFromQuery(q url.Values) (auditRequest, error) {
 	req.Workers = intParam("workers")
 	req.Alpha = floatParam("alpha")
 	req.MinExposureRatio = floatParam("min_ratio")
+	if v := q.Get("mitigate_seed"); v != "" {
+		seed, perr := strconv.ParseUint(v, 10, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("server: parameter mitigate_seed=%q is not an unsigned integer", v)
+		}
+		req.MitigateSeed = seed
+	}
 	if v := q.Get("targets"); v != "" {
 		req.Targets = make(map[string]float64)
 		for _, t := range strings.Split(v, ",") {

@@ -2,14 +2,14 @@
 # Runs the benchmark suite with -benchmem and emits a BENCH_*.json
 # data point (see tools/benchjson). Knobs:
 #
-#   OUT       output file            (default BENCH_PR9.json)
+#   OUT       output file            (default BENCH_PR10.json)
 #   PATTERN   -bench regexp          (default the hot-path set + the mitigation loop + the batch audit)
 #   BENCHTIME -benchtime             (default 2x; use e.g. 1s for stable numbers)
 #   PKGS      packages to benchmark  (default ./...)
 set -eu
 
-OUT=${OUT:-BENCH_PR9.json}
-PATTERN=${PATTERN:-'BenchmarkAudit|BenchmarkQuantify|BenchmarkMitigate|BenchmarkMTable|BenchmarkSplit|BenchmarkSplittableAttrs|BenchmarkGroupKey|BenchmarkHistogram|BenchmarkHatEMD|BenchmarkE11EMD'}
+OUT=${OUT:-BENCH_PR10.json}
+PATTERN=${PATTERN:-'BenchmarkAudit|BenchmarkQuantify|BenchmarkMitigate|BenchmarkExposureLP|BenchmarkMTable|BenchmarkSplit|BenchmarkSplittableAttrs|BenchmarkGroupKey|BenchmarkHistogram|BenchmarkHatEMD|BenchmarkE11EMD'}
 BENCHTIME=${BENCHTIME:-2x}
 PKGS=${PKGS:-./...}
 

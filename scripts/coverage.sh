@@ -20,6 +20,11 @@ FLOOR_MITIGATE=${FLOOR_MITIGATE:-85}
 FLOOR_AUDITSTORE=${FLOOR_AUDITSTORE:-85}
 FLOOR_FAULTINJECT=${FLOOR_FAULTINJECT:-80}
 FLOOR_OBSV=${FLOOR_OBSV:-85}
+# The exposure LP + Birkhoff–von-Neumann subsystem underpins the only
+# stochastic strategy; its property tests (constraint satisfaction,
+# convex reconstruction, determinism) measured 95% when the gate was
+# added.
+FLOOR_EXPOSURE=${FLOOR_EXPOSURE:-85}
 
 fail=0
 
@@ -43,6 +48,7 @@ check() {
 
 check ./internal/audit "$FLOOR_AUDIT"
 check ./internal/mitigate "$FLOOR_MITIGATE"
+check ./internal/mitigate/exposure "$FLOOR_EXPOSURE"
 check ./internal/auditstore "$FLOOR_AUDITSTORE"
 check ./internal/faultinject "$FLOOR_FAULTINJECT"
 check ./internal/obsv "$FLOOR_OBSV"

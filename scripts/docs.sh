@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Godoc hygiene gate: every package must open with a doc comment.
+# Library packages follow the godoc convention — a comment starting
+# "Package <name>" in some non-test file — so `go doc repro/...` always
+# has a synopsis; main packages (commands, examples, tools) must carry
+# a doc comment immediately above their package clause describing what
+# the binary does. docs/ARCHITECTURE.md is generated from nothing and
+# rots silently, so the package comments are the layer of record; this
+# gate keeps them from being dropped in refactors.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for spec in $(go list -f '{{.Name}}:{{.Dir}}' ./...); do
+	name=${spec%%:*}
+	dir=${spec#*:}
+	if [ "$name" != "main" ]; then
+		# godoc synopsis convention, in any non-test file.
+		if ! grep -l "^// Package $name " "$dir"/*.go 2>/dev/null \
+			| grep -qv '_test\.go$'; then
+			echo "FAIL: package $name ($dir) has no '// Package $name ...' doc comment" >&2
+			fail=1
+		fi
+		continue
+	fi
+	# Commands: some non-test file must have a comment line directly
+	# above its package clause.
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		[ -e "$f" ] || continue
+		if awk '
+			/^package / { if (prev ~ /^\/\// || prev ~ /\*\/[[:space:]]*$/) found = 1; exit }
+			{ prev = $0 }
+			END { exit found ? 0 : 1 }
+		' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "FAIL: command package at $dir has no doc comment above its package clause" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -eq 0 ]; then
+	echo "OK: every package carries a doc comment"
+fi
+exit "$fail"
